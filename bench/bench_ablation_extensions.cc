@@ -1,0 +1,130 @@
+// Ablations of the two extension features beyond the paper's evaluation:
+//   (a) SARATHI-style chunked prefill (§7 cites SARATHI as related work) —
+//       caps per-iteration prefill so decodes are not head-of-line blocked
+//       behind the 1536-token video-understanding prompts;
+//   (b) inter-GPU dispatch policies (the paper's stated future work) —
+//       round-robin vs least-loaded vs adapter-affinity.
+
+#include "bench/bench_util.h"
+
+namespace vlora {
+namespace {
+
+void ChunkedPrefillAblation() {
+  TraceOptions trace_options;
+  trace_options.app = AppKind::kVideoAnalytics;
+  trace_options.duration_s = 30.0;
+  trace_options.rate_rps = 7.0;
+  trace_options.num_adapters = 4;
+  trace_options.seed = 53;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+
+  AsciiTable table({"prefill chunk", "avg token ms", "p90 ms", "p99 ms", "SLO violations %"});
+  for (int64_t chunk : {0, 1536, 512, 256, 128}) {
+    SimOptions options;
+    options.max_batch_size = 48;
+    options.prefill_chunk_tokens = chunk;
+    const SimMetrics metrics = RunSimulation(trace, [] { return MakeVloraPolicy(); }, options);
+    table.AddRow({chunk == 0 ? "whole prompt" : std::to_string(chunk),
+                  AsciiTable::FormatDouble(metrics.avg_token_latency_ms, 2),
+                  AsciiTable::FormatDouble(metrics.p90_latency_ms, 0),
+                  AsciiTable::FormatDouble(metrics.p99_latency_ms, 0),
+                  AsciiTable::FormatDouble(100.0 * metrics.slo_violation_rate, 1)});
+  }
+  table.Print("Ablation (a): chunked prefill on video analytics (V-LoRA policy)");
+  std::printf("Finding: with prefill < 1 ms/token (A100 calibration) the whole-prompt policy "
+              "wins — chunking delays first tokens more than it smooths decode stalls. The "
+              "design pays off only when prefill per iteration rivals the decode step, which "
+              "this cost model's hardware point does not exhibit.\n");
+}
+
+void DispatchAblation() {
+  TraceOptions trace_options;
+  trace_options.app = AppKind::kVisualRetrieval;
+  trace_options.duration_s = 30.0;
+  trace_options.rate_rps = 20.0;
+  trace_options.num_adapters = 16;
+  trace_options.skewness = 0.3;
+  trace_options.zipf_s = 0.6;
+  trace_options.seed = 59;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+
+  AsciiTable table({"dispatch", "avg token ms", "throughput rps", "adapter swaps"});
+  struct Named {
+    const char* name;
+    DispatchPolicy policy;
+  };
+  for (const Named& entry : {Named{"round-robin (paper)", DispatchPolicy::kRoundRobin},
+                             Named{"least-loaded", DispatchPolicy::kLeastLoaded},
+                             Named{"adapter-affinity", DispatchPolicy::kAdapterAffinity}}) {
+    SimOptions options;
+    options.max_batch_size = 48;
+    options.num_gpus = 4;
+    options.gpu_adapter_slots = 4;
+    options.dispatch = entry.policy;
+    const SimMetrics metrics = RunSimulation(trace, [] { return MakeVloraPolicy(); }, options);
+    table.AddRow({entry.name, AsciiTable::FormatDouble(metrics.avg_token_latency_ms, 2),
+                  AsciiTable::FormatDouble(metrics.throughput_rps, 2),
+                  std::to_string(metrics.adapter_swaps)});
+  }
+  table.Print("Ablation (b): inter-GPU dispatch with 16 adapters on 4 GPUs");
+  std::printf("Adapter affinity concentrates each adapter's requests (fewer swaps, more "
+              "merged-mode opportunity) at the cost of load imbalance under skew.\n");
+}
+
+void SloAwareAblation() {
+  // Mixed deployment: latency-sensitive analytics (1 s SLO) sharing the GPU
+  // with throughput-oriented retrieval. SLO awareness pulls near-deadline
+  // analytics requests into the batch ahead of best-effort admissions.
+  TraceOptions analytics;
+  analytics.app = AppKind::kVideoAnalytics;
+  analytics.duration_s = 30.0;
+  analytics.rate_rps = 4.0;
+  analytics.num_adapters = 4;
+  analytics.seed = 61;
+  TraceOptions retrieval;
+  retrieval.app = AppKind::kVisualRetrieval;
+  retrieval.duration_s = 30.0;
+  retrieval.rate_rps = 6.0;
+  retrieval.num_adapters = 4;
+  retrieval.seed = 62;
+  std::vector<Request> trace = GenerateTrace(analytics);
+  for (Request req : GenerateTrace(retrieval)) {
+    req.adapter_id += 4;  // distinct adapter pool per application
+    trace.push_back(req);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+  for (size_t i = 0; i < trace.size(); ++i) {
+    trace[i].id = static_cast<int64_t>(i);
+  }
+
+  SimOptions options;
+  options.max_batch_size = 48;
+  AsciiTable table({"scheduler", "SLO violations %", "avg token ms"});
+  const SimMetrics plain = RunSimulation(trace, [] { return MakeVloraPolicy(); }, options);
+  Alg1Options slo_options;
+  slo_options.slo_urgency_fraction = 0.4;
+  const SimMetrics slo_aware =
+      RunSimulation(trace, [slo_options] { return MakeVloraPolicy(slo_options); }, options);
+  table.AddRow({"V-LoRA (Alg 1 as in paper)",
+                AsciiTable::FormatDouble(100.0 * plain.slo_violation_rate, 2),
+                AsciiTable::FormatDouble(plain.avg_token_latency_ms, 2)});
+  table.AddRow({"V-LoRA + SLO-aware admission",
+                AsciiTable::FormatDouble(100.0 * slo_aware.slo_violation_rate, 2),
+                AsciiTable::FormatDouble(slo_aware.avg_token_latency_ms, 2)});
+  table.Print("Ablation (c): SLO-aware admission on a mixed-application deployment");
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::bench::PrintHeader("Extensions beyond the paper's evaluation",
+                            "chunked prefill (SARATHI), inter-GPU scheduling (paper future "
+                            "work), SLO-aware admission");
+  vlora::ChunkedPrefillAblation();
+  vlora::DispatchAblation();
+  vlora::SloAwareAblation();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig 4: LoRA adapters with domain-specific knowledge improve Qwen-VL's
+// accuracy by +45.2 / +24.5 / +62.2 pp on AID / Aircraft / UCF101.
+
+#include "bench/bench_util.h"
+#include "src/accuracy/accuracy_model.h"
+
+namespace vlora {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Fig 4 — LoRA accuracy gain over the base LMM",
+                     "gains of +45.2 (image cls), +24.5 (detection), +62.2 (video cls) pp");
+  AccuracyOracle oracle(7, 0.0);
+  AsciiTable table({"task", "benchmark", "base LMM %", "LoRA LMM %", "gain pp", "paper gain pp"});
+  struct Row {
+    VisionTask task;
+    double paper_gain;
+  };
+  const Row rows[] = {
+      {VisionTask::kImageClassification, 45.2},
+      {VisionTask::kObjectDetection, 24.5},
+      {VisionTask::kVideoClassification, 62.2},
+  };
+  for (const Row& row : rows) {
+    const TaskAccuracyProfile& profile = TaskProfile(row.task);
+    const double base = oracle.BaseAccuracy(row.task);
+    const double lora = oracle.LoraAccuracy(row.task, 1);
+    table.AddRow({VisionTaskName(row.task), profile.benchmark,
+                  AsciiTable::FormatDouble(base, 1), AsciiTable::FormatDouble(lora, 1),
+                  AsciiTable::FormatDouble(lora - base, 1),
+                  AsciiTable::FormatDouble(row.paper_gain, 1)});
+  }
+  table.Print("Fig 4 reproduction");
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig 23: impact of the number of LoRA adapters. Paper: V-LoRA keeps the best
+// and most stable latency as adapters grow past GPU capacity, thanks to
+// pre-allocated contiguous memory, asynchronous (A, B)-only swapping, and
+// runtime ΔW computation with ATMM; dLoRA's batched-GEMM swap path degrades.
+
+#include "bench/bench_util.h"
+
+namespace vlora {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Fig 23 — latency vs number of LoRA adapters",
+                     "V-LoRA minimally affected by adapter count; baselines degrade once "
+                     "swapping starts");
+  SimOptions options;
+  options.max_batch_size = 48;
+  options.gpu_adapter_slots = 8;  // swapping starts beyond 8 adapters
+
+  std::vector<std::string> header = {"adapters"};
+  for (const auto& system : bench::ServingSystems()) {
+    header.push_back(system.name + " ms/token");
+  }
+  header.push_back("V-LoRA swaps");
+  header.push_back("V-LoRA visible swap ms");
+  AsciiTable table(header);
+
+  std::vector<double> first(bench::ServingSystems().size(), 0.0);
+  std::vector<double> last(bench::ServingSystems().size(), 0.0);
+  const int counts[] = {4, 8, 16, 32, 64};
+  for (int adapters : counts) {
+    TraceOptions trace_options;
+    trace_options.app = AppKind::kVisualRetrieval;
+    trace_options.duration_s = 30.0;
+    trace_options.rate_rps = 6.0;
+    trace_options.num_adapters = adapters;
+    trace_options.skewness = 0.3;  // spread load so many adapters are touched
+    trace_options.zipf_s = 0.5;
+    trace_options.seed = 41;
+    const std::vector<Request> trace = GenerateTrace(trace_options);
+
+    std::vector<std::string> row = {std::to_string(adapters)};
+    int64_t vlora_swaps = 0;
+    double vlora_swap_ms = 0.0;
+    size_t index = 0;
+    for (const auto& system : bench::ServingSystems()) {
+      const SimMetrics metrics = RunSimulation(trace, system.factory, options);
+      row.push_back(AsciiTable::FormatDouble(metrics.avg_token_latency_ms, 1));
+      if (adapters == counts[0]) {
+        first[index] = metrics.avg_token_latency_ms;
+      }
+      last[index] = metrics.avg_token_latency_ms;
+      if (index == 0) {
+        vlora_swaps = metrics.adapter_swaps;
+        vlora_swap_ms = metrics.visible_swap_ms;
+      }
+      ++index;
+    }
+    row.push_back(std::to_string(vlora_swaps));
+    row.push_back(AsciiTable::FormatDouble(vlora_swap_ms, 1));
+    table.AddRow(row);
+  }
+  table.Print("Fig 23 reproduction");
+  size_t index = 0;
+  for (const auto& system : bench::ServingSystems()) {
+    std::printf("%-8s latency growth from 4 to 64 adapters: %.1f%%\n", system.name.c_str(),
+                100.0 * (last[index] - first[index]) / first[index]);
+    ++index;
+  }
+  std::printf("Paper shape: V-LoRA suffers the minimal impact; its async swap hides the "
+              "15 ms (A,B) transfer.\n");
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::Run();
+  return 0;
+}

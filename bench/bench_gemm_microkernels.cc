@@ -1,0 +1,77 @@
+// Google-benchmark microbenchmarks for the tiled GEMM at LoRA-serving shapes:
+// per-configuration throughput and the ATMM dispatcher's selection overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "src/kernels/atmm.h"
+#include "src/kernels/gemm.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+void BM_GemmTiledDown(benchmark::State& state) {
+  const int64_t m = state.range(0);  // token rows
+  const int64_t k = 1024;            // d_model
+  const int64_t n = 64;              // adapter rank
+  Rng rng(1);
+  Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+  Tensor c = Tensor::Zeros(Shape(m, n));
+  GemmWorkspace workspace;
+  const TileConfig config{static_cast<int>(std::min<int64_t>(64, m >= 64 ? 64 : 16)), 32, 128, 8,
+                          8};
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    GemmTiled(a, b, c, config.Valid() ? config : TileConfig{}, workspace);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+BENCHMARK(BM_GemmTiledDown)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_AtmmDispatch(benchmark::State& state) {
+  AtmmDispatcher dispatcher;
+  dispatcher.Register(ShapeKey{128, 64, 1024}, TileConfig{64, 32, 128, 8, 8});
+  for (auto _ : state) {
+    TileConfig config = dispatcher.Select(128, 64, 1024);
+    benchmark::DoNotOptimize(config);
+  }
+}
+BENCHMARK(BM_AtmmDispatch);
+
+void BM_AtmmExecute(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  AtmmDispatcher dispatcher;
+  Rng rng(2);
+  Tensor a = Tensor::Random(Shape(m, 1024), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(1024, 64), rng, 1.0f);
+  Tensor c = Tensor::Zeros(Shape(m, 64));
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    dispatcher.Execute(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * 64 * 1024);
+}
+BENCHMARK(BM_AtmmExecute)->Arg(16)->Arg(256);
+
+void BM_GemmNaiveReference(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  Rng rng(3);
+  Tensor a = Tensor::Random(Shape(m, 1024), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(1024, 64), rng, 1.0f);
+  Tensor c = Tensor::Zeros(Shape(m, 64));
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    GemmNaive(a.data(), b.data(), c.data(), m, 64, 1024);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * 64 * 1024);
+}
+BENCHMARK(BM_GemmNaiveReference)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace vlora
+
+BENCHMARK_MAIN();

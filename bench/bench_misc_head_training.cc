@@ -1,0 +1,104 @@
+// The Fig 4 story on the REAL engine: domain adaptation lifts accuracy from
+// near-chance to near-perfect. Here the "external knowledge" is a trained
+// vision task head (linear probe on frozen-LMM features of real vision-tower
+// embeddings, §4.2.2); the untuned baseline is the same architecture with a
+// random head. Everything measured, nothing modelled.
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/core/head_trainer.h"
+#include "src/engine/vision_tower.h"
+
+namespace vlora {
+namespace {
+
+HeadExample MakeExample(VisionTower& tower, const VisionTowerConfig& tower_config, int cls,
+                        Rng& noise) {
+  Tensor image = SyntheticImage(tower_config, 1300 * (cls + 1));
+  for (int64_t p = 0; p < image.NumElements(); ++p) {
+    image.data()[p] = std::clamp(
+        image.data()[p] + static_cast<float>(noise.NextUniform(-0.04, 0.04)), 0.0f, 1.0f);
+  }
+  Tensor embeddings = tower.Encode(image);
+  HeadExample example;
+  example.prompt_tokens = tower.SurrogateTokens(embeddings);
+  InjectedEmbeddings span;
+  span.position = 0;
+  span.embeddings = std::move(embeddings);
+  example.injected.push_back(std::move(span));
+  example.label = cls;
+  return example;
+}
+
+void Run() {
+  bench::PrintHeader("§4.2 on the real engine — task-head training accuracy gain",
+                     "Fig 4's shape: domain adaptation lifts accuracy from near-chance to "
+                     "domain-specific levels (paper: +24.5 to +62.2 pp)");
+  const ModelConfig config = TinyConfig();
+  VisionTowerConfig tower_config;
+  tower_config.image_size = 16;
+  tower_config.patch_size = 8;
+  tower_config.d_vision = 32;
+  tower_config.num_heads = 4;
+  tower_config.num_blocks = 2;
+  tower_config.d_model = config.d_model;
+  VisionTower tower(tower_config, 3);
+  InferenceEngine engine(config, EngineOptions{});
+  Rng rng(101);
+
+  const int classes = 4;
+  Rng noise(55);
+  std::vector<HeadExample> train;
+  std::vector<HeadExample> test;
+  for (int cls = 0; cls < classes; ++cls) {
+    for (int i = 0; i < 8; ++i) {
+      train.push_back(MakeExample(tower, tower_config, cls, noise));
+    }
+    for (int i = 0; i < 6; ++i) {
+      test.push_back(MakeExample(tower, tower_config, cls, noise));
+    }
+  }
+
+  // Untuned baseline: random head on a random adapter.
+  LoraAdapter baseline =
+      LoraAdapter::Random("untuned", config.num_layers, config.d_model, 8, rng);
+  VisionTaskHead random_head;
+  random_head.task = VisionTask::kImageClassification;
+  random_head.weight = Tensor::Random(Shape(config.d_model, classes), rng, 0.3f);
+  baseline.SetTaskHead(std::move(random_head));
+  const int baseline_id = engine.RegisterAdapter(&baseline);
+  const double untuned = EvaluateTaskHead(engine, baseline_id, test);
+
+  // Trained adapter head.
+  LoraAdapter adapted = LoraAdapter::Random("adapted", config.num_layers, config.d_model, 8, rng);
+  const int adapted_id = engine.RegisterAdapter(&adapted);
+  engine.SetMode(InferMode::kUnmerged);
+  HeadTrainerOptions options;
+  options.num_classes = classes;
+  options.adapter_id = adapted_id;
+  Stopwatch timer;
+  HeadTrainingResult trained =
+      TrainTaskHead(engine, train, VisionTask::kImageClassification, options);
+  const double train_ms = timer.ElapsedMillis();
+  adapted.SetTaskHead(std::move(trained.head));
+  const double tuned = EvaluateTaskHead(engine, adapted_id, test);
+
+  AsciiTable table({"configuration", "held-out accuracy %", "note"});
+  table.AddRow({"chance", AsciiTable::FormatDouble(100.0 / classes, 1),
+                std::to_string(classes) + " classes"});
+  table.AddRow({"untuned (random head)", AsciiTable::FormatDouble(100.0 * untuned, 1),
+                "the base-LMM analog of Fig 4"});
+  table.AddRow({"trained task head", AsciiTable::FormatDouble(100.0 * tuned, 1),
+                "training took " + AsciiTable::FormatDouble(train_ms, 0) + " ms"});
+  table.Print("Real-engine accuracy gain from domain adaptation");
+  std::printf("Gain: %+.1f pp (paper's Fig 4 gains: +24.5 to +62.2 pp at full scale)\n",
+              100.0 * (tuned - untuned));
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::Run();
+  return 0;
+}

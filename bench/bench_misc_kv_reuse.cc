@@ -1,0 +1,82 @@
+// §5 "KV cache reuse": repeated images (multi-round VQA over the same frame)
+// reuse prompt KV blocks via prefix matching, avoiding redundant prefill and
+// storage. REAL engine measurement on the tiny model.
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/engine/engine.h"
+#include "src/engine/vision.h"
+
+namespace vlora {
+namespace {
+
+void Run() {
+  bench::PrintHeader("§5 — KV cache reuse on repeated images (REAL engine)",
+                     "same-image prompts reuse prompt KV blocks; prefill work drops");
+  ModelConfig config = SmallConfig();
+  config.visual_tokens_per_image = 64;  // a long visual prefix to make reuse visible
+  EngineOptions engine_options;
+  engine_options.kv_block_size = 16;
+  engine_options.kv_num_blocks = 1024;
+  InferenceEngine engine(config, engine_options);
+  engine.SetMode(InferMode::kUnmerged);
+  VisionEncoder vision(config);
+
+  // Round 1 of multi-round VQA establishes the image's KV; rounds 2..N ask
+  // new questions about the same image while round 1's sequence is alive.
+  const int rounds = 6;
+  Rng rng(51);
+  std::vector<int32_t> question;
+  for (int i = 0; i < 8; ++i) {
+    question.push_back(static_cast<int32_t>(rng.NextInt(2, config.vocab_size - 1)));
+  }
+
+  int64_t total_prefilled = 0;
+  int64_t total_reused = 0;
+  Stopwatch timer;
+  // Keep every round's sequence alive until the end by submitting them all
+  // and stepping together; the first to prefill registers the image blocks.
+  for (int round = 0; round < rounds; ++round) {
+    EngineRequest request;
+    request.id = round;
+    std::vector<int32_t> q = question;
+    q.push_back(static_cast<int32_t>(2 + round));  // vary the question tail
+    request.prompt_tokens = vision.BuildPrompt(/*image_id=*/7, q);
+    request.max_new_tokens = 4;
+    request.eos_token = -1;
+    engine.Submit(request);
+    // Step once so this round's prefill lands before the next is submitted
+    // (multi-round dialogs are sequential).
+    engine.Step();
+  }
+  std::vector<EngineResult> results;
+  while (engine.HasWork()) {
+    for (EngineResult& result : engine.Step()) {
+      results.push_back(std::move(result));
+    }
+  }
+  const double elapsed_ms = timer.ElapsedMillis();
+  for (const EngineResult& result : results) {
+    total_prefilled += result.prefill_tokens;
+    total_reused += result.reused_tokens;
+  }
+
+  AsciiTable table({"metric", "value"});
+  table.AddRow({"rounds over the same image", std::to_string(rounds)});
+  table.AddRow({"visual tokens per image", std::to_string(config.visual_tokens_per_image)});
+  table.AddRow({"prompt tokens prefilled", std::to_string(total_prefilled)});
+  table.AddRow({"prompt tokens reused from cache", std::to_string(total_reused)});
+  table.AddRow({"prefix-cache hits", std::to_string(engine.kv().prefix_hits())});
+  table.AddRow({"wall time ms (tiny CPU engine)", AsciiTable::FormatDouble(elapsed_ms, 1)});
+  table.Print("KV reuse reproduction");
+  std::printf("Shape check: rounds 2..%d reuse the image's full blocks, so reused tokens ~ "
+              "(rounds-1) x visual prefix.\n", rounds);
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::Run();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Fig 5's mechanism measured with REAL gradient training: fusing more
+// domains into one fixed-rank LoRA adapter degrades per-domain accuracy,
+// while one adapter per domain stays accurate. Each domain is a synthetic
+// closed-set task (distinct prompt distributions and label sets); the fused
+// adapter shares its last-layer rank-limited factors and one multi-way head
+// across all domains.
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/core/lora_trainer.h"
+#include "src/engine/engine.h"
+
+namespace vlora {
+namespace {
+
+constexpr int kClassesPerDomain = 4;
+constexpr int kExamplesPerClass = 5;
+
+ModelConfig FusionConfig() {
+  ModelConfig config = TinyConfig();
+  config.num_layers = 2;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.d_ff = 64;
+  config.vocab_size = 64;
+  return config;
+}
+
+// Domain d, class c: prompts share a (domain, class)-specific prefix with a
+// varying suffix token.
+std::vector<LoraTrainExample> DomainExamples(const ModelConfig& config, int domain,
+                                             int label_offset) {
+  std::vector<LoraTrainExample> examples;
+  for (int cls = 0; cls < kClassesPerDomain; ++cls) {
+    Rng rng(7000 + 100 * static_cast<uint64_t>(domain) + static_cast<uint64_t>(cls));
+    for (int i = 0; i < kExamplesPerClass; ++i) {
+      LoraTrainExample example;
+      for (int t = 0; t < 8; ++t) {
+        example.prompt_tokens.push_back(
+            static_cast<int32_t>(rng.NextInt(2, config.vocab_size - 1)));
+      }
+      example.prompt_tokens.push_back(static_cast<int32_t>(2 + (11 * i) % 50));
+      example.label = label_offset + cls;
+      examples.push_back(std::move(example));
+    }
+  }
+  return examples;
+}
+
+// Trains one rank-limited adapter on `num_domains` fused domains and returns
+// the per-domain training accuracies.
+std::vector<double> TrainFused(InferenceEngine& engine, int num_domains, int64_t rank) {
+  const ModelConfig& config = engine.config();
+  Rng rng(31 + static_cast<uint64_t>(num_domains));
+  LoraAdapter adapter = LoraAdapter::Random("fused", config.num_layers, config.d_model, rank,
+                                            rng, 0.05f, {LoraTarget::kWo});
+  LoraTrainer trainer(&engine.model(), &adapter);
+  const int classes = num_domains * kClassesPerDomain;
+  VisionTaskHead head;
+  head.task = VisionTask::kImageClassification;
+  head.weight = Tensor::Random(Shape(config.d_model, classes), rng, 0.05f);
+
+  std::vector<LoraTrainExample> all;
+  for (int domain = 0; domain < num_domains; ++domain) {
+    for (LoraTrainExample& example :
+         DomainExamples(config, domain, domain * kClassesPerDomain)) {
+      all.push_back(std::move(example));
+    }
+  }
+  LoraTrainerOptions options;
+  options.num_classes = classes;
+  options.epochs = 20;
+  options.factor_lr = 0.03f;
+  options.head_lr = 0.2f;
+  trainer.Train(all, head, options);
+
+  // Per-domain accuracy with the shared head.
+  std::vector<double> accuracies;
+  for (int domain = 0; domain < num_domains; ++domain) {
+    const std::vector<LoraTrainExample> domain_examples =
+        DomainExamples(config, domain, domain * kClassesPerDomain);
+    int correct = 0;
+    for (const LoraTrainExample& example : domain_examples) {
+      const std::vector<float> hidden = trainer.FinalHidden(example.prompt_tokens);
+      int best = 0;
+      double best_score = -1e300;
+      for (int64_t c = 0; c < classes; ++c) {
+        double z = 0.0;
+        for (int64_t i = 0; i < config.d_model; ++i) {
+          z += static_cast<double>(hidden[static_cast<size_t>(i)]) * head.weight.at(i, c);
+        }
+        if (z > best_score) {
+          best_score = z;
+          best = static_cast<int>(c);
+        }
+      }
+      correct += best == example.label ? 1 : 0;
+    }
+    accuracies.push_back(static_cast<double>(correct) /
+                         static_cast<double>(domain_examples.size()));
+  }
+  return accuracies;
+}
+
+void Run() {
+  bench::PrintHeader("Fig 5's mechanism with REAL LoRA fine-tuning",
+                     "a fixed-rank adapter loses per-domain accuracy as more domains fuse; "
+                     "one adapter per domain stays accurate");
+  const ModelConfig config = FusionConfig();
+  InferenceEngine engine(config, EngineOptions{.seed = 2024});
+
+  const int64_t rank = 2;  // tight capacity so fusion pressure is visible
+  AsciiTable table({"fused domains k", "mean per-domain accuracy %", "min per-domain %",
+                    "head options"});
+  Stopwatch timer;
+  for (int k = 1; k <= 3; ++k) {
+    const std::vector<double> accuracies = TrainFused(engine, k, rank);
+    double mean = 0.0;
+    double min = 1.0;
+    for (double acc : accuracies) {
+      mean += acc;
+      min = std::min(min, acc);
+    }
+    mean /= static_cast<double>(accuracies.size());
+    table.AddRow({std::to_string(k), AsciiTable::FormatDouble(100.0 * mean, 1),
+                  AsciiTable::FormatDouble(100.0 * min, 1),
+                  std::to_string(k * kClassesPerDomain)});
+  }
+  table.Print("Real-training fusion degradation (rank " + std::to_string(rank) + " adapter)");
+  std::printf("Total training time: %.1f s (tiny model; the paper reports 25 min for the Fig 10 "
+              "example at 7B scale)\n", timer.ElapsedSeconds());
+  std::printf("Paper shape: accuracy declines as k grows at fixed adapter capacity — the premise "
+              "of the accuracy-aware knowledge-fusion algorithm.\n");
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::Run();
+  return 0;
+}

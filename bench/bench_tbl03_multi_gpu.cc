@@ -1,0 +1,52 @@
+// Table 3: V-LoRA scales to multiple GPUs. Paper: total system throughput
+// reaches 6.07 / 11.48 / 23.97 requests per second on servers with 1 / 2 / 4
+// A100s (round-robin dispatch, no inter-GPU scheduling).
+
+#include "bench/bench_util.h"
+
+namespace vlora {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Table 3 — multi-GPU throughput scaling",
+                     "6.07 / 11.48 / 23.97 rps on 1 / 2 / 4 GPUs (near-linear)");
+  // Saturating workload: offered load far above single-device capacity so the
+  // measured throughput is the capacity, not the arrival rate.
+  TraceOptions trace_options;
+  trace_options.app = AppKind::kVisualRetrieval;
+  trace_options.duration_s = 30.0;
+  trace_options.rate_rps = 60.0;
+  trace_options.num_adapters = 8;
+  trace_options.skewness = 0.6;
+  trace_options.seed = 43;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+
+  AsciiTable table({"GPUs", "throughput rps", "scaling vs 1 GPU", "paper rps"});
+  const double paper[] = {6.07, 11.48, 23.97};
+  double base = 0.0;
+  int paper_index = 0;
+  for (int gpus : {1, 2, 4}) {
+    SimOptions options;
+    options.max_batch_size = 48;
+    options.gpu_adapter_slots = 8;
+    options.num_gpus = gpus;
+    const SimMetrics metrics =
+        RunSimulation(trace, [] { return MakeVloraPolicy(); }, options);
+    if (gpus == 1) {
+      base = metrics.throughput_rps;
+    }
+    table.AddRow({std::to_string(gpus), AsciiTable::FormatDouble(metrics.throughput_rps, 2),
+                  AsciiTable::FormatDouble(metrics.throughput_rps / base, 2) + "x",
+                  AsciiTable::FormatDouble(paper[paper_index++], 2)});
+  }
+  table.Print("Table 3 reproduction");
+  std::printf("Shape check: ~2x and ~4x scaling from independent per-device queues.\n");
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() {
+  vlora::Run();
+  return 0;
+}

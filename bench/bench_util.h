@@ -1,0 +1,66 @@
+// Shared helpers for the per-figure / per-table bench binaries.
+//
+// Every bench prints (a) what the paper reports for that experiment and
+// (b) what this reproduction measures, in the same units, so the shape
+// comparison recorded in EXPERIMENTS.md can be regenerated with
+// `for b in build/bench/*; do $b; done`.
+
+#ifndef VLORA_BENCH_BENCH_UTIL_H_
+#define VLORA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/policies.h"
+#include "src/common/table.h"
+#include "src/core/scheduler.h"
+#include "src/gpusim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace bench {
+
+inline void PrintHeader(const std::string& experiment, const std::string& paper_claim) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", experiment.c_str());
+  std::printf("# Paper: %s\n", paper_claim.c_str());
+  std::printf("################################################################\n");
+}
+
+struct NamedPolicy {
+  std::string name;
+  PolicyFactory factory;
+};
+
+// The four serving systems of §6.1, in the paper's comparison order.
+inline std::vector<NamedPolicy> ServingSystems() {
+  return {
+      {"V-LoRA", [] { return MakeVloraPolicy(); }},
+      {"dLoRA", [] { return MakeDloraPolicy(); }},
+      {"Punica", [] { return MakePunicaPolicy(); }},
+      {"S-LoRA", [] { return MakeSloraPolicy(); }},
+  };
+}
+
+// The scheduler ablations of §6.3.3 (Fig 19).
+inline std::vector<NamedPolicy> SchedulerAblations() {
+  return {
+      {"V-LoRA", [] { return MakeVloraPolicy(); }},
+      {"merge-only", [] { return MakeMergeOnlyPolicy(); }},
+      {"unmerge-only", [] { return MakeUnmergeOnlyPolicy(); }},
+      {"dLoRA", [] { return MakeDloraPolicy(); }},
+  };
+}
+
+inline double PercentReduction(double ours, double baseline) {
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+}  // namespace bench
+}  // namespace vlora
+
+#endif  // VLORA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,105 @@
+// End-to-end offline -> online pipeline with the REAL vision receptor:
+//
+//   synthetic camera frames -> ViT encoder + vision-language projector ->
+//   task-head training on frozen-LMM features (§4.2.2) -> serving closed-set
+//   queries in one inference round through the orchestrated engine.
+//
+// Unlike the other examples (which use the pseudo-token vision stub), every
+// stage here is the functional substrate: pixels are encoded by the mini-ViT,
+// the head is fitted with SGD, and the served answers are real
+// classifications of held-out noisy frames.
+//
+//   ./build/examples/end_to_end_training
+
+#include <cstdio>
+
+#include "src/core/head_trainer.h"
+#include "src/engine/vision_tower.h"
+
+using namespace vlora;
+
+namespace {
+
+HeadExample MakeExample(VisionTower& tower, const VisionTowerConfig& tower_config, int cls,
+                        Rng& noise, int label) {
+  Tensor image = SyntheticImage(tower_config, 900 * (cls + 1));
+  for (int64_t p = 0; p < image.NumElements(); ++p) {
+    image.data()[p] = std::clamp(
+        image.data()[p] + static_cast<float>(noise.NextUniform(-0.03, 0.03)), 0.0f, 1.0f);
+  }
+  Tensor embeddings = tower.Encode(image);
+  HeadExample example;
+  example.prompt_tokens = tower.SurrogateTokens(embeddings);
+  InjectedEmbeddings span;
+  span.position = 0;
+  span.embeddings = std::move(embeddings);
+  example.injected.push_back(std::move(span));
+  example.label = label;
+  return example;
+}
+
+}  // namespace
+
+int main() {
+  const ModelConfig config = TinyConfig();
+  VisionTowerConfig tower_config;
+  tower_config.image_size = 16;
+  tower_config.patch_size = 8;
+  tower_config.d_vision = 32;
+  tower_config.num_heads = 4;
+  tower_config.num_blocks = 2;
+  tower_config.d_model = config.d_model;
+  VisionTower tower(tower_config, 3);
+  std::printf("Vision receptor: %dx%d images -> %d patches -> d_vision %ld -> d_model %ld\n",
+              tower_config.image_size, tower_config.image_size, tower_config.num_patches(),
+              tower_config.d_vision, tower_config.d_model);
+
+  InferenceEngine engine(config, EngineOptions{});
+  Rng rng(19);
+  LoraAdapter adapter =
+      LoraAdapter::Random("scene-classifier", config.num_layers, config.d_model, 8, rng);
+  const int adapter_id = engine.RegisterAdapter(&adapter);
+  engine.SetMode(InferMode::kUnmerged);
+
+  // --- Offline phase: train the scene-classification head (3 classes).
+  const int classes = 3;
+  Rng noise(7);
+  std::vector<HeadExample> train;
+  for (int cls = 0; cls < classes; ++cls) {
+    for (int i = 0; i < 6; ++i) {
+      train.push_back(MakeExample(tower, tower_config, cls, noise, cls));
+    }
+  }
+  HeadTrainerOptions options;
+  options.num_classes = classes;
+  options.adapter_id = adapter_id;
+  HeadTrainingResult trained =
+      TrainTaskHead(engine, train, VisionTask::kImageClassification, options);
+  std::printf("Trained task head: train accuracy %.0f%%, final loss %.3f\n",
+              100.0 * trained.train_accuracy, trained.final_loss);
+  adapter.SetTaskHead(std::move(trained.head));
+
+  // --- Online phase: held-out noisy frames, one inference round each.
+  int correct = 0;
+  int total = 0;
+  for (int cls = 0; cls < classes; ++cls) {
+    for (int i = 0; i < 4; ++i) {
+      HeadExample example = MakeExample(tower, tower_config, cls, noise, cls);
+      EngineRequest request;
+      request.id = 1000 + total;
+      request.prompt_tokens = example.prompt_tokens;
+      request.injected = example.injected;
+      request.adapter_id = adapter_id;
+      request.use_task_head = true;
+      request.eos_token = -1;
+      const EngineResult result = engine.RunToCompletion(std::move(request));
+      const bool hit = result.head_option == cls;
+      correct += hit ? 1 : 0;
+      ++total;
+      std::printf("  frame class %d -> predicted %d %s (1 round, %ld decode steps)\n", cls,
+                  result.head_option, hit ? "OK" : "MISS", result.decode_steps);
+    }
+  }
+  std::printf("Held-out accuracy through the task-head path: %d/%d\n", correct, total);
+  return correct * 2 >= total ? 0 : 1;
+}

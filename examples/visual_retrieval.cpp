@@ -1,0 +1,92 @@
+// Visual retrieval example: multi-round VQA over the same image with KV
+// prefix reuse, plus a skewed multi-adapter retrieval workload showing
+// Algorithm 1's mode choices on the real engine.
+//
+//   ./build/examples/visual_retrieval
+
+#include <cstdio>
+
+#include "src/core/server.h"
+#include "src/engine/vision.h"
+
+using namespace vlora;
+
+namespace {
+
+void MultiRoundVqa() {
+  std::printf("=== Multi-round VQA over one image (KV prefix reuse) ===\n");
+  ModelConfig config = SmallConfig();
+  config.visual_tokens_per_image = 64;
+  InferenceEngine engine(config, EngineOptions{.kv_block_size = 16, .kv_num_blocks = 1024});
+  engine.SetMode(InferMode::kUnmerged);
+  VisionEncoder vision(config);
+
+  int64_t reused_total = 0;
+  for (int round = 0; round < 4; ++round) {
+    EngineRequest request;
+    request.id = round;
+    // Same image every round, different question.
+    request.prompt_tokens =
+        vision.BuildPrompt(/*image_id=*/9, {static_cast<int32_t>(10 + round), 5, 6});
+    request.max_new_tokens = 5;
+    request.eos_token = -1;
+    engine.Submit(request);
+    // Sequential dialog: step until this round finishes, keeping earlier
+    // rounds' registered prompt blocks alive in the prefix index.
+    bool done = false;
+    while (!done) {
+      for (const EngineResult& result : engine.Step()) {
+        if (result.request_id == round) {
+          std::printf("  round %d: %ld prompt tokens prefilled, %ld reused from cache\n",
+                      round, result.prefill_tokens, result.reused_tokens);
+          reused_total += result.reused_tokens;
+          done = true;
+        }
+      }
+    }
+  }
+  std::printf("Prefix cache hits: %ld; total reused prompt tokens: %ld\n\n",
+              engine.kv().prefix_hits(), reused_total);
+}
+
+void SkewedRetrieval() {
+  std::printf("=== Skewed retrieval workload through the orchestrator ===\n");
+  const ModelConfig config = TinyConfig();
+  ServerOptions options;
+  options.max_batch_size = 4;
+  VloraServer server(config, options);
+  Rng rng(13);
+  for (int i = 0; i < 3; ++i) {
+    server.AddAdapter(std::make_unique<LoraAdapter>(LoraAdapter::Random(
+        "retrieval-" + std::to_string(i), config.num_layers, config.d_model, 8, rng)));
+  }
+  VisionEncoder vision(config);
+
+  // 8 requests, 6 of which hit adapter 0 (the "60% merge-friendly" pattern).
+  int64_t next_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    EngineRequest request;
+    request.id = next_id++;
+    request.prompt_tokens = vision.BuildPrompt(100 + i, {7, 8, static_cast<int32_t>(9 + i)});
+    request.adapter_id = i < 6 ? 0 : (i - 5);
+    request.max_new_tokens = 4;
+    request.eos_token = -1;
+    server.Submit(request);
+  }
+  const std::vector<EngineResult> results = server.RunAll();
+  std::printf("Served %zu requests.\n", results.size());
+  const ServerStats& stats = server.stats();
+  std::printf("Iterations: %ld (merged %ld / unmerged %ld / mixture %ld), mode switches %ld\n",
+              stats.iterations, stats.merged_iterations, stats.unmerged_iterations,
+              stats.mixture_iterations, stats.mode_switches);
+  std::printf("The dominant adapter rides the zero-overhead merged path; foreign requests "
+              "join through deLoRA mixture batches.\n");
+}
+
+}  // namespace
+
+int main() {
+  MultiRoundVqa();
+  SkewedRetrieval();
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "src/accuracy/accuracy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+namespace {
+double DeterministicNoise(uint64_t seed, VisionTask task, int k) {
+  uint64_t x = seed ^ (static_cast<uint64_t>(task) * 0x9E3779B97F4A7C15ull) ^
+               (static_cast<uint64_t>(k) * 0xC4CEB9FE1A85EC53ull);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  // Map to [-1, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-52 - 1.0;
+}
+}  // namespace
+
+AccuracyOracle::AccuracyOracle(uint64_t seed, double noise_pp)
+    : seed_(seed), noise_pp_(noise_pp) {}
+
+double AccuracyOracle::BaseAccuracy(VisionTask task) const {
+  return TaskProfile(task).base_lmm_acc;
+}
+
+double AccuracyOracle::SmallModelAccuracy(VisionTask task) const {
+  return TaskProfile(task).small_model_acc;
+}
+
+double AccuracyOracle::LoraAccuracy(VisionTask task, int fused_domains) const {
+  VLORA_CHECK(fused_domains >= 1);
+  const TaskAccuracyProfile& profile = TaskProfile(task);
+  const double k = static_cast<double>(fused_domains - 1);
+  double retention = 1.0 - profile.fusion_linear * k - profile.fusion_quad * k * k;
+  retention = std::max(retention, 0.0);
+  double accuracy = profile.lora_acc * retention;
+  accuracy += noise_pp_ * DeterministicNoise(seed_, task, fused_domains);
+  // Fusing more knowledge never drops below the untuned base model: LoRA
+  // training keeps the base weights frozen (§2).
+  return std::clamp(accuracy, profile.base_lmm_acc, 100.0);
+}
+
+}  // namespace vlora

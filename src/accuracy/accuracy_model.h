@@ -1,0 +1,38 @@
+// Accuracy oracle used by the knowledge-fusion generator and the accuracy
+// benches. Deterministic given (task, fused-domain count, seed): repeated
+// queries return identical values, as the generator's rollback logic requires.
+
+#ifndef VLORA_SRC_ACCURACY_ACCURACY_MODEL_H_
+#define VLORA_SRC_ACCURACY_ACCURACY_MODEL_H_
+
+#include <cstdint>
+
+#include "src/accuracy/task_catalog.h"
+#include "src/common/vision_task.h"
+
+namespace vlora {
+
+class AccuracyOracle {
+ public:
+  // `noise_pp` adds deterministic per-(task, k, domain-set-size) jitter in
+  // percentage points, modelling training variance; 0 disables it.
+  explicit AccuracyOracle(uint64_t seed = 7, double noise_pp = 0.4);
+
+  // Accuracy of the base LMM on the task (no adapter).
+  double BaseAccuracy(VisionTask task) const;
+
+  // Accuracy of the SOTA domain-specific small model (§6.1 baselines).
+  double SmallModelAccuracy(VisionTask task) const;
+
+  // Accuracy on `task` of a LoRA adapter that fuses `fused_domains` domains
+  // in total (Fig 5's x-axis). fused_domains >= 1.
+  double LoraAccuracy(VisionTask task, int fused_domains) const;
+
+ private:
+  uint64_t seed_;
+  double noise_pp_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ACCURACY_ACCURACY_MODEL_H_

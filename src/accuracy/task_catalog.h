@@ -1,0 +1,43 @@
+// Per-task accuracy constants and fusion-degradation curves.
+//
+// Since no trained models or labelled datasets are available here, accuracy
+// behaviour is a calibrated analytical model fitted to the paper's own
+// measurements (DESIGN.md §1):
+//
+//   Fig 3/4:  base-LMM accuracy and the LoRA fine-tuning gains
+//             (+45.2 pp image cls on AID, +24.5 pp detection on Aircraft,
+//              +62.2 pp video cls on UCF101)
+//   Fig 15:   SOTA small-model accuracies and V-LoRA's +4.3-5 pp advantage
+//             on VQA / captioning
+//   Fig 5:    how accuracy decays as k domains fuse into one adapter —
+//             image classification barely degrades (> 95 % retention at
+//             k = 6) while video classification collapses.
+//
+// The knowledge-fusion generator consumes only this oracle, so its packing
+// behaviour is fully determined by these curves.
+
+#ifndef VLORA_SRC_ACCURACY_TASK_CATALOG_H_
+#define VLORA_SRC_ACCURACY_TASK_CATALOG_H_
+
+#include "src/common/vision_task.h"
+
+namespace vlora {
+
+struct TaskAccuracyProfile {
+  VisionTask task;
+  const char* benchmark;     // dataset the paper evaluates this task on
+  const char* small_model;   // SOTA small-model baseline (§6.1)
+  double base_lmm_acc;       // zero-/few-shot LMM accuracy (percent)
+  double lora_acc;           // single-domain LoRA-LMM accuracy (percent)
+  double small_model_acc;    // SOTA small model accuracy (percent)
+  // Fusion retention: accuracy(k) = lora_acc * (1 - linear*(k-1) -
+  // quad*(k-1)^2), floored at base_lmm_acc.
+  double fusion_linear;
+  double fusion_quad;
+};
+
+const TaskAccuracyProfile& TaskProfile(VisionTask task);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ACCURACY_TASK_CATALOG_H_

@@ -1,0 +1,188 @@
+#include "src/baselines/policies.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vlora {
+
+namespace {
+
+// Sorts view indices longest-wait-first (FCFS w.r.t. arrival).
+std::vector<const RequestView*> SortedByWait(const std::vector<RequestView>& queue) {
+  std::vector<const RequestView*> sorted;
+  sorted.reserve(queue.size());
+  for (const RequestView& view : queue) {
+    sorted.push_back(&view);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(), [](const RequestView* a, const RequestView* b) {
+    return a->arrival_wait_ms > b->arrival_wait_ms;
+  });
+  return sorted;
+}
+
+// The adapter with the most queued requests and that count.
+std::pair<int, int> LargestAdapterGroup(const std::vector<RequestView>& queue) {
+  std::unordered_map<int, int> counts;
+  for (const RequestView& view : queue) {
+    if (view.adapter_id >= 0) {
+      ++counts[view.adapter_id];
+    }
+  }
+  int best_adapter = -1;
+  int best_count = 0;
+  for (const auto& [adapter, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_adapter = adapter;
+    }
+  }
+  return {best_adapter, best_count};
+}
+
+class UnmergeOnlyPolicy : public SchedulerPolicy {
+ public:
+  UnmergeOnlyPolicy(std::string name, OperatorKind op) {
+    profile_.name = std::move(name);
+    profile_.op = op;
+    profile_.switch_ms = 0.0;  // never switches
+    profile_.uses_task_head = false;
+    profile_.async_adapter_swap = false;
+  }
+
+  const SystemProfile& profile() const override { return profile_; }
+
+  IterationPlan Plan(const std::vector<RequestView>& queue,
+                     const PolicyContext& context) override {
+    IterationPlan plan;
+    plan.mode = InferMode::kUnmerged;
+    for (const RequestView* view : SortedByWait(queue)) {
+      if (static_cast<int>(plan.selected.size()) >= context.max_batch_size) {
+        break;
+      }
+      plan.selected.push_back(view->index);
+    }
+    return plan;
+  }
+
+ private:
+  SystemProfile profile_;
+};
+
+class DloraPolicy : public SchedulerPolicy {
+ public:
+  DloraPolicy() {
+    profile_.name = "dLoRA";
+    profile_.op = OperatorKind::kEinsum;
+    profile_.switch_ms = 53.0;  // §3.2 measured switch cost
+    profile_.uses_task_head = false;
+    profile_.async_adapter_swap = false;
+  }
+
+  const SystemProfile& profile() const override { return profile_; }
+
+  IterationPlan Plan(const std::vector<RequestView>& queue,
+                     const PolicyContext& context) override {
+    IterationPlan plan;
+    const auto [hot_adapter, hot_count] = LargestAdapterGroup(queue);
+    const int denom = std::min<int>(context.max_batch_size, static_cast<int>(queue.size()));
+    // dLoRA merges when the dominant adapter covers most of the batch window.
+    if (hot_adapter >= 0 && denom > 0 && hot_count * 2 > denom) {
+      plan.mode = InferMode::kMerged;
+      plan.merged_adapter = hot_adapter;
+      for (const RequestView* view : SortedByWait(queue)) {
+        if (static_cast<int>(plan.selected.size()) >= context.max_batch_size) {
+          break;
+        }
+        if (view->adapter_id == hot_adapter) {
+          plan.selected.push_back(view->index);
+        }
+      }
+      return plan;
+    }
+    plan.mode = InferMode::kUnmerged;
+    for (const RequestView* view : SortedByWait(queue)) {
+      if (static_cast<int>(plan.selected.size()) >= context.max_batch_size) {
+        break;
+      }
+      plan.selected.push_back(view->index);
+    }
+    return plan;
+  }
+
+ private:
+  SystemProfile profile_;
+};
+
+class MergeOnlyPolicy : public SchedulerPolicy {
+ public:
+  MergeOnlyPolicy() {
+    profile_.name = "merge-only";
+    profile_.op = OperatorKind::kAtmm;  // irrelevant: never runs unmerged
+    profile_.switch_ms = 8.0;
+    profile_.uses_task_head = false;
+    profile_.async_adapter_swap = false;
+  }
+
+  const SystemProfile& profile() const override { return profile_; }
+
+  IterationPlan Plan(const std::vector<RequestView>& queue,
+                     const PolicyContext& context) override {
+    IterationPlan plan;
+    const auto [hot_adapter, hot_count] = LargestAdapterGroup(queue);
+    (void)hot_count;
+    if (hot_adapter < 0) {
+      return plan;
+    }
+    // Sticks with the currently merged adapter while it still has work, to
+    // avoid thrashing switches; otherwise re-merges onto the hottest one.
+    int target = context.merged_adapter;
+    bool target_has_work = false;
+    if (target >= 0) {
+      for (const RequestView& view : queue) {
+        if (view.adapter_id == target) {
+          target_has_work = true;
+          break;
+        }
+      }
+    }
+    if (!target_has_work) {
+      target = hot_adapter;
+    }
+    plan.mode = InferMode::kMerged;
+    plan.merged_adapter = target;
+    for (const RequestView* view : SortedByWait(queue)) {
+      if (static_cast<int>(plan.selected.size()) >= context.max_batch_size) {
+        break;
+      }
+      if (view->adapter_id == target) {
+        plan.selected.push_back(view->index);
+      }
+    }
+    return plan;
+  }
+
+ private:
+  SystemProfile profile_;
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> MakeSloraPolicy() {
+  return std::make_unique<UnmergeOnlyPolicy>("S-LoRA", OperatorKind::kSlora);
+}
+
+std::unique_ptr<SchedulerPolicy> MakePunicaPolicy() {
+  return std::make_unique<UnmergeOnlyPolicy>("Punica", OperatorKind::kPunica);
+}
+
+std::unique_ptr<SchedulerPolicy> MakeDloraPolicy() { return std::make_unique<DloraPolicy>(); }
+
+std::unique_ptr<SchedulerPolicy> MakeMergeOnlyPolicy() {
+  return std::make_unique<MergeOnlyPolicy>();
+}
+
+std::unique_ptr<SchedulerPolicy> MakeUnmergeOnlyPolicy() {
+  return std::make_unique<UnmergeOnlyPolicy>("unmerge-only", OperatorKind::kAtmm);
+}
+
+}  // namespace vlora

@@ -1,0 +1,31 @@
+// Baseline serving-system policies (§6.1).
+//
+//   S-LoRA  — unmerged-only, its static-tile custom kernel.
+//   Punica  — unmerged-only, its own static-tile kernel.
+//   dLoRA   — switches between merged and unmerged based on workload, pays a
+//             53 ms switch and uses torch.einsum for unmerged batches.
+//   merge-only / unmerge-only — the §6.3.3 ablations.
+//
+// All policies schedule FCFS (longest wait first) within their mode rules,
+// matching the paper's description of the baselines.
+
+#ifndef VLORA_SRC_BASELINES_POLICIES_H_
+#define VLORA_SRC_BASELINES_POLICIES_H_
+
+#include <memory>
+
+#include "src/gpusim/simulator.h"
+
+namespace vlora {
+
+std::unique_ptr<SchedulerPolicy> MakeSloraPolicy();
+std::unique_ptr<SchedulerPolicy> MakePunicaPolicy();
+std::unique_ptr<SchedulerPolicy> MakeDloraPolicy();
+std::unique_ptr<SchedulerPolicy> MakeMergeOnlyPolicy();
+// Unmerge-only ablation running V-LoRA's own ATMM operator (so the Fig 19/20
+// comparison isolates the scheduling policy, not the kernel).
+std::unique_ptr<SchedulerPolicy> MakeUnmergeOnlyPolicy();
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_BASELINES_POLICIES_H_

@@ -1,0 +1,25 @@
+// The three inference modes of §4.4: merged, unmerged, and V-LoRA's mixture
+// (deLoRA) mode. Shared by the real engine and the serving simulator.
+
+#ifndef VLORA_SRC_COMMON_INFER_MODE_H_
+#define VLORA_SRC_COMMON_INFER_MODE_H_
+
+namespace vlora {
+
+enum class InferMode { kMerged, kUnmerged, kMixture };
+
+constexpr const char* InferModeName(InferMode mode) {
+  switch (mode) {
+    case InferMode::kMerged:
+      return "merged";
+    case InferMode::kUnmerged:
+      return "unmerged";
+    case InferMode::kMixture:
+      return "mixture";
+  }
+  return "unknown";
+}
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_INFER_MODE_H_

@@ -1,0 +1,162 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  VLORA_CHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling (biased variant is fine for
+  // our non-cryptographic workloads, but we keep the rejection loop anyway).
+  uint64_t threshold = (-bound) % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  VLORA_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::NextGaussian() {
+  // Box-Muller; draws two uniforms per call and discards the second variate to
+  // keep the generator stateless beyond state_.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double rate) {
+  VLORA_CHECK(rate > 0.0);
+  double u = NextDouble();
+  if (u < 1e-300) {
+    u = 1e-300;
+  }
+  return -std::log(u) / rate;
+}
+
+double Rng::NextGamma(double shape, double scale) {
+  VLORA_CHECK(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct with u^(1/shape).
+    double u = NextDouble();
+    if (u < 1e-300) {
+      u = 1e-300;
+    }
+    return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) {
+      continue;
+    }
+    v = v * v * v;
+    double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v * scale;
+    }
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+int64_t Rng::NextZipf(int64_t n, double s) {
+  VLORA_CHECK(n > 0);
+  if (s <= 0.0) {
+    return NextInt(0, n - 1);
+  }
+  double total = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), s);
+  }
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (acc >= target) {
+      return i - 1;
+    }
+  }
+  return n - 1;
+}
+
+int64_t Rng::NextWeighted(const std::vector<double>& weights) {
+  VLORA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    VLORA_CHECK(w >= 0.0);
+    total += w;
+  }
+  VLORA_CHECK(total > 0.0);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= target) {
+      return static_cast<int64_t>(i);
+    }
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    perm[static_cast<size_t>(i)] = i;
+  }
+  for (int64_t i = n - 1; i > 0; --i) {
+    int64_t j = NextInt(0, i);
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace vlora

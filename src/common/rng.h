@@ -1,0 +1,60 @@
+// Deterministic random number generation for workloads, weights and tests.
+//
+// Rng wraps the xoshiro256++ generator: fast, high quality, and — unlike
+// std::mt19937 distributions — every method here produces identical sequences
+// across platforms and standard libraries, which keeps benches reproducible.
+
+#ifndef VLORA_SRC_COMMON_RNG_H_
+#define VLORA_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vlora {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate);
+
+  // Gamma(shape, scale) via Marsaglia-Tsang; used for bursty inter-arrivals.
+  double NextGamma(double shape, double scale);
+
+  // Zipf-distributed index in [0, n) with exponent s (s = 0 is uniform).
+  // Uses inverse-CDF over precomputed weights supplied by the caller for
+  // repeated draws; this single-shot version recomputes, fine for small n.
+  int64_t NextZipf(int64_t n, double s);
+
+  // Samples an index according to the (unnormalised, non-negative) weights.
+  int64_t NextWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<int64_t> Permutation(int64_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_RNG_H_

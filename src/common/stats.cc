@@ -1,0 +1,101 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+void SampleStats::Add(double value) { samples_.push_back(value); }
+
+void SampleStats::Clear() { samples_.clear(); }
+
+double SampleStats::Sum() const {
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum;
+}
+
+double SampleStats::Mean() const {
+  VLORA_CHECK(!samples_.empty());
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  VLORA_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  VLORA_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::StdDev() const {
+  VLORA_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - mean) * (s - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleStats::Percentile(double p) const {
+  VLORA_CHECK(!samples_.empty());
+  VLORA_CHECK(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo), hi_(hi) {
+  VLORA_CHECK(hi > lo);
+  VLORA_CHECK(num_bins > 0);
+  bin_width_ = (hi - lo) / num_bins;
+  bins_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+void Histogram::Add(double value) {
+  int bin = static_cast<int>((value - lo_) / bin_width_);
+  bin = std::clamp(bin, 0, num_bins() - 1);
+  ++bins_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+int64_t Histogram::BinCount(int bin) const {
+  VLORA_CHECK(bin >= 0 && bin < num_bins());
+  return bins_[static_cast<size_t>(bin)];
+}
+
+double Histogram::BinLow(int bin) const { return lo_ + bin * bin_width_; }
+
+double Histogram::BinHigh(int bin) const { return lo_ + (bin + 1) * bin_width_; }
+
+std::string Histogram::ToAscii(int width) const {
+  int64_t max_count = 1;
+  for (int64_t c : bins_) {
+    max_count = std::max(max_count, c);
+  }
+  std::ostringstream out;
+  for (int i = 0; i < num_bins(); ++i) {
+    const int bar = static_cast<int>(static_cast<double>(BinCount(i)) / max_count * width);
+    char line[96];
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) |", BinLow(i), BinHigh(i));
+    out << line << std::string(static_cast<size_t>(bar), '#') << " " << BinCount(i) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlora

@@ -1,0 +1,66 @@
+// Statistics helpers: running summaries, percentiles and fixed-bin histograms.
+// Used by the bench harnesses (Fig 17/18 tail latency) and the simulator's
+// per-request latency accounting.
+
+#ifndef VLORA_SRC_COMMON_STATS_H_
+#define VLORA_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlora {
+
+// Accumulates samples and answers summary queries. Percentile queries sort a
+// copy lazily; Add is O(1).
+class SampleStats {
+ public:
+  void Add(double value);
+  void Clear();
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // Population standard deviation.
+  double StdDev() const;
+  // Linear-interpolated percentile; p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+// first / last bin so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double value);
+  int64_t BinCount(int bin) const;
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  int64_t total() const { return total_; }
+  double BinLow(int bin) const;
+  double BinHigh(int bin) const;
+
+  // Renders an ASCII bar chart (used by example binaries).
+  std::string ToAscii(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<int64_t> bins_;
+  int64_t total_ = 0;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_STATS_H_

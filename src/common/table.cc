@@ -1,0 +1,76 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  VLORA_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::AddRow(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(FormatDouble(v, precision));
+  }
+  AddRow(std::move(row));
+}
+
+std::string AsciiTable::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    line << "|\n";
+    return line.str();
+  };
+  auto render_sep = [&]() {
+    std::ostringstream line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      line << "+" << std::string(widths[c] + 2, '-');
+    }
+    line << "+\n";
+    return line.str();
+  };
+
+  std::ostringstream out;
+  out << render_sep() << render_row(header_) << render_sep();
+  for (const auto& row : rows_) {
+    out << render_row(row);
+  }
+  out << render_sep();
+  return out.str();
+}
+
+void AsciiTable::Print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace vlora

@@ -1,0 +1,33 @@
+// ASCII table printer shared by the bench harnesses so every reproduced figure
+// and table prints in the same aligned format.
+
+#ifndef VLORA_SRC_COMMON_TABLE_H_
+#define VLORA_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vlora {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience overload: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values, int precision = 3);
+
+  std::string ToString() const;
+  // Prints to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+  static std::string FormatDouble(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_TABLE_H_

@@ -1,0 +1,76 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn) {
+  VLORA_CHECK(begin <= end);
+  if (begin == end) {
+    return;
+  }
+  if (end - begin == 1) {
+    fn(begin);  // no dispatch overhead for a single block
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VLORA_CHECK(in_flight_ == 0);  // nested / concurrent ParallelFor unsupported
+    in_flight_ = end - begin;
+    for (int64_t i = begin; i < end; ++i) {
+      tasks_.push([&fn, i] { fn(i); });
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace vlora

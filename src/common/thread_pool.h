@@ -1,0 +1,51 @@
+// Fixed-size thread pool with a blocking parallel-for.
+//
+// The CPU analog of the GPU's streaming multiprocessors: the tiled GEMM
+// dispatches one block tile per task, so a tiling configuration that produces
+// fewer block tiles than threads under-utilises the machine — the same "low
+// SM utilisation" failure Table 1 attributes to oversized tiles.
+
+#ifndef VLORA_SRC_COMMON_THREAD_POOL_H_
+#define VLORA_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vlora {
+
+class ThreadPool {
+ public:
+  // threads == 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for every i in [begin, end), one task per index, and blocks
+  // until all complete. Tasks must not throw. Indices map to disjoint output
+  // regions in every caller, so no ordering is guaranteed or needed.
+  void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> tasks_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,37 @@
+// The vision task kinds V-LoRA is evaluated on (§6.1). Shared by the adapter
+// library, the workload generators and the accuracy model.
+
+#ifndef VLORA_SRC_COMMON_VISION_TASK_H_
+#define VLORA_SRC_COMMON_VISION_TASK_H_
+
+namespace vlora {
+
+enum class VisionTask {
+  kImageClassification,
+  kObjectDetection,
+  kVideoClassification,
+  kVisualQuestionAnswering,
+  kImageCaptioning,
+};
+
+inline constexpr int kNumVisionTasks = 5;
+
+constexpr const char* VisionTaskName(VisionTask task) {
+  switch (task) {
+    case VisionTask::kImageClassification:
+      return "image-classification";
+    case VisionTask::kObjectDetection:
+      return "object-detection";
+    case VisionTask::kVideoClassification:
+      return "video-classification";
+    case VisionTask::kVisualQuestionAnswering:
+      return "visual-question-answering";
+    case VisionTask::kImageCaptioning:
+      return "image-captioning";
+  }
+  return "unknown";
+}
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_VISION_TASK_H_

@@ -1,0 +1,84 @@
+// Accuracy-aware LoRA adapter generation (§4.2).
+//
+// Input: a set of knowledge items (domain-specific small models or datasets),
+// each with the accuracy its application requires. Output: the minimum-ish
+// number of LoRA adapters such that every fused item still meets its
+// requirement — the constrained bin-packing problem of §4.2.1, solved with
+// the paper's greedy accuracy-aware heuristic:
+//
+//   start an adapter from the first unpacked dataset; keep fusing the next
+//   dataset and re-checking every fused task's accuracy against the oracle;
+//   on the first violation, roll the adapter back to its previous state,
+//   close it, and start a new adapter from the offending dataset.
+//
+// When every item in an adapter shares one task type, the generator attaches
+// a vision task head (§4.2.2) sized to the task's closed answer set.
+
+#ifndef VLORA_SRC_CORE_GENERATOR_H_
+#define VLORA_SRC_CORE_GENERATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/accuracy/accuracy_model.h"
+#include "src/common/rng.h"
+#include "src/common/vision_task.h"
+
+namespace vlora {
+
+// One unit of external knowledge: a domain-specific small model or dataset.
+struct KnowledgeItem {
+  std::string domain;         // e.g. "traffic-sign-detect"
+  VisionTask task = VisionTask::kImageClassification;
+  double required_accuracy = 80.0;  // application-specified floor (percent)
+  int closed_set_options = 0;        // >0 if the task output is a closed set
+};
+
+struct GeneratedAdapterSpec {
+  std::vector<int> item_indices;  // into the input list
+  bool has_task_head = false;
+  VisionTask head_task = VisionTask::kImageClassification;
+  int head_options = 0;
+  // Final per-item accuracies at this adapter's fusion level.
+  std::vector<double> item_accuracies;
+};
+
+struct GeneratorResult {
+  std::vector<GeneratedAdapterSpec> adapters;
+  int rollbacks = 0;  // accuracy violations encountered during fusion
+  double AvgDomainsPerAdapter() const;
+};
+
+struct GeneratorOptions {
+  // Shuffle the item order first (the paper starts from a random dataset).
+  bool shuffle = true;
+  uint64_t seed = 11;
+};
+
+GeneratorResult GenerateAdapters(const std::vector<KnowledgeItem>& items,
+                                 const AccuracyOracle& oracle,
+                                 const GeneratorOptions& options = {});
+
+// Accuracy probe: given the item subset a candidate adapter would fuse,
+// returns the per-item accuracies that adapter achieves (aligned with the
+// subset). In a deployment this is a real fine-tuning run (Fig 9's
+// "training" box); the LoRA trainer provides one in the tests/benches.
+using FusionProbe =
+    std::function<std::vector<double>(const std::vector<int>& item_indices)>;
+
+// The same greedy fuse-until-violation-then-rollback procedure, but driven by
+// a real accuracy probe instead of the analytical oracle. The probe is called
+// once per tentative fusion (the incremental-training step of §4.2.1).
+GeneratorResult GenerateAdaptersWithProbe(const std::vector<KnowledgeItem>& items,
+                                          const FusionProbe& probe,
+                                          const GeneratorOptions& options = {});
+
+// True iff every item of the adapter meets its requirement at the adapter's
+// fusion level — the generator's postcondition, used by tests.
+bool SatisfiesRequirements(const std::vector<KnowledgeItem>& items,
+                           const GeneratedAdapterSpec& adapter, const AccuracyOracle& oracle);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_CORE_GENERATOR_H_

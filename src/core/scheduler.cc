@@ -1,0 +1,195 @@
+#include "src/core/scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vlora {
+
+namespace {
+
+// Batch-composition order: running (already prefilled) requests keep their
+// slots — evicting a mid-decode request for an equal-priority waiter only
+// turns FCFS into round-robin processor sharing, which inflates everyone's
+// latency under load. Freed slots go to starving waiters first, then to the
+// remaining waiters, each cohort FCFS by arrival.
+std::vector<const RequestView*> BatchOrder(const std::vector<RequestView>& queue,
+                                           double starve_credit_ms,
+                                           const Alg1Options& options) {
+  std::vector<const RequestView*> sorted;
+  sorted.reserve(queue.size());
+  for (const RequestView& view : queue) {
+    sorted.push_back(&view);
+  }
+  auto urgent = [&](const RequestView* view) {
+    if (options.slo_urgency_fraction <= 0.0 || view->slo_ms <= 0.0) {
+      return false;
+    }
+    return view->arrival_wait_ms > options.slo_urgency_fraction * view->slo_ms;
+  };
+  auto rank = [&](const RequestView* view) {
+    if (view->prefilled) {
+      return 0;
+    }
+    if (urgent(view)) {
+      return 1;  // near-deadline: ahead of every other waiter
+    }
+    const double credit = view->wait_ms + starve_credit_ms;
+    return credit > options.theta_ms ? 2 : 3;
+  };
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [&](const RequestView* a, const RequestView* b) {
+                     const int ra = rank(a);
+                     const int rb = rank(b);
+                     if (ra != rb) {
+                       return ra < rb;
+                     }
+                     return a->arrival_wait_ms > b->arrival_wait_ms;
+                   });
+  return sorted;
+}
+
+}  // namespace
+
+IterationPlan Alg1Schedule(const std::vector<RequestView>& queue, const PolicyContext& context,
+                           const Alg1Options& options) {
+  IterationPlan plan;
+  if (queue.empty()) {
+    return plan;
+  }
+  const int max_bs = context.max_batch_size;
+  const double starve_credit_ms = options.exec_estimate_ms + options.switch_ms;
+
+  // Candidate batch: the first MaxBS requests in batch order. Alg 1's mode
+  // decision ratios (|R_starve|/MaxBS, |R_merge|/MaxBS) are measured over
+  // this window — queue-wide counts are meaningless once the backlog exceeds
+  // one batch.
+  std::vector<const RequestView*> candidates =
+      BatchOrder(queue, starve_credit_ms, options);
+  if (static_cast<int>(candidates.size()) > max_bs) {
+    candidates.resize(static_cast<size_t>(max_bs));
+  }
+
+  // Credits and the starving set (line 2); SLO-urgent requests count as
+  // starving when SLO awareness is enabled.
+  int num_starving = 0;
+  for (const RequestView* view : candidates) {
+    const bool slo_urgent = options.slo_urgency_fraction > 0.0 && view->slo_ms > 0.0 &&
+                            view->arrival_wait_ms > options.slo_urgency_fraction * view->slo_ms;
+    if (view->wait_ms + starve_credit_ms > options.theta_ms || slo_urgent) {
+      ++num_starving;
+    }
+  }
+
+  // Largest same-adapter group (line 4), with hysteresis toward the adapter
+  // already merged into the weights.
+  std::unordered_map<int, int> counts;
+  for (const RequestView* view : candidates) {
+    if (view->adapter_id >= 0) {
+      ++counts[view->adapter_id];
+    }
+  }
+  int merge_adapter = -1;
+  int merge_count = 0;
+  for (const auto& [adapter, count] : counts) {
+    if (count > merge_count || (count == merge_count && adapter == context.merged_adapter)) {
+      merge_count = count;
+      merge_adapter = adapter;
+    }
+  }
+
+  const bool starve_ok = num_starving * 2 <= max_bs;  // <= 0.5
+  // Dominance threshold with switch hysteresis: keeping the currently merged
+  // adapter needs > 50 % of the batch (the paper's condition); adopting a
+  // *different* adapter additionally pays a weight switch, so it must clear
+  // 60 % — otherwise a 50/50 workload thrashes ΔW in and out every iteration
+  // for no net benefit.
+  const bool is_current = merge_adapter == context.merged_adapter &&
+                          context.current_mode != InferMode::kUnmerged;
+  const bool merge_ok =
+      merge_adapter >= 0 &&
+      (is_current ? merge_count * 2 > max_bs : merge_count * 5 > max_bs * 3);
+
+  for (const RequestView* view : candidates) {
+    plan.selected.push_back(view->index);
+  }
+
+  // Pure merged mode (lines 6-8): only when the whole candidate batch runs
+  // the same adapter — excluding batchable requests just to merge costs more
+  // latency than the bypass it saves.
+  if (merge_adapter >= 0 && merge_count == static_cast<int>(candidates.size())) {
+    plan.mode = InferMode::kMerged;
+    plan.merged_adapter = merge_adapter;
+    return plan;
+  }
+
+  if (starve_ok && merge_ok) {
+    // Mixture mode (lines 9-12): the merge group keeps its zero-overhead
+    // merged path while every other candidate (starving first) runs through
+    // its own bypass plus the deLoRA branch.
+    plan.mode = InferMode::kMixture;
+    plan.merged_adapter = merge_adapter;
+    return plan;
+  }
+
+  // Unmerged mode (lines 13-15): no dominant group (or starvation is broad);
+  // everyone pays the bypass, nobody pays a merge.
+  plan.mode = InferMode::kUnmerged;
+  plan.merged_adapter = -1;
+  return plan;
+}
+
+namespace {
+
+class VloraPolicy : public SchedulerPolicy {
+ public:
+  enum class Variant { kFull, kNoMixture, kLegacySwitch };
+
+  VloraPolicy(const Alg1Options& options, Variant variant)
+      : options_(options), variant_(variant) {
+    profile_.name = variant == Variant::kFull          ? "V-LoRA"
+                    : variant == Variant::kNoMixture   ? "V-LoRA(no-mix)"
+                                                       : "V-LoRA(legacy-switch)";
+    profile_.op = OperatorKind::kAtmm;
+    profile_.switch_ms = variant == Variant::kLegacySwitch ? 53.0 : 8.0;
+    profile_.uses_task_head = true;
+    profile_.async_adapter_swap = true;
+    options_.switch_ms = profile_.switch_ms;
+  }
+
+  const SystemProfile& profile() const override { return profile_; }
+
+  IterationPlan Plan(const std::vector<RequestView>& queue,
+                     const PolicyContext& context) override {
+    IterationPlan plan = Alg1Schedule(queue, context, options_);
+    if (variant_ == Variant::kNoMixture && plan.mode == InferMode::kMixture) {
+      // Ablation: starvation forces a full switch to unmerged instead.
+      IterationPlan unmerged;
+      unmerged.mode = InferMode::kUnmerged;
+      unmerged.merged_adapter = -1;
+      unmerged.selected = std::move(plan.selected);
+      return unmerged;
+    }
+    return plan;
+  }
+
+ private:
+  SystemProfile profile_;
+  Alg1Options options_;
+  Variant variant_;
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> MakeVloraPolicy(const Alg1Options& options) {
+  return std::make_unique<VloraPolicy>(options, VloraPolicy::Variant::kFull);
+}
+
+std::unique_ptr<SchedulerPolicy> MakeVloraNoMixturePolicy(const Alg1Options& options) {
+  return std::make_unique<VloraPolicy>(options, VloraPolicy::Variant::kNoMixture);
+}
+
+std::unique_ptr<SchedulerPolicy> MakeVloraLegacySwitchPolicy(const Alg1Options& options) {
+  return std::make_unique<VloraPolicy>(options, VloraPolicy::Variant::kLegacySwitch);
+}
+
+}  // namespace vlora

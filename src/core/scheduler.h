@@ -1,0 +1,72 @@
+// V-LoRA's flexible LoRA adapter orchestration (§4.4.3, Algorithm 1).
+//
+// The scheduler follows two greedy principles: (1) run merged whenever
+// possible — it is the fastest mode with zero extra compute; (2) when
+// requests starve, fall back to mixture mode first (cheap: no switch away
+// from merged, extra compute only for the starved minority), then to
+// unmerged mode, in order of switching cost and extra computation.
+//
+// Each request carries a credit: its waiting time plus the estimated
+// execution time in the current mode plus the mode-switch latency. Requests
+// whose credit exceeds the tolerance threshold θ are starving.
+//
+// Algorithm 1:
+//   R_starve = { r : r.credit > θ }
+//   len      = MaxBS - |R_starve|
+//   R_merge  = argmax_l |{ r : r.lora == l }|
+//   if |R_starve|/MaxBS <= 0.5 and |R_merge|/MaxBS > 0.5:
+//     if |R_starve| == 0:  mode = Merge;  B = R_merge[:MaxBS]
+//     else:                mode = Mix;    B = R_starve + (R_merge−R_starve)[:len]
+//   else:                  mode = Unmerge;B = R_starve + (R−R_starve)[:len]
+//
+// The same decision procedure drives both the serving simulator (VloraPolicy)
+// and the real engine (VloraServer).
+
+#ifndef VLORA_SRC_CORE_SCHEDULER_H_
+#define VLORA_SRC_CORE_SCHEDULER_H_
+
+#include <memory>
+
+#include "src/gpusim/simulator.h"
+
+namespace vlora {
+
+struct Alg1Options {
+  // Starvation tolerance θ in milliseconds of credit. A request served every
+  // iteration carries roughly one iteration of wait (~40 ms) plus the exec
+  // and switch estimates (~48 ms); θ = 150 ms marks requests that missed
+  // about two consecutive iterations as starving, which flips merged slots
+  // into mixture mode before exclusion hurts tail latency.
+  double theta_ms = 150.0;
+  // Estimated execution time of one iteration in the current mode, used in
+  // the credit term (waiting + execution + switch).
+  double exec_estimate_ms = 40.0;
+  // Swift switch cost used in the credit term.
+  double switch_ms = 8.0;
+  // SLO awareness: a request with a latency constraint (slo_ms > 0) whose
+  // elapsed time has consumed more than `slo_urgency_fraction` of its budget
+  // is treated as starving regardless of its service wait, pulling it into
+  // the batch ahead of best-effort work. 0 disables (the paper's Alg 1 has
+  // no explicit SLO term).
+  double slo_urgency_fraction = 0.0;
+};
+
+// The pure decision procedure; stateless w.r.t. requests.
+IterationPlan Alg1Schedule(const std::vector<RequestView>& queue, const PolicyContext& context,
+                           const Alg1Options& options);
+
+// SchedulerPolicy wrapper for the simulator, carrying V-LoRA's system
+// profile: ATMM operator, 8 ms swift switch, vision task heads, async swap.
+std::unique_ptr<SchedulerPolicy> MakeVloraPolicy(const Alg1Options& options = {});
+
+// Ablation: V-LoRA without the mixture mode (starvation forces a full switch
+// to unmerged), isolating deLoRA's contribution (Fig 20).
+std::unique_ptr<SchedulerPolicy> MakeVloraNoMixturePolicy(const Alg1Options& options = {});
+
+// Ablation: V-LoRA scheduling but with dLoRA's 53 ms legacy switcher,
+// isolating the swift switcher's contribution (Fig 21).
+std::unique_ptr<SchedulerPolicy> MakeVloraLegacySwitchPolicy(const Alg1Options& options = {});
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,639 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace vlora {
+
+namespace {
+
+void RmsNormRows(const float* x, const float* gain, float* out, int64_t rows, int64_t d) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * d;
+    float ss = 0.0f;
+    for (int64_t i = 0; i < d; ++i) {
+      ss += row[i] * row[i];
+    }
+    const float inv = 1.0f / std::sqrt(ss / static_cast<float>(d) + 1e-5f);
+    float* out_row = out + r * d;
+    for (int64_t i = 0; i < d; ++i) {
+      out_row[i] = row[i] * inv * gain[i];
+    }
+  }
+}
+
+void SiluInPlace(float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    x[i] = x[i] / (1.0f + std::exp(-x[i]));
+  }
+}
+
+// Sinusoidal absolute position embedding added onto token embeddings so that
+// token order matters (and KV prefix reuse stays position-aligned).
+void AddPositionEmbedding(float* row, int64_t d, int64_t position) {
+  for (int64_t i = 0; i < d; i += 2) {
+    const double angle =
+        static_cast<double>(position) / std::pow(10000.0, static_cast<double>(i) / static_cast<double>(d));
+    row[i] += 0.1f * static_cast<float>(std::sin(angle));
+    if (i + 1 < d) {
+      row[i + 1] += 0.1f * static_cast<float>(std::cos(angle));
+    }
+  }
+}
+
+uint64_t AdapterChainSeed(int adapter_id) {
+  return 0x5EEDull * static_cast<uint64_t>(adapter_id + 2);
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const ModelConfig& config, const EngineOptions& options)
+    : config_(config),
+      options_(options),
+      rng_(options.seed),
+      model_(config, rng_),
+      kv_(std::make_unique<KvBlockManager>(config, options.kv_block_size, options.kv_num_blocks)),
+      switcher_(&atmm_),
+      merge_targets_(model_.MergeTargets()),
+      lora_op_(std::make_unique<AtmmLoraOperator>(&atmm_)) {}
+
+int InferenceEngine::RegisterAdapter(const LoraAdapter* adapter) {
+  VLORA_CHECK(adapter != nullptr);
+  VLORA_CHECK(adapter->num_layers() == config_.num_layers);
+  VLORA_CHECK(adapter->d_model() == config_.d_model);
+  adapters_.push_back(adapter);
+  return static_cast<int>(adapters_.size()) - 1;
+}
+
+void InferenceEngine::SetMode(InferMode mode, int merged_adapter) {
+  if (mode == InferMode::kUnmerged) {
+    merged_adapter = -1;
+  } else {
+    VLORA_CHECK(merged_adapter >= 0 && merged_adapter < num_adapters());
+  }
+  if (mode == mode_ && merged_adapter == merged_adapter_) {
+    return;
+  }
+  const LoraAdapter* from =
+      merged_adapter_ >= 0 ? adapters_[static_cast<size_t>(merged_adapter_)] : nullptr;
+  const LoraAdapter* to =
+      merged_adapter >= 0 ? adapters_[static_cast<size_t>(merged_adapter)] : nullptr;
+  if (from != to) {
+    switcher_.Switch(from, to, merge_targets_);
+  }
+  mode_ = mode;
+  merged_adapter_ = merged_adapter;
+  ++mode_switch_count_;
+}
+
+void InferenceEngine::Submit(EngineRequest request) {
+  VLORA_CHECK(!request.prompt_tokens.empty());
+  VLORA_CHECK(request.adapter_id >= -1 && request.adapter_id < num_adapters());
+  if (request.use_task_head) {
+    VLORA_CHECK(request.adapter_id >= 0);
+    VLORA_CHECK(adapters_[static_cast<size_t>(request.adapter_id)]->task_head().has_value());
+  }
+  // Injected embedding spans must lie inside the prompt, not overlap, and
+  // match the model width; every token outside a span must be a vocab id.
+  const int64_t prompt_len = static_cast<int64_t>(request.prompt_tokens.size());
+  std::vector<bool> covered(static_cast<size_t>(prompt_len), false);
+  for (const InjectedEmbeddings& span : request.injected) {
+    VLORA_CHECK(span.embeddings.shape().rank() == 2);
+    VLORA_CHECK(span.embeddings.shape().dim(1) == config_.d_model);
+    VLORA_CHECK(span.position >= 0 && span.position + span.count() <= prompt_len);
+    for (int64_t i = span.position; i < span.position + span.count(); ++i) {
+      VLORA_CHECK(!covered[static_cast<size_t>(i)]);
+      covered[static_cast<size_t>(i)] = true;
+    }
+  }
+  for (int64_t i = 0; i < prompt_len; ++i) {
+    if (!covered[static_cast<size_t>(i)]) {
+      VLORA_CHECK(request.prompt_tokens[static_cast<size_t>(i)] >= 0 &&
+                  request.prompt_tokens[static_cast<size_t>(i)] < config_.vocab_size);
+    }
+  }
+  Sequence seq;
+  seq.tokens = request.prompt_tokens;
+  seq.request = std::move(request);
+  sequences_.push_back(std::move(seq));
+}
+
+bool InferenceEngine::HasWork() const {
+  for (const Sequence& seq : sequences_) {
+    if (!seq.finished) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void InferenceEngine::TryPrefixReuse(Sequence& seq) {
+  const int64_t block = kv_->block_size();
+  const int64_t prompt_len = static_cast<int64_t>(seq.request.prompt_tokens.size());
+  uint64_t chain = AdapterChainSeed(seq.request.adapter_id);
+  int64_t pos = 0;
+  // Reuse whole blocks, but always leave at least one prompt token to prefill
+  // so the sampler has a fresh final hidden state.
+  while (pos + block <= prompt_len - 1) {
+    chain = KvBlockManager::ChainHash(chain, seq.request.prompt_tokens.data() + pos, block);
+    const int64_t shared = kv_->LookupPrefixBlock(chain);
+    if (shared < 0) {
+      break;
+    }
+    kv_->AddRef(shared);
+    seq.cache.blocks.push_back(shared);
+    seq.cache.chain_hash = chain;
+    pos += block;
+  }
+  seq.computed = pos;
+  seq.reused = pos;
+  seq.cache.length = pos;
+}
+
+bool InferenceEngine::PreemptOne(const Sequence& requester,
+                                 const std::vector<Sequence*>& protected_set) {
+  // Youngest-first recomputation preemption: the most recently submitted
+  // unfinished sequence with cache blocks (other than the requester and the
+  // current batch) loses its KV and re-prefills when rescheduled.
+  for (auto it = sequences_.rbegin(); it != sequences_.rend(); ++it) {
+    Sequence& victim = *it;
+    if (victim.finished || &victim == &requester || victim.cache.blocks.empty()) {
+      continue;
+    }
+    if (std::find(protected_set.begin(), protected_set.end(), &victim) !=
+        protected_set.end()) {
+      continue;
+    }
+    ReleaseSequence(victim);
+    victim.cache = SequenceCache{};
+    victim.computed = 0;
+    victim.reused = 0;
+    victim.prefilled = false;
+    ++preemption_count_;
+    return true;
+  }
+  return false;
+}
+
+bool InferenceEngine::EnsureCapacity(Sequence& seq, int64_t needed,
+                                     const std::vector<Sequence*>& protected_set) {
+  while (seq.cache.CapacityTokens(kv_->block_size()) < needed) {
+    const int64_t id = kv_->AllocateBlock();
+    if (id < 0) {
+      if (!PreemptOne(seq, protected_set)) {
+        return false;
+      }
+      continue;
+    }
+    seq.cache.blocks.push_back(id);
+  }
+  return true;
+}
+
+void InferenceEngine::ReleaseSequence(Sequence& seq) {
+  for (int64_t block : seq.cache.blocks) {
+    kv_->Release(block);
+  }
+  seq.cache.blocks.clear();
+}
+
+void InferenceEngine::AppendKv(Sequence& seq, int layer, int64_t pos, const float* k_rows,
+                               const float* v_rows, int64_t count) {
+  const int64_t block = kv_->block_size();
+  const int64_t d = config_.d_model;
+  for (int64_t t = 0; t < count; ++t) {
+    const int64_t abs_pos = pos + t;
+    const int64_t block_index = abs_pos / block;
+    const int64_t in_block = abs_pos % block;
+    const int64_t block_id = seq.cache.blocks[static_cast<size_t>(block_index)];
+    // Shared blocks are full prompt blocks and never written again.
+    VLORA_CHECK(kv_->RefCount(block_id) == 1 || abs_pos < seq.reused);
+    std::memcpy(kv_->KPtr(block_id, layer) + in_block * d, k_rows + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+    std::memcpy(kv_->VPtr(block_id, layer) + in_block * d, v_rows + t * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+}
+
+void InferenceEngine::GatherCache(const Sequence& seq, int layer, bool want_v, int64_t len,
+                                  float* out) const {
+  const int64_t block = kv_->block_size();
+  const int64_t d = config_.d_model;
+  int64_t pos = 0;
+  while (pos < len) {
+    const int64_t block_index = pos / block;
+    const int64_t in_block = pos % block;
+    const int64_t take = std::min(block - in_block, len - pos);
+    const int64_t block_id = seq.cache.blocks[static_cast<size_t>(block_index)];
+    const float* src = want_v ? kv_->VPtr(block_id, layer) : kv_->KPtr(block_id, layer);
+    std::memcpy(out + pos * d, src + in_block * d, static_cast<size_t>(take * d) * sizeof(float));
+    pos += take;
+  }
+}
+
+Tensor InferenceEngine::Forward(std::vector<Sequence*>& batch,
+                                const std::vector<int64_t>& row_offsets,
+                                const std::vector<int64_t>& row_counts) {
+  const int64_t d = config_.d_model;
+  const int64_t d_head = config_.d_head();
+  const int64_t ff = config_.d_ff;
+  int64_t total_rows = 0;
+  for (int64_t count : row_counts) {
+    total_rows += count;
+  }
+  VLORA_CHECK(total_rows > 0);
+
+  // Embedding + positions. Prompt slots covered by injected visual
+  // embeddings bypass the table lookup.
+  Tensor x = Tensor::Zeros(Shape(total_rows, d));
+  for (size_t s = 0; s < batch.size(); ++s) {
+    Sequence& seq = *batch[s];
+    for (int64_t t = 0; t < row_counts[s]; ++t) {
+      const int64_t abs_pos = seq.computed + t;
+      float* row = x.data() + (row_offsets[s] + t) * d;
+      const InjectedEmbeddings* span = nullptr;
+      for (const InjectedEmbeddings& candidate : seq.request.injected) {
+        if (abs_pos >= candidate.position && abs_pos < candidate.position + candidate.count()) {
+          span = &candidate;
+          break;
+        }
+      }
+      if (span != nullptr) {
+        std::memcpy(row, span->embeddings.data() + (abs_pos - span->position) * d,
+                    static_cast<size_t>(d) * sizeof(float));
+      } else {
+        const int32_t token = seq.tokens[static_cast<size_t>(abs_pos)];
+        VLORA_CHECK(token >= 0 && token < config_.vocab_size);
+        std::memcpy(row, model_.embedding().data() + token * d,
+                    static_cast<size_t>(d) * sizeof(float));
+      }
+      AddPositionEmbedding(row, d, abs_pos);
+    }
+  }
+
+  Tensor normed = Tensor::Zeros(Shape(total_rows, d));
+  Tensor q = Tensor::Zeros(Shape(total_rows, d));
+  Tensor k = Tensor::Zeros(Shape(total_rows, d));
+  Tensor v = Tensor::Zeros(Shape(total_rows, d));
+  Tensor attn = Tensor::Zeros(Shape(total_rows, d));
+  Tensor proj = Tensor::Zeros(Shape(total_rows, d));
+  Tensor mlp_mid = Tensor::Zeros(Shape(total_rows, ff));
+  Tensor mlp_out = Tensor::Zeros(Shape(total_rows, d));
+
+  // Per-target bypass plans; the adapter views are patched per layer below.
+  // An adapter contributes a branch only for the projections it adapts.
+  struct TargetPlan {
+    std::vector<LoraSegment> segments;
+    std::vector<std::pair<int, float>> entries;  // (adapter id, sign)
+    std::vector<AdapterWeightsView> views;
+  };
+  std::array<TargetPlan, kAllLoraTargets.size()> plans;
+  {
+    auto add = [&](int id, float sign, int64_t row_begin, int64_t row_end) {
+      const LoraAdapter* adapter = adapters_[static_cast<size_t>(id)];
+      for (size_t t = 0; t < kAllLoraTargets.size(); ++t) {
+        if (!adapter->HasTarget(kAllLoraTargets[t])) {
+          continue;
+        }
+        plans[t].entries.emplace_back(id, sign);
+        plans[t].segments.push_back(
+            LoraSegment{row_begin, row_end, static_cast<int>(plans[t].entries.size()) - 1});
+      }
+    };
+    for (size_t s = 0; s < batch.size(); ++s) {
+      const int adapter_id = batch[s]->request.adapter_id;
+      const int64_t row_begin = row_offsets[s];
+      const int64_t row_end = row_offsets[s] + row_counts[s];
+      switch (mode_) {
+        case InferMode::kMerged:
+          VLORA_CHECK(adapter_id == merged_adapter_);
+          break;
+        case InferMode::kUnmerged:
+          if (adapter_id >= 0) {
+            add(adapter_id, 1.0f, row_begin, row_end);
+          }
+          break;
+        case InferMode::kMixture:
+          if (adapter_id != merged_adapter_) {
+            if (adapter_id >= 0) {
+              add(adapter_id, 1.0f, row_begin, row_end);
+            }
+            add(merged_adapter_, -1.0f, row_begin, row_end);  // the deLoRA branch
+          }
+          break;
+      }
+    }
+    for (TargetPlan& plan : plans) {
+      plan.views.resize(plan.entries.size());
+    }
+  }
+
+  // Runs one target's bypass branches: output += Σ segment LoRA(input).
+  auto run_bypass = [&](size_t target_index, int layer, const Tensor& input, Tensor& output) {
+    TargetPlan& plan = plans[target_index];
+    if (plan.segments.empty()) {
+      return;
+    }
+    const LoraTarget target = kAllLoraTargets[target_index];
+    for (size_t i = 0; i < plan.views.size(); ++i) {
+      const auto& [adapter_id, sign] = plan.entries[i];
+      plan.views[i] = adapters_[static_cast<size_t>(adapter_id)]->LayerView(target, layer);
+      plan.views[i].scaling *= sign;
+    }
+    lora_op_->Run(input, plan.segments, plan.views, output);
+  };
+
+  const float attn_scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+
+  for (int layer = 0; layer < config_.num_layers; ++layer) {
+    const LayerWeights& w = model_.layer(layer);
+
+    // --- Attention ---
+    RmsNormRows(x.data(), w.attn_norm.data(), normed.data(), total_rows, d);
+    q.Fill(0.0f);
+    k.Fill(0.0f);
+    v.Fill(0.0f);
+    atmm_.Execute(normed, w.wq, q);
+    atmm_.Execute(normed, w.wk, k);
+    atmm_.Execute(normed, w.wv, v);
+    // Bypass branches for the adapted query/value projections must land
+    // before the cache write and the attention compute.
+    run_bypass(0, layer, normed, q);  // kWq
+    run_bypass(1, layer, normed, v);  // kWv
+
+    // Append this chunk's K/V to every sequence's cache, then attend.
+    for (size_t s = 0; s < batch.size(); ++s) {
+      Sequence& seq = *batch[s];
+      AppendKv(seq, layer, seq.computed, k.data() + row_offsets[s] * d,
+               v.data() + row_offsets[s] * d, row_counts[s]);
+    }
+
+    attn.Fill(0.0f);
+    for (size_t s = 0; s < batch.size(); ++s) {
+      Sequence& seq = *batch[s];
+      const int64_t ctx = seq.computed + row_counts[s];
+      if (static_cast<int64_t>(scratch_k_.size()) < ctx * d) {
+        scratch_k_.resize(static_cast<size_t>(ctx * d));
+        scratch_v_.resize(static_cast<size_t>(ctx * d));
+      }
+      GatherCache(seq, layer, /*want_v=*/false, ctx, scratch_k_.data());
+      GatherCache(seq, layer, /*want_v=*/true, ctx, scratch_v_.data());
+      if (static_cast<int64_t>(scratch_scores_.size()) < ctx) {
+        scratch_scores_.resize(static_cast<size_t>(ctx));
+      }
+      for (int64_t t = 0; t < row_counts[s]; ++t) {
+        const int64_t attend_len = seq.computed + t + 1;  // causal
+        const float* q_row = q.data() + (row_offsets[s] + t) * d;
+        float* out_row = attn.data() + (row_offsets[s] + t) * d;
+        for (int head = 0; head < config_.num_heads; ++head) {
+          const int64_t off = head * d_head;
+          float max_score = -1e30f;
+          for (int64_t p = 0; p < attend_len; ++p) {
+            const float* k_row = scratch_k_.data() + p * d + off;
+            float dot = 0.0f;
+            for (int64_t i = 0; i < d_head; ++i) {
+              dot += q_row[off + i] * k_row[i];
+            }
+            scratch_scores_[static_cast<size_t>(p)] = dot * attn_scale;
+            max_score = std::max(max_score, scratch_scores_[static_cast<size_t>(p)]);
+          }
+          float denom = 0.0f;
+          for (int64_t p = 0; p < attend_len; ++p) {
+            float& score = scratch_scores_[static_cast<size_t>(p)];
+            score = std::exp(score - max_score);
+            denom += score;
+          }
+          const float inv_denom = 1.0f / denom;
+          for (int64_t p = 0; p < attend_len; ++p) {
+            const float weight = scratch_scores_[static_cast<size_t>(p)] * inv_denom;
+            const float* v_row = scratch_v_.data() + p * d + off;
+            for (int64_t i = 0; i < d_head; ++i) {
+              out_row[off + i] += weight * v_row[i];
+            }
+          }
+        }
+      }
+    }
+
+    // Output projection + its bypass branches.
+    proj.Fill(0.0f);
+    atmm_.Execute(attn, w.wo, proj);
+    run_bypass(2, layer, attn, proj);  // kWo
+    x.AddInPlace(proj);
+
+    // --- MLP ---
+    RmsNormRows(x.data(), w.mlp_norm.data(), normed.data(), total_rows, d);
+    mlp_mid.Fill(0.0f);
+    atmm_.Execute(normed, w.w1, mlp_mid);
+    SiluInPlace(mlp_mid.data(), total_rows * ff);
+    mlp_out.Fill(0.0f);
+    atmm_.Execute(mlp_mid, w.w2, mlp_out);
+    x.AddInPlace(mlp_out);
+  }
+
+  // Final norm (gain applied row-wise).
+  RmsNormRows(x.data(), model_.final_norm().data(), normed.data(), total_rows, d);
+  return normed.Clone();
+}
+
+int32_t InferenceEngine::SampleToken(const Sequence& seq, const float* hidden) {
+  const int64_t d = config_.d_model;
+  const int64_t vocab = config_.vocab_size;
+  const float* head = model_.lm_head().data();
+  std::vector<float> logits(static_cast<size_t>(vocab), 0.0f);
+  for (int64_t i = 0; i < d; ++i) {
+    const float h = hidden[i];
+    const float* head_row = head + i * vocab;
+    for (int64_t token = 0; token < vocab; ++token) {
+      logits[static_cast<size_t>(token)] += h * head_row[token];
+    }
+  }
+
+  const SamplingParams& params = seq.request.sampling;
+  if (params.temperature <= 0.0f) {
+    return static_cast<int32_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+
+  // Top-k softmax sampling with a deterministic per-(request, step) stream.
+  const int k = std::clamp<int>(params.top_k, 1, static_cast<int>(vocab));
+  std::vector<int32_t> order(static_cast<size_t>(vocab));
+  for (int64_t token = 0; token < vocab; ++token) {
+    order[static_cast<size_t>(token)] = static_cast<int32_t>(token);
+  }
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int32_t a, int32_t b) {
+                      return logits[static_cast<size_t>(a)] > logits[static_cast<size_t>(b)];
+                    });
+  const float max_logit = logits[static_cast<size_t>(order[0])];
+  std::vector<double> weights(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    weights[static_cast<size_t>(i)] = std::exp(
+        (logits[static_cast<size_t>(order[static_cast<size_t>(i)])] - max_logit) /
+        params.temperature);
+  }
+  Rng stream(params.seed ^ (static_cast<uint64_t>(seq.request.id) * 0x9E3779B97F4A7C15ull) ^
+             (static_cast<uint64_t>(seq.generated) * 0xC4CEB9FE1A85EC53ull));
+  return order[static_cast<size_t>(stream.NextWeighted(weights))];
+}
+
+int InferenceEngine::ResolveTaskHead(const Sequence& seq, const float* hidden) {
+  const LoraAdapter* adapter = adapters_[static_cast<size_t>(seq.request.adapter_id)];
+  const VisionTaskHead& head = adapter->task_head().value();
+  const int64_t d = config_.d_model;
+  const int64_t options = head.num_options();
+  int best = 0;
+  float best_score = -1e30f;
+  for (int64_t option = 0; option < options; ++option) {
+    float score = 0.0f;
+    for (int64_t i = 0; i < d; ++i) {
+      score += hidden[i] * head.weight.at(i, option);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(option);
+    }
+  }
+  return best;
+}
+
+std::vector<EngineResult> InferenceEngine::Step() { return StepImpl(nullptr); }
+
+std::vector<EngineResult> InferenceEngine::StepSelected(const std::vector<int64_t>& request_ids) {
+  return StepImpl(&request_ids);
+}
+
+std::vector<InferenceEngine::QueueEntry> InferenceEngine::Queue() const {
+  std::vector<QueueEntry> queue;
+  for (const Sequence& seq : sequences_) {
+    if (seq.finished) {
+      continue;
+    }
+    QueueEntry entry;
+    entry.request_id = seq.request.id;
+    entry.adapter_id = seq.request.adapter_id;
+    entry.prefilled = seq.prefilled;
+    entry.prompt_tokens = static_cast<int64_t>(seq.request.prompt_tokens.size());
+    entry.remaining_new_tokens =
+        seq.request.use_task_head ? 1 : seq.request.max_new_tokens - seq.generated;
+    entry.use_task_head = seq.request.use_task_head;
+    queue.push_back(entry);
+  }
+  return queue;
+}
+
+std::vector<EngineResult> InferenceEngine::StepImpl(const std::vector<int64_t>* request_ids) {
+  // Gather the iteration batch: selected (or all) unfinished sequences that
+  // can secure KV capacity for their current chunk.
+  std::vector<Sequence*> batch;
+  std::vector<int64_t> row_offsets;
+  std::vector<int64_t> row_counts;
+  int64_t cursor = 0;
+  for (Sequence& seq : sequences_) {
+    if (seq.finished) {
+      continue;
+    }
+    if (request_ids != nullptr &&
+        std::find(request_ids->begin(), request_ids->end(), seq.request.id) ==
+            request_ids->end()) {
+      continue;
+    }
+    if (!seq.prefilled && seq.cache.blocks.empty() && seq.computed == 0) {
+      TryPrefixReuse(seq);
+    }
+    const int64_t want = static_cast<int64_t>(seq.tokens.size()) - seq.computed;
+    VLORA_CHECK(want > 0);
+    if (!EnsureCapacity(seq, seq.computed + want, batch)) {
+      continue;  // waits for blocks to free
+    }
+    batch.push_back(&seq);
+    row_offsets.push_back(cursor);
+    row_counts.push_back(want);
+    cursor += want;
+  }
+
+  std::vector<EngineResult> finished;
+  if (batch.empty()) {
+    return finished;
+  }
+
+  Tensor hidden = Forward(batch, row_offsets, row_counts);
+
+  const int64_t d = config_.d_model;
+  for (size_t s = 0; s < batch.size(); ++s) {
+    Sequence& seq = *batch[s];
+    const bool was_prefill = !seq.prefilled;
+    seq.computed += row_counts[s];
+    seq.cache.length = seq.computed;
+    seq.prefilled = true;
+    const float* last_hidden = hidden.data() + (row_offsets[s] + row_counts[s] - 1) * d;
+
+    if (was_prefill && seq.request.capture_final_hidden && seq.generated == 0) {
+      seq.captured_hidden.assign(last_hidden, last_hidden + d);
+    }
+    if (was_prefill) {
+      // Register full prompt blocks for future prefix reuse.
+      const int64_t block = kv_->block_size();
+      const int64_t prompt_len = static_cast<int64_t>(seq.request.prompt_tokens.size());
+      uint64_t chain = AdapterChainSeed(seq.request.adapter_id);
+      for (int64_t pos = 0; pos + block <= prompt_len; pos += block) {
+        chain = KvBlockManager::ChainHash(chain, seq.request.prompt_tokens.data() + pos, block);
+        kv_->RegisterPrefixBlock(chain, seq.cache.blocks[static_cast<size_t>(pos / block)]);
+      }
+    }
+
+    if (seq.request.use_task_head && was_prefill) {
+      // Vision task head: one inference round resolves the answer (§4.2.2).
+      seq.head_option = ResolveTaskHead(seq, last_hidden);
+      seq.finished = true;
+    } else {
+      const int32_t next = SampleToken(seq, last_hidden);
+      ++seq.generated;
+      seq.tokens.push_back(next);
+      if (next == seq.request.eos_token || seq.generated >= seq.request.max_new_tokens) {
+        seq.finished = true;
+      }
+    }
+
+    if (seq.finished) {
+      EngineResult result;
+      result.request_id = seq.request.id;
+      result.head_option = seq.head_option;
+      const int64_t prompt_len = static_cast<int64_t>(seq.request.prompt_tokens.size());
+      result.prefill_tokens = prompt_len - seq.reused;
+      result.reused_tokens = seq.reused;
+      result.decode_steps = seq.generated;
+      result.final_hidden = std::move(seq.captured_hidden);
+      for (size_t i = static_cast<size_t>(prompt_len); i < seq.tokens.size(); ++i) {
+        result.output_tokens.push_back(seq.tokens[i]);
+      }
+      ReleaseSequence(seq);
+      finished.push_back(std::move(result));
+    }
+  }
+
+  // Drop finished sequences from the front/back of the deque.
+  while (!sequences_.empty() && sequences_.front().finished) {
+    sequences_.pop_front();
+  }
+  return finished;
+}
+
+EngineResult InferenceEngine::RunToCompletion(EngineRequest request) {
+  const int64_t id = request.id;
+  Submit(std::move(request));
+  while (true) {
+    std::vector<EngineResult> finished = Step();
+    for (EngineResult& result : finished) {
+      if (result.request_id == id) {
+        return result;
+      }
+    }
+    VLORA_CHECK(HasWork());
+  }
+}
+
+}  // namespace vlora

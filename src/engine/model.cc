@@ -1,0 +1,61 @@
+#include "src/engine/model.h"
+
+#include <cmath>
+
+namespace vlora {
+
+namespace {
+// Fills a slab-allocated matrix with scaled random values.
+void InitRandom(Tensor& t, Rng& rng, float scale) {
+  float* data = t.data();
+  const int64_t n = t.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rng.NextUniform(-scale, scale));
+  }
+}
+}  // namespace
+
+TransformerModel::TransformerModel(const ModelConfig& config, Rng& rng)
+    : config_(config), slab_(config.SlabFloats()) {
+  const int64_t d = config.d_model;
+  const int64_t ff = config.d_ff;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  layers_.reserve(static_cast<size_t>(config.num_layers));
+  for (int i = 0; i < config.num_layers; ++i) {
+    LayerWeights layer;
+    layer.wq = slab_.Allocate(d, d);
+    layer.wk = slab_.Allocate(d, d);
+    layer.wv = slab_.Allocate(d, d);
+    layer.wo = slab_.Allocate(d, d);
+    layer.w1 = slab_.Allocate(d, ff);
+    layer.w2 = slab_.Allocate(ff, d);
+    InitRandom(layer.wq, rng, scale);
+    InitRandom(layer.wk, rng, scale);
+    InitRandom(layer.wv, rng, scale);
+    InitRandom(layer.wo, rng, scale);
+    InitRandom(layer.w1, rng, scale);
+    InitRandom(layer.w2, rng, 1.0f / std::sqrt(static_cast<float>(ff)));
+    layer.attn_norm = Tensor::Full(Shape(d), 1.0f);
+    layer.mlp_norm = Tensor::Full(Shape(d), 1.0f);
+    layers_.push_back(std::move(layer));
+  }
+
+  embedding_ = slab_.Allocate(config.vocab_size, d);
+  InitRandom(embedding_, rng, 1.0f);
+  lm_head_ = slab_.Allocate(d, config.vocab_size);
+  InitRandom(lm_head_, rng, scale);
+  final_norm_ = Tensor::Full(Shape(d), 1.0f);
+}
+
+ModelMergeTargets TransformerModel::MergeTargets() {
+  ModelMergeTargets targets;
+  for (auto& layer : layers_) {
+    targets.by_target[LoraTarget::kWq].push_back(layer.wq);
+    targets.by_target[LoraTarget::kWv].push_back(layer.wv);
+    targets.by_target[LoraTarget::kWo].push_back(layer.wo);
+  }
+  return targets;
+}
+
+}  // namespace vlora

@@ -1,0 +1,66 @@
+// Transformer model weights.
+//
+// All large matrices live on one contiguous WeightSlab, which is what lets
+// the swift mode switcher merge/unmerge every layer's ΔW without reshape
+// copies (§4.4.1). LoRA adapters target the attention projections Wq, Wv and
+// Wo; MergeTargets() exposes those matrices to the switcher.
+
+#ifndef VLORA_SRC_ENGINE_MODEL_H_
+#define VLORA_SRC_ENGINE_MODEL_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/model_config.h"
+#include "src/lora/merge.h"
+#include "src/tensor/slab.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+
+struct LayerWeights {
+  Tensor wq;  // d x d
+  Tensor wk;  // d x d
+  Tensor wv;  // d x d
+  Tensor wo;  // d x d — the LoRA-adapted projection
+  Tensor w1;  // d x d_ff
+  Tensor w2;  // d_ff x d
+  Tensor attn_norm;  // d (RMSNorm gain)
+  Tensor mlp_norm;   // d
+};
+
+class TransformerModel {
+ public:
+  TransformerModel(const ModelConfig& config, Rng& rng);
+
+  const ModelConfig& config() const { return config_; }
+  int num_layers() const { return config_.num_layers; }
+
+  LayerWeights& layer(int i) { return layers_[static_cast<size_t>(i)]; }
+  const LayerWeights& layer(int i) const { return layers_[static_cast<size_t>(i)]; }
+
+  Tensor& embedding() { return embedding_; }        // vocab x d
+  const Tensor& embedding() const { return embedding_; }
+  Tensor& lm_head() { return lm_head_; }            // d x vocab
+  const Tensor& lm_head() const { return lm_head_; }
+  Tensor& final_norm() { return final_norm_; }      // d
+  const Tensor& final_norm() const { return final_norm_; }
+
+  // Views of every layer's Wq / Wv / Wo — the merge targets for LoRA
+  // adapters.
+  ModelMergeTargets MergeTargets();
+
+  const WeightSlab& slab() const { return slab_; }
+
+ private:
+  ModelConfig config_;
+  WeightSlab slab_;
+  std::vector<LayerWeights> layers_;
+  Tensor embedding_;
+  Tensor lm_head_;
+  Tensor final_norm_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ENGINE_MODEL_H_

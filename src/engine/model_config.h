@@ -1,0 +1,111 @@
+// Model configurations.
+//
+// Two families: the paper's serving-scale models (Table 2), used by the cost
+// model / simulator, and tiny configurations used by the real CPU engine in
+// tests and examples. Both flow through identical code paths.
+
+#ifndef VLORA_SRC_ENGINE_MODEL_CONFIG_H_
+#define VLORA_SRC_ENGINE_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vlora {
+
+struct ModelConfig {
+  std::string name;
+  int num_layers = 2;
+  int64_t d_model = 64;
+  int num_heads = 4;
+  int64_t d_ff = 128;
+  int64_t vocab_size = 128;
+  int64_t max_seq_len = 1024;
+  // Visual receptor: number of visual tokens one image contributes after the
+  // vision-language projector.
+  int64_t visual_tokens_per_image = 16;
+  // Vision encoder parameter count (Table 2), for documentation/cost only.
+  double vision_encoder_params_b = 0.3;
+
+  int64_t d_head() const { return d_model / num_heads; }
+  // Total base weight floats on the contiguous slab (see TransformerModel).
+  int64_t SlabFloats() const {
+    const int64_t per_layer = 4 * d_model * d_model + 2 * d_model * d_ff;
+    return num_layers * per_layer + vocab_size * d_model /* embed */ +
+           d_model * vocab_size /* lm head */;
+  }
+};
+
+// Tiny configs for the real engine.
+inline ModelConfig TinyConfig() {
+  ModelConfig config;
+  config.name = "tiny-lmm";
+  config.num_layers = 2;
+  config.d_model = 64;
+  config.num_heads = 4;
+  config.d_ff = 128;
+  config.vocab_size = 128;
+  config.max_seq_len = 512;
+  config.visual_tokens_per_image = 8;
+  return config;
+}
+
+inline ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.name = "small-lmm";
+  config.num_layers = 4;
+  config.d_model = 128;
+  config.num_heads = 8;
+  config.d_ff = 256;
+  config.vocab_size = 512;
+  config.max_seq_len = 2048;
+  config.visual_tokens_per_image = 16;
+  return config;
+}
+
+// Paper-scale configurations (Table 2). These parameterise the cost model;
+// the real engine is never instantiated at this size on CPU.
+inline ModelConfig QwenVl7bConfig() {
+  ModelConfig config;
+  config.name = "Qwen-VL-7B";
+  config.num_layers = 32;
+  config.d_model = 4096;
+  config.num_heads = 32;
+  config.d_ff = 11008;
+  config.vocab_size = 151936;
+  config.max_seq_len = 8192;
+  config.visual_tokens_per_image = 256;
+  config.vision_encoder_params_b = 1.9;  // OpenCLIP ViT
+  return config;
+}
+
+inline ModelConfig Llava7bConfig() {
+  ModelConfig config;
+  config.name = "LLaVA-1.5-7B";
+  config.num_layers = 32;
+  config.d_model = 4096;
+  config.num_heads = 32;
+  config.d_ff = 11008;
+  config.vocab_size = 32000;
+  config.max_seq_len = 4096;
+  config.visual_tokens_per_image = 576;
+  config.vision_encoder_params_b = 0.3;  // CLIP ViT
+  return config;
+}
+
+inline ModelConfig Llava13bConfig() {
+  ModelConfig config;
+  config.name = "LLaVA-1.5-13B";
+  config.num_layers = 40;
+  config.d_model = 5120;
+  config.num_heads = 40;
+  config.d_ff = 13824;
+  config.vocab_size = 32000;
+  config.max_seq_len = 4096;
+  config.visual_tokens_per_image = 576;
+  config.vision_encoder_params_b = 0.3;
+  return config;
+}
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ENGINE_MODEL_CONFIG_H_

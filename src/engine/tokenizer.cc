@@ -1,0 +1,92 @@
+#include "src/engine/tokenizer.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+namespace {
+// Common words of the vision-application domain, stored with a leading space
+// so "count the cars" tokenises as [count][ the][ cars].
+constexpr const char* kWords[] = {
+    " the",    " a",      " an",     " is",      " are",    " was",     " in",     " on",
+    " at",     " of",     " and",    " or",      " to",     " how",    " many",   " what",
+    " which",  " where",  " who",    " there",   " this",   " that",   " image",  " video",
+    " frame",  " picture", " photo", " scene",   " person", " people", " man",    " woman",
+    " boy",    " girl",   " child",  " car",     " cars",   " vehicle", " truck", " bus",
+    " bicycle", " bike",  " motorcycle", " traffic", " road", " street", " sign", " light",
+    " red",    " green",  " blue",   " yellow",  " white",  " black",   " color", " wearing",
+    " sweater", " shirt", " jacket", " standing", " walking", " running", " riding", " sitting",
+    " holding", " count",  " detect", " find",   " locate", " describe", " action", " activity",
+    " left",   " right",  " top",    " bottom",  " corner", " center",  " near",  " next",
+    " dog",    " cat",    " bird",   " tree",    " building", " airplane", " plane", " airport",
+    " question", " answer", " yes",  " no",      " please", " show",    " lost",  " camera",
+    " stream", " chunk",  " object", " objects", " class",  " label",   " box",   " bounding",
+};
+}  // namespace
+
+Tokenizer::Tokenizer() {
+  auto add = [this](const std::string& piece) {
+    const int32_t id = static_cast<int32_t>(pieces_.size());
+    pieces_.push_back(piece);
+    if (!piece.empty()) {
+      lookup_[piece] = id;
+      max_piece_len_ = std::max(max_piece_len_, piece.size());
+    }
+  };
+  add("");  // pad
+  add("");  // eos
+  add("");  // unk
+  // Printable ASCII bytes + newline as single-character pieces: the byte
+  // fallback that makes every printable string encodable.
+  for (char c = ' '; c <= '~'; ++c) {
+    add(std::string(1, c));
+  }
+  add("\n");
+  for (const char* word : kWords) {
+    add(word);
+  }
+}
+
+std::vector<int32_t> Tokenizer::Encode(const std::string& text) const {
+  std::vector<int32_t> tokens;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t max_len = std::min(max_piece_len_, text.size() - pos);
+    int32_t best = kUnkToken;
+    size_t best_len = 1;
+    for (size_t len = max_len; len >= 1; --len) {
+      auto it = lookup_.find(text.substr(pos, len));
+      if (it != lookup_.end()) {
+        best = it->second;
+        best_len = len;
+        break;
+      }
+    }
+    tokens.push_back(best);
+    pos += best_len;
+  }
+  return tokens;
+}
+
+std::string Tokenizer::Decode(const std::vector<int32_t>& tokens) const {
+  std::string text;
+  for (int32_t token : tokens) {
+    if (token == kUnkToken) {
+      text += "\xEF\xBF\xBD";
+      continue;
+    }
+    if (token >= 0 && token < static_cast<int32_t>(pieces_.size())) {
+      text += pieces_[static_cast<size_t>(token)];
+    }
+  }
+  return text;
+}
+
+const std::string& Tokenizer::piece(int32_t token) const {
+  VLORA_CHECK(token >= 0 && token < static_cast<int32_t>(pieces_.size()));
+  return pieces_[static_cast<size_t>(token)];
+}
+
+}  // namespace vlora

@@ -1,0 +1,46 @@
+// Deterministic greedy longest-match tokenizer.
+//
+// The paper's LMMs inherit a natural-language interface from their LLM; this
+// tokenizer provides that interface for the examples without shipping a
+// trained BPE model. The vocabulary is reserved tokens + every printable
+// ASCII byte + a built-in list of common words (stored GPT-style with a
+// leading space), and encoding is greedy longest-match over the raw string —
+// which makes Decode(Encode(s)) == s exact for any printable input.
+
+#ifndef VLORA_SRC_ENGINE_TOKENIZER_H_
+#define VLORA_SRC_ENGINE_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vlora {
+
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  static constexpr int32_t kPadToken = 0;
+  static constexpr int32_t kEosToken = 1;
+  static constexpr int32_t kUnkToken = 2;
+
+  // Greedy longest-match encoding. Unencodable bytes map to kUnkToken.
+  std::vector<int32_t> Encode(const std::string& text) const;
+
+  // Inverse of Encode; kUnkToken decodes to "\xEF\xBF\xBD" (U+FFFD), control
+  // tokens to "".
+  std::string Decode(const std::vector<int32_t>& tokens) const;
+
+  int64_t vocab_size() const { return static_cast<int64_t>(pieces_.size()); }
+  const std::string& piece(int32_t token) const;
+
+ private:
+  std::vector<std::string> pieces_;                  // token id -> piece
+  std::unordered_map<std::string, int32_t> lookup_;  // piece -> token id
+  size_t max_piece_len_ = 1;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ENGINE_TOKENIZER_H_

@@ -1,0 +1,44 @@
+#include "src/engine/vision.h"
+
+namespace vlora {
+
+namespace {
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+std::vector<int32_t> VisionEncoder::Encode(int64_t image_id) const {
+  std::vector<int32_t> tokens;
+  tokens.reserve(static_cast<size_t>(config_.visual_tokens_per_image));
+  for (int64_t patch = 0; patch < config_.visual_tokens_per_image; ++patch) {
+    const uint64_t h = Mix(static_cast<uint64_t>(image_id) * 0x9E3779B9ull + static_cast<uint64_t>(patch));
+    tokens.push_back(static_cast<int32_t>(h % static_cast<uint64_t>(config_.vocab_size)));
+  }
+  return tokens;
+}
+
+std::vector<int32_t> VisionEncoder::BuildPrompt(int64_t image_id,
+                                                const std::vector<int32_t>& text_tokens) const {
+  std::vector<int32_t> prompt = Encode(image_id);
+  prompt.insert(prompt.end(), text_tokens.begin(), text_tokens.end());
+  return prompt;
+}
+
+std::vector<int32_t> VisionEncoder::BuildVideoPrompt(
+    const std::vector<int64_t>& frame_ids, const std::vector<int32_t>& text_tokens) const {
+  std::vector<int32_t> prompt;
+  for (int64_t frame : frame_ids) {
+    std::vector<int32_t> frame_tokens = Encode(frame);
+    prompt.insert(prompt.end(), frame_tokens.begin(), frame_tokens.end());
+  }
+  prompt.insert(prompt.end(), text_tokens.begin(), text_tokens.end());
+  return prompt;
+}
+
+}  // namespace vlora

@@ -1,0 +1,42 @@
+// Vision receptor stub.
+//
+// The real system runs a ViT encoder plus a vision-language projector to turn
+// an image into visual tokens (Fig 1). Weights-free here: an image id maps
+// deterministically to a fixed-length pseudo-token sequence in the model's
+// vocabulary, which exercises the same downstream path (long visual prefix,
+// prefix-reusable KV) without a trained encoder. The substitution is recorded
+// in DESIGN.md.
+
+#ifndef VLORA_SRC_ENGINE_VISION_H_
+#define VLORA_SRC_ENGINE_VISION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/model_config.h"
+
+namespace vlora {
+
+class VisionEncoder {
+ public:
+  explicit VisionEncoder(const ModelConfig& config) : config_(config) {}
+
+  // Deterministic visual tokens for an image: same image id -> same tokens,
+  // which is what makes KV prefix reuse fire on repeated images.
+  std::vector<int32_t> Encode(int64_t image_id) const;
+
+  // Builds a full prompt: visual tokens followed by text tokens, mirroring
+  // the paper's prompt templates (Appendix C).
+  std::vector<int32_t> BuildPrompt(int64_t image_id, const std::vector<int32_t>& text_tokens) const;
+
+  // Multi-image prompt (video understanding feeds 6 frames, §6.2).
+  std::vector<int32_t> BuildVideoPrompt(const std::vector<int64_t>& frame_ids,
+                                        const std::vector<int32_t>& text_tokens) const;
+
+ private:
+  ModelConfig config_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ENGINE_VISION_H_

@@ -1,0 +1,87 @@
+// Vision receptor: a miniature ViT encoder + vision-language projector.
+//
+// Fig 1's pipeline: the visual encoder splits the image into patches,
+// extracts per-patch features with a transformer encoder, and the projector
+// converts them into visual tokens (embeddings in the LMM's d_model space)
+// that are fed to the LLM alongside the text tokens. This is the real
+// version of that path — patch embedding, learned position embeddings,
+// bidirectional self-attention blocks, and a linear projector — operating on
+// synthetic images (no camera here; SyntheticImage renders a deterministic
+// pattern per image id, so identical ids give identical pixels).
+//
+// VisionEncoder (vision.h) remains as the lightweight pseudo-token stub used
+// by latency-focused tests; VisionTower is the full substrate.
+
+#ifndef VLORA_SRC_ENGINE_VISION_TOWER_H_
+#define VLORA_SRC_ENGINE_VISION_TOWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/model_config.h"
+#include "src/kernels/atmm.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+
+struct VisionTowerConfig {
+  int image_size = 32;   // square images, image_size x image_size
+  int channels = 3;
+  int patch_size = 8;    // -> (image_size / patch_size)^2 patches
+  int64_t d_vision = 48;  // encoder width
+  int num_heads = 4;
+  int num_blocks = 2;
+  int64_t d_model = 64;  // LMM width the projector maps into
+
+  int num_patches() const {
+    const int per_side = image_size / patch_size;
+    return per_side * per_side;
+  }
+  int64_t patch_dim() const {
+    return static_cast<int64_t>(patch_size) * patch_size * channels;
+  }
+};
+
+// Deterministic synthetic image for an id: a mixture of oriented sinusoids
+// and a gradient whose parameters derive from the id. Pixels in [0, 1],
+// layout HWC row-major.
+Tensor SyntheticImage(const VisionTowerConfig& config, int64_t image_id);
+
+class VisionTower {
+ public:
+  VisionTower(const VisionTowerConfig& config, uint64_t seed);
+
+  const VisionTowerConfig& config() const { return config_; }
+
+  // image: (H, W*C) rank-2 HWC tensor as produced by SyntheticImage.
+  // Returns (num_patches x d_model) visual embeddings for the LMM.
+  Tensor Encode(const Tensor& image);
+
+  // Convenience: SyntheticImage + Encode.
+  Tensor EncodeImageId(int64_t image_id);
+
+  // Content surrogate ids for the prompt slots the embeddings occupy: a
+  // 31-bit hash per patch embedding row. Identical images produce identical
+  // surrogates, so block-aligned KV prefix reuse fires on repeated images.
+  std::vector<int32_t> SurrogateTokens(const Tensor& embeddings) const;
+
+ private:
+  VisionTowerConfig config_;
+  // Encoder weights.
+  Tensor patch_embed_;   // patch_dim x d_vision
+  Tensor pos_embed_;     // num_patches x d_vision
+  struct Block {
+    Tensor wq, wk, wv, wo;  // d_vision x d_vision
+    Tensor w1, w2;          // d_vision x 2*d_vision, 2*d_vision x d_vision
+    Tensor norm1, norm2;    // d_vision gains
+  };
+  std::vector<Block> blocks_;
+  Tensor final_norm_;   // d_vision
+  Tensor projector_;    // d_vision x d_model (the vision-language projector)
+  AtmmDispatcher atmm_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_ENGINE_VISION_TOWER_H_

@@ -1,0 +1,80 @@
+#include "src/gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+GpuCostModel::GpuCostModel(const ModelConfig& model) : model_(model) {
+  const ModelConfig baseline = QwenVl7bConfig();
+  const double layer_ratio =
+      static_cast<double>(model.num_layers) / static_cast<double>(baseline.num_layers);
+  const double width_ratio =
+      static_cast<double>(model.d_model) / static_cast<double>(baseline.d_model);
+  model_scale_ = layer_ratio * width_ratio * width_ratio;
+}
+
+double GpuCostModel::PrefillMs(int64_t tokens) const {
+  VLORA_CHECK(tokens >= 0);
+  if (tokens == 0) {
+    return 0.0;
+  }
+  // ~0.05 ms per input token plus launch overhead; 1024 tokens ≈ 53 ms,
+  // comfortably below the paper's "< 1 ms per token" bound.
+  return (2.0 + 0.05 * static_cast<double>(tokens)) * model_scale_;
+}
+
+double GpuCostModel::DecodeStepMs(int64_t batch) const {
+  VLORA_CHECK(batch >= 0);
+  if (batch == 0) {
+    return 0.0;
+  }
+  // Memory-bound decode: ~30 ms floor (weight streaming) with a mild slope in
+  // batch size; lands in the paper's 30-50 ms/token band for realistic
+  // batches.
+  return (30.0 + 0.15 * static_cast<double>(batch)) * model_scale_;
+}
+
+double GpuCostModel::UnmergedExtraMs(OperatorKind op, int64_t lora_tokens,
+                                     int num_adapters) const {
+  VLORA_CHECK(lora_tokens >= 0 && num_adapters >= 0);
+  if (lora_tokens == 0 || num_adapters == 0) {
+    return 0.0;
+  }
+  // extra = fixed per-iteration kernel/launch cost (one bypass branch per
+  // layer per iteration, growing weakly with the number of distinct adapters)
+  // + a per-token compute term. Calibration:
+  //  - at 4 x 1024 = 4096 tokens, Einsum ≈ 141 ms (Fig 6 "up to 140 ms"),
+  //    Punica ≈ 98, S-LoRA ≈ 97, ATMM ≈ 39 (Fig 17 speedups 3.4x/2.3x/2.7x);
+  //  - at decode shapes the fixed term dominates (~0.2 ms/layer x 32 layers
+  //    for ATMM, consistent with Fig 6's 27 ms floor for the baselines),
+  //    giving ATMM ≈ S-LoRA and the 4.5x / 2.6x gaps over Einsum / Punica
+  //    that §6.3.2 reports.
+  double fixed_ms = 0.0;
+  double per_token_ms = 0.0;
+  switch (op) {
+    case OperatorKind::kAtmm:
+      fixed_ms = 6.0;
+      per_token_ms = 0.008;
+      break;
+    case OperatorKind::kSlora:
+      fixed_ms = 6.5;
+      per_token_ms = 0.022;
+      break;
+    case OperatorKind::kPunica:
+      fixed_ms = 16.0;
+      per_token_ms = 0.020;
+      break;
+    case OperatorKind::kEinsum:
+      fixed_ms = 27.0;
+      per_token_ms = 0.027;
+      break;
+  }
+  const double adapter_factor = 1.0 + 0.05 * static_cast<double>(num_adapters - 1);
+  return (fixed_ms * adapter_factor + per_token_ms * static_cast<double>(lora_tokens)) *
+         model_scale_;
+}
+
+}  // namespace vlora

@@ -1,0 +1,80 @@
+// Calibrated GPU cost model.
+//
+// The serving-side experiments (Figs 6, 7, 14, 16, 19-23, Table 3) need
+// A100-scale latencies we cannot measure here, so iteration costs come from a
+// cost model calibrated to the paper's own numbers (DESIGN.md §6):
+//
+//   prefill        < 1 ms / input token (batched, §6.2)
+//   decode step    30-50 ms / output token (§6.2)
+//   unmerged extra 27-140 ms for 2-4 x 128-1024-token requests, operator-
+//                  dependent: Einsum (dLoRA) > Punica > S-LoRA >> ATMM
+//                  (Figs 6, 17: ATMM is 3.4x / 2.3x / 2.7x faster)
+//   mode switch    53 ms for dLoRA, < 10 ms for V-LoRA's swift switcher
+//   adapter swap   ~15 ms for (A, B) factors; ~1 s if ΔW were precomputed
+//
+// Costs scale with model size relative to Qwen-VL-7B (layers linearly, width
+// quadratically), which produces the LLaVA-7B / 13B columns of Fig 14.
+
+#ifndef VLORA_SRC_GPUSIM_COST_MODEL_H_
+#define VLORA_SRC_GPUSIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/engine/model_config.h"
+
+namespace vlora {
+
+enum class OperatorKind { kAtmm, kSlora, kPunica, kEinsum };
+
+constexpr const char* OperatorKindName(OperatorKind op) {
+  switch (op) {
+    case OperatorKind::kAtmm:
+      return "ATMM";
+    case OperatorKind::kSlora:
+      return "S-LoRA";
+    case OperatorKind::kPunica:
+      return "Punica";
+    case OperatorKind::kEinsum:
+      return "Einsum";
+  }
+  return "unknown";
+}
+
+class GpuCostModel {
+ public:
+  GpuCostModel() : GpuCostModel(QwenVl7bConfig()) {}
+  explicit GpuCostModel(const ModelConfig& model);
+
+  const ModelConfig& model() const { return model_; }
+  // Compute-cost multiplier of `model_` relative to the Qwen-VL-7B baseline.
+  double model_scale() const { return model_scale_; }
+
+  // Prefill of `tokens` input tokens in one batched pass.
+  double PrefillMs(int64_t tokens) const;
+
+  // One decode iteration over a batch of `batch` sequences.
+  double DecodeStepMs(int64_t batch) const;
+
+  // Extra latency of computing LoRA bypass branches for `lora_tokens` token
+  // rows spread over `num_adapters` distinct adapters with the given
+  // operator. This is the Fig 6 quantity.
+  double UnmergedExtraMs(OperatorKind op, int64_t lora_tokens, int num_adapters) const;
+
+  // Mode switch costs (§4.4.1).
+  double SwiftSwitchMs() const { return 8.0 * model_scale_; }
+  double DloraSwitchMs() const { return 53.0 * model_scale_; }
+
+  // Adapter (A, B) host->device transfer (§3.1: ~15 ms measured).
+  double AdapterSwapMs() const { return 15.0 * model_scale_; }
+  // The rejected design: precomputed ΔW swapped from host (§4.4.1: ~1 s).
+  double PrecomputedDeltaSwapMs() const { return 1000.0 * model_scale_; }
+
+ private:
+  ModelConfig model_;
+  double model_scale_ = 1.0;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_GPUSIM_COST_MODEL_H_

@@ -1,0 +1,71 @@
+#include "src/kernels/atmm.h"
+
+#include <algorithm>
+
+namespace vlora {
+
+void AtmmDispatcher::Register(const ShapeKey& key, const TileConfig& config) {
+  VLORA_CHECK(config.Valid());
+  table_[key] = config;
+}
+
+TileConfig AtmmDispatcher::HeuristicConfig(int64_t m, int64_t n, int64_t k) {
+  // Shape-driven defaults: keep the packed panels inside ~256 KiB of cache,
+  // avoid tiles wider/taller than the matrix, and use a larger micro-kernel
+  // once there is enough work to amortise it.
+  TileConfig config;
+  auto floor_pow2 = [](int64_t v, int lo, int hi) {
+    int r = lo;
+    while (r * 2 <= hi && r * 2 <= v) {
+      r *= 2;
+    }
+    return r;
+  };
+  config.nr = n >= 8 ? 8 : 4;
+  config.mr = m >= 8 ? 8 : 4;
+  config.nc = floor_pow2(n, config.nr, 128);
+  config.mc = floor_pow2(m, config.mr, m >= 1024 ? 256 : 64);
+  config.kc = floor_pow2(k, 16, k >= 2048 ? 256 : 128);
+  // Round nc/mc to multiples of the micro-kernel (power-of-two so automatic).
+  if (!config.Valid()) {
+    config = TileConfig{};
+  }
+  return config;
+}
+
+TileConfig AtmmDispatcher::Select(int64_t m, int64_t n, int64_t k) const {
+  // Exact hit first.
+  auto it = table_.find(ShapeKey{m, n, k});
+  if (it != table_.end()) {
+    return it->second;
+  }
+  // Snap m to the profiling grid (round up, then down) with n/k exact: n and k
+  // come from model dimensions and adapter ranks, which are fixed per model,
+  // so only the token-count dimension varies continuously at runtime.
+  const int64_t m_up = ((m + kMStep - 1) / kMStep) * kMStep;
+  it = table_.find(ShapeKey{m_up, n, k});
+  if (it != table_.end()) {
+    return it->second;
+  }
+  const int64_t m_down = std::max<int64_t>(kMStep, (m / kMStep) * kMStep);
+  it = table_.find(ShapeKey{m_down, n, k});
+  if (it != table_.end()) {
+    return it->second;
+  }
+  return HeuristicConfig(m, n, k);
+}
+
+void AtmmDispatcher::Execute(const float* a, const float* b, float* c, int64_t m, int64_t n,
+                             int64_t k) {
+  const TileConfig config = Select(m, n, k);
+  GemmTiled(a, b, c, m, n, k, config, workspace_);
+}
+
+void AtmmDispatcher::Execute(const Tensor& a, const Tensor& b, Tensor& c) {
+  VLORA_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 && c.shape().rank() == 2);
+  VLORA_CHECK(a.shape().dim(1) == b.shape().dim(0));
+  VLORA_CHECK(c.shape().dim(0) == a.shape().dim(0) && c.shape().dim(1) == b.shape().dim(1));
+  Execute(a.data(), b.data(), c.data(), a.shape().dim(0), b.shape().dim(1), a.shape().dim(1));
+}
+
+}  // namespace vlora

@@ -1,0 +1,85 @@
+// ATMM: adaptive-tiling matrix multiplication (§4.3).
+//
+// AtmmDispatcher owns the hash table that maps input shapes to their optimal
+// tiling configuration (built offline by TilingSearch, §4.3.2 / Appendix B)
+// and executes GEMMs with the per-shape best configuration. Shapes between
+// profiled grid points snap to the nearest profiled bucket; shapes outside the
+// table fall back to a size-driven heuristic so ATMM never fails, it only
+// loses a little optimality.
+
+#ifndef VLORA_SRC_KERNELS_ATMM_H_
+#define VLORA_SRC_KERNELS_ATMM_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/kernels/gemm.h"
+#include "src/kernels/tile_config.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+
+// Hash-table key for an input shape pair (m x k) * (k x n). The paper packs
+// the shapes into a 128-bit integer key; 21 bits per dimension in a 64-bit
+// key is ample for our shape range.
+struct ShapeKey {
+  int64_t m;
+  int64_t n;
+  int64_t k;
+
+  bool operator==(const ShapeKey& o) const { return m == o.m && n == o.n && k == o.k; }
+  uint64_t Packed() const {
+    return (static_cast<uint64_t>(m) << 42) | (static_cast<uint64_t>(n) << 21) |
+           static_cast<uint64_t>(k);
+  }
+};
+
+struct ShapeKeyHash {
+  size_t operator()(const ShapeKey& key) const {
+    uint64_t x = key.Packed();
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+class AtmmDispatcher {
+ public:
+  AtmmDispatcher() = default;
+
+  // Registers the optimal config for a profiled shape (called by the search).
+  void Register(const ShapeKey& key, const TileConfig& config);
+
+  // Picks the config for a runtime shape: exact hit, else nearest registered
+  // bucket (snapping m to the profiling grid), else the heuristic fallback.
+  TileConfig Select(int64_t m, int64_t n, int64_t k) const;
+
+  // Shape-driven fallback used when the table has no suitable entry.
+  static TileConfig HeuristicConfig(int64_t m, int64_t n, int64_t k);
+
+  // C += A * B with the adaptively selected configuration.
+  void Execute(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
+  void Execute(const Tensor& a, const Tensor& b, Tensor& c);
+
+  // Number of registered shape -> config entries.
+  int64_t TableSize() const { return static_cast<int64_t>(table_.size()); }
+
+  // Snapshot of the table for persistence (order unspecified).
+  std::vector<std::pair<ShapeKey, TileConfig>> Entries() const {
+    std::vector<std::pair<ShapeKey, TileConfig>> entries(table_.begin(), table_.end());
+    return entries;
+  }
+
+  // Grid step used to bucket the m (token-count) dimension. Matches the step
+  // the search profiles with; §4.3.2 uses 32 for the same reason.
+  static constexpr int64_t kMStep = 32;
+
+ private:
+  std::unordered_map<ShapeKey, TileConfig, ShapeKeyHash> table_;
+  GemmWorkspace workspace_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_KERNELS_ATMM_H_

@@ -1,0 +1,249 @@
+#include "src/kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vlora {
+
+namespace {
+
+// Computes a single mr x nr tile of C from packed panels.
+//
+// a_panel: kc values per micro-row group, laid out [p * MR + i]
+// b_panel: kc values per micro-col group, laid out [p * NR + j]
+// The accumulator lives entirely in registers for the fixed-size template
+// instantiations below; GCC/Clang vectorise the inner NR loop.
+template <int MR, int NR>
+void MicroKernelFull(int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                     int64_t ldc) {
+  float acc[MR][NR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a = a_panel + p * MR;
+    const float* b = b_panel + p * NR;
+    for (int i = 0; i < MR; ++i) {
+      const float ai = a[i];
+      for (int j = 0; j < NR; ++j) {
+        acc[i][j] += ai * b[j];
+      }
+    }
+  }
+  for (int i = 0; i < MR; ++i) {
+    float* c_row = c + i * ldc;
+    for (int j = 0; j < NR; ++j) {
+      c_row[j] += acc[i][j];
+    }
+  }
+}
+
+// Edge variant: writes only the valid m_eff x n_eff corner.
+template <int MR, int NR>
+void MicroKernelEdge(int64_t kc, const float* a_panel, const float* b_panel, float* c, int64_t ldc,
+                     int m_eff, int n_eff) {
+  float acc[MR][NR] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* a = a_panel + p * MR;
+    const float* b = b_panel + p * NR;
+    for (int i = 0; i < MR; ++i) {
+      const float ai = a[i];
+      for (int j = 0; j < NR; ++j) {
+        acc[i][j] += ai * b[j];
+      }
+    }
+  }
+  for (int i = 0; i < m_eff; ++i) {
+    float* c_row = c + i * ldc;
+    for (int j = 0; j < n_eff; ++j) {
+      c_row[j] += acc[i][j];
+    }
+  }
+}
+
+using MicroKernelFn = void (*)(int64_t, const float*, const float*, float*, int64_t);
+using MicroKernelEdgeFn = void (*)(int64_t, const float*, const float*, float*, int64_t, int, int);
+
+struct KernelEntry {
+  int mr;
+  int nr;
+  MicroKernelFn full;
+  MicroKernelEdgeFn edge;
+};
+
+// The pre-compiled kernel set — the CPU analog of the executable CUDA kernels
+// ATMM compiles offline for each tiling configuration (§4.3.2).
+constexpr KernelEntry kKernels[] = {
+    {4, 4, MicroKernelFull<4, 4>, MicroKernelEdge<4, 4>},
+    {4, 8, MicroKernelFull<4, 8>, MicroKernelEdge<4, 8>},
+    {8, 4, MicroKernelFull<8, 4>, MicroKernelEdge<8, 4>},
+    {8, 8, MicroKernelFull<8, 8>, MicroKernelEdge<8, 8>},
+    {8, 16, MicroKernelFull<8, 16>, MicroKernelEdge<8, 16>},
+    {16, 8, MicroKernelFull<16, 8>, MicroKernelEdge<16, 8>},
+    {16, 16, MicroKernelFull<16, 16>, MicroKernelEdge<16, 16>},
+};
+
+const KernelEntry* FindKernel(int mr, int nr) {
+  for (const auto& entry : kKernels) {
+    if (entry.mr == mr && entry.nr == nr) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+// Packs a mc_eff x kc_eff block of A (row-major, lda) into micro-row panels:
+// panel layout [ir][p][i] with i < mr, zero-padded to full mr.
+void PackA(const float* a, int64_t lda, int64_t mc_eff, int64_t kc_eff, int mr, float* packed) {
+  for (int64_t ir = 0; ir < mc_eff; ir += mr) {
+    const int rows = static_cast<int>(std::min<int64_t>(mr, mc_eff - ir));
+    for (int64_t p = 0; p < kc_eff; ++p) {
+      float* dst = packed + (ir / mr) * (kc_eff * mr) + p * mr;
+      for (int i = 0; i < rows; ++i) {
+        dst[i] = a[(ir + i) * lda + p];
+      }
+      for (int i = rows; i < mr; ++i) {
+        dst[i] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs a kc_eff x nc_eff block of B (row-major, ldb) into micro-col panels:
+// panel layout [jr][p][j] with j < nr, zero-padded to full nr.
+void PackB(const float* b, int64_t ldb, int64_t kc_eff, int64_t nc_eff, int nr, float* packed) {
+  for (int64_t jr = 0; jr < nc_eff; jr += nr) {
+    const int cols = static_cast<int>(std::min<int64_t>(nr, nc_eff - jr));
+    for (int64_t p = 0; p < kc_eff; ++p) {
+      float* dst = packed + (jr / nr) * (kc_eff * nr) + p * nr;
+      const float* src = b + p * ldb + jr;
+      for (int j = 0; j < cols; ++j) {
+        dst[j] = src[j];
+      }
+      for (int j = cols; j < nr; ++j) {
+        dst[j] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+float* GemmWorkspace::Ensure(int64_t floats) {
+  if (static_cast<int64_t>(buffer_.size()) < floats) {
+    buffer_.resize(static_cast<size_t>(floats));
+  }
+  return buffer_.data();
+}
+
+bool HasMicroKernel(int mr, int nr) { return FindKernel(mr, nr) != nullptr; }
+
+void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+               const TileConfig& config, GemmWorkspace& workspace) {
+  VLORA_CHECK(config.Valid());
+  const KernelEntry* kernel = FindKernel(config.mr, config.nr);
+  VLORA_CHECK(kernel != nullptr);
+
+  const int64_t mc = config.mc;
+  const int64_t nc = config.nc;
+  const int64_t kc = config.kc;
+  const int mr = config.mr;
+  const int nr = config.nr;
+
+  float* pack_a = workspace.Ensure(mc * kc + kc * nc);
+  float* pack_b = pack_a + mc * kc;
+
+  for (int64_t jc = 0; jc < n; jc += nc) {
+    const int64_t nc_eff = std::min(nc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kc) {
+      const int64_t kc_eff = std::min(kc, k - pc);
+      PackB(b + pc * n + jc, n, kc_eff, nc_eff, nr, pack_b);
+      for (int64_t ic = 0; ic < m; ic += mc) {
+        const int64_t mc_eff = std::min(mc, m - ic);
+        PackA(a + ic * k + pc, k, mc_eff, kc_eff, mr, pack_a);
+        for (int64_t jr = 0; jr < nc_eff; jr += nr) {
+          const int n_eff = static_cast<int>(std::min<int64_t>(nr, nc_eff - jr));
+          const float* b_panel = pack_b + (jr / nr) * (kc_eff * nr);
+          for (int64_t ir = 0; ir < mc_eff; ir += mr) {
+            const int m_eff = static_cast<int>(std::min<int64_t>(mr, mc_eff - ir));
+            const float* a_panel = pack_a + (ir / mr) * (kc_eff * mr);
+            float* c_tile = c + (ic + ir) * n + jc + jr;
+            if (m_eff == mr && n_eff == nr) {
+              kernel->full(kc_eff, a_panel, b_panel, c_tile, n);
+            } else {
+              kernel->edge(kc_eff, a_panel, b_panel, c_tile, n, m_eff, n_eff);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void GemmTiled(const Tensor& a, const Tensor& b, Tensor& c, const TileConfig& config,
+               GemmWorkspace& workspace) {
+  VLORA_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 && c.shape().rank() == 2);
+  VLORA_CHECK(a.shape().dim(1) == b.shape().dim(0));
+  VLORA_CHECK(c.shape().dim(0) == a.shape().dim(0));
+  VLORA_CHECK(c.shape().dim(1) == b.shape().dim(1));
+  GemmTiled(a.data(), b.data(), c.data(), a.shape().dim(0), b.shape().dim(1), a.shape().dim(1),
+            config, workspace);
+}
+
+void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+                       const TileConfig& config, GemmWorkspace& workspace, ThreadPool& pool) {
+  VLORA_CHECK(config.Valid());
+  const KernelEntry* kernel = FindKernel(config.mr, config.nr);
+  VLORA_CHECK(kernel != nullptr);
+
+  const int64_t mc = config.mc;
+  const int64_t nc = config.nc;
+  const int64_t kc = config.kc;
+  const int mr = config.mr;
+  const int nr = config.nr;
+
+  const int64_t num_ic_blocks = (m + mc - 1) / mc;
+  // One private packed-A panel per block tile plus the shared packed-B panel.
+  float* pack_a_all = workspace.Ensure(num_ic_blocks * mc * kc + kc * nc);
+  float* pack_b = pack_a_all + num_ic_blocks * mc * kc;
+
+  for (int64_t jc = 0; jc < n; jc += nc) {
+    const int64_t nc_eff = std::min(nc, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kc) {
+      const int64_t kc_eff = std::min(kc, k - pc);
+      PackB(b + pc * n + jc, n, kc_eff, nc_eff, nr, pack_b);
+      pool.ParallelFor(0, num_ic_blocks, [&](int64_t block) {
+        const int64_t ic = block * mc;
+        const int64_t mc_eff = std::min(mc, m - ic);
+        float* pack_a = pack_a_all + block * mc * kc;
+        PackA(a + ic * k + pc, k, mc_eff, kc_eff, mr, pack_a);
+        for (int64_t jr = 0; jr < nc_eff; jr += nr) {
+          const int n_eff = static_cast<int>(std::min<int64_t>(nr, nc_eff - jr));
+          const float* b_panel = pack_b + (jr / nr) * (kc_eff * nr);
+          for (int64_t ir = 0; ir < mc_eff; ir += mr) {
+            const int m_eff = static_cast<int>(std::min<int64_t>(mr, mc_eff - ir));
+            const float* a_panel = pack_a + (ir / mr) * (kc_eff * mr);
+            float* c_tile = c + (ic + ir) * n + jc + jr;
+            if (m_eff == mr && n_eff == nr) {
+              kernel->full(kc_eff, a_panel, b_panel, c_tile, n);
+            } else {
+              kernel->edge(kc_eff, a_panel, b_panel, c_tile, n, m_eff, n_eff);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+void GemmNaive(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      const float* b_row = b + p * n;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace vlora

@@ -1,0 +1,107 @@
+// Unmerged-inference LoRA batching operators.
+//
+// Each operator computes, for every segment s of the token batch X,
+//
+//   Y[s] += scaling_s * (X[s] * down_{a(s)}) * up_{a(s)}
+//
+// i.e. the bypass branch of Fig 2(a), batched over heterogeneous adapters.
+// Four implementations reproduce the systems compared in the paper:
+//
+//   AtmmLoraOperator    — V-LoRA: adaptive tiling per segment shape (§4.3.1)
+//   SloraLoraOperator   — S-LoRA: segment-wise, one static tiling config
+//   PunicaLoraOperator  — Punica: segment-wise, a different static config
+//                         tuned for small decode batches (hence its Table 1 /
+//                         Fig 17 behaviour at large prefill shapes)
+//   EinsumLoraOperator  — dLoRA: pads every segment to the batch maximum
+//                         (rows and rank) and runs an unblocked batched GEMM,
+//                         modelling torch.einsum's padding and per-call
+//                         overhead
+//
+// All four produce identical numerical results (tests assert this); they
+// differ only in speed, which is the paper's point.
+
+#ifndef VLORA_SRC_KERNELS_LORA_OPS_H_
+#define VLORA_SRC_KERNELS_LORA_OPS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernels/atmm.h"
+#include "src/kernels/gemm.h"
+#include "src/kernels/segmented_gemm.h"
+
+namespace vlora {
+
+class LoraBatchOperator {
+ public:
+  virtual ~LoraBatchOperator() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Y += per-segment LoRA contribution. X is (T x d), Y is (T x d).
+  virtual void Run(const Tensor& x, const std::vector<LoraSegment>& segments,
+                   const std::vector<AdapterWeightsView>& adapters, Tensor& y) = 0;
+};
+
+// V-LoRA's operator: both GEMMs of every segment run with the tiling
+// configuration the offline search recorded for that exact shape.
+class AtmmLoraOperator : public LoraBatchOperator {
+ public:
+  // The dispatcher is shared (its hash table is built once offline); it must
+  // outlive the operator.
+  explicit AtmmLoraOperator(AtmmDispatcher* dispatcher);
+
+  const std::string& name() const override { return name_; }
+  void Run(const Tensor& x, const std::vector<LoraSegment>& segments,
+           const std::vector<AdapterWeightsView>& adapters, Tensor& y) override;
+
+ private:
+  std::string name_ = "ATMM";
+  AtmmDispatcher* dispatcher_;
+  std::vector<float> intermediate_;
+};
+
+// Static-tiling operator used for both the S-LoRA and Punica baselines (they
+// differ only in which fixed configuration they hard-code).
+class StaticTileLoraOperator : public LoraBatchOperator {
+ public:
+  StaticTileLoraOperator(std::string name, const TileConfig& config);
+
+  const std::string& name() const override { return name_; }
+  void Run(const Tensor& x, const std::vector<LoraSegment>& segments,
+           const std::vector<AdapterWeightsView>& adapters, Tensor& y) override;
+
+ private:
+  std::string name_;
+  TileConfig config_;
+  GemmWorkspace workspace_;
+  std::vector<float> intermediate_;
+};
+
+std::unique_ptr<StaticTileLoraOperator> MakeSloraOperator();
+std::unique_ptr<StaticTileLoraOperator> MakePunicaOperator();
+
+// dLoRA's operator: batched GEMM over segments padded to uniform shape
+// (max rows x max rank across the batch), computed with the unblocked kernel.
+// The padding waste and the lack of cache blocking are the two costs §4.3.1
+// attributes to torch.einsum.
+class EinsumLoraOperator : public LoraBatchOperator {
+ public:
+  EinsumLoraOperator();
+
+  const std::string& name() const override { return name_; }
+  void Run(const Tensor& x, const std::vector<LoraSegment>& segments,
+           const std::vector<AdapterWeightsView>& adapters, Tensor& y) override;
+
+ private:
+  std::string name_ = "Einsum";
+  std::vector<float> padded_x_;
+  std::vector<float> padded_mid_;
+  std::vector<float> padded_down_;
+  std::vector<float> padded_up_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_KERNELS_LORA_OPS_H_

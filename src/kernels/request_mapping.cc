@@ -1,0 +1,64 @@
+#include "src/kernels/request_mapping.h"
+
+#include <cstring>
+
+namespace vlora {
+
+Tensor BuildRequestTypeMatrix(const std::vector<LoraSegment>& segments, int64_t rows,
+                              int num_adapters) {
+  VLORA_CHECK(rows > 0 && num_adapters > 0);
+  ValidateSegments(segments, rows, num_adapters);
+  Tensor mapping = Tensor::Zeros(Shape(rows, num_adapters));
+  for (const LoraSegment& segment : segments) {
+    for (int64_t row = segment.row_begin; row < segment.row_end; ++row) {
+      mapping.at(row, segment.adapter_index) += 1.0f;
+    }
+  }
+  return mapping;
+}
+
+MappedLoraOperator::MappedLoraOperator() = default;
+
+void MappedLoraOperator::Run(const Tensor& x, const std::vector<LoraSegment>& segments,
+                             const std::vector<AdapterWeightsView>& adapters, Tensor& y) {
+  VLORA_CHECK(x.shape() == y.shape());
+  const int64_t rows = x.shape().dim(0);
+  const int64_t d = x.shape().dim(1);
+  if (segments.empty()) {
+    return;
+  }
+  const Tensor mapping =
+      BuildRequestTypeMatrix(segments, rows, static_cast<int>(adapters.size()));
+
+  // For every adapter with any mapped row: dense down-projection over the
+  // whole batch, row-masked by the mapping column, then the up-projection.
+  for (size_t a = 0; a < adapters.size(); ++a) {
+    bool used = false;
+    for (int64_t row = 0; row < rows && !used; ++row) {
+      used = mapping.at(row, static_cast<int64_t>(a)) != 0.0f;
+    }
+    if (!used) {
+      continue;
+    }
+    const AdapterWeightsView& adapter = adapters[a];
+    VLORA_CHECK(adapter.d_model() == d);
+    const int64_t rank = adapter.rank();
+    if (static_cast<int64_t>(mid_.size()) < rows * rank) {
+      mid_.resize(static_cast<size_t>(rows * rank));
+    }
+    std::memset(mid_.data(), 0, static_cast<size_t>(rows * rank) * sizeof(float));
+    dispatcher_.Execute(x.data(), adapter.down->data(), mid_.data(), rows, rank, d);
+    // Row mask x scaling: rows not mapped to this adapter zero out here, so
+    // their up-projection contributes nothing.
+    for (int64_t row = 0; row < rows; ++row) {
+      const float factor = mapping.at(row, static_cast<int64_t>(a)) * adapter.scaling;
+      float* mid_row = mid_.data() + row * rank;
+      for (int64_t r = 0; r < rank; ++r) {
+        mid_row[r] *= factor;
+      }
+    }
+    dispatcher_.Execute(mid_.data(), adapter.up->data(), y.data(), rows, d, rank);
+  }
+}
+
+}  // namespace vlora

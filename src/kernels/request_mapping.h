@@ -1,0 +1,48 @@
+// Request-type mapping (§5): "we transform the LoRA type of each request into
+// a one-hot vector and build a request-type mapping matrix of the current
+// batch".
+//
+// BuildRequestTypeMatrix produces the one-hot matrix M (rows x adapters) for
+// a segmented batch. MappedLoraOperator is the dense branch-free formulation
+// built on it: every adapter's down-projection runs over the whole batch and
+// the mapping matrix masks each row to its own adapter —
+//
+//   Y += Σ_a diag(M[:, a]) * (X * down_a * scaling_a) * up_a
+//
+// Computationally wasteful (it is the formulation whose padding costs §4.3.1
+// criticises) but useful as an executable specification: tests check the
+// segmented operators against it.
+
+#ifndef VLORA_SRC_KERNELS_REQUEST_MAPPING_H_
+#define VLORA_SRC_KERNELS_REQUEST_MAPPING_H_
+
+#include <vector>
+
+#include "src/kernels/lora_ops.h"
+
+namespace vlora {
+
+// M[row][adapter] = 1 iff some segment covering `row` uses `adapter`.
+// Overlapping segments (deLoRA) accumulate, so a row can map to an adapter
+// with weight +1 and -1 simultaneously via the signed variant below.
+Tensor BuildRequestTypeMatrix(const std::vector<LoraSegment>& segments, int64_t rows,
+                              int num_adapters);
+
+// Dense mapped operator; same contract as the segmented operators.
+class MappedLoraOperator : public LoraBatchOperator {
+ public:
+  MappedLoraOperator();
+
+  const std::string& name() const override { return name_; }
+  void Run(const Tensor& x, const std::vector<LoraSegment>& segments,
+           const std::vector<AdapterWeightsView>& adapters, Tensor& y) override;
+
+ private:
+  std::string name_ = "Mapped";
+  AtmmDispatcher dispatcher_;
+  std::vector<float> mid_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_KERNELS_REQUEST_MAPPING_H_

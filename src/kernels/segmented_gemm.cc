@@ -1,0 +1,18 @@
+#include "src/kernels/segmented_gemm.h"
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+void ValidateSegments(const std::vector<LoraSegment>& segments, int64_t x_rows,
+                      int64_t num_adapters) {
+  for (const LoraSegment& segment : segments) {
+    VLORA_CHECK(segment.row_begin >= 0);
+    VLORA_CHECK(segment.row_end > segment.row_begin);
+    VLORA_CHECK(segment.row_end <= x_rows);
+    VLORA_CHECK(segment.adapter_index >= 0 &&
+                segment.adapter_index < static_cast<int>(num_adapters));
+  }
+}
+
+}  // namespace vlora

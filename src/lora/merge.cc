@@ -1,0 +1,111 @@
+#include "src/lora/merge.h"
+
+#include <cstring>
+
+#include "src/kernels/gemm.h"
+
+namespace vlora {
+
+namespace {
+float* EnsureFloats(std::vector<float>& buffer, int64_t floats) {
+  if (static_cast<int64_t>(buffer.size()) < floats) {
+    buffer.resize(static_cast<size_t>(floats));
+  }
+  return buffer.data();
+}
+}  // namespace
+
+SwiftSwitcher::SwiftSwitcher(AtmmDispatcher* atmm) : atmm_(atmm) { VLORA_CHECK(atmm != nullptr); }
+
+void SwiftSwitcher::ApplyTarget(const LoraAdapter& adapter, LoraTarget target,
+                                MergeDirection direction, MergeTarget& weights) {
+  VLORA_CHECK(static_cast<int>(weights.size()) == adapter.num_layers());
+  const int64_t d = adapter.d_model();
+  const float sign = direction == MergeDirection::kMerge ? 1.0f : -1.0f;
+  float* delta = EnsureFloats(delta_, d * d);
+  for (int layer = 0; layer < adapter.num_layers(); ++layer) {
+    Tensor& w = weights[static_cast<size_t>(layer)];
+    VLORA_CHECK(w.shape() == Shape(d, d));
+    const LoraLayerWeights& factors = adapter.layer(target, layer);
+    std::memset(delta, 0, static_cast<size_t>(d * d) * sizeof(float));
+    // ΔW = down (d x r) * up (r x d), computed with the shape-optimal tiling.
+    atmm_->Execute(factors.down.data(), factors.up.data(), delta, d, d, adapter.rank());
+    const float factor = sign * adapter.scaling();
+    float* w_data = w.data();
+    for (int64_t i = 0; i < d * d; ++i) {
+      w_data[i] += factor * delta[i];
+    }
+  }
+}
+
+void SwiftSwitcher::Apply(const LoraAdapter& adapter, MergeDirection direction,
+                          ModelMergeTargets& model) {
+  for (LoraTarget target : adapter.targets()) {
+    auto it = model.by_target.find(target);
+    VLORA_CHECK(it != model.by_target.end());
+    ApplyTarget(adapter, target, direction, it->second);
+  }
+}
+
+void SwiftSwitcher::Switch(const LoraAdapter* from, const LoraAdapter* to,
+                           ModelMergeTargets& model) {
+  if (from != nullptr) {
+    Apply(*from, MergeDirection::kUnmerge, model);
+  }
+  if (to != nullptr) {
+    Apply(*to, MergeDirection::kMerge, model);
+  }
+}
+
+void LegacySwitcher::ApplyTarget(const LoraAdapter& adapter, LoraTarget target,
+                                 MergeDirection direction, MergeTarget& weights) {
+  VLORA_CHECK(static_cast<int>(weights.size()) == adapter.num_layers());
+  const int64_t d = adapter.d_model();
+  const float sign = direction == MergeDirection::kMerge ? 1.0f : -1.0f;
+  float* delta = EnsureFloats(delta_, d * d);
+  float* staging = EnsureFloats(staging_, d * d);
+  for (int layer = 0; layer < adapter.num_layers(); ++layer) {
+    Tensor& w = weights[static_cast<size_t>(layer)];
+    VLORA_CHECK(w.shape() == Shape(d, d));
+    const LoraLayerWeights& factors = adapter.layer(target, layer);
+    std::memset(delta, 0, static_cast<size_t>(d * d) * sizeof(float));
+    GemmNaive(factors.down.data(), factors.up.data(), delta, d, d, adapter.rank());
+    // Stage the layer weight out, update, and copy back: the reshape /
+    // non-contiguous-copy round trip §3.2 measures in dLoRA.
+    std::memcpy(staging, w.data(), static_cast<size_t>(d * d) * sizeof(float));
+    const float factor = sign * adapter.scaling();
+    for (int64_t i = 0; i < d * d; ++i) {
+      staging[i] += factor * delta[i];
+    }
+    std::memcpy(w.data(), staging, static_cast<size_t>(d * d) * sizeof(float));
+  }
+}
+
+void LegacySwitcher::Apply(const LoraAdapter& adapter, MergeDirection direction,
+                           ModelMergeTargets& model) {
+  for (LoraTarget target : adapter.targets()) {
+    auto it = model.by_target.find(target);
+    VLORA_CHECK(it != model.by_target.end());
+    ApplyTarget(adapter, target, direction, it->second);
+  }
+}
+
+float MaxAbsDiff(const MergeTarget& a, const MergeTarget& b) {
+  VLORA_CHECK(a.size() == b.size());
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, Tensor::MaxAbsDiff(a[i], b[i]));
+  }
+  return max_diff;
+}
+
+float MaxAbsDiff(const ModelMergeTargets& a, const ModelMergeTargets& b) {
+  VLORA_CHECK(a.by_target.size() == b.by_target.size());
+  float max_diff = 0.0f;
+  for (const auto& [target, weights] : a.by_target) {
+    max_diff = std::max(max_diff, MaxAbsDiff(weights, b.at(target)));
+  }
+  return max_diff;
+}
+
+}  // namespace vlora

@@ -1,0 +1,82 @@
+// Merge / unmerge machinery: the swift inference mode switcher (§4.4.1).
+//
+// Merging adds ΔW = scaling * down * up onto the base weight of every adapted
+// (target, layer) pair; unmerging subtracts it. dLoRA pays for this with
+// per-layer torch.addmm calls plus reshape copies; V-LoRA's switcher instead
+//   (1) keeps all base weights on one contiguous slab so no copies happen, and
+//   (2) computes every ΔW with ATMM and applies them in one sweep.
+// SwiftSwitcher implements the V-LoRA path; LegacySwitcher implements the
+// dLoRA-style path (per-layer naive GEMM + an explicit staging copy) so the
+// benches can measure the gap on real hardware.
+
+#ifndef VLORA_SRC_LORA_MERGE_H_
+#define VLORA_SRC_LORA_MERGE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/kernels/atmm.h"
+#include "src/lora/adapter.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+
+// The per-layer base weights of one adapted projection. Each tensor is d x d.
+// For the real engine these are views into the model's weight slab.
+using MergeTarget = std::vector<Tensor>;
+
+// All adaptable projections a model exposes to the switcher.
+struct ModelMergeTargets {
+  std::map<LoraTarget, MergeTarget> by_target;
+
+  MergeTarget& at(LoraTarget target) { return by_target.at(target); }
+  const MergeTarget& at(LoraTarget target) const { return by_target.at(target); }
+};
+
+enum class MergeDirection { kMerge, kUnmerge };
+
+class SwiftSwitcher {
+ public:
+  // `atmm` computes the ΔW products; must outlive the switcher.
+  explicit SwiftSwitcher(AtmmDispatcher* atmm);
+
+  // Applies ΔW of every (target, layer) of the adapter onto the model weights
+  // (+= for merge, -= for unmerge) in one pass. The model must expose every
+  // target the adapter adapts.
+  void Apply(const LoraAdapter& adapter, MergeDirection direction, ModelMergeTargets& model);
+
+  // Single-projection variant, used by tests and micro-benches.
+  void ApplyTarget(const LoraAdapter& adapter, LoraTarget target, MergeDirection direction,
+                   MergeTarget& weights);
+
+  // Replaces the currently merged adapter in one call: unmerges `from` (if
+  // non-null) and merges `to` (if non-null). This is the mode-switch hot path.
+  void Switch(const LoraAdapter* from, const LoraAdapter* to, ModelMergeTargets& model);
+
+ private:
+  AtmmDispatcher* atmm_;
+  std::vector<float> delta_;  // reused d x d scratch
+};
+
+// dLoRA-style switcher: per-layer ΔW via the unblocked kernel, with an
+// explicit staging buffer standing in for the tensor-reshape memory copies of
+// a non-contiguous weight layout.
+class LegacySwitcher {
+ public:
+  void Apply(const LoraAdapter& adapter, MergeDirection direction, ModelMergeTargets& model);
+  void ApplyTarget(const LoraAdapter& adapter, LoraTarget target, MergeDirection direction,
+                   MergeTarget& weights);
+
+ private:
+  std::vector<float> delta_;
+  std::vector<float> staging_;
+};
+
+// Max absolute elementwise difference between two weight lists / models;
+// helpers for merge/unmerge round-trip tests.
+float MaxAbsDiff(const MergeTarget& a, const MergeTarget& b);
+float MaxAbsDiff(const ModelMergeTargets& a, const ModelMergeTargets& b);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_LORA_MERGE_H_

@@ -1,0 +1,280 @@
+#include "src/lora/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace vlora {
+
+namespace {
+
+constexpr uint32_t kAdapterMagic = 0x41524C56;  // "VLRA"
+constexpr uint32_t kTableMagic = 0x54544C56;    // "VLTT"
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {}
+  bool ok() const { return out_.good(); }
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+  void Floats(const float* data, int64_t count) {
+    Raw(data, static_cast<size_t>(count) * sizeof(float));
+  }
+
+ private:
+  void Raw(const void* data, size_t bytes) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  }
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {}
+  bool ok() const { return in_.good(); }
+
+  bool U32(uint32_t& v) { return Raw(&v, sizeof(v)); }
+  bool U64(uint64_t& v) { return Raw(&v, sizeof(v)); }
+  bool I64(int64_t& v) { return Raw(&v, sizeof(v)); }
+  bool F32(float& v) { return Raw(&v, sizeof(v)); }
+  bool Str(std::string& s) {
+    uint64_t size = 0;
+    if (!U64(size) || size > (1u << 20)) {
+      return false;
+    }
+    s.resize(size);
+    return Raw(s.data(), size);
+  }
+  bool Floats(float* data, int64_t count) {
+    return Raw(data, static_cast<size_t>(count) * sizeof(float));
+  }
+
+ private:
+  bool Raw(void* data, size_t bytes) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    return in_.good();
+  }
+  std::ifstream in_;
+};
+
+uint32_t TargetCode(LoraTarget target) { return static_cast<uint32_t>(target); }
+
+bool TargetFromCode(uint32_t code, LoraTarget& target) {
+  if (code > static_cast<uint32_t>(LoraTarget::kWo)) {
+    return false;
+  }
+  target = static_cast<LoraTarget>(code);
+  return true;
+}
+
+}  // namespace
+
+Status SaveAdapter(const LoraAdapter& adapter, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  w.U32(kAdapterMagic);
+  w.U32(kVersion);
+  w.Str(adapter.name());
+  w.I64(adapter.num_layers());
+  w.I64(adapter.d_model());
+  w.I64(adapter.rank());
+  w.F32(adapter.scaling());
+  w.U32(static_cast<uint32_t>(adapter.targets().size()));
+  for (LoraTarget target : adapter.targets()) {
+    w.U32(TargetCode(target));
+    for (int layer = 0; layer < adapter.num_layers(); ++layer) {
+      const LoraLayerWeights& weights = adapter.layer(target, layer);
+      w.Floats(weights.down.data(), weights.down.NumElements());
+      w.Floats(weights.up.data(), weights.up.NumElements());
+    }
+  }
+  const bool has_head = adapter.task_head().has_value();
+  w.U32(has_head ? 1 : 0);
+  if (has_head) {
+    const VisionTaskHead& head = adapter.task_head().value();
+    w.U32(static_cast<uint32_t>(head.task));
+    w.I64(head.num_options());
+    w.Floats(head.weight.data(), head.weight.NumElements());
+  }
+  w.U64(adapter.fused_domains().size());
+  for (const std::string& domain : adapter.fused_domains()) {
+    w.Str(domain);
+  }
+  if (!w.ok()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<LoraAdapter> LoadAdapter(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!r.U32(magic) || magic != kAdapterMagic) {
+    return Status::InvalidArgument("bad adapter magic: " + path);
+  }
+  if (!r.U32(version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported adapter version");
+  }
+  std::string name;
+  int64_t layers = 0;
+  int64_t d = 0;
+  int64_t rank = 0;
+  float scaling = 1.0f;
+  uint32_t num_targets = 0;
+  if (!r.Str(name) || !r.I64(layers) || !r.I64(d) || !r.I64(rank) || !r.F32(scaling) ||
+      !r.U32(num_targets)) {
+    return Status::InvalidArgument("truncated adapter header");
+  }
+  if (layers <= 0 || layers > 1024 || d <= 0 || d > (1 << 20) || rank <= 0 || rank > d ||
+      num_targets == 0 || num_targets > kAllLoraTargets.size()) {
+    return Status::InvalidArgument("implausible adapter dimensions");
+  }
+
+  std::vector<LoraTarget> targets;
+  // Build via Random then overwrite factors: keeps construction in one place.
+  Rng scratch_rng(0);
+  std::vector<std::vector<std::pair<Tensor, Tensor>>> factor_data;
+  for (uint32_t t = 0; t < num_targets; ++t) {
+    uint32_t code = 0;
+    LoraTarget target;
+    if (!r.U32(code) || !TargetFromCode(code, target)) {
+      return Status::InvalidArgument("bad target code");
+    }
+    targets.push_back(target);
+    std::vector<std::pair<Tensor, Tensor>> layers_data;
+    for (int64_t layer = 0; layer < layers; ++layer) {
+      Tensor down(Shape(d, rank));
+      Tensor up(Shape(rank, d));
+      if (!r.Floats(down.data(), down.NumElements()) ||
+          !r.Floats(up.data(), up.NumElements())) {
+        return Status::InvalidArgument("truncated factors");
+      }
+      layers_data.emplace_back(std::move(down), std::move(up));
+    }
+    factor_data.push_back(std::move(layers_data));
+  }
+
+  LoraAdapter adapter = LoraAdapter::Random(name, static_cast<int>(layers), d, rank, scratch_rng,
+                                            0.0f, targets);
+  adapter.set_scaling(scaling);
+  for (size_t t = 0; t < targets.size(); ++t) {
+    for (int64_t layer = 0; layer < layers; ++layer) {
+      LoraLayerWeights& weights = adapter.layer(targets[t], static_cast<int>(layer));
+      weights.down = std::move(factor_data[t][static_cast<size_t>(layer)].first);
+      weights.up = std::move(factor_data[t][static_cast<size_t>(layer)].second);
+    }
+  }
+
+  uint32_t has_head = 0;
+  if (!r.U32(has_head)) {
+    return Status::InvalidArgument("truncated head flag");
+  }
+  if (has_head != 0) {
+    uint32_t task_code = 0;
+    int64_t options = 0;
+    if (!r.U32(task_code) || task_code >= static_cast<uint32_t>(kNumVisionTasks) ||
+        !r.I64(options) || options <= 0 || options > (1 << 20)) {
+      return Status::InvalidArgument("bad task head header");
+    }
+    VisionTaskHead head;
+    head.task = static_cast<VisionTask>(task_code);
+    head.weight = Tensor(Shape(d, options));
+    if (!r.Floats(head.weight.data(), head.weight.NumElements())) {
+      return Status::InvalidArgument("truncated task head");
+    }
+    adapter.SetTaskHead(std::move(head));
+  }
+
+  uint64_t num_domains = 0;
+  if (!r.U64(num_domains) || num_domains > (1u << 16)) {
+    return Status::InvalidArgument("bad domain count");
+  }
+  for (uint64_t i = 0; i < num_domains; ++i) {
+    std::string domain;
+    if (!r.Str(domain)) {
+      return Status::InvalidArgument("truncated domains");
+    }
+    adapter.AddFusedDomain(std::move(domain));
+  }
+  return adapter;
+}
+
+Status SaveTilingTable(const AtmmDispatcher& dispatcher, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) {
+    return Status::InvalidArgument("cannot open for write: " + path);
+  }
+  const auto entries = dispatcher.Entries();
+  w.U32(kTableMagic);
+  w.U32(kVersion);
+  w.U64(entries.size());
+  for (const auto& [key, config] : entries) {
+    w.I64(key.m);
+    w.I64(key.n);
+    w.I64(key.k);
+    w.U32(static_cast<uint32_t>(config.mc));
+    w.U32(static_cast<uint32_t>(config.nc));
+    w.U32(static_cast<uint32_t>(config.kc));
+    w.U32(static_cast<uint32_t>(config.mr));
+    w.U32(static_cast<uint32_t>(config.nr));
+  }
+  if (!w.ok()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadTilingTable(const std::string& path, AtmmDispatcher& dispatcher) {
+  Reader r(path);
+  if (!r.ok()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!r.U32(magic) || magic != kTableMagic) {
+    return Status::InvalidArgument("bad table magic: " + path);
+  }
+  if (!r.U32(version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported table version");
+  }
+  if (!r.U64(count) || count > (1u << 24)) {
+    return Status::InvalidArgument("implausible entry count");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    ShapeKey key{};
+    uint32_t mc = 0;
+    uint32_t nc = 0;
+    uint32_t kc = 0;
+    uint32_t mr = 0;
+    uint32_t nr = 0;
+    if (!r.I64(key.m) || !r.I64(key.n) || !r.I64(key.k) || !r.U32(mc) || !r.U32(nc) ||
+        !r.U32(kc) || !r.U32(mr) || !r.U32(nr)) {
+      return Status::InvalidArgument("truncated table entry");
+    }
+    TileConfig config{static_cast<int>(mc), static_cast<int>(nc), static_cast<int>(kc),
+                      static_cast<int>(mr), static_cast<int>(nr)};
+    if (!config.Valid()) {
+      return Status::InvalidArgument("invalid tiling config in table");
+    }
+    dispatcher.Register(key, config);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vlora

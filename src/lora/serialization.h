@@ -1,0 +1,31 @@
+// Binary serialization for LoRA adapters and the ATMM tiling table.
+//
+// The offline phase produces two artifacts a deployment ships to the serving
+// fleet: the trained adapters (low-rank factors + task heads, §4.2) and the
+// profiled shape->tiling hash table (§4.3.2). Both round-trip through a
+// simple versioned little-endian binary format.
+
+#ifndef VLORA_SRC_LORA_SERIALIZATION_H_
+#define VLORA_SRC_LORA_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/kernels/atmm.h"
+#include "src/lora/adapter.h"
+
+namespace vlora {
+
+// Adapter file format "VLRA" v1: header, targets, per-(target, layer)
+// factors, optional task head, fused-domain list.
+Status SaveAdapter(const LoraAdapter& adapter, const std::string& path);
+Result<LoraAdapter> LoadAdapter(const std::string& path);
+
+// Tiling-table file format "VLTT" v1: entry count, then (packed shape key,
+// tiling config) pairs.
+Status SaveTilingTable(const AtmmDispatcher& dispatcher, const std::string& path);
+Status LoadTilingTable(const std::string& path, AtmmDispatcher& dispatcher);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_LORA_SERIALIZATION_H_

@@ -1,0 +1,27 @@
+#include "src/tensor/slab.h"
+
+#include <cstring>
+
+namespace vlora {
+
+WeightSlab::WeightSlab(int64_t capacity) : capacity_(capacity) {
+  VLORA_CHECK(capacity > 0);
+  storage_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(capacity)]);
+  std::memset(storage_.get(), 0, static_cast<size_t>(capacity) * sizeof(float));
+}
+
+Tensor WeightSlab::Allocate(int64_t rows, int64_t cols) {
+  const int64_t n = rows * cols;
+  VLORA_CHECK(n > 0);
+  VLORA_CHECK(used_ + n <= capacity_);
+  float* base = storage_.get() + used_;
+  used_ += n;
+  return Tensor::Wrap(storage_, base, Shape(rows, cols));
+}
+
+bool WeightSlab::Owns(const Tensor& t) const {
+  const float* p = t.data();
+  return p >= storage_.get() && p < storage_.get() + capacity_;
+}
+
+}  // namespace vlora

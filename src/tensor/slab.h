@@ -1,0 +1,51 @@
+// Contiguous weight slab.
+//
+// V-LoRA's swift mode switcher (§4.4.1) relies on two properties of weight
+// storage: (1) the weight matrices of all layers live in one contiguous
+// pre-allocated region, so no tensor-reshape memory copies are needed, and
+// (2) ΔW = B×A for all layers can be merged into / unmerged from the base
+// weights "in one shot" as a single linear sweep. WeightSlab provides exactly
+// that: one allocation, bump-pointer sub-allocation of matrices, and raw
+// access to the whole span for one-shot updates.
+
+#ifndef VLORA_SRC_TENSOR_SLAB_H_
+#define VLORA_SRC_TENSOR_SLAB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+
+class WeightSlab {
+ public:
+  // Pre-allocates capacity floats of contiguous storage, zero-initialised.
+  explicit WeightSlab(int64_t capacity);
+
+  // Carves a rows x cols matrix out of the slab. Aborts if the slab is full —
+  // slab capacity is a deployment-time decision, not a runtime recoverable.
+  Tensor Allocate(int64_t rows, int64_t cols);
+
+  int64_t capacity() const { return capacity_; }
+  int64_t used() const { return used_; }
+  int64_t remaining() const { return capacity_ - used_; }
+
+  // Raw span over everything allocated so far; the one-shot merge path of the
+  // mode switcher iterates this once instead of walking per-layer tensors.
+  float* data() { return storage_.get(); }
+  const float* data() const { return storage_.get(); }
+
+  // True if `t` aliases this slab's storage.
+  bool Owns(const Tensor& t) const;
+
+ private:
+  int64_t capacity_;
+  int64_t used_ = 0;
+  std::shared_ptr<float[]> storage_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_TENSOR_SLAB_H_

@@ -1,0 +1,147 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace vlora {
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < rank_; ++i) {
+    out << (i == 0 ? "" : ", ") << dims_[static_cast<size_t>(i)];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor(const Shape& shape) : shape_(shape) {
+  const int64_t n = shape.NumElements();
+  VLORA_CHECK(n > 0);
+  storage_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(n)]);
+  data_ = storage_.get();
+}
+
+Tensor Tensor::Zeros(const Shape& shape) {
+  Tensor t(shape);
+  std::memset(t.data_, 0, static_cast<size_t>(t.NumElements()) * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Random(const Shape& shape, Rng& rng, float scale) {
+  Tensor t(shape);
+  const int64_t n = t.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    t.data_[i] = static_cast<float>(rng.NextUniform(-scale, scale));
+  }
+  return t;
+}
+
+Tensor Tensor::Wrap(std::shared_ptr<float[]> owner, float* data, const Shape& shape) {
+  Tensor t;
+  t.storage_ = std::move(owner);
+  t.data_ = data;
+  t.shape_ = shape;
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t(shape_);
+  std::memcpy(t.data_, data_, static_cast<size_t>(NumElements()) * sizeof(float));
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  const int64_t n = NumElements();
+  std::fill(data_, data_ + n, value);
+}
+
+Tensor Tensor::RowSlice(int64_t row_begin, int64_t row_end) const {
+  VLORA_CHECK(shape_.rank() == 2);
+  VLORA_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= shape_.dim(0));
+  Tensor t;
+  t.storage_ = storage_;
+  t.data_ = data_ + row_begin * shape_.dim(1);
+  t.shape_ = Shape(row_end - row_begin, shape_.dim(1));
+  return t;
+}
+
+Tensor Tensor::Row(int64_t row) const {
+  VLORA_CHECK(shape_.rank() == 2);
+  VLORA_CHECK(row >= 0 && row < shape_.dim(0));
+  Tensor t;
+  t.storage_ = storage_;
+  t.data_ = data_ + row * shape_.dim(1);
+  t.shape_ = Shape(shape_.dim(1));
+  return t;
+}
+
+Tensor Tensor::Reshape(const Shape& new_shape) const {
+  VLORA_CHECK(new_shape.NumElements() == NumElements());
+  Tensor t;
+  t.storage_ = storage_;
+  t.data_ = data_;
+  t.shape_ = new_shape;
+  return t;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  VLORA_CHECK(shape_ == other.shape_);
+  const int64_t n = NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::SubInPlace(const Tensor& other) {
+  VLORA_CHECK(shape_ == other.shape_);
+  const int64_t n = NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    data_[i] -= other.data_[i];
+  }
+}
+
+void Tensor::ScaleInPlace(float factor) {
+  const int64_t n = NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    data_[i] *= factor;
+  }
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  VLORA_CHECK(a.shape() == b.shape());
+  float max_diff = 0.0f;
+  const int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+Tensor MatMulReference(const Tensor& a, const Tensor& b) {
+  VLORA_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2);
+  VLORA_CHECK(a.shape().dim(1) == b.shape().dim(0));
+  const int64_t m = a.shape().dim(0);
+  const int64_t k = a.shape().dim(1);
+  const int64_t n = b.shape().dim(1);
+  Tensor c = Tensor::Zeros(Shape(m, n));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float aip = a.at(i, p);
+      for (int64_t j = 0; j < n; ++j) {
+        c.at(i, j) += aip * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace vlora

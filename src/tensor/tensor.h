@@ -1,0 +1,147 @@
+// Dense fp32 tensor. Row-major, reference-counted storage, cheap views.
+//
+// The engine and kernels only need ranks 1-3, so Shape is a fixed small array.
+// Views alias the parent's storage (shared_ptr aliasing), which is how the
+// contiguous weight slab (slab.h) hands out per-layer weight matrices that are
+// physically adjacent — the property the swift mode switcher relies on.
+
+#ifndef VLORA_SRC_TENSOR_TENSOR_H_
+#define VLORA_SRC_TENSOR_TENSOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace vlora {
+
+// Shape of a tensor with rank 1..3.
+class Shape {
+ public:
+  Shape() : rank_(0), dims_{0, 0, 0} {}
+  explicit Shape(int64_t d0) : rank_(1), dims_{d0, 1, 1} {}
+  Shape(int64_t d0, int64_t d1) : rank_(2), dims_{d0, d1, 1} {}
+  Shape(int64_t d0, int64_t d1, int64_t d2) : rank_(3), dims_{d0, d1, d2} {}
+
+  int rank() const { return rank_; }
+  int64_t dim(int i) const {
+    VLORA_CHECK(i >= 0 && i < rank_);
+    return dims_[static_cast<size_t>(i)];
+  }
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) {
+      n *= dims_[static_cast<size_t>(i)];
+    }
+    return rank_ == 0 ? 0 : n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) {
+      return false;
+    }
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[static_cast<size_t>(i)] != other.dims_[static_cast<size_t>(i)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  int rank_;
+  std::array<int64_t, 3> dims_;
+};
+
+// A contiguous row-major fp32 tensor. Copying a Tensor is cheap (shares
+// storage); use Clone() for a deep copy.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Allocates uninitialised storage of the given shape.
+  explicit Tensor(const Shape& shape);
+
+  static Tensor Zeros(const Shape& shape);
+  static Tensor Full(const Shape& shape, float value);
+  // Elements drawn i.i.d. uniform in [-scale, scale].
+  static Tensor Random(const Shape& shape, Rng& rng, float scale = 1.0f);
+  // Wraps external storage without copying; `owner` keeps it alive.
+  static Tensor Wrap(std::shared_ptr<float[]> owner, float* data, const Shape& shape);
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  bool empty() const { return data_ == nullptr; }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+  float& at(int64_t i) {
+    VLORA_CHECK(shape_.rank() == 1);
+    return data_[i];
+  }
+  float at(int64_t i) const {
+    VLORA_CHECK(shape_.rank() == 1);
+    return data_[i];
+  }
+  float& at(int64_t i, int64_t j) {
+    VLORA_CHECK(shape_.rank() == 2);
+    return data_[i * shape_.dim(1) + j];
+  }
+  float at(int64_t i, int64_t j) const {
+    VLORA_CHECK(shape_.rank() == 2);
+    return data_[i * shape_.dim(1) + j];
+  }
+  float& at(int64_t i, int64_t j, int64_t k) {
+    VLORA_CHECK(shape_.rank() == 3);
+    return data_[(i * shape_.dim(1) + j) * shape_.dim(2) + k];
+  }
+  float at(int64_t i, int64_t j, int64_t k) const {
+    VLORA_CHECK(shape_.rank() == 3);
+    return data_[(i * shape_.dim(1) + j) * shape_.dim(2) + k];
+  }
+
+  // Deep copy.
+  Tensor Clone() const;
+
+  // Fills every element with `value`.
+  void Fill(float value);
+
+  // Returns a view of rows [row_begin, row_end) of a rank-2 tensor. The view
+  // shares storage with this tensor.
+  Tensor RowSlice(int64_t row_begin, int64_t row_end) const;
+
+  // Returns a rank-1 view of row `row` of a rank-2 tensor.
+  Tensor Row(int64_t row) const;
+
+  // Reinterprets as the given shape (same element count, same storage).
+  Tensor Reshape(const Shape& new_shape) const;
+
+  // Elementwise helpers (this += other, etc.). Shapes must match exactly.
+  void AddInPlace(const Tensor& other);
+  void SubInPlace(const Tensor& other);
+  void ScaleInPlace(float factor);
+
+  // Max absolute elementwise difference; shapes must match.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+ private:
+  std::shared_ptr<float[]> storage_;
+  float* data_ = nullptr;
+  Shape shape_;
+};
+
+// Computes C = A * B for rank-2 tensors with a simple triple loop. This is the
+// reference implementation used by kernel tests; production paths use
+// src/kernels.
+Tensor MatMulReference(const Tensor& a, const Tensor& b);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_TENSOR_TENSOR_H_

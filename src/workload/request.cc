@@ -1,0 +1,7 @@
+#include "src/workload/request.h"
+
+// Request is a plain data carrier; this translation unit exists so the
+// workload library always has at least one object file even if trace_gen is
+// compiled out in reduced builds.
+
+namespace vlora {}  // namespace vlora

@@ -1,0 +1,51 @@
+// Application request model.
+//
+// A request is the unit both the simulator and the serving policies operate
+// on: one visual query (visual retrieval) or one video-chunk analysis job
+// (video analytics), carrying its arrival time, token-length profile, target
+// LoRA adapter and latency constraint.
+
+#ifndef VLORA_SRC_WORKLOAD_REQUEST_H_
+#define VLORA_SRC_WORKLOAD_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/vision_task.h"
+
+namespace vlora {
+
+enum class AppKind {
+  kVisualRetrieval,  // VQA / captioning / referring expression — long outputs
+  kVideoAnalytics,   // object detection / video understanding — long inputs,
+                     // short closed-set outputs
+};
+
+constexpr const char* AppKindName(AppKind app) {
+  switch (app) {
+    case AppKind::kVisualRetrieval:
+      return "visual-retrieval";
+    case AppKind::kVideoAnalytics:
+      return "video-analytics";
+  }
+  return "unknown";
+}
+
+struct Request {
+  int64_t id = 0;
+  double arrival_s = 0.0;
+  AppKind app = AppKind::kVisualRetrieval;
+  VisionTask task = VisionTask::kVisualQuestionAnswering;
+  int adapter_id = 0;          // -1 = base model (no adapter)
+  int64_t input_tokens = 256;
+  int64_t output_tokens = 200;  // autoregressive rounds via the LM head
+  // True if the task's answer set is closed (counts, classes, yes/no) so a
+  // vision task head can resolve it in a single round (§4.2.2). Only systems
+  // that implement task heads (V-LoRA) exploit this.
+  bool closed_set_output = false;
+  double slo_ms = 0.0;  // 0 = best effort
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_WORKLOAD_REQUEST_H_

@@ -1,0 +1,140 @@
+#include "src/workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+namespace {
+
+int SampleAdapter(const TraceOptions& options, Rng& rng) {
+  if (options.num_adapters == 1) {
+    return 0;
+  }
+  if (rng.NextDouble() < options.skewness) {
+    return 0;  // the hottest adapter
+  }
+  // Zipf over the remaining adapters.
+  return 1 + static_cast<int>(rng.NextZipf(options.num_adapters - 1, options.zipf_s));
+}
+
+// Clamped lognormal-ish sampler: exp(N(log(center), sigma)) in [lo, hi].
+int64_t SampleLength(Rng& rng, double center, double sigma, int64_t lo, int64_t hi) {
+  const double value = std::exp(std::log(center) + sigma * rng.NextGaussian());
+  return std::clamp<int64_t>(static_cast<int64_t>(value), lo, hi);
+}
+
+Request MakeRetrievalRequest(const TraceOptions& options, Rng& rng) {
+  Request req;
+  req.app = AppKind::kVisualRetrieval;
+  // Task mix of the visual retrieval application: mostly VQA, some caption
+  // and referring-expression detection (§6.1).
+  const double roll = rng.NextDouble();
+  if (roll < 0.6) {
+    req.task = VisionTask::kVisualQuestionAnswering;
+    req.input_tokens = SampleLength(rng, 256, 0.5, 128, 1024);
+    req.output_tokens = SampleLength(rng, 220, 0.3, 50, 400);
+  } else if (roll < 0.85) {
+    req.task = VisionTask::kImageCaptioning;
+    req.input_tokens = SampleLength(rng, 300, 0.4, 128, 1024);
+    req.output_tokens = SampleLength(rng, 180, 0.3, 50, 400);
+  } else {
+    req.task = VisionTask::kObjectDetection;  // referring-expression grounding
+    req.input_tokens = SampleLength(rng, 320, 0.4, 128, 1024);
+    req.output_tokens = SampleLength(rng, 60, 0.3, 20, 160);
+  }
+  req.adapter_id = SampleAdapter(options, rng);
+  req.slo_ms = 0.0;  // retrieval prefers throughput
+  return req;
+}
+
+Request MakeAnalyticsRequest(const TraceOptions& options, Rng& rng) {
+  Request req;
+  req.app = AppKind::kVideoAnalytics;
+  if (rng.NextDouble() < 0.5) {
+    // Video understanding: 6 frames of visual tokens in, 5-10 tokens out.
+    req.task = VisionTask::kVideoClassification;
+    req.input_tokens = 6 * options.visual_tokens_per_image;
+    req.output_tokens = rng.NextInt(5, 10);
+  } else {
+    // Per-frame object detection: one frame's visual tokens plus prompt.
+    req.task = VisionTask::kObjectDetection;
+    req.input_tokens = options.visual_tokens_per_image + rng.NextInt(16, 64);
+    req.output_tokens = rng.NextInt(5, 10);
+  }
+  req.closed_set_output = true;
+  req.adapter_id = SampleAdapter(options, rng);
+  req.slo_ms = 1000.0;  // real-time analytics wants the answer within a chunk
+  return req;
+}
+
+}  // namespace
+
+std::vector<Request> GenerateTrace(const TraceOptions& options) {
+  VLORA_CHECK(options.rate_rps > 0.0 && options.duration_s > 0.0);
+  VLORA_CHECK(options.num_adapters >= 1);
+  VLORA_CHECK(options.skewness >= 0.0 && options.skewness <= 1.0);
+  Rng rng(options.seed);
+  std::vector<Request> trace;
+  int64_t next_id = 0;
+
+  if (options.app == AppKind::kVisualRetrieval) {
+    // Gamma renewal arrivals: shape = 1/cv^2 keeps the mean rate while
+    // reproducing the trace's burstiness.
+    const double cv = std::max(0.1, options.burstiness_cv);
+    const double shape = 1.0 / (cv * cv);
+    const double scale = 1.0 / (options.rate_rps * shape);
+    double clock = 0.0;
+    while (true) {
+      clock += rng.NextGamma(shape, scale);
+      if (clock >= options.duration_s) {
+        break;
+      }
+      Request req = MakeRetrievalRequest(options, rng);
+      req.id = next_id++;
+      req.arrival_s = clock;
+      trace.push_back(req);
+    }
+  } else {
+    // Per-stream near-periodic chunk arrivals with small jitter. The request
+    // rate per stream is rate_rps / num_streams (chunks per second).
+    const int streams = std::max(1, options.num_streams);
+    const double per_stream_interval = static_cast<double>(streams) / options.rate_rps;
+    for (int stream = 0; stream < streams; ++stream) {
+      double clock = rng.NextUniform(0.0, per_stream_interval);
+      while (clock < options.duration_s) {
+        Request req = MakeAnalyticsRequest(options, rng);
+        req.id = next_id++;
+        req.arrival_s = clock;
+        trace.push_back(req);
+        clock += per_stream_interval * rng.NextUniform(0.9, 1.1);
+      }
+    }
+    std::sort(trace.begin(), trace.end(),
+              [](const Request& a, const Request& b) { return a.arrival_s < b.arrival_s; });
+    for (size_t i = 0; i < trace.size(); ++i) {
+      trace[i].id = static_cast<int64_t>(i);
+    }
+  }
+  return trace;
+}
+
+std::vector<double> AdapterShares(const std::vector<Request>& trace, int num_adapters) {
+  std::vector<double> shares(static_cast<size_t>(num_adapters), 0.0);
+  if (trace.empty()) {
+    return shares;
+  }
+  for (const Request& req : trace) {
+    if (req.adapter_id >= 0 && req.adapter_id < num_adapters) {
+      shares[static_cast<size_t>(req.adapter_id)] += 1.0;
+    }
+  }
+  for (double& share : shares) {
+    share /= static_cast<double>(trace.size());
+  }
+  return shares;
+}
+
+}  // namespace vlora

@@ -1,0 +1,51 @@
+// Workload synthesis.
+//
+// Visual retrieval mirrors the paper's use of the Azure LLM inference trace
+// 2023 subsampled at varying rates (§6.1): bursty arrivals (gamma renewal
+// process with coefficient of variation > 1), inputs of 128-1024 tokens
+// centred on 256, outputs of 200+ tokens.
+//
+// Video analytics ingests one 30-frame chunk per second per stream; video
+// understanding requests carry 6 x 256 input tokens and 5-10 output tokens,
+// object detection one frame's worth of visual tokens (§6.2). Their outputs
+// are closed-set, so V-LoRA's vision task heads apply.
+//
+// Adapter popularity is controlled by `skewness`: the share of requests that
+// ask for the single hottest adapter (the x-axis of Figs 19 and 22); the
+// remainder spreads over the other adapters with a Zipf tail.
+
+#ifndef VLORA_SRC_WORKLOAD_TRACE_GEN_H_
+#define VLORA_SRC_WORKLOAD_TRACE_GEN_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/request.h"
+
+namespace vlora {
+
+struct TraceOptions {
+  AppKind app = AppKind::kVisualRetrieval;
+  double duration_s = 60.0;
+  double rate_rps = 5.0;       // mean request rate
+  double burstiness_cv = 2.0;  // coefficient of variation of inter-arrivals
+  int num_adapters = 8;
+  double skewness = 0.6;  // share of requests for the hottest adapter
+  double zipf_s = 1.0;    // tail popularity exponent for the other adapters
+  uint64_t seed = 1;
+  // Video analytics only: number of concurrent camera streams. Arrivals
+  // become near-periodic per stream (one chunk per second).
+  int num_streams = 4;
+  // Visual tokens contributed by one image after the vision-language
+  // projector; model-dependent (Qwen-VL 256, LLaVA 576).
+  int64_t visual_tokens_per_image = 256;
+};
+
+std::vector<Request> GenerateTrace(const TraceOptions& options);
+
+// Empirical share of requests per adapter in a trace (index = adapter id).
+std::vector<double> AdapterShares(const std::vector<Request>& trace, int num_adapters);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_WORKLOAD_TRACE_GEN_H_

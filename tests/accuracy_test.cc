@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/accuracy/accuracy_model.h"
+
+namespace vlora {
+namespace {
+
+TEST(TaskCatalogTest, AllTasksHaveProfiles) {
+  for (VisionTask task :
+       {VisionTask::kImageClassification, VisionTask::kObjectDetection,
+        VisionTask::kVideoClassification, VisionTask::kVisualQuestionAnswering,
+        VisionTask::kImageCaptioning}) {
+    const TaskAccuracyProfile& profile = TaskProfile(task);
+    EXPECT_EQ(profile.task, task);
+    EXPECT_GT(profile.lora_acc, profile.base_lmm_acc);
+    EXPECT_GT(profile.base_lmm_acc, 0.0);
+    EXPECT_LE(profile.lora_acc, 100.0);
+  }
+}
+
+TEST(AccuracyOracleTest, Fig4GainsReproduced) {
+  AccuracyOracle oracle(7, /*noise_pp=*/0.0);
+  // Fig 4: +45.2 / +24.5 / +62.2 pp on image cls / detection / video cls.
+  EXPECT_NEAR(oracle.LoraAccuracy(VisionTask::kImageClassification, 1) -
+                  oracle.BaseAccuracy(VisionTask::kImageClassification),
+              45.2, 1.0);
+  EXPECT_NEAR(oracle.LoraAccuracy(VisionTask::kObjectDetection, 1) -
+                  oracle.BaseAccuracy(VisionTask::kObjectDetection),
+              24.5, 1.0);
+  EXPECT_NEAR(oracle.LoraAccuracy(VisionTask::kVideoClassification, 1) -
+                  oracle.BaseAccuracy(VisionTask::kVideoClassification),
+              62.2, 1.0);
+}
+
+TEST(AccuracyOracleTest, Fig15VqaCaptioningAdvantage) {
+  AccuracyOracle oracle(7, 0.0);
+  // §6.2: 4.3-5 pp improvement over small models on VQA and captioning.
+  for (VisionTask task :
+       {VisionTask::kVisualQuestionAnswering, VisionTask::kImageCaptioning}) {
+    const double gain = oracle.LoraAccuracy(task, 1) - oracle.SmallModelAccuracy(task);
+    EXPECT_GE(gain, 4.0) << VisionTaskName(task);
+    EXPECT_LE(gain, 5.5) << VisionTaskName(task);
+  }
+}
+
+TEST(AccuracyOracleTest, CompetitiveWhereSmallModelsExcel) {
+  AccuracyOracle oracle(7, 0.0);
+  // Detection / video understanding: within a few points of the SOTA small
+  // model (Fig 15 "competitive accuracy").
+  for (VisionTask task : {VisionTask::kObjectDetection, VisionTask::kVideoClassification}) {
+    const double gap = oracle.SmallModelAccuracy(task) - oracle.LoraAccuracy(task, 1);
+    EXPECT_LT(gap, 3.0) << VisionTaskName(task);
+    EXPECT_GT(gap, -3.0) << VisionTaskName(task);
+  }
+}
+
+TEST(AccuracyOracleTest, MonotoneNonIncreasingInFusionCount) {
+  AccuracyOracle oracle(7, 0.0);
+  for (VisionTask task :
+       {VisionTask::kImageClassification, VisionTask::kObjectDetection,
+        VisionTask::kVideoClassification}) {
+    double prev = 200.0;
+    for (int k = 1; k <= 8; ++k) {
+      const double acc = oracle.LoraAccuracy(task, k);
+      EXPECT_LE(acc, prev + 1e-9) << VisionTaskName(task) << " k=" << k;
+      prev = acc;
+    }
+  }
+}
+
+TEST(AccuracyOracleTest, Fig5DegradationShapes) {
+  AccuracyOracle oracle(7, 0.0);
+  // Image classification retains > 95 % of its accuracy at k = 6 (Fig 5).
+  const double img1 = oracle.LoraAccuracy(VisionTask::kImageClassification, 1);
+  const double img6 = oracle.LoraAccuracy(VisionTask::kImageClassification, 6);
+  EXPECT_GT(img6 / img1, 0.95);
+  // Video classification loses a large fraction.
+  const double vid1 = oracle.LoraAccuracy(VisionTask::kVideoClassification, 1);
+  const double vid6 = oracle.LoraAccuracy(VisionTask::kVideoClassification, 6);
+  EXPECT_LT(vid6 / vid1, 0.70);
+  // And video degrades faster than detection, which degrades faster than
+  // image classification.
+  const double det1 = oracle.LoraAccuracy(VisionTask::kObjectDetection, 1);
+  const double det6 = oracle.LoraAccuracy(VisionTask::kObjectDetection, 6);
+  EXPECT_LT(vid6 / vid1, det6 / det1);
+  EXPECT_LT(det6 / det1, img6 / img1);
+}
+
+TEST(AccuracyOracleTest, NeverBelowBaseModel) {
+  AccuracyOracle oracle(7, 0.0);
+  for (int k = 1; k <= 30; ++k) {
+    EXPECT_GE(oracle.LoraAccuracy(VisionTask::kVideoClassification, k),
+              oracle.BaseAccuracy(VisionTask::kVideoClassification));
+  }
+}
+
+TEST(AccuracyOracleTest, DeterministicWithNoise) {
+  AccuracyOracle a(42, 0.5);
+  AccuracyOracle b(42, 0.5);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_EQ(a.LoraAccuracy(VisionTask::kObjectDetection, k),
+              b.LoraAccuracy(VisionTask::kObjectDetection, k));
+  }
+  AccuracyOracle c(43, 0.5);
+  bool any_diff = false;
+  for (int k = 1; k <= 6; ++k) {
+    if (a.LoraAccuracy(VisionTask::kObjectDetection, k) !=
+        c.LoraAccuracy(VisionTask::kObjectDetection, k)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/kernels/atmm.h"
+#include "src/kernels/tiling_search.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+TEST(ShapeKeyTest, PackedIsInjectiveOnRange) {
+  ShapeKey a{256, 64, 4096};
+  ShapeKey b{256, 64, 4097};
+  ShapeKey c{257, 64, 4096};
+  EXPECT_NE(a.Packed(), b.Packed());
+  EXPECT_NE(a.Packed(), c.Packed());
+  EXPECT_EQ(a.Packed(), (ShapeKey{256, 64, 4096}.Packed()));
+}
+
+TEST(AtmmDispatcherTest, ExactHit) {
+  AtmmDispatcher dispatcher;
+  TileConfig config{32, 32, 64, 8, 8};
+  dispatcher.Register(ShapeKey{128, 64, 256}, config);
+  EXPECT_EQ(dispatcher.Select(128, 64, 256), config);
+  EXPECT_EQ(dispatcher.TableSize(), 1);
+}
+
+TEST(AtmmDispatcherTest, SnapsMToGrid) {
+  AtmmDispatcher dispatcher;
+  TileConfig config{64, 32, 64, 8, 8};
+  dispatcher.Register(ShapeKey{64, 64, 256}, config);
+  // m = 50 rounds up to 64 on the 32-step grid.
+  EXPECT_EQ(dispatcher.Select(50, 64, 256), config);
+  // m = 70 rounds up to 96 (miss), then down to 64 (hit).
+  EXPECT_EQ(dispatcher.Select(70, 64, 256), config);
+}
+
+TEST(AtmmDispatcherTest, FallsBackToHeuristic) {
+  AtmmDispatcher dispatcher;
+  const TileConfig config = dispatcher.Select(100, 100, 100);
+  EXPECT_TRUE(config.Valid());
+}
+
+TEST(AtmmDispatcherTest, HeuristicAlwaysValid) {
+  for (int64_t m : {1, 3, 8, 32, 511, 4096, 100000}) {
+    for (int64_t n : {1, 4, 32, 64, 4096}) {
+      for (int64_t k : {1, 16, 64, 4096}) {
+        const TileConfig config = AtmmDispatcher::HeuristicConfig(m, n, k);
+        EXPECT_TRUE(config.Valid()) << m << "x" << n << "x" << k << " -> " << config.ToString();
+        EXPECT_TRUE(HasMicroKernel(config.mr, config.nr)) << config.ToString();
+      }
+    }
+  }
+}
+
+TEST(AtmmDispatcherTest, ExecuteMatchesReference) {
+  AtmmDispatcher dispatcher;
+  Rng rng(31);
+  for (auto [m, n, k] : {std::tuple<int64_t, int64_t, int64_t>{5, 7, 9},
+                         {64, 32, 128},
+                         {130, 64, 64},
+                         {1, 64, 64}}) {
+    Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+    Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+    Tensor c = Tensor::Zeros(Shape(m, n));
+    dispatcher.Execute(a, b, c);
+    EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b)), 1e-3f);
+  }
+}
+
+TEST(TilingSearchTest, PopulatesTable) {
+  AtmmDispatcher dispatcher;
+  TilingSearchOptions options;
+  options.nk_pairs = {{32, 128}, {128, 32}};
+  options.m_min = 32;
+  options.m_max = 96;
+  options.m_stride_multiplier = 1;
+  options.repetitions = 1;
+  // Small candidate set keeps the test fast.
+  options.candidates = {TileConfig{16, 16, 32, 4, 4}, TileConfig{64, 32, 64, 8, 8},
+                        TileConfig{32, 32, 64, 8, 8}};
+  const TilingSearchResult result = RunTilingSearch(options, dispatcher);
+  // 3 m-values x 2 nk pairs.
+  EXPECT_EQ(result.shapes_profiled, 6);
+  EXPECT_EQ(dispatcher.TableSize(), 6);
+  EXPECT_GT(result.configs_tried, 0);
+}
+
+TEST(TilingSearchTest, RegisteredConfigIsUsedAtRuntime) {
+  AtmmDispatcher dispatcher;
+  TilingSearchOptions options;
+  options.nk_pairs = {{32, 128}};
+  options.m_min = 64;
+  options.m_max = 64;
+  options.m_stride_multiplier = 1;
+  options.repetitions = 1;
+  options.candidates = {TileConfig{16, 16, 32, 4, 4}, TileConfig{64, 32, 64, 8, 8}};
+  RunTilingSearch(options, dispatcher);
+  const TileConfig selected = dispatcher.Select(64, 32, 128);
+  const bool is_candidate = selected == options.candidates[0] || selected == options.candidates[1];
+  EXPECT_TRUE(is_candidate) << selected.ToString();
+  // Execution with the selected config stays correct.
+  Rng rng(33);
+  Tensor a = Tensor::Random(Shape(64, 128), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(128, 32), rng, 1.0f);
+  Tensor c = Tensor::Zeros(Shape(64, 32));
+  dispatcher.Execute(a, b, c);
+  EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b)), 1e-3f);
+}
+
+TEST(TilingSearchTest, PrunesOversizedWorkspace) {
+  AtmmDispatcher dispatcher;
+  TilingSearchOptions options;
+  options.nk_pairs = {{32, 64}};
+  options.m_min = 32;
+  options.m_max = 32;
+  options.m_stride_multiplier = 1;
+  options.repetitions = 1;
+  options.max_workspace_floats = 1;  // prunes every candidate
+  options.candidates = {TileConfig{64, 64, 64, 8, 8}};
+  const TilingSearchResult result = RunTilingSearch(options, dispatcher);
+  EXPECT_EQ(result.configs_tried, 0);
+  // Falls back to the heuristic but still registers an entry.
+  EXPECT_EQ(dispatcher.TableSize(), 1);
+  EXPECT_TRUE(dispatcher.Select(32, 32, 64).Valid());
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/gpusim/cost_model.h"
+
+namespace vlora {
+namespace {
+
+TEST(CostModelTest, PrefillIsUnderOneMsPerToken) {
+  GpuCostModel cost;
+  for (int64_t tokens : {128, 256, 1024, 4096}) {
+    EXPECT_LT(cost.PrefillMs(tokens) / static_cast<double>(tokens), 1.0) << tokens;
+  }
+  EXPECT_EQ(cost.PrefillMs(0), 0.0);
+}
+
+TEST(CostModelTest, DecodeStepInPaperBand) {
+  GpuCostModel cost;
+  // §6.2: 30-50 ms per output token for realistic batches.
+  for (int64_t batch : {1, 8, 32, 64}) {
+    const double step = cost.DecodeStepMs(batch);
+    EXPECT_GE(step, 30.0) << batch;
+    EXPECT_LE(step, 50.0) << batch;
+  }
+  EXPECT_EQ(cost.DecodeStepMs(0), 0.0);
+}
+
+TEST(CostModelTest, UnmergedExtraMatchesFig6Band) {
+  GpuCostModel cost;
+  // The Fig 6 workload: 2-4 requests of 128-1024 tokens. The extra latency of
+  // the baseline operators must land in the reported 27-140 ms band at the
+  // heavy end and Einsum must peak near 140 ms.
+  const double einsum_heavy = cost.UnmergedExtraMs(OperatorKind::kEinsum, 4 * 1024, 4);
+  EXPECT_NEAR(einsum_heavy, 140.0, 15.0);
+  const double punica_heavy = cost.UnmergedExtraMs(OperatorKind::kPunica, 4 * 1024, 4);
+  const double slora_heavy = cost.UnmergedExtraMs(OperatorKind::kSlora, 4 * 1024, 4);
+  EXPECT_GT(einsum_heavy, punica_heavy);
+  EXPECT_GT(punica_heavy, slora_heavy);
+  EXPECT_GT(slora_heavy, 27.0);
+}
+
+TEST(CostModelTest, AtmmSpeedupsMatchFig17) {
+  GpuCostModel cost;
+  // Prefill-heavy shapes: §6.3.2 reports 2.7x / 2.3x / 3.4x mean speedups
+  // over S-LoRA / Punica / dLoRA(Einsum).
+  const int64_t tokens = 4096;
+  const double atmm = cost.UnmergedExtraMs(OperatorKind::kAtmm, tokens, 4);
+  const double slora = cost.UnmergedExtraMs(OperatorKind::kSlora, tokens, 4);
+  const double punica = cost.UnmergedExtraMs(OperatorKind::kPunica, tokens, 4);
+  const double einsum = cost.UnmergedExtraMs(OperatorKind::kEinsum, tokens, 4);
+  EXPECT_NEAR(slora / atmm, 2.7, 0.8);
+  EXPECT_NEAR(punica / atmm, 2.6, 0.9);
+  EXPECT_NEAR(einsum / atmm, 3.4, 1.0);
+}
+
+TEST(CostModelTest, DecodeStageAtmmComparableToSlora) {
+  GpuCostModel cost;
+  // §6.3.2: at decode shapes ATMM ≈ S-LoRA, 4.5x faster than dLoRA and 2.6x
+  // than Punica.
+  const int64_t tokens = 4;  // four decode rows
+  const double atmm = cost.UnmergedExtraMs(OperatorKind::kAtmm, tokens, 4);
+  const double slora = cost.UnmergedExtraMs(OperatorKind::kSlora, tokens, 4);
+  const double punica = cost.UnmergedExtraMs(OperatorKind::kPunica, tokens, 4);
+  const double einsum = cost.UnmergedExtraMs(OperatorKind::kEinsum, tokens, 4);
+  EXPECT_NEAR(slora / atmm, 1.0, 0.2);
+  EXPECT_NEAR(einsum / atmm, 4.5, 1.0);
+  EXPECT_NEAR(punica / atmm, 2.6, 0.7);
+}
+
+TEST(CostModelTest, SwitchCostsMatchPaper) {
+  GpuCostModel cost;
+  EXPECT_LT(cost.SwiftSwitchMs(), 10.0);   // §4.4.1: < 10 ms
+  EXPECT_NEAR(cost.DloraSwitchMs(), 53.0, 1.0);
+  EXPECT_GT(cost.DloraSwitchMs() / cost.SwiftSwitchMs(), 5.0);  // > 5x speedup
+}
+
+TEST(CostModelTest, SwapCostsMatchPaper) {
+  GpuCostModel cost;
+  EXPECT_NEAR(cost.AdapterSwapMs(), 15.0, 1.0);              // §3.1
+  EXPECT_NEAR(cost.PrecomputedDeltaSwapMs(), 1000.0, 50.0);  // §4.4.1
+}
+
+TEST(CostModelTest, LargerModelsCostMore) {
+  GpuCostModel qwen{QwenVl7bConfig()};
+  GpuCostModel llava13{Llava13bConfig()};
+  EXPECT_NEAR(qwen.model_scale(), 1.0, 1e-9);
+  EXPECT_GT(llava13.model_scale(), 1.5);
+  EXPECT_GT(llava13.DecodeStepMs(8), qwen.DecodeStepMs(8));
+  EXPECT_GT(llava13.PrefillMs(1024), qwen.PrefillMs(1024));
+}
+
+TEST(CostModelTest, ExtraGrowsWithAdapterCount) {
+  GpuCostModel cost;
+  EXPECT_GT(cost.UnmergedExtraMs(OperatorKind::kAtmm, 100, 8),
+            cost.UnmergedExtraMs(OperatorKind::kAtmm, 100, 1));
+  EXPECT_EQ(cost.UnmergedExtraMs(OperatorKind::kAtmm, 0, 4), 0.0);
+  EXPECT_EQ(cost.UnmergedExtraMs(OperatorKind::kAtmm, 100, 0), 0.0);
+}
+
+TEST(CostModelTest, OperatorNames) {
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kAtmm), "ATMM");
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kEinsum), "Einsum");
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,185 @@
+// Edge-case coverage for the engine: EOS semantics, block-boundary decode,
+// long generations spanning many KV blocks, sampling x task-head interplay,
+// tokenizer round trips through the engine, and queue bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/engine/tokenizer.h"
+
+namespace vlora {
+namespace {
+
+std::vector<int32_t> Prompt(int64_t len, uint64_t seed, int64_t vocab) {
+  Rng rng(seed);
+  std::vector<int32_t> tokens;
+  for (int64_t i = 0; i < len; ++i) {
+    tokens.push_back(static_cast<int32_t>(rng.NextInt(2, vocab - 1)));
+  }
+  return tokens;
+}
+
+TEST(EngineEdgeTest, EosStopsGenerationEarly) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  // Find which token the model greedily emits first, then rerun with that
+  // token as EOS: generation must stop after exactly one token.
+  EngineRequest probe;
+  probe.id = 1;
+  probe.prompt_tokens = Prompt(12, 5, config.vocab_size);
+  probe.max_new_tokens = 1;
+  probe.eos_token = -1;
+  const int32_t first = engine.RunToCompletion(probe).output_tokens[0];
+
+  InferenceEngine engine2(config, EngineOptions{});
+  EngineRequest request = probe;
+  request.id = 2;
+  request.max_new_tokens = 10;
+  request.eos_token = first;
+  const EngineResult result = engine2.RunToCompletion(request);
+  ASSERT_EQ(result.output_tokens.size(), 1u);
+  EXPECT_EQ(result.output_tokens[0], first);
+  EXPECT_EQ(result.decode_steps, 1);
+}
+
+TEST(EngineEdgeTest, PromptExactlyOneBlock) {
+  const ModelConfig config = TinyConfig();
+  EngineOptions options;
+  options.kv_block_size = 16;
+  InferenceEngine engine(config, options);
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = Prompt(16, 7, config.vocab_size);  // exactly one block
+  request.max_new_tokens = 3;
+  request.eos_token = -1;
+  const EngineResult result = engine.RunToCompletion(request);
+  EXPECT_EQ(result.output_tokens.size(), 3u);
+}
+
+TEST(EngineEdgeTest, SingleTokenPrompt) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = {5};
+  request.max_new_tokens = 2;
+  request.eos_token = -1;
+  const EngineResult result = engine.RunToCompletion(request);
+  EXPECT_EQ(result.output_tokens.size(), 2u);
+  EXPECT_EQ(result.prefill_tokens, 1);
+}
+
+TEST(EngineEdgeTest, LongGenerationSpansManyBlocks) {
+  const ModelConfig config = TinyConfig();
+  EngineOptions options;
+  options.kv_block_size = 8;
+  options.kv_num_blocks = 64;
+  InferenceEngine engine(config, options);
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = Prompt(10, 9, config.vocab_size);
+  request.max_new_tokens = 50;  // decode crosses ~7 block boundaries
+  request.eos_token = -1;
+  const EngineResult result = engine.RunToCompletion(request);
+  EXPECT_EQ(result.output_tokens.size(), 50u);
+  EXPECT_EQ(result.decode_steps, 50);
+}
+
+TEST(EngineEdgeTest, TaskHeadIgnoresSamplingParams) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  Rng rng(11);
+  LoraAdapter adapter = LoraAdapter::Random("h", config.num_layers, config.d_model, 8, rng);
+  VisionTaskHead head;
+  head.task = VisionTask::kObjectDetection;
+  head.weight = Tensor::Random(Shape(config.d_model, 6), rng, 0.3f);
+  adapter.SetTaskHead(std::move(head));
+  const int id = engine.RegisterAdapter(&adapter);
+  engine.SetMode(InferMode::kUnmerged);
+
+  auto run = [&](uint64_t seed) {
+    EngineRequest request;
+    request.id = static_cast<int64_t>(seed);
+    request.prompt_tokens = Prompt(14, 13, config.vocab_size);
+    request.adapter_id = id;
+    request.use_task_head = true;
+    request.sampling.temperature = 2.0f;  // must not affect the head argmax
+    request.sampling.seed = seed;
+    return engine.RunToCompletion(request).head_option;
+  };
+  EXPECT_EQ(run(1), run(2));
+}
+
+TEST(EngineEdgeTest, TokenizedRoundTripThroughEngine) {
+  const ModelConfig config = SmallConfig();
+  Tokenizer tokenizer;
+  InferenceEngine engine(config, EngineOptions{});
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = tokenizer.Encode("how many cars are in the image");
+  request.max_new_tokens = 6;
+  request.eos_token = Tokenizer::kEosToken;
+  const EngineResult result = engine.RunToCompletion(request);
+  EXPECT_FALSE(result.output_tokens.empty());
+  // Every generated id decodes (model vocab exceeds tokenizer vocab, so clamp
+  // like the example does).
+  std::vector<int32_t> display;
+  for (int32_t token : result.output_tokens) {
+    display.push_back(token % static_cast<int32_t>(tokenizer.vocab_size()));
+  }
+  (void)tokenizer.Decode(display);  // must not crash
+}
+
+TEST(EngineEdgeTest, InterleavedSubmitAndStep) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  engine.SetMode(InferMode::kUnmerged);
+  int finished = 0;
+  for (int i = 0; i < 6; ++i) {
+    EngineRequest request;
+    request.id = i;
+    request.prompt_tokens = Prompt(8 + i, 20 + static_cast<uint64_t>(i), config.vocab_size);
+    request.max_new_tokens = 2 + i % 3;
+    request.eos_token = -1;
+    engine.Submit(request);
+    finished += static_cast<int>(engine.Step().size());
+  }
+  while (engine.HasWork()) {
+    finished += static_cast<int>(engine.Step().size());
+  }
+  EXPECT_EQ(finished, 6);
+  EXPECT_TRUE(engine.Queue().empty());
+}
+
+TEST(EngineEdgeTest, ManyAdaptersInOneUnmergedBatch) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  Rng rng(17);
+  std::vector<LoraAdapter> adapters;
+  adapters.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    adapters.push_back(
+        LoraAdapter::Random("m" + std::to_string(i), config.num_layers, config.d_model, 4, rng));
+  }
+  for (LoraAdapter& adapter : adapters) {
+    engine.RegisterAdapter(&adapter);
+  }
+  engine.SetMode(InferMode::kUnmerged);
+  for (int i = 0; i < 6; ++i) {
+    EngineRequest request;
+    request.id = i;
+    request.prompt_tokens = Prompt(10, 40 + static_cast<uint64_t>(i), config.vocab_size);
+    request.adapter_id = i;
+    request.max_new_tokens = 2;
+    request.eos_token = -1;
+    engine.Submit(request);
+  }
+  int finished = 0;
+  while (engine.HasWork()) {
+    finished += static_cast<int>(engine.Step().size());
+  }
+  EXPECT_EQ(finished, 6);
+}
+
+}  // namespace
+}  // namespace vlora

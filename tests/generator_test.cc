@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/core/generator.h"
+
+namespace vlora {
+namespace {
+
+std::vector<KnowledgeItem> Items(VisionTask task, int count, double required,
+                                 int closed_options = 0) {
+  std::vector<KnowledgeItem> items;
+  for (int i = 0; i < count; ++i) {
+    KnowledgeItem item;
+    item.domain = std::string(VisionTaskName(task)) + "-" + std::to_string(i);
+    item.task = task;
+    item.required_accuracy = required;
+    item.closed_set_options = closed_options;
+    items.push_back(item);
+  }
+  return items;
+}
+
+TEST(GeneratorTest, EmptyInput) {
+  AccuracyOracle oracle(7, 0.0);
+  const GeneratorResult result = GenerateAdapters({}, oracle);
+  EXPECT_TRUE(result.adapters.empty());
+  EXPECT_EQ(result.AvgDomainsPerAdapter(), 0.0);
+}
+
+TEST(GeneratorTest, EveryItemPackedExactlyOnce) {
+  AccuracyOracle oracle(7, 0.0);
+  std::vector<KnowledgeItem> items = Items(VisionTask::kImageClassification, 5, 90.0);
+  std::vector<KnowledgeItem> more = Items(VisionTask::kVideoClassification, 5, 85.0);
+  items.insert(items.end(), more.begin(), more.end());
+  const GeneratorResult result = GenerateAdapters(items, oracle);
+  std::vector<int> seen(items.size(), 0);
+  for (const GeneratedAdapterSpec& adapter : result.adapters) {
+    for (int index : adapter.item_indices) {
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, static_cast<int>(items.size()));
+      ++seen[static_cast<size_t>(index)];
+    }
+  }
+  for (int count : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(GeneratorTest, AllAdaptersSatisfyRequirements) {
+  AccuracyOracle oracle(11, 0.3);
+  std::vector<KnowledgeItem> items;
+  for (VisionTask task :
+       {VisionTask::kImageClassification, VisionTask::kObjectDetection,
+        VisionTask::kVideoClassification}) {
+    auto batch = Items(task, 4, oracle.LoraAccuracy(task, 1) - 5.0);
+    items.insert(items.end(), batch.begin(), batch.end());
+  }
+  const GeneratorResult result = GenerateAdapters(items, oracle);
+  for (const GeneratedAdapterSpec& adapter : result.adapters) {
+    EXPECT_TRUE(SatisfiesRequirements(items, adapter, oracle));
+  }
+}
+
+TEST(GeneratorTest, SlowDegradingTasksPackDenser) {
+  AccuracyOracle oracle(7, 0.0);
+  // Image classification barely degrades: 6 domains at a 90 % floor fit in
+  // one adapter. Video classification collapses: the same floor forces many.
+  const auto img = GenerateAdapters(Items(VisionTask::kImageClassification, 6, 90.0), oracle,
+                                    GeneratorOptions{.shuffle = false});
+  const auto vid = GenerateAdapters(Items(VisionTask::kVideoClassification, 6, 88.0), oracle,
+                                    GeneratorOptions{.shuffle = false});
+  EXPECT_EQ(img.adapters.size(), 1u);
+  EXPECT_GT(vid.adapters.size(), 2u);
+  EXPECT_GT(img.AvgDomainsPerAdapter(), vid.AvgDomainsPerAdapter());
+}
+
+TEST(GeneratorTest, LooseRequirementsPackEverything) {
+  AccuracyOracle oracle(7, 0.0);
+  const auto result = GenerateAdapters(Items(VisionTask::kVideoClassification, 6, 10.0), oracle,
+                                       GeneratorOptions{.shuffle = false});
+  EXPECT_EQ(result.adapters.size(), 1u);
+  EXPECT_EQ(result.rollbacks, 0);
+  EXPECT_DOUBLE_EQ(result.AvgDomainsPerAdapter(), 6.0);
+}
+
+TEST(GeneratorTest, RollbackCountMatchesAdapterSplits) {
+  AccuracyOracle oracle(7, 0.0);
+  const auto result = GenerateAdapters(Items(VisionTask::kVideoClassification, 8, 88.0), oracle,
+                                       GeneratorOptions{.shuffle = false});
+  // Every new adapter after the first was opened by a rollback.
+  EXPECT_EQ(result.rollbacks, static_cast<int>(result.adapters.size()) - 1);
+}
+
+TEST(GeneratorTest, UnsatisfiableItemGetsSingletonAdapter) {
+  AccuracyOracle oracle(7, 0.0);
+  std::vector<KnowledgeItem> items = Items(VisionTask::kObjectDetection, 1, 99.9);
+  const auto result = GenerateAdapters(items, oracle, GeneratorOptions{.shuffle = false});
+  ASSERT_EQ(result.adapters.size(), 1u);
+  EXPECT_EQ(result.adapters[0].item_indices.size(), 1u);
+  EXPECT_TRUE(SatisfiesRequirements(items, result.adapters[0], oracle));
+}
+
+TEST(GeneratorTest, TaskHeadOnlyForHomogeneousClosedSet) {
+  AccuracyOracle oracle(7, 0.0);
+  // Homogeneous closed-set: head attached, options summed.
+  auto closed = Items(VisionTask::kVideoClassification, 2, 10.0, /*closed_options=*/5);
+  auto r1 = GenerateAdapters(closed, oracle, GeneratorOptions{.shuffle = false});
+  ASSERT_EQ(r1.adapters.size(), 1u);
+  EXPECT_TRUE(r1.adapters[0].has_task_head);
+  EXPECT_EQ(r1.adapters[0].head_task, VisionTask::kVideoClassification);
+  EXPECT_EQ(r1.adapters[0].head_options, 10);
+
+  // Mixed tasks in one adapter: no head.
+  std::vector<KnowledgeItem> mixed = Items(VisionTask::kImageClassification, 1, 10.0, 4);
+  auto det = Items(VisionTask::kObjectDetection, 1, 10.0, 4);
+  mixed.insert(mixed.end(), det.begin(), det.end());
+  auto r2 = GenerateAdapters(mixed, oracle, GeneratorOptions{.shuffle = false});
+  ASSERT_EQ(r2.adapters.size(), 1u);
+  EXPECT_FALSE(r2.adapters[0].has_task_head);
+
+  // Open-set outputs (VQA): no head even when homogeneous.
+  auto open = Items(VisionTask::kVisualQuestionAnswering, 2, 10.0, 0);
+  auto r3 = GenerateAdapters(open, oracle, GeneratorOptions{.shuffle = false});
+  ASSERT_EQ(r3.adapters.size(), 1u);
+  EXPECT_FALSE(r3.adapters[0].has_task_head);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  AccuracyOracle oracle(7, 0.2);
+  std::vector<KnowledgeItem> items = Items(VisionTask::kObjectDetection, 10, 60.0);
+  GeneratorOptions options;
+  options.seed = 5;
+  const auto a = GenerateAdapters(items, oracle, options);
+  const auto b = GenerateAdapters(items, oracle, options);
+  ASSERT_EQ(a.adapters.size(), b.adapters.size());
+  for (size_t i = 0; i < a.adapters.size(); ++i) {
+    EXPECT_EQ(a.adapters[i].item_indices, b.adapters[i].item_indices);
+  }
+}
+
+TEST(GeneratorTest, PaperScaleAveragesAroundFourDomains) {
+  // §4.2.1: "in our practical experiments, every LoRA adapter fuses 4 domains
+  // of knowledge on average". A mixed catalogue with moderate requirements
+  // should land in that neighbourhood.
+  AccuracyOracle oracle(7, 0.3);
+  std::vector<KnowledgeItem> items;
+  auto add = [&](VisionTask task, int n, double slack) {
+    auto batch = Items(task, n, oracle.LoraAccuracy(task, 1) - slack);
+    items.insert(items.end(), batch.begin(), batch.end());
+  };
+  add(VisionTask::kImageClassification, 8, 4.0);
+  add(VisionTask::kObjectDetection, 8, 6.0);
+  add(VisionTask::kVisualQuestionAnswering, 8, 5.0);
+  const auto result = GenerateAdapters(items, oracle);
+  EXPECT_GE(result.AvgDomainsPerAdapter(), 2.5);
+  EXPECT_LE(result.AvgDomainsPerAdapter(), 8.0);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "src/core/head_trainer.h"
+#include "src/engine/vision.h"
+#include "src/engine/vision_tower.h"
+
+namespace vlora {
+namespace {
+
+// Synthetic closed-set dataset: each class is anchored to one base image
+// whose visual tokens dominate the prompt; per-example question tokens add
+// noise. Same-class prompts produce nearby LMM features, so a linear probe
+// separates the classes.
+std::vector<HeadExample> MakeDataset(const ModelConfig& config, int classes, int per_class,
+                                     uint64_t seed) {
+  VisionEncoder vision(config);
+  Rng rng(seed);
+  std::vector<HeadExample> examples;
+  for (int cls = 0; cls < classes; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      // Question first, image last: the captured feature is the final prompt
+      // token's hidden state, so ending with the class image keeps the
+      // feature image-dominated while the question varies per example.
+      HeadExample example;
+      for (int q = 0; q < 3; ++q) {
+        example.prompt_tokens.push_back(
+            static_cast<int32_t>(rng.NextInt(2, config.vocab_size - 1)));
+      }
+      const std::vector<int32_t> image = vision.Encode(/*image_id=*/1000 * (cls + 1));
+      example.prompt_tokens.insert(example.prompt_tokens.end(), image.begin(), image.end());
+      example.label = cls;
+      examples.push_back(std::move(example));
+    }
+  }
+  return examples;
+}
+
+TEST(HeadTrainerTest, LearnsSeparableClasses) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  const int classes = 3;
+  const std::vector<HeadExample> train = MakeDataset(config, classes, 6, 11);
+
+  HeadTrainerOptions options;
+  options.num_classes = classes;
+  const HeadTrainingResult result = TrainTaskHead(engine, train, VisionTask::kImageClassification,
+                                                  options);
+  EXPECT_GT(result.train_accuracy, 0.9);
+  EXPECT_LT(result.final_loss, 1.0);
+  EXPECT_EQ(result.head.num_options(), classes);
+  EXPECT_EQ(result.head.task, VisionTask::kImageClassification);
+}
+
+TEST(HeadTrainerTest, TrainedHeadClassifiesThroughEnginePath) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  Rng rng(13);
+  LoraAdapter adapter =
+      LoraAdapter::Random("cls", config.num_layers, config.d_model, 8, rng);
+  const int adapter_id = engine.RegisterAdapter(&adapter);
+  engine.SetMode(InferMode::kUnmerged);
+
+  const int classes = 3;
+  const std::vector<HeadExample> train = MakeDataset(config, classes, 6, 17);
+  HeadTrainerOptions options;
+  options.num_classes = classes;
+  options.adapter_id = adapter_id;  // features extracted with the adapter active
+  HeadTrainingResult trained = TrainTaskHead(engine, train, VisionTask::kImageClassification,
+                                             options);
+  adapter.SetTaskHead(std::move(trained.head));
+
+  // Held-out prompts: same class images, fresh question tokens.
+  const std::vector<HeadExample> test = MakeDataset(config, classes, 4, 999);
+  const double accuracy = EvaluateTaskHead(engine, adapter_id, test);
+  EXPECT_GT(accuracy, 0.75) << "trained head should generalise within classes";
+
+  // An untrained (random) head on the same task is near chance.
+  Rng head_rng(23);
+  LoraAdapter random_adapter =
+      LoraAdapter::Random("rnd", config.num_layers, config.d_model, 8, head_rng);
+  VisionTaskHead random_head;
+  random_head.task = VisionTask::kImageClassification;
+  random_head.weight = Tensor::Random(Shape(config.d_model, classes), head_rng, 0.3f);
+  random_adapter.SetTaskHead(std::move(random_head));
+  const int random_id = engine.RegisterAdapter(&random_adapter);
+  const double random_accuracy = EvaluateTaskHead(engine, random_id, test);
+  EXPECT_GT(accuracy, random_accuracy);
+}
+
+TEST(HeadTrainerTest, LearnsFromRealVisionTowerFeatures) {
+  // The full pipeline: synthetic pixels -> ViT encoder + projector ->
+  // injected embeddings -> frozen LMM feature -> trained head. Same-class
+  // examples are the class's base image plus small pixel noise.
+  const ModelConfig config = TinyConfig();
+  VisionTowerConfig tower_config;
+  tower_config.image_size = 16;
+  tower_config.patch_size = 8;
+  tower_config.d_vision = 32;
+  tower_config.num_heads = 4;
+  tower_config.num_blocks = 2;
+  tower_config.d_model = config.d_model;
+  VisionTower tower(tower_config, 3);
+  InferenceEngine engine(config, EngineOptions{});
+
+  const int classes = 2;
+  Rng noise_rng(31);
+  auto make_examples = [&](int per_class, uint64_t salt) {
+    std::vector<HeadExample> examples;
+    for (int cls = 0; cls < classes; ++cls) {
+      for (int i = 0; i < per_class; ++i) {
+        Tensor image = SyntheticImage(tower_config, 500 * (cls + 1));
+        for (int64_t p = 0; p < image.NumElements(); ++p) {
+          image.data()[p] = std::clamp(
+              image.data()[p] + static_cast<float>(noise_rng.NextUniform(-0.03, 0.03)) +
+                  static_cast<float>(salt) * 0.0f,
+              0.0f, 1.0f);
+        }
+        Tensor embeddings = tower.Encode(image);
+        HeadExample example;
+        example.prompt_tokens = tower.SurrogateTokens(embeddings);
+        InjectedEmbeddings span;
+        span.position = 0;
+        span.embeddings = std::move(embeddings);
+        example.injected.push_back(std::move(span));
+        example.label = cls;
+        examples.push_back(std::move(example));
+      }
+    }
+    return examples;
+  };
+
+  // The adapter is registered first so training extracts features with it
+  // active — the head must match the features it will see at inference.
+  Rng head_rng(41);
+  LoraAdapter adapter = LoraAdapter::Random("vt", config.num_layers, config.d_model, 8, head_rng);
+  const int adapter_id = engine.RegisterAdapter(&adapter);
+  engine.SetMode(InferMode::kUnmerged);
+
+  HeadTrainerOptions options;
+  options.num_classes = classes;
+  options.adapter_id = adapter_id;
+  HeadTrainingResult trained =
+      TrainTaskHead(engine, make_examples(6, 1), VisionTask::kImageClassification, options);
+  EXPECT_GT(trained.train_accuracy, 0.9);
+
+  // Held-out noisy variants through the real head-inference path.
+  adapter.SetTaskHead(std::move(trained.head));
+  const double accuracy = EvaluateTaskHead(engine, adapter_id, make_examples(4, 2));
+  EXPECT_GT(accuracy, 0.75);
+}
+
+TEST(HeadTrainerTest, CaptureFinalHiddenReturnsFeature) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = {5, 9, 23};
+  request.max_new_tokens = 1;
+  request.eos_token = -1;
+  request.capture_final_hidden = true;
+  const EngineResult result = engine.RunToCompletion(request);
+  ASSERT_EQ(static_cast<int64_t>(result.final_hidden.size()), config.d_model);
+  // Deterministic across runs.
+  InferenceEngine engine2(config, EngineOptions{});
+  EngineRequest again = request;
+  const EngineResult result2 = engine2.RunToCompletion(again);
+  EXPECT_EQ(result.final_hidden, result2.final_hidden);
+}
+
+TEST(HeadTrainerTest, NoCaptureByDefault) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = {5, 9, 23};
+  request.max_new_tokens = 1;
+  request.eos_token = -1;
+  const EngineResult result = engine.RunToCompletion(request);
+  EXPECT_TRUE(result.final_hidden.empty());
+}
+
+}  // namespace
+}  // namespace vlora

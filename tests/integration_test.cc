@@ -1,0 +1,174 @@
+// Cross-module integration tests: the full offline -> online pipeline of
+// Fig 8 on the real engine, and the simulator driven by generator output.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/baselines/policies.h"
+#include "src/core/server.h"
+#include "src/engine/vision.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace {
+
+std::vector<KnowledgeItem> MixedCatalog(const AccuracyOracle& oracle) {
+  std::vector<KnowledgeItem> items;
+  auto add = [&](VisionTask task, int n, double slack, int options) {
+    for (int i = 0; i < n; ++i) {
+      KnowledgeItem item;
+      item.domain = std::string(VisionTaskName(task)) + "-" + std::to_string(i);
+      item.task = task;
+      item.required_accuracy = oracle.LoraAccuracy(task, 1) - slack;
+      item.closed_set_options = options;
+      items.push_back(item);
+    }
+  };
+  add(VisionTask::kImageClassification, 4, 4.0, 20);
+  add(VisionTask::kObjectDetection, 4, 6.0, 10);
+  add(VisionTask::kVideoClassification, 2, 4.0, 50);
+  add(VisionTask::kVisualQuestionAnswering, 3, 5.0, 0);
+  return items;
+}
+
+TEST(IntegrationTest, OfflineToOnlinePipeline) {
+  // Offline: catalogue -> generator -> materialised adapters.
+  AccuracyOracle oracle(7, 0.2);
+  const std::vector<KnowledgeItem> items = MixedCatalog(oracle);
+  const GeneratorResult generated = GenerateAdapters(items, oracle);
+  ASSERT_FALSE(generated.adapters.empty());
+  for (const GeneratedAdapterSpec& spec : generated.adapters) {
+    EXPECT_TRUE(SatisfiesRequirements(items, spec, oracle));
+  }
+
+  // Online: register with a server and serve a mixed batch across every
+  // adapter, closed-set requests through task heads.
+  const ModelConfig config = TinyConfig();
+  Rng rng(61);
+  ServerOptions options;
+  options.max_batch_size = 6;
+  VloraServer server(config, options);
+  std::map<int, bool> has_head;
+  for (auto& adapter : MaterializeAdapters(items, generated, config, 8, rng)) {
+    const bool head = adapter->task_head().has_value();
+    const int id = server.AddAdapter(std::move(adapter));
+    has_head[id] = head;
+  }
+
+  VisionEncoder vision(config);
+  int64_t next_id = 0;
+  const int requests_per_adapter = 2;
+  for (int adapter_id = 0; adapter_id < server.num_adapters(); ++adapter_id) {
+    for (int i = 0; i < requests_per_adapter; ++i) {
+      EngineRequest request;
+      request.id = next_id++;
+      request.prompt_tokens =
+          vision.BuildPrompt(17 * adapter_id + i, {static_cast<int32_t>(3 + i), 5});
+      request.adapter_id = adapter_id;
+      request.max_new_tokens = 3;
+      request.eos_token = -1;
+      request.use_task_head = has_head[adapter_id];
+      server.Submit(request);
+    }
+  }
+  const std::vector<EngineResult> results = server.RunAll();
+  EXPECT_EQ(results.size(),
+            static_cast<size_t>(server.num_adapters() * requests_per_adapter));
+  for (const EngineResult& result : results) {
+    if (result.head_option >= 0) {
+      EXPECT_EQ(result.decode_steps, 0);
+    } else {
+      EXPECT_EQ(result.output_tokens.size(), 3u);
+    }
+  }
+  EXPECT_GT(server.stats().iterations, 0);
+}
+
+TEST(IntegrationTest, ServerIsDeterministic) {
+  const ModelConfig config = TinyConfig();
+  auto run_once = [&]() {
+    Rng rng(71);
+    ServerOptions options;
+    options.max_batch_size = 4;
+    VloraServer server(config, options);
+    for (int i = 0; i < 2; ++i) {
+      server.AddAdapter(std::make_unique<LoraAdapter>(LoraAdapter::Random(
+          "a" + std::to_string(i), config.num_layers, config.d_model, 8, rng)));
+    }
+    VisionEncoder vision(config);
+    for (int i = 0; i < 5; ++i) {
+      EngineRequest request;
+      request.id = i;
+      request.prompt_tokens = vision.BuildPrompt(i, {7, 8});
+      request.adapter_id = i % 2;
+      request.max_new_tokens = 4;
+      request.eos_token = -1;
+      server.Submit(request);
+    }
+    std::map<int64_t, std::vector<int32_t>> outputs;
+    for (const EngineResult& result : server.RunAll()) {
+      outputs[result.request_id] = result.output_tokens;
+    }
+    return outputs;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(IntegrationTest, SimulatorServesGeneratorSizedFleet) {
+  // The number of adapters the simulator serves comes from the generator, as
+  // it would in a deployment.
+  AccuracyOracle oracle(7, 0.2);
+  const std::vector<KnowledgeItem> items = MixedCatalog(oracle);
+  const GeneratorResult generated = GenerateAdapters(items, oracle);
+  const int num_adapters = static_cast<int>(generated.adapters.size());
+  ASSERT_GT(num_adapters, 1);
+
+  TraceOptions trace_options;
+  trace_options.app = AppKind::kVisualRetrieval;
+  trace_options.duration_s = 15.0;
+  trace_options.rate_rps = 4.0;
+  trace_options.num_adapters = num_adapters;
+  trace_options.skewness = 0.5;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+  for (const Request& req : trace) {
+    ASSERT_LT(req.adapter_id, num_adapters);
+  }
+
+  SimOptions sim_options;
+  sim_options.max_batch_size = 32;
+  sim_options.gpu_adapter_slots = std::max(2, num_adapters / 2);
+  const SimMetrics vlora = RunSimulation(trace, [] { return MakeVloraPolicy(); }, sim_options);
+  const SimMetrics dlora = RunSimulation(trace, MakeDloraPolicy, sim_options);
+  EXPECT_EQ(vlora.completed, static_cast<int64_t>(trace.size()));
+  EXPECT_EQ(dlora.completed, static_cast<int64_t>(trace.size()));
+  EXPECT_LT(vlora.avg_token_latency_ms, dlora.avg_token_latency_ms);
+}
+
+TEST(IntegrationTest, EngineMatchesSimulatorModeSemantics) {
+  // The engine's Queue() view feeds Alg1Schedule exactly like the simulator's
+  // RequestView does; a homogeneous queue must be planned as merged in both.
+  const ModelConfig config = TinyConfig();
+  ServerOptions options;
+  options.max_batch_size = 4;
+  VloraServer server(config, options);
+  Rng rng(81);
+  server.AddAdapter(std::make_unique<LoraAdapter>(
+      LoraAdapter::Random("only", config.num_layers, config.d_model, 8, rng)));
+  VisionEncoder vision(config);
+  for (int i = 0; i < 3; ++i) {
+    EngineRequest request;
+    request.id = i;
+    request.prompt_tokens = vision.BuildPrompt(i, {4, 5});
+    request.adapter_id = 0;
+    request.max_new_tokens = 3;
+    request.eos_token = -1;
+    server.Submit(request);
+  }
+  server.RunAll();
+  EXPECT_GT(server.stats().merged_iterations, 0);
+  EXPECT_EQ(server.stats().unmerged_iterations, 0);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kernels/lora_ops.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+// Reference implementation: per-segment (X * down) * up * scaling added to Y.
+Tensor ReferenceLora(const Tensor& x, const std::vector<LoraSegment>& segments,
+                     const std::vector<AdapterWeightsView>& adapters) {
+  Tensor y = Tensor::Zeros(x.shape());
+  for (const LoraSegment& segment : segments) {
+    const AdapterWeightsView& adapter = adapters[static_cast<size_t>(segment.adapter_index)];
+    Tensor x_seg = x.RowSlice(segment.row_begin, segment.row_end);
+    Tensor mid = MatMulReference(x_seg, *adapter.down);
+    mid.ScaleInPlace(adapter.scaling);
+    Tensor out = MatMulReference(mid, *adapter.up);
+    Tensor y_seg = y.RowSlice(segment.row_begin, segment.row_end);
+    y_seg.AddInPlace(out);
+  }
+  return y;
+}
+
+struct Fixture {
+  Fixture(int num_adapters, const std::vector<int64_t>& ranks, int64_t d, uint64_t seed)
+      : rng(seed) {
+    for (int i = 0; i < num_adapters; ++i) {
+      downs.push_back(Tensor::Random(Shape(d, ranks[static_cast<size_t>(i) % ranks.size()]), rng,
+                                     0.3f));
+      ups.push_back(Tensor::Random(
+          Shape(ranks[static_cast<size_t>(i) % ranks.size()], d), rng, 0.3f));
+    }
+    for (size_t i = 0; i < downs.size(); ++i) {
+      views.push_back(AdapterWeightsView{&downs[i], &ups[i], 1.0f});
+    }
+  }
+
+  Rng rng;
+  std::vector<Tensor> downs;
+  std::vector<Tensor> ups;
+  std::vector<AdapterWeightsView> views;
+};
+
+std::vector<std::unique_ptr<LoraBatchOperator>> AllOperators(AtmmDispatcher& dispatcher) {
+  std::vector<std::unique_ptr<LoraBatchOperator>> ops;
+  ops.push_back(std::make_unique<AtmmLoraOperator>(&dispatcher));
+  ops.push_back(MakeSloraOperator());
+  ops.push_back(MakePunicaOperator());
+  ops.push_back(std::make_unique<EinsumLoraOperator>());
+  return ops;
+}
+
+TEST(SegmentsTest, ValidateAcceptsTiling) {
+  std::vector<LoraSegment> segments = {{0, 3, 0}, {3, 7, 1}};
+  ValidateSegments(segments, 7, 2);  // must not abort
+}
+
+TEST(SegmentsTest, NumRows) {
+  LoraSegment segment{2, 9, 0};
+  EXPECT_EQ(segment.NumRows(), 7);
+}
+
+TEST(LoraOpsTest, AllOperatorsAgreeHomogeneous) {
+  const int64_t d = 64;
+  Fixture fx(1, {16}, d, 101);
+  Tensor x = Tensor::Random(Shape(12, d), fx.rng, 1.0f);
+  std::vector<LoraSegment> segments = {{0, 12, 0}};
+  Tensor ref = ReferenceLora(x, segments, fx.views);
+  AtmmDispatcher dispatcher;
+  for (auto& op : AllOperators(dispatcher)) {
+    Tensor y = Tensor::Zeros(x.shape());
+    op->Run(x, segments, fx.views, y);
+    EXPECT_LT(Tensor::MaxAbsDiff(y, ref), 1e-3f) << op->name();
+  }
+}
+
+TEST(LoraOpsTest, AllOperatorsAgreeHeterogeneousRanks) {
+  const int64_t d = 96;
+  // Three adapters with distinct ranks — the heterogeneity that forces
+  // padding in the Einsum baseline.
+  Fixture fx(3, {8, 32, 64}, d, 103);
+  Tensor x = Tensor::Random(Shape(25, d), fx.rng, 1.0f);
+  std::vector<LoraSegment> segments = {{0, 5, 0}, {5, 14, 1}, {14, 25, 2}};
+  Tensor ref = ReferenceLora(x, segments, fx.views);
+  AtmmDispatcher dispatcher;
+  for (auto& op : AllOperators(dispatcher)) {
+    Tensor y = Tensor::Zeros(x.shape());
+    op->Run(x, segments, fx.views, y);
+    EXPECT_LT(Tensor::MaxAbsDiff(y, ref), 1e-3f) << op->name();
+  }
+}
+
+TEST(LoraOpsTest, SegmentsMayLeaveGaps) {
+  // Rows 4-8 belong to a request running on the merged adapter: no bypass.
+  const int64_t d = 32;
+  Fixture fx(2, {8}, d, 105);
+  Tensor x = Tensor::Random(Shape(12, d), fx.rng, 1.0f);
+  std::vector<LoraSegment> segments = {{0, 4, 0}, {8, 12, 1}};
+  Tensor ref = ReferenceLora(x, segments, fx.views);
+  AtmmDispatcher dispatcher;
+  for (auto& op : AllOperators(dispatcher)) {
+    Tensor y = Tensor::Zeros(x.shape());
+    op->Run(x, segments, fx.views, y);
+    EXPECT_LT(Tensor::MaxAbsDiff(y, ref), 1e-3f) << op->name();
+    // The gap rows received no contribution.
+    for (int64_t row = 4; row < 8; ++row) {
+      for (int64_t col = 0; col < d; ++col) {
+        EXPECT_EQ(y.at(row, col), 0.0f) << op->name();
+      }
+    }
+  }
+}
+
+TEST(LoraOpsTest, ScalingAndNegativeScalingApplied) {
+  // Negative scaling implements the deLoRA branch: +adapter then -adapter
+  // must cancel exactly.
+  const int64_t d = 48;
+  Fixture fx(1, {16}, d, 107);
+  Tensor x = Tensor::Random(Shape(10, d), fx.rng, 1.0f);
+  std::vector<AdapterWeightsView> views = {fx.views[0], fx.views[0]};
+  views[1].scaling = -1.0f;
+  std::vector<LoraSegment> segments = {{0, 10, 0}};
+  std::vector<LoraSegment> neg_segments = {{0, 10, 1}};
+  AtmmDispatcher dispatcher;
+  for (auto& op : AllOperators(dispatcher)) {
+    Tensor y = Tensor::Zeros(x.shape());
+    op->Run(x, segments, views, y);
+    op->Run(x, neg_segments, views, y);
+    EXPECT_LT(Tensor::MaxAbsDiff(y, Tensor::Zeros(x.shape())), 1e-3f) << op->name();
+  }
+}
+
+TEST(LoraOpsTest, AccumulatesOntoExistingY) {
+  const int64_t d = 32;
+  Fixture fx(1, {8}, d, 109);
+  Tensor x = Tensor::Random(Shape(6, d), fx.rng, 1.0f);
+  std::vector<LoraSegment> segments = {{0, 6, 0}};
+  Tensor base = Tensor::Random(Shape(6, d), fx.rng, 1.0f);
+  Tensor ref = ReferenceLora(x, segments, fx.views);
+  ref.AddInPlace(base);
+  AtmmDispatcher dispatcher;
+  for (auto& op : AllOperators(dispatcher)) {
+    Tensor y = base.Clone();
+    op->Run(x, segments, fx.views, y);
+    EXPECT_LT(Tensor::MaxAbsDiff(y, ref), 1e-3f) << op->name();
+  }
+}
+
+// Property sweep over segment layouts: random segmentations of a batch onto
+// random adapters must agree across all four operators.
+class LoraOpsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoraOpsPropertyTest, RandomSegmentationsAgree) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng layout_rng(seed * 7919 + 13);
+  const int64_t d = 64;
+  const int num_adapters = 4;
+  Fixture fx(num_adapters, {8, 16, 32, 64}, d, seed);
+  const int64_t total = layout_rng.NextInt(6, 40);
+  Tensor x = Tensor::Random(Shape(total, d), fx.rng, 1.0f);
+  std::vector<LoraSegment> segments;
+  int64_t cursor = 0;
+  while (cursor < total) {
+    const int64_t len = std::min<int64_t>(layout_rng.NextInt(1, 9), total - cursor);
+    segments.push_back(LoraSegment{cursor, cursor + len,
+                                   static_cast<int>(layout_rng.NextInt(0, num_adapters - 1))});
+    cursor += len;
+  }
+  Tensor ref = ReferenceLora(x, segments, fx.views);
+  AtmmDispatcher dispatcher;
+  for (auto& op : AllOperators(dispatcher)) {
+    Tensor y = Tensor::Zeros(x.shape());
+    op->Run(x, segments, fx.views, y);
+    EXPECT_LT(Tensor::MaxAbsDiff(y, ref), 2e-3f) << op->name() << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoraOpsPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "src/core/lora_trainer.h"
+#include "src/engine/engine.h"
+
+namespace vlora {
+namespace {
+
+ModelConfig TrainerConfig() {
+  ModelConfig config = TinyConfig();
+  config.num_layers = 2;
+  config.d_model = 32;
+  config.num_heads = 4;
+  config.d_ff = 64;
+  config.vocab_size = 64;
+  return config;
+}
+
+std::vector<int32_t> Prompt(int64_t len, uint64_t seed, int64_t vocab) {
+  Rng rng(seed);
+  std::vector<int32_t> tokens;
+  for (int64_t i = 0; i < len; ++i) {
+    tokens.push_back(static_cast<int32_t>(rng.NextInt(2, vocab - 1)));
+  }
+  return tokens;
+}
+
+TEST(LoraTrainerTest, FinalHiddenMatchesEngine) {
+  const ModelConfig config = TrainerConfig();
+  EngineOptions options;
+  options.seed = 77;
+  InferenceEngine engine(config, options);
+  Rng rng(5);
+  LoraAdapter adapter = LoraAdapter::Random("t", config.num_layers, config.d_model, 4, rng,
+                                            0.05f, {LoraTarget::kWo});
+  const int id = engine.RegisterAdapter(&adapter);
+  engine.SetMode(InferMode::kUnmerged);
+
+  const std::vector<int32_t> prompt = Prompt(9, 3, config.vocab_size);
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = prompt;
+  request.adapter_id = id;
+  request.max_new_tokens = 1;
+  request.eos_token = -1;
+  request.capture_final_hidden = true;
+  const EngineResult result = engine.RunToCompletion(request);
+
+  LoraTrainer trainer(&engine.model(), &adapter);
+  const std::vector<float> hidden = trainer.FinalHidden(prompt);
+  ASSERT_EQ(hidden.size(), result.final_hidden.size());
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    EXPECT_NEAR(hidden[i], result.final_hidden[i], 1e-4f) << i;
+  }
+}
+
+TEST(LoraTrainerTest, GradientsMatchFiniteDifferences) {
+  const ModelConfig config = TrainerConfig();
+  InferenceEngine engine(config, EngineOptions{.seed = 99});
+  Rng rng(7);
+  LoraAdapter adapter = LoraAdapter::Random("g", config.num_layers, config.d_model, 4, rng,
+                                            0.1f, {LoraTarget::kWo});
+  LoraTrainer trainer(&engine.model(), &adapter);
+
+  VisionTaskHead head;
+  head.task = VisionTask::kImageClassification;
+  head.weight = Tensor::Random(Shape(config.d_model, 3), rng, 0.2f);
+
+  LoraTrainExample example;
+  example.prompt_tokens = Prompt(7, 11, config.vocab_size);
+  example.label = 1;
+
+  // Analytic gradients via one zero-lr "training" pass: recompute directly.
+  LoraLayerWeights& factors = adapter.layer(LoraTarget::kWo, config.num_layers - 1);
+  // Use the public API: run Train with 0 epochs is useless; instead compute
+  // analytic grads by finite-difference cross-check through ExampleLoss on a
+  // few sampled coordinates, using an epsilon small enough for fp32.
+  // We obtain analytic gradients by a single SGD step with a tiny lr and
+  // reading off the parameter delta: w' = w - lr * g  =>  g = (w - w') / lr.
+  const float lr = 1e-3f;
+  Tensor down_before = factors.down.Clone();
+  Tensor up_before = factors.up.Clone();
+  Tensor head_before = head.weight.Clone();
+  LoraTrainerOptions train_options;
+  train_options.num_classes = 3;
+  train_options.epochs = 1;
+  train_options.factor_lr = lr;
+  train_options.head_lr = lr;
+  trainer.Train({example}, head, train_options);
+
+  auto analytic = [&](Tensor& before, const Tensor& after, int64_t i, int64_t j) {
+    return (before.at(i, j) - after.at(i, j)) / lr;
+  };
+  // Restore parameters for the finite-difference probes.
+  Tensor down_after = factors.down.Clone();
+  Tensor up_after = factors.up.Clone();
+  Tensor head_after = head.weight.Clone();
+  factors.down = down_before.Clone();
+  factors.up = up_before.Clone();
+  head.weight = head_before.Clone();
+
+  const float eps = 2e-3f;
+  Rng pick(13);
+  // Probe a handful of coordinates in each parameter.
+  for (int probe = 0; probe < 4; ++probe) {
+    const int64_t i = pick.NextInt(0, config.d_model - 1);
+    const int64_t r = pick.NextInt(0, adapter.rank() - 1);
+    const float g = analytic(down_before, down_after, i, r);
+    const float saved = factors.down.at(i, r);
+    factors.down.at(i, r) = saved + eps;
+    const double plus = trainer.ExampleLoss(example, head);
+    factors.down.at(i, r) = saved - eps;
+    const double minus = trainer.ExampleLoss(example, head);
+    factors.down.at(i, r) = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(g, numeric, std::max(5e-3, 0.1 * std::abs(numeric)))
+        << "down(" << i << "," << r << ")";
+  }
+  for (int probe = 0; probe < 4; ++probe) {
+    const int64_t r = pick.NextInt(0, adapter.rank() - 1);
+    const int64_t i = pick.NextInt(0, config.d_model - 1);
+    const float g = analytic(up_before, up_after, r, i);
+    const float saved = factors.up.at(r, i);
+    factors.up.at(r, i) = saved + eps;
+    const double plus = trainer.ExampleLoss(example, head);
+    factors.up.at(r, i) = saved - eps;
+    const double minus = trainer.ExampleLoss(example, head);
+    factors.up.at(r, i) = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(g, numeric, std::max(5e-3, 0.1 * std::abs(numeric)))
+        << "up(" << r << "," << i << ")";
+  }
+  for (int probe = 0; probe < 4; ++probe) {
+    const int64_t i = pick.NextInt(0, config.d_model - 1);
+    const int64_t c = pick.NextInt(0, 2);
+    const float g = analytic(head_before, head_after, i, c);
+    const float saved = head.weight.at(i, c);
+    head.weight.at(i, c) = saved + eps;
+    const double plus = trainer.ExampleLoss(example, head);
+    head.weight.at(i, c) = saved - eps;
+    const double minus = trainer.ExampleLoss(example, head);
+    head.weight.at(i, c) = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(g, numeric, std::max(5e-3, 0.1 * std::abs(numeric)))
+        << "head(" << i << "," << c << ")";
+  }
+}
+
+TEST(LoraTrainerTest, TrainingReducesLossAndFitsData) {
+  const ModelConfig config = TrainerConfig();
+  InferenceEngine engine(config, EngineOptions{.seed = 55});
+  Rng rng(9);
+  LoraAdapter adapter = LoraAdapter::Random("f", config.num_layers, config.d_model, 4, rng,
+                                            0.05f, {LoraTarget::kWo});
+  LoraTrainer trainer(&engine.model(), &adapter);
+
+  VisionTaskHead head;
+  head.task = VisionTask::kVideoClassification;
+  head.weight = Tensor::Random(Shape(config.d_model, 2), rng, 0.05f);
+
+  // Two classes anchored to two prompt prefixes with varying suffixes.
+  std::vector<LoraTrainExample> examples;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < 5; ++i) {
+      LoraTrainExample example;
+      example.prompt_tokens = Prompt(8, 100 + static_cast<uint64_t>(cls), config.vocab_size);
+      example.prompt_tokens.push_back(
+          static_cast<int32_t>(2 + (7 * i + cls) % (config.vocab_size - 2)));
+      example.label = cls;
+      examples.push_back(std::move(example));
+    }
+  }
+
+  LoraTrainerOptions options;
+  options.num_classes = 2;
+  options.epochs = 25;
+  const LoraTrainResult result = trainer.Train(examples, head, options);
+  EXPECT_LT(result.final_loss, result.initial_loss);
+  EXPECT_LT(result.final_loss, 0.2);
+  EXPECT_GE(result.train_accuracy, 0.9);
+}
+
+TEST(LoraTrainerTest, TrainedAdapterServesThroughEngine) {
+  const ModelConfig config = TrainerConfig();
+  InferenceEngine engine(config, EngineOptions{.seed = 21});
+  Rng rng(33);
+  LoraAdapter adapter = LoraAdapter::Random("serve", config.num_layers, config.d_model, 4, rng,
+                                            0.05f, {LoraTarget::kWo});
+  LoraTrainer trainer(&engine.model(), &adapter);
+  VisionTaskHead head;
+  head.task = VisionTask::kImageClassification;
+  head.weight = Tensor::Random(Shape(config.d_model, 2), rng, 0.05f);
+
+  std::vector<LoraTrainExample> examples;
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < 4; ++i) {
+      LoraTrainExample example;
+      example.prompt_tokens = Prompt(8, 200 + static_cast<uint64_t>(cls), config.vocab_size);
+      example.prompt_tokens.push_back(static_cast<int32_t>(3 + 5 * i));
+      example.label = cls;
+      examples.push_back(std::move(example));
+    }
+  }
+  LoraTrainerOptions options;
+  options.num_classes = 2;
+  options.epochs = 25;
+  const LoraTrainResult trained = trainer.Train(examples, head, options);
+  ASSERT_GE(trained.train_accuracy, 0.9);
+
+  adapter.SetTaskHead(std::move(head));
+  const int id = engine.RegisterAdapter(&adapter);
+  engine.SetMode(InferMode::kUnmerged);
+  int correct = 0;
+  for (size_t e = 0; e < examples.size(); ++e) {
+    EngineRequest request;
+    request.id = static_cast<int64_t>(e);
+    request.prompt_tokens = examples[e].prompt_tokens;
+    request.adapter_id = id;
+    request.use_task_head = true;
+    request.eos_token = -1;
+    const EngineResult result = engine.RunToCompletion(request);
+    correct += result.head_option == examples[e].label ? 1 : 0;
+  }
+  EXPECT_GE(correct, static_cast<int>(examples.size()) - 1);
+}
+
+}  // namespace
+}  // namespace vlora

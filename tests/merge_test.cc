@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "src/lora/adapter.h"
+#include "src/lora/merge.h"
+#include "src/tensor/slab.h"
+
+namespace vlora {
+namespace {
+
+// Builds a model-like set of random weights for the given targets.
+ModelMergeTargets MakeModel(WeightSlab& slab, const std::vector<LoraTarget>& targets, int layers,
+                            int64_t d, Rng& rng) {
+  ModelMergeTargets model;
+  for (LoraTarget target : targets) {
+    for (int i = 0; i < layers; ++i) {
+      Tensor w = slab.Allocate(d, d);
+      Tensor random = Tensor::Random(Shape(d, d), rng, 0.5f);
+      w.AddInPlace(random);
+      model.by_target[target].push_back(w);
+    }
+  }
+  return model;
+}
+
+ModelMergeTargets CloneModel(const ModelMergeTargets& model) {
+  ModelMergeTargets clone;
+  for (const auto& [target, weights] : model.by_target) {
+    for (const Tensor& w : weights) {
+      clone.by_target[target].push_back(w.Clone());
+    }
+  }
+  return clone;
+}
+
+TEST(AdapterTest, RandomAdapterShapes) {
+  Rng rng(1);
+  LoraAdapter adapter = LoraAdapter::Random("a", 3, 32, 8, rng);
+  EXPECT_EQ(adapter.num_layers(), 3);
+  EXPECT_EQ(adapter.rank(), 8);
+  EXPECT_EQ(adapter.d_model(), 32);
+  // All three attention projections adapted by default.
+  EXPECT_EQ(adapter.targets().size(), 3u);
+  for (LoraTarget target : kAllLoraTargets) {
+    EXPECT_TRUE(adapter.HasTarget(target));
+    EXPECT_EQ(adapter.layer(target, 0).down.shape(), Shape(32, 8));
+    EXPECT_EQ(adapter.layer(target, 0).up.shape(), Shape(8, 32));
+  }
+  EXPECT_EQ(adapter.NumParams(), 3 * 3 * 2 * 32 * 8);
+  EXPECT_EQ(adapter.SizeBytesFp16(), adapter.NumParams() * 2);
+}
+
+TEST(AdapterTest, SingleTargetAdapter) {
+  Rng rng(2);
+  LoraAdapter adapter = LoraAdapter::Random("a", 2, 16, 4, rng, 0.05f, {LoraTarget::kWo});
+  EXPECT_TRUE(adapter.HasTarget(LoraTarget::kWo));
+  EXPECT_FALSE(adapter.HasTarget(LoraTarget::kWq));
+  EXPECT_EQ(adapter.NumParams(), 1 * 2 * 2 * 16 * 4);
+}
+
+TEST(AdapterTest, LayerViewCarriesScaling) {
+  Rng rng(3);
+  LoraAdapter adapter = LoraAdapter::Random("a", 2, 16, 4, rng);
+  adapter.set_scaling(0.5f);
+  AdapterWeightsView view = adapter.LayerView(LoraTarget::kWv, 1);
+  EXPECT_EQ(view.scaling, 0.5f);
+  EXPECT_EQ(view.rank(), 4);
+  EXPECT_EQ(view.d_model(), 16);
+}
+
+TEST(AdapterTest, TaskHeadAttachment) {
+  Rng rng(4);
+  LoraAdapter adapter = LoraAdapter::Random("a", 1, 16, 4, rng);
+  EXPECT_FALSE(adapter.task_head().has_value());
+  VisionTaskHead head;
+  head.task = VisionTask::kVideoClassification;
+  head.weight = Tensor::Zeros(Shape(16, 10));
+  adapter.SetTaskHead(std::move(head));
+  ASSERT_TRUE(adapter.task_head().has_value());
+  EXPECT_EQ(adapter.task_head()->num_options(), 10);
+}
+
+TEST(AdapterTest, TargetNames) {
+  EXPECT_STREQ(LoraTargetName(LoraTarget::kWq), "Wq");
+  EXPECT_STREQ(LoraTargetName(LoraTarget::kWv), "Wv");
+  EXPECT_STREQ(LoraTargetName(LoraTarget::kWo), "Wo");
+}
+
+TEST(SwiftSwitcherTest, MergeUnmergeRoundTripAllTargets) {
+  Rng rng(5);
+  const int layers = 3;
+  const int64_t d = 32;
+  WeightSlab slab(3 * layers * d * d);
+  std::vector<LoraTarget> targets(kAllLoraTargets.begin(), kAllLoraTargets.end());
+  ModelMergeTargets model = MakeModel(slab, targets, layers, d, rng);
+  ModelMergeTargets original = CloneModel(model);
+  LoraAdapter adapter = LoraAdapter::Random("a", layers, d, 8, rng);
+  AtmmDispatcher atmm;
+  SwiftSwitcher switcher(&atmm);
+  switcher.Apply(adapter, MergeDirection::kMerge, model);
+  // Every adapted projection actually changed.
+  for (LoraTarget target : kAllLoraTargets) {
+    EXPECT_GT(MaxAbsDiff(model.at(target), original.at(target)), 1e-4f)
+        << LoraTargetName(target);
+  }
+  switcher.Apply(adapter, MergeDirection::kUnmerge, model);
+  EXPECT_LT(MaxAbsDiff(model, original), 1e-4f);
+}
+
+TEST(SwiftSwitcherTest, SingleTargetAdapterTouchesOnlyItsTarget) {
+  Rng rng(6);
+  const int layers = 2;
+  const int64_t d = 16;
+  WeightSlab slab(3 * layers * d * d);
+  std::vector<LoraTarget> targets(kAllLoraTargets.begin(), kAllLoraTargets.end());
+  ModelMergeTargets model = MakeModel(slab, targets, layers, d, rng);
+  ModelMergeTargets original = CloneModel(model);
+  LoraAdapter adapter = LoraAdapter::Random("a", layers, d, 4, rng, 0.05f, {LoraTarget::kWv});
+  AtmmDispatcher atmm;
+  SwiftSwitcher switcher(&atmm);
+  switcher.Apply(adapter, MergeDirection::kMerge, model);
+  EXPECT_EQ(MaxAbsDiff(model.at(LoraTarget::kWq), original.at(LoraTarget::kWq)), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(model.at(LoraTarget::kWo), original.at(LoraTarget::kWo)), 0.0f);
+  EXPECT_GT(MaxAbsDiff(model.at(LoraTarget::kWv), original.at(LoraTarget::kWv)), 1e-4f);
+}
+
+TEST(SwiftSwitcherTest, MergedEqualsExplicitDeltaW) {
+  Rng rng(7);
+  const int64_t d = 24;
+  WeightSlab slab(d * d);
+  ModelMergeTargets model = MakeModel(slab, {LoraTarget::kWo}, 1, d, rng);
+  ModelMergeTargets expected = CloneModel(model);
+  LoraAdapter adapter = LoraAdapter::Random("a", 1, d, 6, rng, 0.05f, {LoraTarget::kWo});
+  adapter.set_scaling(2.0f);
+
+  // expected += scaling * down * up
+  Tensor delta = MatMulReference(adapter.layer(LoraTarget::kWo, 0).down,
+                                 adapter.layer(LoraTarget::kWo, 0).up);
+  delta.ScaleInPlace(2.0f);
+  expected.at(LoraTarget::kWo)[0].AddInPlace(delta);
+
+  AtmmDispatcher atmm;
+  SwiftSwitcher switcher(&atmm);
+  switcher.Apply(adapter, MergeDirection::kMerge, model);
+  EXPECT_LT(MaxAbsDiff(model, expected), 1e-4f);
+}
+
+TEST(SwiftSwitcherTest, SwitchReplacesAdapter) {
+  Rng rng(9);
+  const int layers = 2;
+  const int64_t d = 16;
+  WeightSlab slab(3 * layers * d * d);
+  std::vector<LoraTarget> targets(kAllLoraTargets.begin(), kAllLoraTargets.end());
+  ModelMergeTargets model = MakeModel(slab, targets, layers, d, rng);
+  LoraAdapter a = LoraAdapter::Random("a", layers, d, 4, rng);
+  LoraAdapter b = LoraAdapter::Random("b", layers, d, 4, rng);
+  AtmmDispatcher atmm;
+  SwiftSwitcher switcher(&atmm);
+
+  // Expected end state: the clean model with only b merged.
+  ModelMergeTargets expected = CloneModel(model);
+  switcher.Apply(b, MergeDirection::kMerge, expected);
+
+  switcher.Apply(a, MergeDirection::kMerge, model);
+  switcher.Switch(&a, &b, model);
+  EXPECT_LT(MaxAbsDiff(model, expected), 1e-4f);
+
+  // Switching to nullptr unmerges everything.
+  switcher.Switch(&b, nullptr, model);
+  switcher.Apply(b, MergeDirection::kUnmerge, expected);
+  EXPECT_LT(MaxAbsDiff(model, expected), 1e-4f);
+}
+
+TEST(LegacySwitcherTest, AgreesWithSwiftSwitcher) {
+  Rng rng(11);
+  const int layers = 2;
+  const int64_t d = 20;
+  WeightSlab slab_a(3 * layers * d * d);
+  WeightSlab slab_b(3 * layers * d * d);
+  std::vector<LoraTarget> targets(kAllLoraTargets.begin(), kAllLoraTargets.end());
+  ModelMergeTargets swift_model = MakeModel(slab_a, targets, layers, d, rng);
+  ModelMergeTargets legacy_model;
+  for (const auto& [target, weights] : swift_model.by_target) {
+    for (const Tensor& w : weights) {
+      Tensor copy = slab_b.Allocate(d, d);
+      copy.AddInPlace(w);
+      legacy_model.by_target[target].push_back(copy);
+    }
+  }
+  LoraAdapter adapter = LoraAdapter::Random("a", layers, d, 8, rng);
+  AtmmDispatcher atmm;
+  SwiftSwitcher swift(&atmm);
+  LegacySwitcher legacy;
+  swift.Apply(adapter, MergeDirection::kMerge, swift_model);
+  legacy.Apply(adapter, MergeDirection::kMerge, legacy_model);
+  EXPECT_LT(MaxAbsDiff(swift_model, legacy_model), 1e-4f);
+  swift.Apply(adapter, MergeDirection::kUnmerge, swift_model);
+  legacy.Apply(adapter, MergeDirection::kUnmerge, legacy_model);
+  EXPECT_LT(MaxAbsDiff(swift_model, legacy_model), 1e-4f);
+}
+
+// The deLoRA identity of §4.4.2, checked in pure matrix form:
+//   x (W_merged - W_deLoRA1 + W_LoRAx) == x (W_base + W_LoRAx)
+TEST(DeLoraTest, MixtureIdentityHolds) {
+  Rng rng(13);
+  const int64_t d = 32;
+  WeightSlab slab(d * d);
+  ModelMergeTargets model = MakeModel(slab, {LoraTarget::kWo}, 1, d, rng);
+  Tensor w_base = model.at(LoraTarget::kWo)[0].Clone();
+  LoraAdapter lora1 = LoraAdapter::Random("lora1", 1, d, 8, rng, 0.05f, {LoraTarget::kWo});
+  LoraAdapter lorax = LoraAdapter::Random("lorax", 1, d, 8, rng, 0.05f, {LoraTarget::kWo});
+  AtmmDispatcher atmm;
+  SwiftSwitcher switcher(&atmm);
+  switcher.Apply(lora1, MergeDirection::kMerge, model);  // W_merged
+
+  Tensor x = Tensor::Random(Shape(5, d), rng, 1.0f);
+
+  // Left side: x*W_merged - deLoRA1(x) + LoRAx(x).
+  Tensor left = MatMulReference(x, model.at(LoraTarget::kWo)[0]);
+  Tensor delora = MatMulReference(MatMulReference(x, lora1.layer(LoraTarget::kWo, 0).down),
+                                  lora1.layer(LoraTarget::kWo, 0).up);
+  left.SubInPlace(delora);
+  Tensor own = MatMulReference(MatMulReference(x, lorax.layer(LoraTarget::kWo, 0).down),
+                               lorax.layer(LoraTarget::kWo, 0).up);
+  left.AddInPlace(own);
+
+  // Right side: x*(W_base) + LoRAx(x).
+  Tensor right = MatMulReference(x, w_base);
+  right.AddInPlace(own);
+
+  EXPECT_LT(Tensor::MaxAbsDiff(left, right), 1e-3f);
+}
+
+}  // namespace
+}  // namespace vlora

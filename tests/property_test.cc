@@ -1,0 +1,300 @@
+// Randomised property tests across modules: mode-equivalence fuzzing on the
+// engine, GEMM shape/config fuzzing, simulator invariants, KV-block-manager
+// model checking, and generator packing properties.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/baselines/policies.h"
+#include "src/core/generator.h"
+#include "src/core/scheduler.h"
+#include "src/engine/engine.h"
+#include "src/gpusim/simulator.h"
+#include "src/kernels/gemm.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine: merged / unmerged / mixture must agree on random configurations.
+class EngineModeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineModeFuzzTest, AllModesAgree) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng meta(seed * 7919 + 101);
+
+  ModelConfig config = TinyConfig();
+  config.num_layers = static_cast<int>(meta.NextInt(1, 3));
+  config.num_heads = static_cast<int>(meta.NextInt(1, 4));
+  config.d_model = 16 * config.num_heads * meta.NextInt(1, 2);
+  config.d_ff = config.d_model * 2;
+  config.vocab_size = 64;
+
+  // Random adapters with random target subsets and ranks.
+  const int num_adapters = static_cast<int>(meta.NextInt(1, 3));
+  std::vector<LoraAdapter> adapters;
+  for (int i = 0; i < num_adapters; ++i) {
+    std::vector<LoraTarget> targets;
+    for (LoraTarget target : kAllLoraTargets) {
+      if (meta.NextDouble() < 0.6) {
+        targets.push_back(target);
+      }
+    }
+    if (targets.empty()) {
+      targets.push_back(LoraTarget::kWv);
+    }
+    Rng weight_rng(seed * 31 + static_cast<uint64_t>(i));
+    adapters.push_back(LoraAdapter::Random("fz-" + std::to_string(i), config.num_layers,
+                                           config.d_model, meta.NextInt(2, 8), weight_rng, 0.08f,
+                                           targets));
+  }
+
+  // Random batch of requests over those adapters (plus base).
+  struct Spec {
+    std::vector<int32_t> prompt;
+    int adapter;
+  };
+  std::vector<Spec> specs;
+  const int batch = static_cast<int>(meta.NextInt(1, 3));
+  for (int i = 0; i < batch; ++i) {
+    Spec spec;
+    const int64_t len = meta.NextInt(4, 24);
+    for (int64_t t = 0; t < len; ++t) {
+      spec.prompt.push_back(static_cast<int32_t>(meta.NextInt(2, config.vocab_size - 1)));
+    }
+    spec.adapter = static_cast<int>(meta.NextInt(-1, num_adapters - 1));
+    specs.push_back(std::move(spec));
+  }
+  const int merged_candidate = static_cast<int>(meta.NextInt(0, num_adapters - 1));
+
+  auto run = [&](InferMode mode, int merged) {
+    EngineOptions options;
+    options.seed = seed;
+    InferenceEngine engine(config, options);
+    for (LoraAdapter& adapter : adapters) {
+      engine.RegisterAdapter(&adapter);
+    }
+    engine.SetMode(mode, merged);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      EngineRequest request;
+      request.id = static_cast<int64_t>(i);
+      request.prompt_tokens = specs[i].prompt;
+      request.adapter_id = specs[i].adapter;
+      request.max_new_tokens = 3;
+      request.eos_token = -1;
+      engine.Submit(request);
+    }
+    std::map<int64_t, std::vector<int32_t>> outputs;
+    while (engine.HasWork()) {
+      for (EngineResult& result : engine.Step()) {
+        outputs[result.request_id] = std::move(result.output_tokens);
+      }
+    }
+    return outputs;
+  };
+
+  const auto unmerged = run(InferMode::kUnmerged, -1);
+  const auto mixture = run(InferMode::kMixture, merged_candidate);
+  EXPECT_EQ(unmerged, mixture) << "seed " << seed;
+
+  // Merged mode can only serve a homogeneous batch; check it when applicable.
+  bool homogeneous = true;
+  for (const Spec& spec : specs) {
+    homogeneous = homogeneous && spec.adapter == specs[0].adapter;
+  }
+  if (homogeneous && specs[0].adapter >= 0) {
+    const auto merged = run(InferMode::kMerged, specs[0].adapter);
+    EXPECT_EQ(unmerged, merged) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineModeFuzzTest, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// GEMM: random shapes x random valid configs match the reference.
+class GemmFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmFuzzTest, RandomShapeRandomConfig) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 10007 + 3);
+  const int64_t m = rng.NextInt(1, 200);
+  const int64_t n = rng.NextInt(1, 150);
+  const int64_t k = rng.NextInt(1, 180);
+  std::vector<TileConfig> candidates = DefaultCandidateConfigs();
+  const TileConfig config =
+      candidates[static_cast<size_t>(rng.NextBounded(candidates.size()))];
+  Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+  Tensor c = Tensor::Zeros(Shape(m, n));
+  GemmWorkspace workspace;
+  GemmTiled(a, b, c, config, workspace);
+  EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b)), 1e-3f)
+      << m << "x" << n << "x" << k << " " << config.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemmFuzzTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Simulator invariants under random traces and every policy.
+class SimulatorInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorInvariantTest, ConservationAndOrdering) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 7 + 5);
+  TraceOptions trace_options;
+  trace_options.app = rng.NextDouble() < 0.5 ? AppKind::kVisualRetrieval
+                                             : AppKind::kVideoAnalytics;
+  trace_options.duration_s = 10.0;
+  trace_options.rate_rps = rng.NextUniform(1.0, 8.0);
+  trace_options.num_adapters = static_cast<int>(rng.NextInt(1, 12));
+  trace_options.skewness = rng.NextDouble();
+  trace_options.seed = seed;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+  if (trace.empty()) {
+    return;
+  }
+
+  std::vector<PolicyFactory> factories = {
+      [] { return MakeVloraPolicy(); },  MakeSloraPolicy,      MakePunicaPolicy,
+      MakeDloraPolicy,                   MakeMergeOnlyPolicy,  MakeUnmergeOnlyPolicy,
+  };
+  SimOptions options;
+  options.max_batch_size = static_cast<int>(rng.NextInt(4, 48));
+  options.gpu_adapter_slots = static_cast<int>(rng.NextInt(2, 12));
+  options.num_gpus = static_cast<int>(rng.NextInt(1, 3));
+  options.prefill_chunk_tokens = rng.NextDouble() < 0.3 ? rng.NextInt(64, 512) : 0;
+
+  const double last_arrival = trace.back().arrival_s;
+  for (const PolicyFactory& factory : factories) {
+    const SimMetrics metrics = RunSimulation(trace, factory, options);
+    EXPECT_EQ(metrics.completed, static_cast<int64_t>(trace.size())) << "seed " << seed;
+    EXPECT_GE(metrics.makespan_s, last_arrival);
+    EXPECT_LE(metrics.p50_latency_ms, metrics.p90_latency_ms);
+    EXPECT_LE(metrics.p90_latency_ms, metrics.p99_latency_ms);
+    EXPECT_GT(metrics.avg_token_latency_ms, 0.0);
+    EXPECT_GE(metrics.slo_violation_rate, 0.0);
+    EXPECT_LE(metrics.slo_violation_rate, 1.0);
+    EXPECT_GE(metrics.visible_swap_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorInvariantTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// KV block manager model check: random op sequences against a simple model.
+TEST(KvModelCheckTest, RandomOpSequences) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed * 131 + 17);
+    const int64_t blocks = 16;
+    KvBlockManager kv(TinyConfig(), 4, blocks);
+    std::map<int64_t, int> model_refs;      // live block -> external refs
+    std::vector<int64_t> cached_fifo;       // cache entries in eviction order
+    auto is_cached = [&](int64_t id) {
+      return std::find(cached_fifo.begin(), cached_fifo.end(), id) != cached_fifo.end();
+    };
+    auto model_evict_front = [&]() {
+      const int64_t victim = cached_fifo.front();
+      cached_fifo.erase(cached_fifo.begin());
+      auto it = model_refs.find(victim);
+      if (it != model_refs.end() && it->second == 0) {
+        model_refs.erase(it);  // cache held the last reference
+      }
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.35 && kv.num_free_blocks() > 0) {
+        // Allocation without pressure: never evicts cache entries.
+        const int64_t id = kv.AllocateBlock();
+        ASSERT_GE(id, 0);
+        EXPECT_FALSE(model_refs.contains(id)) << "allocated a live block";
+        EXPECT_FALSE(is_cached(id));
+        model_refs[id] = 1;
+      } else if (roll < 0.45 && !cached_fifo.empty()) {
+        // Explicit eviction mirrors the manager's order (FIFO here: this test
+        // never performs lookups, so LRU order equals registration order).
+        ASSERT_TRUE(kv.EvictOneCachedBlock());
+        model_evict_front();
+      } else if (roll < 0.6 && !model_refs.empty()) {
+        auto it = model_refs.begin();
+        std::advance(it, static_cast<long>(rng.NextBounded(model_refs.size())));
+        if (it->second > 0) {
+          kv.AddRef(it->first);
+          ++it->second;
+        }
+      } else if (roll < 0.85 && !model_refs.empty()) {
+        auto it = model_refs.begin();
+        std::advance(it, static_cast<long>(rng.NextBounded(model_refs.size())));
+        if (it->second > 0) {
+          kv.Release(it->first);
+          --it->second;
+          if (it->second == 0 && !is_cached(it->first)) {
+            model_refs.erase(it);
+          }
+        }
+      } else if (!model_refs.empty()) {
+        // Register a random live block under a fresh hash (cache ref).
+        auto it = model_refs.begin();
+        std::advance(it, static_cast<long>(rng.NextBounded(model_refs.size())));
+        const uint64_t hash = seed * 100000 + static_cast<uint64_t>(step);
+        if (!is_cached(it->first) && it->second > 0) {
+          kv.RegisterPrefixBlock(hash, it->first);
+          cached_fifo.push_back(it->first);
+        }
+      }
+      // Invariant: external refs + cache ref match the manager's counts.
+      for (const auto& [id, refs] : model_refs) {
+        const int expected = refs + (is_cached(id) ? 1 : 0);
+        ASSERT_EQ(kv.RefCount(id), expected) << "seed " << seed << " step " << step;
+      }
+      ASSERT_EQ(kv.num_cached_blocks(), static_cast<int64_t>(cached_fifo.size()));
+      ASSERT_LE(kv.num_free_blocks(), blocks);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator: random catalogues pack every item exactly once, all constraints
+// hold, and adapter count never exceeds item count.
+class GeneratorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorFuzzTest, PackingProperties) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 37 + 11);
+  AccuracyOracle oracle(seed, 0.3);
+  std::vector<KnowledgeItem> items;
+  const int n = static_cast<int>(rng.NextInt(1, 20));
+  const VisionTask tasks[] = {VisionTask::kImageClassification, VisionTask::kObjectDetection,
+                              VisionTask::kVideoClassification,
+                              VisionTask::kVisualQuestionAnswering,
+                              VisionTask::kImageCaptioning};
+  for (int i = 0; i < n; ++i) {
+    KnowledgeItem item;
+    item.task = tasks[rng.NextBounded(5)];
+    item.domain = std::string(VisionTaskName(item.task)) + std::to_string(i);
+    item.required_accuracy = oracle.LoraAccuracy(item.task, 1) - rng.NextUniform(0.0, 15.0);
+    items.push_back(item);
+  }
+  GeneratorOptions options;
+  options.seed = seed;
+  const GeneratorResult result = GenerateAdapters(items, oracle, options);
+  EXPECT_LE(result.adapters.size(), items.size());
+  std::vector<int> seen(items.size(), 0);
+  for (const GeneratedAdapterSpec& adapter : result.adapters) {
+    EXPECT_TRUE(SatisfiesRequirements(items, adapter, oracle)) << "seed " << seed;
+    for (int index : adapter.item_indices) {
+      ++seen[static_cast<size_t>(index)];
+    }
+  }
+  for (int count : seen) {
+    EXPECT_EQ(count, 1) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorFuzzTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/kernels/request_mapping.h"
+
+namespace vlora {
+namespace {
+
+TEST(RequestTypeMatrixTest, OneHotPerSegment) {
+  std::vector<LoraSegment> segments = {{0, 2, 1}, {2, 5, 0}};
+  const Tensor mapping = BuildRequestTypeMatrix(segments, 5, 2);
+  EXPECT_EQ(mapping.shape(), Shape(5, 2));
+  EXPECT_EQ(mapping.at(0, 1), 1.0f);
+  EXPECT_EQ(mapping.at(0, 0), 0.0f);
+  EXPECT_EQ(mapping.at(4, 0), 1.0f);
+  EXPECT_EQ(mapping.at(4, 1), 0.0f);
+}
+
+TEST(RequestTypeMatrixTest, GapsLeaveZeroRows) {
+  std::vector<LoraSegment> segments = {{0, 1, 0}, {3, 4, 0}};
+  const Tensor mapping = BuildRequestTypeMatrix(segments, 4, 1);
+  EXPECT_EQ(mapping.at(1, 0), 0.0f);
+  EXPECT_EQ(mapping.at(2, 0), 0.0f);
+}
+
+TEST(RequestTypeMatrixTest, OverlapAccumulates) {
+  // The deLoRA pattern: the same rows route through two branches.
+  std::vector<LoraSegment> segments = {{0, 2, 0}, {0, 2, 1}};
+  const Tensor mapping = BuildRequestTypeMatrix(segments, 2, 2);
+  EXPECT_EQ(mapping.at(0, 0), 1.0f);
+  EXPECT_EQ(mapping.at(0, 1), 1.0f);
+}
+
+struct MappingFixture {
+  MappingFixture() : rng(211) {
+    for (int64_t rank : {8, 16}) {
+      downs.push_back(Tensor::Random(Shape(48, rank), rng, 0.3f));
+      ups.push_back(Tensor::Random(Shape(rank, 48), rng, 0.3f));
+    }
+    for (size_t i = 0; i < downs.size(); ++i) {
+      views.push_back(AdapterWeightsView{&downs[i], &ups[i], 1.0f});
+    }
+  }
+  Rng rng;
+  std::vector<Tensor> downs;
+  std::vector<Tensor> ups;
+  std::vector<AdapterWeightsView> views;
+};
+
+TEST(MappedLoraOperatorTest, AgreesWithSegmentedAtmm) {
+  MappingFixture fx;
+  Tensor x = Tensor::Random(Shape(14, 48), fx.rng, 1.0f);
+  std::vector<LoraSegment> segments = {{0, 4, 0}, {4, 9, 1}, {9, 14, 0}};
+
+  AtmmDispatcher dispatcher;
+  AtmmLoraOperator segmented(&dispatcher);
+  Tensor y_segmented = Tensor::Zeros(x.shape());
+  segmented.Run(x, segments, fx.views, y_segmented);
+
+  MappedLoraOperator mapped;
+  Tensor y_mapped = Tensor::Zeros(x.shape());
+  mapped.Run(x, segments, fx.views, y_mapped);
+
+  EXPECT_LT(Tensor::MaxAbsDiff(y_segmented, y_mapped), 1e-3f);
+}
+
+TEST(MappedLoraOperatorTest, HandlesDeLoraOverlap) {
+  MappingFixture fx;
+  Tensor x = Tensor::Random(Shape(6, 48), fx.rng, 1.0f);
+  std::vector<AdapterWeightsView> views = {fx.views[0], fx.views[0]};
+  views[1].scaling = -1.0f;
+  std::vector<LoraSegment> segments = {{0, 6, 0}, {0, 6, 1}};
+  MappedLoraOperator mapped;
+  Tensor y = Tensor::Zeros(x.shape());
+  mapped.Run(x, segments, views, y);
+  // +adapter and -adapter over the same rows cancel exactly.
+  EXPECT_LT(Tensor::MaxAbsDiff(y, Tensor::Zeros(x.shape())), 1e-3f);
+}
+
+TEST(MappedLoraOperatorTest, SkipsUnusedAdapters) {
+  MappingFixture fx;
+  Tensor x = Tensor::Random(Shape(5, 48), fx.rng, 1.0f);
+  // Only adapter 1 appears; adapter 0 must contribute nothing (and in
+  // particular must not crash on a d-model mismatch check).
+  std::vector<LoraSegment> segments = {{0, 5, 1}};
+  AtmmDispatcher dispatcher;
+  AtmmLoraOperator segmented(&dispatcher);
+  Tensor expected = Tensor::Zeros(x.shape());
+  segmented.Run(x, segments, fx.views, expected);
+  MappedLoraOperator mapped;
+  Tensor y = Tensor::Zeros(x.shape());
+  mapped.Run(x, segments, fx.views, y);
+  EXPECT_LT(Tensor::MaxAbsDiff(y, expected), 1e-3f);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/scheduler.h"
+
+namespace vlora {
+namespace {
+
+RequestView View(int index, int adapter, double wait_ms) {
+  RequestView view;
+  view.index = index;
+  view.adapter_id = adapter;
+  view.wait_ms = wait_ms;
+  view.arrival_wait_ms = wait_ms;
+  view.input_tokens = 256;
+  view.remaining_outputs = 10;
+  return view;
+}
+
+PolicyContext Ctx(int max_bs) {
+  PolicyContext context;
+  context.max_batch_size = max_bs;
+  context.current_mode = InferMode::kUnmerged;
+  context.merged_adapter = -1;
+  return context;
+}
+
+TEST(Alg1Test, EmptyQueueEmptyPlan) {
+  const IterationPlan plan = Alg1Schedule({}, Ctx(8), Alg1Options{});
+  EXPECT_TRUE(plan.selected.empty());
+}
+
+TEST(Alg1Test, MergedWhenQueueHomogeneous) {
+  // Every queued request wants adapter 0: pure merged mode, nobody excluded.
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    queue.push_back(View(i, 0, 10.0));
+  }
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), Alg1Options{});
+  EXPECT_EQ(plan.mode, InferMode::kMerged);
+  EXPECT_EQ(plan.merged_adapter, 0);
+  EXPECT_EQ(plan.selected.size(), 6u);
+}
+
+TEST(Alg1Test, MergedWhenGroupFillsBatch) {
+  // The hot adapter's requests are the oldest and alone fill MaxBS: the
+  // candidate batch is homogeneous and runs merged; the younger foreign
+  // requests wait outside the window.
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 10; ++i) {
+    queue.push_back(View(i, 0, 100.0 - i));
+  }
+  queue.push_back(View(10, 1, 5.0));
+  queue.push_back(View(11, 2, 4.0));
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), Alg1Options{});
+  EXPECT_EQ(plan.mode, InferMode::kMerged);
+  EXPECT_EQ(plan.merged_adapter, 0);
+  EXPECT_EQ(plan.selected.size(), 8u);
+  for (int index : plan.selected) {
+    EXPECT_LT(index, 10);
+  }
+}
+
+TEST(Alg1Test, MixtureWhenDominantButHeterogeneous) {
+  // 6 of 8 requests want adapter 0 (> MaxBS/2 = 4) but the queue is mixed and
+  // fits in one batch: mixture serves everyone while adapter 0 stays merged.
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    queue.push_back(View(i, 0, 10.0));
+  }
+  queue.push_back(View(6, 1, 10.0));
+  queue.push_back(View(7, 2, 10.0));
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), Alg1Options{});
+  EXPECT_EQ(plan.mode, InferMode::kMixture);
+  EXPECT_EQ(plan.merged_adapter, 0);
+  EXPECT_EQ(plan.selected.size(), 8u);
+}
+
+TEST(Alg1Test, MixtureWhenFewStarving) {
+  Alg1Options options;
+  options.theta_ms = 500.0;
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    queue.push_back(View(i, 0, 10.0));
+  }
+  // Two starving foreign-adapter requests (2 <= MaxBS/2 = 4).
+  queue.push_back(View(6, 1, 2000.0));
+  queue.push_back(View(7, 2, 2000.0));
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), options);
+  EXPECT_EQ(plan.mode, InferMode::kMixture);
+  EXPECT_EQ(plan.merged_adapter, 0);
+  // Starving requests are in the batch.
+  EXPECT_NE(std::find(plan.selected.begin(), plan.selected.end(), 6), plan.selected.end());
+  EXPECT_NE(std::find(plan.selected.begin(), plan.selected.end(), 7), plan.selected.end());
+  // Merge-group requests fill the remainder.
+  EXPECT_EQ(plan.selected.size(), 8u);
+}
+
+TEST(Alg1Test, UnmergedWhenTooManyStarving) {
+  Alg1Options options;
+  options.theta_ms = 500.0;
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 3; ++i) {
+    queue.push_back(View(i, 0, 10.0));
+  }
+  // 5 starving > MaxBS/2 = 4.
+  for (int i = 3; i < 8; ++i) {
+    queue.push_back(View(i, i, 2000.0));
+  }
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), options);
+  EXPECT_EQ(plan.mode, InferMode::kUnmerged);
+  // Starving requests come first.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(plan.selected[static_cast<size_t>(i)], 3);
+  }
+  EXPECT_EQ(plan.selected.size(), 8u);
+}
+
+TEST(Alg1Test, UnmergedWhenNoDominantGroup) {
+  // Even spread: 2 requests per adapter, MaxBS 8 -> no group > 4.
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 8; ++i) {
+    queue.push_back(View(i, i / 2, 10.0));
+  }
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), Alg1Options{});
+  EXPECT_EQ(plan.mode, InferMode::kUnmerged);
+  EXPECT_EQ(plan.selected.size(), 8u);
+}
+
+TEST(Alg1Test, RespectsMaxBatchSize) {
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 20; ++i) {
+    queue.push_back(View(i, i % 5, 10.0 * i));
+  }
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(4), Alg1Options{});
+  EXPECT_LE(plan.selected.size(), 4u);
+}
+
+TEST(Alg1Test, NoDuplicateSelections) {
+  Alg1Options options;
+  options.theta_ms = 100.0;
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 12; ++i) {
+    queue.push_back(View(i, i % 3, i < 3 ? 500.0 : 10.0));
+  }
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), options);
+  std::vector<int> sorted = plan.selected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Alg1Test, CreditIncludesExecAndSwitchEstimates) {
+  // wait 460 + exec 40 + switch 8 = 508 > θ = 500: starving even though the
+  // raw wait is below θ.
+  Alg1Options options;
+  options.theta_ms = 500.0;
+  options.exec_estimate_ms = 40.0;
+  options.switch_ms = 8.0;
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    queue.push_back(View(i, 0, 10.0));
+  }
+  queue.push_back(View(6, 1, 460.0));
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(8), options);
+  EXPECT_EQ(plan.mode, InferMode::kMixture);
+  EXPECT_NE(std::find(plan.selected.begin(), plan.selected.end(), 6), plan.selected.end());
+}
+
+TEST(Alg1Test, HomogeneousCandidateBatchRunsMerged) {
+  Alg1Options options;
+  options.theta_ms = 10000.0;
+  // MaxBS = 4 and the four oldest requests all use adapter 0: the candidate
+  // batch is homogeneous, so pure merged mode fires even though a foreign
+  // request waits deeper in the queue.
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    queue.push_back(View(i, 0, 100.0 - i));  // FCFS: index 0 oldest
+  }
+  queue.push_back(View(6, 1, 10.0));  // youngest, outside the batch window
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(4), options);
+  EXPECT_EQ(plan.mode, InferMode::kMerged);
+  EXPECT_EQ(plan.selected.size(), 4u);
+  EXPECT_EQ(std::find(plan.selected.begin(), plan.selected.end(), 6), plan.selected.end());
+}
+
+TEST(Alg1Test, RunningRequestsKeepTheirSlots) {
+  // 4 running decodes + 4 waiting requests with huge arrival waits, MaxBS 4:
+  // the running set is not preempted (no round-robin churn under overload).
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 4; ++i) {
+    RequestView view = View(i, i, 50.0);
+    view.prefilled = true;
+    queue.push_back(view);
+  }
+  for (int i = 4; i < 8; ++i) {
+    queue.push_back(View(i, i, 5000.0));
+  }
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(4), Alg1Options{});
+  ASSERT_EQ(plan.selected.size(), 4u);
+  for (int index : plan.selected) {
+    EXPECT_LT(index, 4);
+  }
+}
+
+// Starvation-freedom property: under repeated scheduling with waits growing
+// for unselected requests, every request is eventually selected.
+TEST(Alg1Test, StarvationFreedom) {
+  Alg1Options options;
+  options.theta_ms = 300.0;
+  const int n = 24;
+  std::vector<double> waits(n, 0.0);
+  std::vector<bool> served(n, false);
+  // Adapter 0 dominates; adapters 1..5 each own a few requests.
+  std::vector<int> adapters(n);
+  for (int i = 0; i < n; ++i) {
+    adapters[static_cast<size_t>(i)] = i < 16 ? 0 : 1 + (i - 16) % 5;
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::vector<RequestView> queue;
+    for (int i = 0; i < n; ++i) {
+      if (!served[static_cast<size_t>(i)]) {
+        queue.push_back(View(i, adapters[static_cast<size_t>(i)], waits[static_cast<size_t>(i)]));
+      }
+    }
+    if (queue.empty()) {
+      break;
+    }
+    const IterationPlan plan = Alg1Schedule(queue, Ctx(8), options);
+    ASSERT_FALSE(plan.selected.empty());
+    for (int index : plan.selected) {
+      served[static_cast<size_t>(index)] = true;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (!served[static_cast<size_t>(i)]) {
+        waits[static_cast<size_t>(i)] += 50.0;
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(served[static_cast<size_t>(i)]) << "request " << i << " starved";
+  }
+}
+
+TEST(Alg1Test, SloUrgentRequestJumpsAdmissionQueue) {
+  Alg1Options options;
+  options.theta_ms = 10000.0;  // nobody starves by wait
+  options.slo_urgency_fraction = 0.5;
+  // Four running decodes occupy rank 0; two waiters compete for nothing at
+  // MaxBS 5 — only one waiting slot. The SLO-urgent waiter must win it even
+  // though the best-effort waiter arrived earlier.
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 4; ++i) {
+    RequestView view = View(i, i, 50.0);
+    view.prefilled = true;
+    queue.push_back(view);
+  }
+  RequestView best_effort = View(4, 4, 900.0);  // older
+  RequestView urgent = View(5, 5, 600.0);       // younger but near its SLO
+  urgent.slo_ms = 1000.0;                       // 600 > 0.5 * 1000
+  queue.push_back(best_effort);
+  queue.push_back(urgent);
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(5), options);
+  ASSERT_EQ(plan.selected.size(), 5u);
+  EXPECT_NE(std::find(plan.selected.begin(), plan.selected.end(), 5), plan.selected.end());
+  EXPECT_EQ(std::find(plan.selected.begin(), plan.selected.end(), 4), plan.selected.end());
+}
+
+TEST(Alg1Test, SloAwarenessOffByDefault) {
+  Alg1Options options;
+  options.theta_ms = 10000.0;
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 4; ++i) {
+    RequestView view = View(i, i, 50.0);
+    view.prefilled = true;
+    queue.push_back(view);
+  }
+  RequestView best_effort = View(4, 4, 900.0);
+  RequestView urgent = View(5, 5, 600.0);
+  urgent.slo_ms = 1000.0;
+  queue.push_back(best_effort);
+  queue.push_back(urgent);
+  const IterationPlan plan = Alg1Schedule(queue, Ctx(5), options);
+  // Default Alg 1 (no SLO term): plain FCFS admission — the older waiter wins.
+  EXPECT_NE(std::find(plan.selected.begin(), plan.selected.end(), 4), plan.selected.end());
+  EXPECT_EQ(std::find(plan.selected.begin(), plan.selected.end(), 5), plan.selected.end());
+}
+
+TEST(VloraPolicyTest, ProfileDescribesVlora) {
+  auto policy = MakeVloraPolicy();
+  EXPECT_EQ(policy->profile().name, "V-LoRA");
+  EXPECT_EQ(policy->profile().op, OperatorKind::kAtmm);
+  EXPECT_LT(policy->profile().switch_ms, 10.0);
+  EXPECT_TRUE(policy->profile().uses_task_head);
+  EXPECT_TRUE(policy->profile().async_adapter_swap);
+}
+
+TEST(VloraPolicyTest, NoMixtureVariantNeverPlansMixture) {
+  auto policy = MakeVloraNoMixturePolicy(Alg1Options{.theta_ms = 500.0});
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    queue.push_back(View(i, 0, 10.0));
+  }
+  queue.push_back(View(6, 1, 2000.0));
+  const IterationPlan plan = policy->Plan(queue, Ctx(8));
+  EXPECT_EQ(plan.mode, InferMode::kUnmerged);
+}
+
+TEST(VloraPolicyTest, LegacySwitchVariantCosts53ms) {
+  auto policy = MakeVloraLegacySwitchPolicy();
+  EXPECT_NEAR(policy->profile().switch_ms, 53.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/engine/engine.h"
+#include "src/kernels/tiling_search.h"
+#include "src/lora/serialization.h"
+
+namespace vlora {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+LoraAdapter SampleAdapter(uint64_t seed) {
+  Rng rng(seed);
+  LoraAdapter adapter = LoraAdapter::Random("traffic-detect", 3, 32, 8, rng, 0.1f,
+                                            {LoraTarget::kWq, LoraTarget::kWo});
+  adapter.set_scaling(0.75f);
+  VisionTaskHead head;
+  head.task = VisionTask::kObjectDetection;
+  head.weight = Tensor::Random(Shape(32, 12), rng, 0.3f);
+  adapter.SetTaskHead(std::move(head));
+  adapter.AddFusedDomain("license-plate");
+  adapter.AddFusedDomain("traffic-sign");
+  return adapter;
+}
+
+TEST(AdapterSerializationTest, RoundTripPreservesEverything) {
+  const LoraAdapter original = SampleAdapter(5);
+  const std::string path = TempPath("adapter_roundtrip.vlra");
+  ASSERT_TRUE(SaveAdapter(original, path).ok());
+  Result<LoraAdapter> loaded = LoadAdapter(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const LoraAdapter& adapter = loaded.value();
+
+  EXPECT_EQ(adapter.name(), original.name());
+  EXPECT_EQ(adapter.num_layers(), original.num_layers());
+  EXPECT_EQ(adapter.d_model(), original.d_model());
+  EXPECT_EQ(adapter.rank(), original.rank());
+  EXPECT_EQ(adapter.scaling(), original.scaling());
+  ASSERT_EQ(adapter.targets(), original.targets());
+  for (LoraTarget target : original.targets()) {
+    for (int layer = 0; layer < original.num_layers(); ++layer) {
+      EXPECT_EQ(Tensor::MaxAbsDiff(adapter.layer(target, layer).down,
+                                   original.layer(target, layer).down),
+                0.0f);
+      EXPECT_EQ(Tensor::MaxAbsDiff(adapter.layer(target, layer).up,
+                                   original.layer(target, layer).up),
+                0.0f);
+    }
+  }
+  ASSERT_TRUE(adapter.task_head().has_value());
+  EXPECT_EQ(adapter.task_head()->task, VisionTask::kObjectDetection);
+  EXPECT_EQ(Tensor::MaxAbsDiff(adapter.task_head()->weight, original.task_head()->weight), 0.0f);
+  EXPECT_EQ(adapter.fused_domains(), original.fused_domains());
+}
+
+TEST(AdapterSerializationTest, RoundTripWithoutHead) {
+  Rng rng(7);
+  LoraAdapter original = LoraAdapter::Random("plain", 2, 16, 4, rng);
+  const std::string path = TempPath("adapter_nohead.vlra");
+  ASSERT_TRUE(SaveAdapter(original, path).ok());
+  Result<LoraAdapter> loaded = LoadAdapter(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().task_head().has_value());
+  EXPECT_TRUE(loaded.value().fused_domains().empty());
+}
+
+TEST(AdapterSerializationTest, MissingFileIsNotFound) {
+  Result<LoraAdapter> loaded = LoadAdapter(TempPath("does_not_exist.vlra"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AdapterSerializationTest, CorruptMagicRejected) {
+  const std::string path = TempPath("corrupt.vlra");
+  std::ofstream out(path, std::ios::binary);
+  out << "garbage data that is definitely not an adapter";
+  out.close();
+  Result<LoraAdapter> loaded = LoadAdapter(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdapterSerializationTest, TruncatedFileRejected) {
+  const LoraAdapter original = SampleAdapter(9);
+  const std::string path = TempPath("truncated.vlra");
+  ASSERT_TRUE(SaveAdapter(original, path).ok());
+  // Chop the file in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  Result<LoraAdapter> loaded = LoadAdapter(path);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(AdapterSerializationTest, LoadedAdapterServesIdentically) {
+  // The serialized artifact must be behaviourally identical, not just
+  // structurally: same engine outputs.
+  const LoraAdapter original = SampleAdapter(11);
+  const std::string path = TempPath("adapter_behaviour.vlra");
+  ASSERT_TRUE(SaveAdapter(original, path).ok());
+  Result<LoraAdapter> loaded = LoadAdapter(path);
+  ASSERT_TRUE(loaded.ok());
+
+  ModelConfig config = TinyConfig();
+  config.d_model = 32;  // matches the sample adapter
+  config.num_layers = 3;
+  auto run = [&](const LoraAdapter& adapter) {
+    InferenceEngine engine(config, EngineOptions{});
+    const int id = engine.RegisterAdapter(&adapter);
+    engine.SetMode(InferMode::kUnmerged);
+    EngineRequest request;
+    request.id = 1;
+    request.prompt_tokens = {5, 9, 23, 17, 40, 41, 42};
+    request.adapter_id = id;
+    request.max_new_tokens = 5;
+    request.eos_token = -1;
+    return engine.RunToCompletion(request).output_tokens;
+  };
+  EXPECT_EQ(run(original), run(loaded.value()));
+}
+
+TEST(TilingTableSerializationTest, RoundTrip) {
+  AtmmDispatcher original;
+  original.Register(ShapeKey{64, 32, 1024}, TileConfig{64, 32, 128, 8, 8});
+  original.Register(ShapeKey{256, 1024, 64}, TileConfig{128, 64, 64, 8, 16});
+  original.Register(ShapeKey{32, 16, 512}, TileConfig{16, 16, 64, 4, 4});
+  const std::string path = TempPath("table.vltt");
+  ASSERT_TRUE(SaveTilingTable(original, path).ok());
+
+  AtmmDispatcher loaded;
+  ASSERT_TRUE(LoadTilingTable(path, loaded).ok());
+  EXPECT_EQ(loaded.TableSize(), 3);
+  EXPECT_EQ(loaded.Select(64, 32, 1024), (TileConfig{64, 32, 128, 8, 8}));
+  EXPECT_EQ(loaded.Select(256, 1024, 64), (TileConfig{128, 64, 64, 8, 16}));
+  EXPECT_EQ(loaded.Select(32, 16, 512), (TileConfig{16, 16, 64, 4, 4}));
+}
+
+TEST(TilingTableSerializationTest, SearchThenPersistThenServe) {
+  // The deployment flow: offline search -> save -> load on the serving node.
+  AtmmDispatcher searched;
+  TilingSearchOptions options;
+  options.nk_pairs = {{32, 128}};
+  options.m_min = 64;
+  options.m_max = 64;
+  options.m_stride_multiplier = 1;
+  options.repetitions = 1;
+  options.candidates = {TileConfig{16, 16, 32, 4, 4}, TileConfig{64, 32, 64, 8, 8}};
+  RunTilingSearch(options, searched);
+  const std::string path = TempPath("searched.vltt");
+  ASSERT_TRUE(SaveTilingTable(searched, path).ok());
+
+  AtmmDispatcher serving;
+  ASSERT_TRUE(LoadTilingTable(path, serving).ok());
+  EXPECT_EQ(serving.TableSize(), searched.TableSize());
+  // Execution correctness through the loaded table.
+  Rng rng(3);
+  Tensor a = Tensor::Random(Shape(64, 128), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(128, 32), rng, 1.0f);
+  Tensor c = Tensor::Zeros(Shape(64, 32));
+  serving.Execute(a, b, c);
+  EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b)), 1e-3f);
+}
+
+TEST(TilingTableSerializationTest, CorruptTableRejected) {
+  const std::string path = TempPath("corrupt.vltt");
+  std::ofstream out(path, std::ios::binary);
+  out << "nope";
+  out.close();
+  AtmmDispatcher dispatcher;
+  EXPECT_FALSE(LoadTilingTable(path, dispatcher).ok());
+}
+
+}  // namespace
+}  // namespace vlora

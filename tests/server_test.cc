@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "src/core/server.h"
+#include "src/engine/vision.h"
+
+namespace vlora {
+namespace {
+
+std::vector<int32_t> Prompt(int64_t len, uint64_t seed, int64_t vocab) {
+  Rng rng(seed);
+  std::vector<int32_t> tokens;
+  for (int64_t i = 0; i < len; ++i) {
+    tokens.push_back(static_cast<int32_t>(rng.NextInt(2, vocab - 1)));
+  }
+  return tokens;
+}
+
+std::vector<KnowledgeItem> SampleCatalog() {
+  std::vector<KnowledgeItem> items;
+  AccuracyOracle oracle(7, 0.0);
+  auto add = [&](VisionTask task, int n, double slack, int options) {
+    for (int i = 0; i < n; ++i) {
+      KnowledgeItem item;
+      item.domain = std::string(VisionTaskName(task)) + "-" + std::to_string(i);
+      item.task = task;
+      item.required_accuracy = oracle.LoraAccuracy(task, 1) - slack;
+      item.closed_set_options = options;
+      items.push_back(item);
+    }
+  };
+  add(VisionTask::kVideoClassification, 3, 3.0, 8);
+  add(VisionTask::kVisualQuestionAnswering, 3, 5.0, 0);
+  return items;
+}
+
+TEST(MaterializeTest, BuildsAdaptersWithHeads) {
+  const std::vector<KnowledgeItem> items = SampleCatalog();
+  AccuracyOracle oracle(7, 0.0);
+  const GeneratorResult generated =
+      GenerateAdapters(items, oracle, GeneratorOptions{.shuffle = false});
+  Rng rng(21);
+  const ModelConfig config = TinyConfig();
+  auto adapters = MaterializeAdapters(items, generated, config, 8, rng);
+  ASSERT_EQ(adapters.size(), generated.adapters.size());
+  for (size_t i = 0; i < adapters.size(); ++i) {
+    EXPECT_EQ(adapters[i]->num_layers(), config.num_layers);
+    EXPECT_EQ(adapters[i]->d_model(), config.d_model);
+    EXPECT_EQ(adapters[i]->fused_domains().size(), generated.adapters[i].item_indices.size());
+    EXPECT_EQ(adapters[i]->task_head().has_value(), generated.adapters[i].has_task_head);
+  }
+  // At least one video-classification adapter carries a head.
+  bool any_head = false;
+  for (const auto& adapter : adapters) {
+    any_head = any_head || adapter->task_head().has_value();
+  }
+  EXPECT_TRUE(any_head);
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : config_(TinyConfig()) {
+    ServerOptions options;
+    options.max_batch_size = 4;
+    options.alg1.theta_ms = 200.0;
+    server_ = std::make_unique<VloraServer>(config_, options);
+    Rng rng(31);
+    for (int i = 0; i < 3; ++i) {
+      server_->AddAdapter(std::make_unique<LoraAdapter>(LoraAdapter::Random(
+          "adapter-" + std::to_string(i), config_.num_layers, config_.d_model, 8, rng)));
+    }
+  }
+
+  EngineRequest MakeRequest(int64_t id, int adapter, uint64_t seed, int new_tokens = 3) {
+    EngineRequest request;
+    request.id = id;
+    request.prompt_tokens = Prompt(18, seed, config_.vocab_size);
+    request.adapter_id = adapter;
+    request.max_new_tokens = new_tokens;
+    request.eos_token = -1;
+    return request;
+  }
+
+  ModelConfig config_;
+  std::unique_ptr<VloraServer> server_;
+};
+
+TEST_F(ServerTest, DrainsAllRequests) {
+  for (int i = 0; i < 6; ++i) {
+    server_->Submit(MakeRequest(i, i % 3, 100 + static_cast<uint64_t>(i)));
+  }
+  const std::vector<EngineResult> results = server_->RunAll();
+  EXPECT_EQ(results.size(), 6u);
+  EXPECT_GT(server_->stats().iterations, 0);
+}
+
+TEST_F(ServerTest, ResultsMatchStandaloneEngineRuns) {
+  // Whatever modes the orchestrator picks, outputs must equal a clean
+  // unmerged single-request run — the correctness contract of mode switching.
+  std::vector<EngineRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(MakeRequest(i, i % 2, 200 + static_cast<uint64_t>(i)));
+  }
+
+  std::vector<std::vector<int32_t>> reference(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    InferenceEngine engine(config_, EngineOptions{});
+    LoraAdapter a = server_->adapter(0);  // copies factors
+    LoraAdapter b = server_->adapter(1);
+    engine.RegisterAdapter(&a);
+    engine.RegisterAdapter(&b);
+    engine.SetMode(InferMode::kUnmerged);
+    reference[i] = engine.RunToCompletion(requests[i]).output_tokens;
+  }
+
+  for (const EngineRequest& request : requests) {
+    server_->Submit(request);
+  }
+  std::vector<std::vector<int32_t>> outputs(requests.size());
+  for (const EngineResult& result : server_->RunAll()) {
+    outputs[static_cast<size_t>(result.request_id)] = result.output_tokens;
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(outputs[i], reference[i]) << "request " << i;
+  }
+}
+
+TEST_F(ServerTest, SkewedLoadUsesMergedMode) {
+  // 6 requests, 5 on adapter 0: with MaxBS 4 the dominant group exceeds
+  // MaxBS/2, so merged iterations must appear.
+  for (int i = 0; i < 5; ++i) {
+    server_->Submit(MakeRequest(i, 0, 300 + static_cast<uint64_t>(i), 5));
+  }
+  server_->Submit(MakeRequest(5, 1, 310, 5));
+  server_->RunAll();
+  EXPECT_GT(server_->stats().merged_iterations + server_->stats().mixture_iterations, 0);
+}
+
+TEST_F(ServerTest, AdapterResidencyTracked) {
+  for (int i = 0; i < 3; ++i) {
+    server_->Submit(MakeRequest(i, i, 400 + static_cast<uint64_t>(i)));
+  }
+  server_->RunAll();
+  // Every adapter was swapped in exactly once (the pool is ample), and the
+  // async prefetch window hides most of the tiny-adapter transfer.
+  EXPECT_EQ(server_->stats().adapter_swap_ins, 3);
+  EXPECT_EQ(server_->stats().adapter_evictions, 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(server_->adapter_manager().IsResident(i));
+  }
+}
+
+TEST(ServerSwapTest, TightPoolForcesEvictions) {
+  const ModelConfig config = TinyConfig();
+  ServerOptions options;
+  options.max_batch_size = 1;  // one adapter active at a time
+  Rng rng(17);
+  // Size the pool to hold exactly one adapter.
+  LoraAdapter probe = LoraAdapter::Random("p", config.num_layers, config.d_model, 8, rng);
+  options.device_pool_bytes = probe.SizeBytesFp16() + 16;
+  VloraServer server(config, options);
+  for (int i = 0; i < 2; ++i) {
+    server.AddAdapter(std::make_unique<LoraAdapter>(LoraAdapter::Random(
+        "t" + std::to_string(i), config.num_layers, config.d_model, 8, rng)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EngineRequest request;
+    request.id = i;
+    Rng prng(600 + static_cast<uint64_t>(i));
+    for (int t = 0; t < 10; ++t) {
+      request.prompt_tokens.push_back(
+          static_cast<int32_t>(prng.NextInt(2, config.vocab_size - 1)));
+    }
+    request.adapter_id = i % 2;  // alternate adapters -> swap churn
+    request.max_new_tokens = 2;
+    request.eos_token = -1;
+    server.Submit(request);
+  }
+  const std::vector<EngineResult> results = server.RunAll();
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_GT(server.stats().adapter_evictions, 0);
+  EXPECT_GT(server.stats().adapter_swap_ins, 2);
+}
+
+TEST_F(ServerTest, TaskHeadRequestsServedInOneRound) {
+  Rng rng(41);
+  auto adapter = std::make_unique<LoraAdapter>(
+      LoraAdapter::Random("head", config_.num_layers, config_.d_model, 8, rng));
+  VisionTaskHead head;
+  head.task = VisionTask::kVideoClassification;
+  head.weight = Tensor::Random(Shape(config_.d_model, 6), rng, 0.3f);
+  adapter->SetTaskHead(std::move(head));
+  const int id = server_->AddAdapter(std::move(adapter));
+
+  EngineRequest request = MakeRequest(99, id, 500);
+  request.use_task_head = true;
+  server_->Submit(request);
+  const std::vector<EngineResult> results = server_->RunAll();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GE(results[0].head_option, 0);
+  EXPECT_LT(results[0].head_option, 6);
+  EXPECT_EQ(results[0].decode_steps, 0);
+}
+
+TEST_F(ServerTest, EndToEndPipelineFromKnowledgeCatalog) {
+  // Offline phase: catalogue -> generator -> materialised adapters.
+  const std::vector<KnowledgeItem> items = SampleCatalog();
+  AccuracyOracle oracle(7, 0.0);
+  const GeneratorResult generated =
+      GenerateAdapters(items, oracle, GeneratorOptions{.shuffle = false});
+  Rng rng(51);
+  ServerOptions options;
+  options.max_batch_size = 4;
+  VloraServer server(config_, options);
+  std::vector<int> head_adapters;
+  for (auto& adapter : MaterializeAdapters(items, generated, config_, 8, rng)) {
+    const bool has_head = adapter->task_head().has_value();
+    const int id = server.AddAdapter(std::move(adapter));
+    if (has_head) {
+      head_adapters.push_back(id);
+    }
+  }
+  ASSERT_GT(server.num_adapters(), 0);
+
+  // Online phase: a small mixed batch, closed-set requests through heads.
+  VisionEncoder vision(config_);
+  int64_t next_id = 0;
+  for (int adapter_id = 0; adapter_id < server.num_adapters(); ++adapter_id) {
+    EngineRequest request;
+    request.id = next_id++;
+    request.prompt_tokens = vision.BuildPrompt(adapter_id, Prompt(6, 600, config_.vocab_size));
+    request.adapter_id = adapter_id;
+    request.max_new_tokens = 3;
+    request.eos_token = -1;
+    request.use_task_head = server.adapter(adapter_id).task_head().has_value();
+    server.Submit(request);
+  }
+  const std::vector<EngineResult> results = server.RunAll();
+  EXPECT_EQ(results.size(), static_cast<size_t>(server.num_adapters()));
+  for (const EngineResult& result : results) {
+    const bool via_head = result.head_option >= 0;
+    EXPECT_TRUE(via_head || !result.output_tokens.empty());
+  }
+}
+
+}  // namespace
+}  // namespace vlora

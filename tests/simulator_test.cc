@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/policies.h"
+#include "src/core/scheduler.h"
+#include "src/gpusim/simulator.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace {
+
+std::vector<Request> SmallTrace(double rate, double skew, int adapters, uint64_t seed = 1,
+                                double duration = 20.0) {
+  TraceOptions options;
+  options.app = AppKind::kVisualRetrieval;
+  options.duration_s = duration;
+  options.rate_rps = rate;
+  options.skewness = skew;
+  options.num_adapters = adapters;
+  options.seed = seed;
+  return GenerateTrace(options);
+}
+
+SimOptions DefaultSim() {
+  SimOptions options;
+  options.max_batch_size = 32;
+  options.gpu_adapter_slots = 8;
+  return options;
+}
+
+TEST(SimulatorTest, CompletesEveryRequest) {
+  const std::vector<Request> trace = SmallTrace(3.0, 0.6, 4);
+  for (const PolicyFactory& factory :
+       {PolicyFactory(MakeSloraPolicy), PolicyFactory(MakePunicaPolicy),
+        PolicyFactory(MakeDloraPolicy), PolicyFactory([] { return MakeVloraPolicy(); }),
+        PolicyFactory(MakeMergeOnlyPolicy), PolicyFactory(MakeUnmergeOnlyPolicy)}) {
+    const SimMetrics metrics = RunSimulation(trace, factory, DefaultSim());
+    EXPECT_EQ(metrics.completed, static_cast<int64_t>(trace.size()));
+    EXPECT_GT(metrics.avg_token_latency_ms, 0.0);
+    EXPECT_GT(metrics.makespan_s, 0.0);
+  }
+}
+
+TEST(SimulatorTest, LatencyPercentilesOrdered) {
+  const std::vector<Request> trace = SmallTrace(4.0, 0.6, 4);
+  const SimMetrics metrics = RunSimulation(trace, [] { return MakeVloraPolicy(); }, DefaultSim());
+  EXPECT_LE(metrics.p50_latency_ms, metrics.p90_latency_ms);
+  EXPECT_LE(metrics.p90_latency_ms, metrics.p99_latency_ms);
+  EXPECT_GT(metrics.avg_request_latency_ms, metrics.avg_token_latency_ms);
+}
+
+TEST(SimulatorTest, VloraBeatsBaselinesOnSkewedWorkload) {
+  // The headline Fig 14 relationship at a load near saturation.
+  const std::vector<Request> trace = SmallTrace(5.0, 0.6, 8, 3, 30.0);
+  SimOptions options = DefaultSim();
+  const double vlora =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, options).avg_token_latency_ms;
+  const double slora = RunSimulation(trace, MakeSloraPolicy, options).avg_token_latency_ms;
+  const double punica = RunSimulation(trace, MakePunicaPolicy, options).avg_token_latency_ms;
+  const double dlora = RunSimulation(trace, MakeDloraPolicy, options).avg_token_latency_ms;
+  EXPECT_LT(vlora, slora);
+  EXPECT_LT(vlora, punica);
+  EXPECT_LT(vlora, dlora);
+}
+
+TEST(SimulatorTest, MergeFriendlyWorkloadReducesOperatorExtra) {
+  // Single adapter, merge-friendly: V-LoRA pays strictly less operator extra
+  // than unmerge-only S-LoRA. (Algorithm 1 gates merged mode on
+  // |R_merge| > MaxBS/2, so the gap is modest below saturation.)
+  const std::vector<Request> trace = SmallTrace(4.0, 1.0, 1, 5);
+  const SimMetrics vlora =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, DefaultSim());
+  const SimMetrics slora = RunSimulation(trace, MakeSloraPolicy, DefaultSim());
+  EXPECT_LT(vlora.unmerged_extra_ms, slora.unmerged_extra_ms);
+}
+
+TEST(SimulatorTest, SaturatedSkewedLoadTriggersMergedIterations) {
+  // At saturation the queue exceeds MaxBS/2 for the hot adapter, so Algorithm
+  // 1's merged / mixture branches fire and most tokens skip the bypass.
+  const std::vector<Request> trace = SmallTrace(20.0, 1.0, 1, 5, 15.0);
+  SimOptions options = DefaultSim();
+  options.record_iterations = true;
+  const SimMetrics vlora = RunSimulation(trace, [] { return MakeVloraPolicy(); }, options);
+  int64_t merge_like = 0;
+  for (const IterationRecord& record : vlora.iterations) {
+    if (record.mode != InferMode::kUnmerged) {
+      ++merge_like;
+    }
+  }
+  EXPECT_GT(merge_like, static_cast<int64_t>(vlora.iterations.size()) / 2);
+  const SimMetrics slora = RunSimulation(trace, MakeSloraPolicy, options);
+  EXPECT_LT(vlora.unmerged_extra_ms, slora.unmerged_extra_ms * 0.5);
+}
+
+TEST(SimulatorTest, MultiGpuIncreasesThroughput) {
+  // Saturating load so throughput is capacity-bound (Table 3).
+  const std::vector<Request> trace = SmallTrace(40.0, 0.6, 8, 7, 30.0);
+  SimOptions options = DefaultSim();
+  options.num_gpus = 1;
+  const double t1 =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, options).throughput_rps;
+  options.num_gpus = 2;
+  const double t2 =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, options).throughput_rps;
+  options.num_gpus = 4;
+  const double t4 =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, options).throughput_rps;
+  EXPECT_GT(t2, t1 * 1.5);
+  EXPECT_GT(t4, t2 * 1.5);
+}
+
+TEST(SimulatorTest, TaskHeadCutsAnalyticsLatency) {
+  TraceOptions trace_options;
+  trace_options.app = AppKind::kVideoAnalytics;
+  trace_options.duration_s = 20.0;
+  trace_options.rate_rps = 4.0;
+  trace_options.num_adapters = 4;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+  const SimMetrics with_head =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, DefaultSim());
+  const SimMetrics without_head = RunSimulation(trace, MakeSloraPolicy, DefaultSim());
+  // The vision task head resolves closed-set outputs in one round instead of
+  // 5-10 decode rounds; analytics latency collapses (Fig 16).
+  EXPECT_LT(with_head.avg_request_latency_ms, without_head.avg_request_latency_ms * 0.7);
+}
+
+TEST(SimulatorTest, IterationRecordingCapturesSwitches) {
+  const std::vector<Request> trace = SmallTrace(4.0, 0.7, 4, 9);
+  SimOptions options = DefaultSim();
+  options.record_iterations = true;
+  const SimMetrics metrics = RunSimulation(trace, MakeDloraPolicy, options);
+  EXPECT_FALSE(metrics.iterations.empty());
+  double recorded_switch_ms = 0.0;
+  for (const IterationRecord& record : metrics.iterations) {
+    EXPECT_GE(record.duration_ms, 0.0);
+    EXPECT_GE(record.batch_size, 1);
+    recorded_switch_ms += record.switch_ms;
+  }
+  if (metrics.mode_switches > 0) {
+    EXPECT_GT(recorded_switch_ms, 0.0);
+  }
+}
+
+TEST(SimulatorTest, AdapterPressureCausesSwaps) {
+  // More adapters than GPU slots forces swapping (Fig 23's regime).
+  const std::vector<Request> trace = SmallTrace(4.0, 0.2, 16, 11, 30.0);
+  SimOptions options = DefaultSim();
+  options.gpu_adapter_slots = 4;
+  const SimMetrics slora = RunSimulation(trace, MakeSloraPolicy, options);
+  EXPECT_GT(slora.adapter_swaps, 0);
+  EXPECT_GT(slora.visible_swap_ms, 0.0);
+  // V-LoRA's asynchronous swap hides most of the visible cost.
+  const SimMetrics vlora = RunSimulation(trace, [] { return MakeVloraPolicy(); }, options);
+  EXPECT_LT(vlora.visible_swap_ms, slora.visible_swap_ms);
+}
+
+TEST(SimulatorTest, SloViolationRateBounded) {
+  const std::vector<Request> trace = SmallTrace(2.0, 0.6, 4, 13);
+  const SimMetrics metrics =
+      RunSimulation(trace, [] { return MakeVloraPolicy(); }, DefaultSim());
+  EXPECT_GE(metrics.slo_violation_rate, 0.0);
+  EXPECT_LE(metrics.slo_violation_rate, 1.0);
+}
+
+TEST(BaselinePolicyTest, SloraAlwaysUnmerged) {
+  auto policy = MakeSloraPolicy();
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    RequestView view;
+    view.index = i;
+    view.adapter_id = 0;  // fully merge-friendly, but S-LoRA cannot merge
+    view.wait_ms = 10.0 * i;
+    view.arrival_wait_ms = 10.0 * i;
+    queue.push_back(view);
+  }
+  PolicyContext context;
+  context.max_batch_size = 4;
+  const IterationPlan plan = policy->Plan(queue, context);
+  EXPECT_EQ(plan.mode, InferMode::kUnmerged);
+  EXPECT_EQ(plan.selected.size(), 4u);
+  // Longest-waiting requests picked first.
+  EXPECT_EQ(plan.selected[0], 5);
+}
+
+TEST(BaselinePolicyTest, DloraMergesOnDominantGroup) {
+  auto policy = MakeDloraPolicy();
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 5; ++i) {
+    RequestView view;
+    view.index = i;
+    view.adapter_id = 0;
+    queue.push_back(view);
+  }
+  RequestView other;
+  other.index = 5;
+  other.adapter_id = 1;
+  queue.push_back(other);
+  PolicyContext context;
+  context.max_batch_size = 8;
+  const IterationPlan plan = policy->Plan(queue, context);
+  EXPECT_EQ(plan.mode, InferMode::kMerged);
+  EXPECT_EQ(plan.merged_adapter, 0);
+  EXPECT_EQ(plan.selected.size(), 5u);
+}
+
+TEST(BaselinePolicyTest, DloraUnmergesOnEvenSpread) {
+  auto policy = MakeDloraPolicy();
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 6; ++i) {
+    RequestView view;
+    view.index = i;
+    view.adapter_id = i % 3;
+    queue.push_back(view);
+  }
+  PolicyContext context;
+  context.max_batch_size = 8;
+  const IterationPlan plan = policy->Plan(queue, context);
+  EXPECT_EQ(plan.mode, InferMode::kUnmerged);
+  EXPECT_EQ(plan.selected.size(), 6u);
+}
+
+TEST(BaselinePolicyTest, MergeOnlySticksWithCurrentAdapter) {
+  auto policy = MakeMergeOnlyPolicy();
+  std::vector<RequestView> queue;
+  for (int i = 0; i < 3; ++i) {
+    RequestView view;
+    view.index = i;
+    view.adapter_id = 1;
+    queue.push_back(view);
+  }
+  RequestView hot;
+  hot.index = 3;
+  hot.adapter_id = 2;
+  queue.push_back(hot);
+  PolicyContext context;
+  context.max_batch_size = 8;
+  context.current_mode = InferMode::kMerged;
+  context.merged_adapter = 2;  // currently merged on the minority adapter
+  const IterationPlan plan = policy->Plan(queue, context);
+  EXPECT_EQ(plan.mode, InferMode::kMerged);
+  EXPECT_EQ(plan.merged_adapter, 2);  // no thrash: 2 still has work
+  EXPECT_EQ(plan.selected.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/tensor/slab.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s1(5);
+  EXPECT_EQ(s1.rank(), 1);
+  EXPECT_EQ(s1.NumElements(), 5);
+  Shape s2(3, 4);
+  EXPECT_EQ(s2.rank(), 2);
+  EXPECT_EQ(s2.dim(0), 3);
+  EXPECT_EQ(s2.dim(1), 4);
+  EXPECT_EQ(s2.NumElements(), 12);
+  Shape s3(2, 3, 4);
+  EXPECT_EQ(s3.rank(), 3);
+  EXPECT_EQ(s3.NumElements(), 24);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape(3, 4), Shape(3, 4));
+  EXPECT_NE(Shape(3, 4), Shape(4, 3));
+  EXPECT_NE(Shape(3), Shape(3, 1));
+  EXPECT_EQ(Shape(2, 3).ToString(), "[2, 3]");
+}
+
+TEST(TensorTest, ZerosAndFill) {
+  Tensor t = Tensor::Zeros(Shape(4, 4));
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(t.at(i, j), 0.0f);
+    }
+  }
+  t.Fill(2.5f);
+  EXPECT_EQ(t.at(3, 3), 2.5f);
+}
+
+TEST(TensorTest, RandomWithinScale) {
+  Rng rng(3);
+  Tensor t = Tensor::Random(Shape(16, 16), rng, 0.5f);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), 0.5f);
+  }
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Full(Shape(2, 2), 1.0f);
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a.at(0, 0) = 9.0f;
+  EXPECT_EQ(shallow.at(0, 0), 9.0f);
+  EXPECT_EQ(deep.at(0, 0), 1.0f);
+}
+
+TEST(TensorTest, RowSliceSharesStorage) {
+  Tensor a = Tensor::Zeros(Shape(4, 3));
+  Tensor slice = a.RowSlice(1, 3);
+  EXPECT_EQ(slice.shape(), Shape(2, 3));
+  slice.at(0, 0) = 5.0f;
+  EXPECT_EQ(a.at(1, 0), 5.0f);
+}
+
+TEST(TensorTest, RowView) {
+  Tensor a = Tensor::Zeros(Shape(3, 4));
+  a.at(2, 1) = 7.0f;
+  Tensor row = a.Row(2);
+  EXPECT_EQ(row.shape(), Shape(4));
+  EXPECT_EQ(row.at(1), 7.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor a = Tensor::Zeros(Shape(2, 6));
+  a.at(1, 0) = 3.0f;
+  Tensor b = a.Reshape(Shape(3, 4));
+  EXPECT_EQ(b.at(1, 2), 3.0f);  // flat index 6
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::Full(Shape(2, 2), 2.0f);
+  Tensor b = Tensor::Full(Shape(2, 2), 3.0f);
+  a.AddInPlace(b);
+  EXPECT_EQ(a.at(0, 0), 5.0f);
+  a.SubInPlace(b);
+  EXPECT_EQ(a.at(1, 1), 2.0f);
+  a.ScaleInPlace(-0.5f);
+  EXPECT_EQ(a.at(0, 1), -1.0f);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a = Tensor::Full(Shape(2, 2), 1.0f);
+  Tensor b = Tensor::Full(Shape(2, 2), 1.0f);
+  b.at(1, 0) = 1.25f;
+  EXPECT_FLOAT_EQ(Tensor::MaxAbsDiff(a, b), 0.25f);
+}
+
+TEST(TensorTest, MatMulReferenceKnownValues) {
+  Tensor a = Tensor::Zeros(Shape(2, 3));
+  Tensor b = Tensor::Zeros(Shape(3, 2));
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Tensor c = MatMulReference(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(SlabTest, AllocatesContiguously) {
+  WeightSlab slab(100);
+  Tensor a = slab.Allocate(4, 5);
+  Tensor b = slab.Allocate(5, 4);
+  EXPECT_EQ(slab.used(), 40);
+  EXPECT_EQ(slab.remaining(), 60);
+  // Physically adjacent: b starts exactly where a ends.
+  EXPECT_EQ(b.data(), a.data() + 20);
+  EXPECT_TRUE(slab.Owns(a));
+  EXPECT_TRUE(slab.Owns(b));
+}
+
+TEST(SlabTest, ZeroInitialised) {
+  WeightSlab slab(16);
+  Tensor a = slab.Allocate(4, 4);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.data()[i], 0.0f);
+  }
+}
+
+TEST(SlabTest, DoesNotOwnForeignTensor) {
+  WeightSlab slab(16);
+  (void)slab.Allocate(2, 2);
+  Tensor outside = Tensor::Zeros(Shape(2, 2));
+  EXPECT_FALSE(slab.Owns(outside));
+}
+
+TEST(SlabTest, SlabOutlivesViaSharedStorage) {
+  Tensor view;
+  {
+    WeightSlab slab(8);
+    view = slab.Allocate(2, 4);
+    view.Fill(1.5f);
+  }
+  // The shared_ptr storage keeps the memory alive after the slab dies.
+  EXPECT_EQ(view.at(1, 3), 1.5f);
+}
+
+}  // namespace
+}  // namespace vlora

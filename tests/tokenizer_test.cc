@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/engine/tokenizer.h"
+
+namespace vlora {
+namespace {
+
+TEST(TokenizerTest, RoundTripExactOnPrintable) {
+  Tokenizer tokenizer;
+  for (const std::string& text :
+       {std::string("how many cars are in the image"),
+        std::string("A boy wearing a red sweater lost at the corner"),
+        std::string("count: 7 (seven)!"), std::string("  leading and   inner spaces "),
+        std::string("MiXeD CaSe & punctuation?!"), std::string("line one\nline two")}) {
+    const std::vector<int32_t> tokens = tokenizer.Encode(text);
+    EXPECT_EQ(tokenizer.Decode(tokens), text) << text;
+  }
+}
+
+TEST(TokenizerTest, WordsCompressBetterThanBytes) {
+  Tokenizer tokenizer;
+  const std::string text = "how many cars are in the image";
+  const std::vector<int32_t> tokens = tokenizer.Encode(text);
+  // Greedy longest-match uses the word vocabulary, far fewer tokens than the
+  // byte count.
+  EXPECT_LT(tokens.size(), text.size() / 2);
+}
+
+TEST(TokenizerTest, Deterministic) {
+  Tokenizer a;
+  Tokenizer b;
+  EXPECT_EQ(a.Encode("detect the traffic light"), b.Encode("detect the traffic light"));
+  EXPECT_EQ(a.vocab_size(), b.vocab_size());
+}
+
+TEST(TokenizerTest, ReservedTokens) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(Tokenizer::kPadToken, 0);
+  EXPECT_EQ(Tokenizer::kEosToken, 1);
+  EXPECT_EQ(Tokenizer::kUnkToken, 2);
+  // Control tokens decode to nothing.
+  EXPECT_EQ(tokenizer.Decode({Tokenizer::kPadToken, Tokenizer::kEosToken}), "");
+}
+
+TEST(TokenizerTest, UnencodableBytesBecomeUnk) {
+  Tokenizer tokenizer;
+  const std::string text = "ok\x01\x02";
+  const std::vector<int32_t> tokens = tokenizer.Encode(text);
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), Tokenizer::kUnkToken), 2);
+  EXPECT_EQ(tokenizer.Decode(tokens), "ok\xEF\xBF\xBD\xEF\xBF\xBD");
+}
+
+TEST(TokenizerTest, FitsSmallModelVocab) {
+  Tokenizer tokenizer;
+  const ModelConfig config = SmallConfig();
+  EXPECT_LE(tokenizer.vocab_size(), config.vocab_size);
+  for (int32_t token : tokenizer.Encode("find the person riding a bicycle near the bus")) {
+    EXPECT_GE(token, 0);
+    EXPECT_LT(token, config.vocab_size);
+  }
+}
+
+TEST(SamplingTest, ZeroTemperatureIsGreedyAndDeterministic) {
+  const ModelConfig config = TinyConfig();
+  auto run = [&](SamplingParams params) {
+    InferenceEngine engine(config, EngineOptions{});
+    EngineRequest request;
+    request.id = 1;
+    request.prompt_tokens = {5, 9, 23, 17};
+    request.max_new_tokens = 6;
+    request.eos_token = -1;
+    request.sampling = params;
+    return engine.RunToCompletion(request).output_tokens;
+  };
+  EXPECT_EQ(run(SamplingParams{}), run(SamplingParams{}));
+}
+
+TEST(SamplingTest, TemperatureSamplingIsSeedDeterministic) {
+  const ModelConfig config = TinyConfig();
+  auto run = [&](uint64_t seed) {
+    InferenceEngine engine(config, EngineOptions{});
+    EngineRequest request;
+    request.id = 1;
+    request.prompt_tokens = {5, 9, 23, 17};
+    request.max_new_tokens = 8;
+    request.eos_token = -1;
+    request.sampling.temperature = 1.0f;
+    request.sampling.top_k = 20;
+    request.sampling.seed = seed;
+    return engine.RunToCompletion(request).output_tokens;
+  };
+  EXPECT_EQ(run(42), run(42));
+  // Different seeds eventually diverge.
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SamplingTest, HighTemperatureDiversifiesOutputs) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  std::set<std::vector<int32_t>> outputs;
+  for (int i = 0; i < 5; ++i) {
+    EngineRequest request;
+    request.id = i;
+    request.prompt_tokens = {5, 9, 23, 17};
+    request.max_new_tokens = 6;
+    request.eos_token = -1;
+    request.sampling.temperature = 2.0f;
+    request.sampling.top_k = 64;
+    request.sampling.seed = static_cast<uint64_t>(i);
+    outputs.insert(engine.RunToCompletion(request).output_tokens);
+  }
+  EXPECT_GT(outputs.size(), 1u);
+}
+
+TEST(SamplingTest, TopKOneIsGreedy) {
+  const ModelConfig config = TinyConfig();
+  auto run = [&](float temperature, int top_k) {
+    InferenceEngine engine(config, EngineOptions{});
+    EngineRequest request;
+    request.id = 1;
+    request.prompt_tokens = {5, 9, 23, 17};
+    request.max_new_tokens = 5;
+    request.eos_token = -1;
+    request.sampling.temperature = temperature;
+    request.sampling.top_k = top_k;
+    return engine.RunToCompletion(request).output_tokens;
+  };
+  EXPECT_EQ(run(1.5f, 1), run(0.0f, 40));  // top-k = 1 degenerates to argmax
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/engine.h"
+#include "src/engine/vision_tower.h"
+
+namespace vlora {
+namespace {
+
+VisionTowerConfig TinyTower() {
+  VisionTowerConfig config;
+  config.image_size = 16;
+  config.patch_size = 8;  // 4 patches
+  config.d_vision = 32;
+  config.num_heads = 4;
+  config.num_blocks = 2;
+  config.d_model = TinyConfig().d_model;
+  return config;
+}
+
+TEST(SyntheticImageTest, DeterministicAndBounded) {
+  const VisionTowerConfig config = TinyTower();
+  Tensor a = SyntheticImage(config, 7);
+  Tensor b = SyntheticImage(config, 7);
+  EXPECT_EQ(Tensor::MaxAbsDiff(a, b), 0.0f);
+  Tensor other = SyntheticImage(config, 8);
+  EXPECT_GT(Tensor::MaxAbsDiff(a, other), 0.01f);
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_GE(a.data()[i], 0.0f);
+    EXPECT_LE(a.data()[i], 1.0f);
+  }
+}
+
+TEST(VisionTowerTest, OutputShapeAndDeterminism) {
+  const VisionTowerConfig config = TinyTower();
+  VisionTower tower(config, 3);
+  Tensor embeddings = tower.EncodeImageId(42);
+  EXPECT_EQ(embeddings.shape(), Shape(config.num_patches(), config.d_model));
+  // Same tower, same image: identical embeddings.
+  EXPECT_EQ(Tensor::MaxAbsDiff(embeddings, tower.EncodeImageId(42)), 0.0f);
+  // Same seed, different instance: identical weights hence embeddings.
+  VisionTower twin(config, 3);
+  EXPECT_EQ(Tensor::MaxAbsDiff(embeddings, twin.EncodeImageId(42)), 0.0f);
+  // Different image: different embeddings.
+  EXPECT_GT(Tensor::MaxAbsDiff(embeddings, tower.EncodeImageId(43)), 1e-4f);
+}
+
+TEST(VisionTowerTest, SurrogateTokensContentAddressed) {
+  const VisionTowerConfig config = TinyTower();
+  VisionTower tower(config, 3);
+  Tensor a = tower.EncodeImageId(1);
+  Tensor b = tower.EncodeImageId(2);
+  const std::vector<int32_t> sa = tower.SurrogateTokens(a);
+  const std::vector<int32_t> sb = tower.SurrogateTokens(b);
+  EXPECT_EQ(static_cast<int>(sa.size()), config.num_patches());
+  EXPECT_EQ(sa, tower.SurrogateTokens(a));
+  EXPECT_NE(sa, sb);
+  for (int32_t token : sa) {
+    EXPECT_GE(token, 0);  // 31-bit: always a valid int32 surrogate
+  }
+}
+
+// Builds a prompt of injected visual embeddings followed by text tokens.
+EngineRequest VisualRequest(VisionTower& tower, int64_t image_id,
+                            const std::vector<int32_t>& text, int64_t id) {
+  Tensor embeddings = tower.EncodeImageId(image_id);
+  EngineRequest request;
+  request.id = id;
+  request.prompt_tokens = tower.SurrogateTokens(embeddings);
+  request.prompt_tokens.insert(request.prompt_tokens.end(), text.begin(), text.end());
+  InjectedEmbeddings span;
+  span.position = 0;
+  span.embeddings = std::move(embeddings);
+  request.injected.push_back(std::move(span));
+  request.max_new_tokens = 4;
+  request.eos_token = -1;
+  return request;
+}
+
+TEST(VisionTowerTest, EngineConsumesInjectedEmbeddings) {
+  const ModelConfig config = TinyConfig();
+  VisionTower tower(TinyTower(), 3);
+  InferenceEngine engine(config, EngineOptions{});
+  const EngineResult result =
+      engine.RunToCompletion(VisualRequest(tower, 9, {5, 6, 7}, 1));
+  EXPECT_EQ(result.output_tokens.size(), 4u);
+
+  // Different image content -> (almost surely) different answer trajectory,
+  // and deterministically the same answer for the same image.
+  InferenceEngine engine2(config, EngineOptions{});
+  const EngineResult same = engine2.RunToCompletion(VisualRequest(tower, 9, {5, 6, 7}, 2));
+  EXPECT_EQ(result.output_tokens, same.output_tokens);
+}
+
+TEST(VisionTowerTest, InjectedPromptsReuseKvOnRepeatedImages) {
+  const ModelConfig config = TinyConfig();
+  VisionTowerConfig tower_config = TinyTower();
+  tower_config.image_size = 32;  // 16 patches = one full KV block
+  VisionTower tower(tower_config, 3);
+  EngineOptions options;
+  options.kv_block_size = 16;
+  InferenceEngine engine(config, options);
+
+  const EngineResult first =
+      engine.RunToCompletion(VisualRequest(tower, 77, {5, 6, 7}, 1));
+  EXPECT_EQ(first.reused_tokens, 0);
+  // Same image, different question: the visual prefix (surrogate-hashed)
+  // matches block-aligned, so its KV is reused from the persistent cache.
+  const EngineResult second =
+      engine.RunToCompletion(VisualRequest(tower, 77, {8, 9, 10}, 2));
+  EXPECT_EQ(second.reused_tokens, 16);
+}
+
+TEST(VisionTowerTest, ModesAgreeWithInjectedEmbeddings) {
+  const ModelConfig config = TinyConfig();
+  VisionTower tower(TinyTower(), 3);
+  Rng rng(5);
+  LoraAdapter adapter = LoraAdapter::Random("a", config.num_layers, config.d_model, 8, rng);
+
+  auto run = [&](InferMode mode) {
+    InferenceEngine engine(config, EngineOptions{});
+    const int id = engine.RegisterAdapter(&adapter);
+    engine.SetMode(mode, mode == InferMode::kUnmerged ? -1 : id);
+    EngineRequest request = VisualRequest(tower, 21, {5, 6}, 1);
+    request.adapter_id = id;
+    return engine.RunToCompletion(std::move(request)).output_tokens;
+  };
+  const auto unmerged = run(InferMode::kUnmerged);
+  EXPECT_EQ(unmerged, run(InferMode::kMerged));
+  EXPECT_EQ(unmerged, run(InferMode::kMixture));
+}
+
+TEST(VisionTowerTest, RejectsWidthMismatch) {
+  const ModelConfig config = TinyConfig();
+  InferenceEngine engine(config, EngineOptions{});
+  EngineRequest request;
+  request.id = 1;
+  request.prompt_tokens = {5, 6, 7};
+  InjectedEmbeddings span;
+  span.position = 0;
+  span.embeddings = Tensor::Zeros(Shape(2, config.d_model + 1));  // wrong width
+  request.injected.push_back(std::move(span));
+  EXPECT_DEATH(engine.Submit(std::move(request)), "VLORA_CHECK");
+}
+
+}  // namespace
+}  // namespace vlora

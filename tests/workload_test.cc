@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace {
+
+TEST(TraceGenTest, RetrievalRateApproximatelyHonoured) {
+  TraceOptions options;
+  options.app = AppKind::kVisualRetrieval;
+  options.duration_s = 200.0;
+  options.rate_rps = 5.0;
+  options.seed = 3;
+  const std::vector<Request> trace = GenerateTrace(options);
+  const double rate = static_cast<double>(trace.size()) / options.duration_s;
+  EXPECT_NEAR(rate, 5.0, 1.0);
+}
+
+TEST(TraceGenTest, ArrivalsSortedAndWithinDuration) {
+  TraceOptions options;
+  options.duration_s = 30.0;
+  options.rate_rps = 10.0;
+  for (AppKind app : {AppKind::kVisualRetrieval, AppKind::kVideoAnalytics}) {
+    options.app = app;
+    const std::vector<Request> trace = GenerateTrace(options);
+    ASSERT_FALSE(trace.empty());
+    for (size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_LE(trace[i - 1].arrival_s, trace[i].arrival_s);
+    }
+    EXPECT_GE(trace.front().arrival_s, 0.0);
+    EXPECT_LT(trace.back().arrival_s, options.duration_s);
+    // Ids are dense and unique.
+    for (size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i].id, static_cast<int64_t>(i));
+    }
+  }
+}
+
+TEST(TraceGenTest, SkewnessControlsHotAdapterShare) {
+  TraceOptions options;
+  options.duration_s = 400.0;
+  options.rate_rps = 10.0;
+  options.num_adapters = 8;
+  for (double skew : {0.2, 0.5, 0.9}) {
+    options.skewness = skew;
+    const std::vector<Request> trace = GenerateTrace(options);
+    const std::vector<double> shares = AdapterShares(trace, options.num_adapters);
+    EXPECT_NEAR(shares[0], skew, 0.05) << "skew " << skew;
+  }
+}
+
+TEST(TraceGenTest, RemainingShareIsZipfTailed) {
+  TraceOptions options;
+  options.duration_s = 600.0;
+  options.rate_rps = 10.0;
+  options.num_adapters = 6;
+  options.skewness = 0.3;
+  options.zipf_s = 1.2;
+  const std::vector<Request> trace = GenerateTrace(options);
+  const std::vector<double> shares = AdapterShares(trace, options.num_adapters);
+  // Adapter 1 (head of the tail) gets more than the last adapter.
+  EXPECT_GT(shares[1], shares[5]);
+}
+
+TEST(TraceGenTest, RetrievalTokenRanges) {
+  TraceOptions options;
+  options.app = AppKind::kVisualRetrieval;
+  options.duration_s = 120.0;
+  options.rate_rps = 8.0;
+  const std::vector<Request> trace = GenerateTrace(options);
+  for (const Request& req : trace) {
+    EXPECT_EQ(req.app, AppKind::kVisualRetrieval);
+    EXPECT_GE(req.input_tokens, 128);
+    EXPECT_LE(req.input_tokens, 1024);
+    EXPECT_GE(req.output_tokens, 20);
+    EXPECT_LE(req.output_tokens, 400);
+    EXPECT_FALSE(req.closed_set_output);
+  }
+}
+
+TEST(TraceGenTest, AnalyticsShapesMatchPaper) {
+  TraceOptions options;
+  options.app = AppKind::kVideoAnalytics;
+  options.duration_s = 60.0;
+  options.rate_rps = 8.0;
+  options.num_streams = 4;
+  const std::vector<Request> trace = GenerateTrace(options);
+  bool saw_video = false;
+  for (const Request& req : trace) {
+    EXPECT_EQ(req.app, AppKind::kVideoAnalytics);
+    EXPECT_TRUE(req.closed_set_output);
+    EXPECT_GE(req.output_tokens, 5);
+    EXPECT_LE(req.output_tokens, 10);
+    EXPECT_GT(req.slo_ms, 0.0);
+    if (req.task == VisionTask::kVideoClassification) {
+      saw_video = true;
+      EXPECT_EQ(req.input_tokens, 6 * 256);  // 6 frames x 256 tokens (§6.2)
+    }
+  }
+  EXPECT_TRUE(saw_video);
+}
+
+TEST(TraceGenTest, DeterministicForSeed) {
+  TraceOptions options;
+  options.duration_s = 20.0;
+  options.rate_rps = 10.0;
+  options.seed = 99;
+  const std::vector<Request> a = GenerateTrace(options);
+  const std::vector<Request> b = GenerateTrace(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].adapter_id, b[i].adapter_id);
+    EXPECT_EQ(a[i].input_tokens, b[i].input_tokens);
+  }
+}
+
+TEST(TraceGenTest, BurstinessIncreasesVariance) {
+  TraceOptions options;
+  options.duration_s = 400.0;
+  options.rate_rps = 6.0;
+  options.seed = 5;
+
+  auto interarrival_cv = [](const std::vector<Request>& trace) {
+    double sum = 0.0;
+    double sq = 0.0;
+    int n = 0;
+    for (size_t i = 1; i < trace.size(); ++i) {
+      const double gap = trace[i].arrival_s - trace[i - 1].arrival_s;
+      sum += gap;
+      sq += gap * gap;
+      ++n;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    return std::sqrt(std::max(0.0, var)) / mean;
+  };
+
+  options.burstiness_cv = 0.3;
+  const double low = interarrival_cv(GenerateTrace(options));
+  options.burstiness_cv = 3.0;
+  const double high = interarrival_cv(GenerateTrace(options));
+  EXPECT_GT(high, low * 2.0);
+}
+
+}  // namespace
+}  // namespace vlora
