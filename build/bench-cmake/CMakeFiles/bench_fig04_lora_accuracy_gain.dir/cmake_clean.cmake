@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_lora_accuracy_gain"
+  "../bench/bench_fig04_lora_accuracy_gain.pdb"
+  "CMakeFiles/bench_fig04_lora_accuracy_gain.dir/bench_fig04_lora_accuracy_gain.cc.o"
+  "CMakeFiles/bench_fig04_lora_accuracy_gain.dir/bench_fig04_lora_accuracy_gain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_lora_accuracy_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_fusion_degradation"
+  "../bench/bench_fig05_fusion_degradation.pdb"
+  "CMakeFiles/bench_fig05_fusion_degradation.dir/bench_fig05_fusion_degradation.cc.o"
+  "CMakeFiles/bench_fig05_fusion_degradation.dir/bench_fig05_fusion_degradation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_fusion_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

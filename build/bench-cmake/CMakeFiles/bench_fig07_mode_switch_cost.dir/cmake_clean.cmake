@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_mode_switch_cost"
+  "../bench/bench_fig07_mode_switch_cost.pdb"
+  "CMakeFiles/bench_fig07_mode_switch_cost.dir/bench_fig07_mode_switch_cost.cc.o"
+  "CMakeFiles/bench_fig07_mode_switch_cost.dir/bench_fig07_mode_switch_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_mode_switch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

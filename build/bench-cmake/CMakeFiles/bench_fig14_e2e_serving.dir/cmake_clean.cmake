@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_e2e_serving"
+  "../bench/bench_fig14_e2e_serving.pdb"
+  "CMakeFiles/bench_fig14_e2e_serving.dir/bench_fig14_e2e_serving.cc.o"
+  "CMakeFiles/bench_fig14_e2e_serving.dir/bench_fig14_e2e_serving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_e2e_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_accuracy_vs_small_models"
+  "../bench/bench_fig15_accuracy_vs_small_models.pdb"
+  "CMakeFiles/bench_fig15_accuracy_vs_small_models.dir/bench_fig15_accuracy_vs_small_models.cc.o"
+  "CMakeFiles/bench_fig15_accuracy_vs_small_models.dir/bench_fig15_accuracy_vs_small_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_accuracy_vs_small_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_task_head_latency"
+  "../bench/bench_fig16_task_head_latency.pdb"
+  "CMakeFiles/bench_fig16_task_head_latency.dir/bench_fig16_task_head_latency.cc.o"
+  "CMakeFiles/bench_fig16_task_head_latency.dir/bench_fig16_task_head_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_task_head_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_operator_latency"
+  "../bench/bench_fig17_operator_latency.pdb"
+  "CMakeFiles/bench_fig17_operator_latency.dir/bench_fig17_operator_latency.cc.o"
+  "CMakeFiles/bench_fig17_operator_latency.dir/bench_fig17_operator_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_operator_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_scheduler_skewness"
+  "../bench/bench_fig19_scheduler_skewness.pdb"
+  "CMakeFiles/bench_fig19_scheduler_skewness.dir/bench_fig19_scheduler_skewness.cc.o"
+  "CMakeFiles/bench_fig19_scheduler_skewness.dir/bench_fig19_scheduler_skewness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_scheduler_skewness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

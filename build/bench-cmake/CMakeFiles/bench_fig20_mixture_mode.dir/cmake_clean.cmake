@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_mixture_mode"
+  "../bench/bench_fig20_mixture_mode.pdb"
+  "CMakeFiles/bench_fig20_mixture_mode.dir/bench_fig20_mixture_mode.cc.o"
+  "CMakeFiles/bench_fig20_mixture_mode.dir/bench_fig20_mixture_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_mixture_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

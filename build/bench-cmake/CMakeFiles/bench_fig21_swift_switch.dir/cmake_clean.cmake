@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig21_swift_switch"
+  "../bench/bench_fig21_swift_switch.pdb"
+  "CMakeFiles/bench_fig21_swift_switch.dir/bench_fig21_swift_switch.cc.o"
+  "CMakeFiles/bench_fig21_swift_switch.dir/bench_fig21_swift_switch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_swift_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

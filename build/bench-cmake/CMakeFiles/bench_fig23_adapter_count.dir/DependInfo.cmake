@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig23_adapter_count.cc" "bench-cmake/CMakeFiles/bench_fig23_adapter_count.dir/bench_fig23_adapter_count.cc.o" "gcc" "bench-cmake/CMakeFiles/bench_fig23_adapter_count.dir/bench_fig23_adapter_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vlora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vlora_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vlora_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/vlora_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vlora_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/accuracy/CMakeFiles/vlora_accuracy.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/vlora_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/vlora_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vlora_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gemm_microkernels"
+  "../bench/bench_gemm_microkernels.pdb"
+  "CMakeFiles/bench_gemm_microkernels.dir/bench_gemm_microkernels.cc.o"
+  "CMakeFiles/bench_gemm_microkernels.dir/bench_gemm_microkernels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_microkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misc_generator_packing"
+  "../bench/bench_misc_generator_packing.pdb"
+  "CMakeFiles/bench_misc_generator_packing.dir/bench_misc_generator_packing.cc.o"
+  "CMakeFiles/bench_misc_generator_packing.dir/bench_misc_generator_packing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_generator_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_misc_generator_packing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misc_head_training"
+  "../bench/bench_misc_head_training.pdb"
+  "CMakeFiles/bench_misc_head_training.dir/bench_misc_head_training.cc.o"
+  "CMakeFiles/bench_misc_head_training.dir/bench_misc_head_training.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_head_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

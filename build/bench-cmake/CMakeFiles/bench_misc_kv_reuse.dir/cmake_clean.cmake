@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misc_kv_reuse"
+  "../bench/bench_misc_kv_reuse.pdb"
+  "CMakeFiles/bench_misc_kv_reuse.dir/bench_misc_kv_reuse.cc.o"
+  "CMakeFiles/bench_misc_kv_reuse.dir/bench_misc_kv_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_kv_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

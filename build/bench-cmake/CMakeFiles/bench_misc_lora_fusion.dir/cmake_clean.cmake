@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misc_lora_fusion"
+  "../bench/bench_misc_lora_fusion.pdb"
+  "CMakeFiles/bench_misc_lora_fusion.dir/bench_misc_lora_fusion.cc.o"
+  "CMakeFiles/bench_misc_lora_fusion.dir/bench_misc_lora_fusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_lora_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misc_swap_cost"
+  "../bench/bench_misc_swap_cost.pdb"
+  "CMakeFiles/bench_misc_swap_cost.dir/bench_misc_swap_cost.cc.o"
+  "CMakeFiles/bench_misc_swap_cost.dir/bench_misc_swap_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_swap_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

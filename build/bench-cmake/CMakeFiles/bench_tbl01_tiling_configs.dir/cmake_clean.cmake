@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tbl01_tiling_configs"
+  "../bench/bench_tbl01_tiling_configs.pdb"
+  "CMakeFiles/bench_tbl01_tiling_configs.dir/bench_tbl01_tiling_configs.cc.o"
+  "CMakeFiles/bench_tbl01_tiling_configs.dir/bench_tbl01_tiling_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl01_tiling_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tbl03_multi_gpu"
+  "../bench/bench_tbl03_multi_gpu.pdb"
+  "CMakeFiles/bench_tbl03_multi_gpu.dir/bench_tbl03_multi_gpu.cc.o"
+  "CMakeFiles/bench_tbl03_multi_gpu.dir/bench_tbl03_multi_gpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl03_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_generation.dir/adapter_generation.cpp.o"
+  "CMakeFiles/adapter_generation.dir/adapter_generation.cpp.o.d"
+  "adapter_generation"
+  "adapter_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

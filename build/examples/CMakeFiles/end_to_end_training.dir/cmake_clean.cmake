@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_training.dir/end_to_end_training.cpp.o"
+  "CMakeFiles/end_to_end_training.dir/end_to_end_training.cpp.o.d"
+  "end_to_end_training"
+  "end_to_end_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_interface.dir/nl_interface.cpp.o"
+  "CMakeFiles/nl_interface.dir/nl_interface.cpp.o.d"
+  "nl_interface"
+  "nl_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

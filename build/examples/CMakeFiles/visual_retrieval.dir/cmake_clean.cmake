@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visual_retrieval.dir/visual_retrieval.cpp.o"
+  "CMakeFiles/visual_retrieval.dir/visual_retrieval.cpp.o.d"
+  "visual_retrieval"
+  "visual_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visual_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accuracy/accuracy_model.cc" "src/accuracy/CMakeFiles/vlora_accuracy.dir/accuracy_model.cc.o" "gcc" "src/accuracy/CMakeFiles/vlora_accuracy.dir/accuracy_model.cc.o.d"
+  "/root/repo/src/accuracy/task_catalog.cc" "src/accuracy/CMakeFiles/vlora_accuracy.dir/task_catalog.cc.o" "gcc" "src/accuracy/CMakeFiles/vlora_accuracy.dir/task_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_accuracy.dir/accuracy_model.cc.o"
+  "CMakeFiles/vlora_accuracy.dir/accuracy_model.cc.o.d"
+  "CMakeFiles/vlora_accuracy.dir/task_catalog.cc.o"
+  "CMakeFiles/vlora_accuracy.dir/task_catalog.cc.o.d"
+  "libvlora_accuracy.a"
+  "libvlora_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

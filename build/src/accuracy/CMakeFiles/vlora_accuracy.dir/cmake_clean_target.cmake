@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlora_accuracy.a"
+)

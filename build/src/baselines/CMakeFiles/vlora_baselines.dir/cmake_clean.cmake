@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_baselines.dir/policies.cc.o"
+  "CMakeFiles/vlora_baselines.dir/policies.cc.o.d"
+  "libvlora_baselines.a"
+  "libvlora_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_common.dir/logging.cc.o"
+  "CMakeFiles/vlora_common.dir/logging.cc.o.d"
+  "CMakeFiles/vlora_common.dir/rng.cc.o"
+  "CMakeFiles/vlora_common.dir/rng.cc.o.d"
+  "CMakeFiles/vlora_common.dir/stats.cc.o"
+  "CMakeFiles/vlora_common.dir/stats.cc.o.d"
+  "CMakeFiles/vlora_common.dir/table.cc.o"
+  "CMakeFiles/vlora_common.dir/table.cc.o.d"
+  "CMakeFiles/vlora_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vlora_common.dir/thread_pool.cc.o.d"
+  "libvlora_common.a"
+  "libvlora_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

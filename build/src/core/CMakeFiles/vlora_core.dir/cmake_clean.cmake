@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_core.dir/generator.cc.o"
+  "CMakeFiles/vlora_core.dir/generator.cc.o.d"
+  "CMakeFiles/vlora_core.dir/head_trainer.cc.o"
+  "CMakeFiles/vlora_core.dir/head_trainer.cc.o.d"
+  "CMakeFiles/vlora_core.dir/lora_trainer.cc.o"
+  "CMakeFiles/vlora_core.dir/lora_trainer.cc.o.d"
+  "CMakeFiles/vlora_core.dir/scheduler.cc.o"
+  "CMakeFiles/vlora_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/vlora_core.dir/server.cc.o"
+  "CMakeFiles/vlora_core.dir/server.cc.o.d"
+  "libvlora_core.a"
+  "libvlora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/vlora_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/vlora_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/kv_cache.cc" "src/engine/CMakeFiles/vlora_engine.dir/kv_cache.cc.o" "gcc" "src/engine/CMakeFiles/vlora_engine.dir/kv_cache.cc.o.d"
+  "/root/repo/src/engine/model.cc" "src/engine/CMakeFiles/vlora_engine.dir/model.cc.o" "gcc" "src/engine/CMakeFiles/vlora_engine.dir/model.cc.o.d"
+  "/root/repo/src/engine/tokenizer.cc" "src/engine/CMakeFiles/vlora_engine.dir/tokenizer.cc.o" "gcc" "src/engine/CMakeFiles/vlora_engine.dir/tokenizer.cc.o.d"
+  "/root/repo/src/engine/vision.cc" "src/engine/CMakeFiles/vlora_engine.dir/vision.cc.o" "gcc" "src/engine/CMakeFiles/vlora_engine.dir/vision.cc.o.d"
+  "/root/repo/src/engine/vision_tower.cc" "src/engine/CMakeFiles/vlora_engine.dir/vision_tower.cc.o" "gcc" "src/engine/CMakeFiles/vlora_engine.dir/vision_tower.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lora/CMakeFiles/vlora_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/vlora_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vlora_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_engine.dir/engine.cc.o"
+  "CMakeFiles/vlora_engine.dir/engine.cc.o.d"
+  "CMakeFiles/vlora_engine.dir/kv_cache.cc.o"
+  "CMakeFiles/vlora_engine.dir/kv_cache.cc.o.d"
+  "CMakeFiles/vlora_engine.dir/model.cc.o"
+  "CMakeFiles/vlora_engine.dir/model.cc.o.d"
+  "CMakeFiles/vlora_engine.dir/tokenizer.cc.o"
+  "CMakeFiles/vlora_engine.dir/tokenizer.cc.o.d"
+  "CMakeFiles/vlora_engine.dir/vision.cc.o"
+  "CMakeFiles/vlora_engine.dir/vision.cc.o.d"
+  "CMakeFiles/vlora_engine.dir/vision_tower.cc.o"
+  "CMakeFiles/vlora_engine.dir/vision_tower.cc.o.d"
+  "libvlora_engine.a"
+  "libvlora_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

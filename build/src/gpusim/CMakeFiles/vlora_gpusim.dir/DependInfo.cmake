@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cost_model.cc" "src/gpusim/CMakeFiles/vlora_gpusim.dir/cost_model.cc.o" "gcc" "src/gpusim/CMakeFiles/vlora_gpusim.dir/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/simulator.cc" "src/gpusim/CMakeFiles/vlora_gpusim.dir/simulator.cc.o" "gcc" "src/gpusim/CMakeFiles/vlora_gpusim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vlora_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/vlora_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/vlora_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vlora_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

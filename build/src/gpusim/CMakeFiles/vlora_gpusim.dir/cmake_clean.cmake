@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_gpusim.dir/cost_model.cc.o"
+  "CMakeFiles/vlora_gpusim.dir/cost_model.cc.o.d"
+  "CMakeFiles/vlora_gpusim.dir/simulator.cc.o"
+  "CMakeFiles/vlora_gpusim.dir/simulator.cc.o.d"
+  "libvlora_gpusim.a"
+  "libvlora_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/atmm.cc" "src/kernels/CMakeFiles/vlora_kernels.dir/atmm.cc.o" "gcc" "src/kernels/CMakeFiles/vlora_kernels.dir/atmm.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/kernels/CMakeFiles/vlora_kernels.dir/gemm.cc.o" "gcc" "src/kernels/CMakeFiles/vlora_kernels.dir/gemm.cc.o.d"
+  "/root/repo/src/kernels/lora_ops.cc" "src/kernels/CMakeFiles/vlora_kernels.dir/lora_ops.cc.o" "gcc" "src/kernels/CMakeFiles/vlora_kernels.dir/lora_ops.cc.o.d"
+  "/root/repo/src/kernels/request_mapping.cc" "src/kernels/CMakeFiles/vlora_kernels.dir/request_mapping.cc.o" "gcc" "src/kernels/CMakeFiles/vlora_kernels.dir/request_mapping.cc.o.d"
+  "/root/repo/src/kernels/segmented_gemm.cc" "src/kernels/CMakeFiles/vlora_kernels.dir/segmented_gemm.cc.o" "gcc" "src/kernels/CMakeFiles/vlora_kernels.dir/segmented_gemm.cc.o.d"
+  "/root/repo/src/kernels/tiling_search.cc" "src/kernels/CMakeFiles/vlora_kernels.dir/tiling_search.cc.o" "gcc" "src/kernels/CMakeFiles/vlora_kernels.dir/tiling_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/vlora_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_kernels.dir/atmm.cc.o"
+  "CMakeFiles/vlora_kernels.dir/atmm.cc.o.d"
+  "CMakeFiles/vlora_kernels.dir/gemm.cc.o"
+  "CMakeFiles/vlora_kernels.dir/gemm.cc.o.d"
+  "CMakeFiles/vlora_kernels.dir/lora_ops.cc.o"
+  "CMakeFiles/vlora_kernels.dir/lora_ops.cc.o.d"
+  "CMakeFiles/vlora_kernels.dir/request_mapping.cc.o"
+  "CMakeFiles/vlora_kernels.dir/request_mapping.cc.o.d"
+  "CMakeFiles/vlora_kernels.dir/segmented_gemm.cc.o"
+  "CMakeFiles/vlora_kernels.dir/segmented_gemm.cc.o.d"
+  "CMakeFiles/vlora_kernels.dir/tiling_search.cc.o"
+  "CMakeFiles/vlora_kernels.dir/tiling_search.cc.o.d"
+  "libvlora_kernels.a"
+  "libvlora_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

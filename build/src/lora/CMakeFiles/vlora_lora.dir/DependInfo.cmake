@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lora/adapter.cc" "src/lora/CMakeFiles/vlora_lora.dir/adapter.cc.o" "gcc" "src/lora/CMakeFiles/vlora_lora.dir/adapter.cc.o.d"
+  "/root/repo/src/lora/adapter_manager.cc" "src/lora/CMakeFiles/vlora_lora.dir/adapter_manager.cc.o" "gcc" "src/lora/CMakeFiles/vlora_lora.dir/adapter_manager.cc.o.d"
+  "/root/repo/src/lora/merge.cc" "src/lora/CMakeFiles/vlora_lora.dir/merge.cc.o" "gcc" "src/lora/CMakeFiles/vlora_lora.dir/merge.cc.o.d"
+  "/root/repo/src/lora/serialization.cc" "src/lora/CMakeFiles/vlora_lora.dir/serialization.cc.o" "gcc" "src/lora/CMakeFiles/vlora_lora.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/vlora_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/vlora_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_lora.dir/adapter.cc.o"
+  "CMakeFiles/vlora_lora.dir/adapter.cc.o.d"
+  "CMakeFiles/vlora_lora.dir/adapter_manager.cc.o"
+  "CMakeFiles/vlora_lora.dir/adapter_manager.cc.o.d"
+  "CMakeFiles/vlora_lora.dir/merge.cc.o"
+  "CMakeFiles/vlora_lora.dir/merge.cc.o.d"
+  "CMakeFiles/vlora_lora.dir/serialization.cc.o"
+  "CMakeFiles/vlora_lora.dir/serialization.cc.o.d"
+  "libvlora_lora.a"
+  "libvlora_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

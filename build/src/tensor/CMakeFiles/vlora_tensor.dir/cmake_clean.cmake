@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_tensor.dir/slab.cc.o"
+  "CMakeFiles/vlora_tensor.dir/slab.cc.o.d"
+  "CMakeFiles/vlora_tensor.dir/tensor.cc.o"
+  "CMakeFiles/vlora_tensor.dir/tensor.cc.o.d"
+  "libvlora_tensor.a"
+  "libvlora_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

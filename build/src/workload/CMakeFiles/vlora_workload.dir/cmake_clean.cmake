@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlora_workload.dir/request.cc.o"
+  "CMakeFiles/vlora_workload.dir/request.cc.o.d"
+  "CMakeFiles/vlora_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/vlora_workload.dir/trace_gen.cc.o.d"
+  "libvlora_workload.a"
+  "libvlora_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlora_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

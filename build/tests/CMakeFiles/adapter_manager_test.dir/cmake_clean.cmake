@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_manager_test.dir/adapter_manager_test.cc.o"
+  "CMakeFiles/adapter_manager_test.dir/adapter_manager_test.cc.o.d"
+  "adapter_manager_test"
+  "adapter_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

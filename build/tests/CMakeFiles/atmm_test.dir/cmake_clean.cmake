@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmm_test.dir/atmm_test.cc.o"
+  "CMakeFiles/atmm_test.dir/atmm_test.cc.o.d"
+  "atmm_test"
+  "atmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

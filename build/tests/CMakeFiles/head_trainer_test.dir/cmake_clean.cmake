@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/head_trainer_test.dir/head_trainer_test.cc.o"
+  "CMakeFiles/head_trainer_test.dir/head_trainer_test.cc.o.d"
+  "head_trainer_test"
+  "head_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/head_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

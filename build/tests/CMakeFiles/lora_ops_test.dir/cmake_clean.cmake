@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lora_ops_test.dir/lora_ops_test.cc.o"
+  "CMakeFiles/lora_ops_test.dir/lora_ops_test.cc.o.d"
+  "lora_ops_test"
+  "lora_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lora_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lora_trainer_test.dir/lora_trainer_test.cc.o"
+  "CMakeFiles/lora_trainer_test.dir/lora_trainer_test.cc.o.d"
+  "lora_trainer_test"
+  "lora_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lora_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

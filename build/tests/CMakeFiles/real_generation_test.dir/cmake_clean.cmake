@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_generation_test.dir/real_generation_test.cc.o"
+  "CMakeFiles/real_generation_test.dir/real_generation_test.cc.o.d"
+  "real_generation_test"
+  "real_generation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

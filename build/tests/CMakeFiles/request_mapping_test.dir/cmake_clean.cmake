@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_mapping_test.dir/request_mapping_test.cc.o"
+  "CMakeFiles/request_mapping_test.dir/request_mapping_test.cc.o.d"
+  "request_mapping_test"
+  "request_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
