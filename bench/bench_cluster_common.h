@@ -1,0 +1,88 @@
+// Shared driver for the real-engine cluster benches: builds a replica fleet
+// over the mini engine, replays a trace through the router and reports the
+// aggregated ClusterStats. Used by bench_cluster_scaling and the real-engine
+// half of bench_tbl03_multi_gpu.
+//
+// Two replay modes:
+//   - saturated (default): submit everything up front; measured throughput is
+//     the fleet's capacity. Capacity only scales with replicas when the host
+//     has a core per replica — print std::thread::hardware_concurrency()
+//     next to these numbers.
+//   - paced: honour the trace's arrival times; measured throughput is the
+//     sustained rate. Offering load proportional to the replica count turns
+//     this into the Table 3 shape check that is meaningful even on hosts
+//     with fewer cores than replicas (the fleet must absorb N x the traffic
+//     with bounded queues and stable tail latency).
+
+#ifndef VLORA_BENCH_BENCH_CLUSTER_COMMON_H_
+#define VLORA_BENCH_BENCH_CLUSTER_COMMON_H_
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster_server.h"
+#include "src/common/stopwatch.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace bench {
+
+struct ClusterRunConfig {
+  int num_replicas = 1;
+  RoutePolicy policy = RoutePolicy::kRoundRobin;
+  int num_adapters = 8;
+  // Per-replica device pool in adapter-sized units; fractional coverage of
+  // the adapter set is what makes routing policy matter.
+  int pool_adapter_slots = 4;
+  int64_t queue_capacity = 64;
+  int max_batch_size = 8;
+  uint64_t adapter_seed = 11;
+  bool paced = false;  // honour trace arrival times instead of saturating
+};
+
+inline ClusterStats RunClusterTrace(const ModelConfig& config, const std::vector<Request>& trace,
+                                    const ClusterRunConfig& run) {
+  Rng rng(run.adapter_seed);
+  std::vector<LoraAdapter> adapters;
+  for (int i = 0; i < run.num_adapters; ++i) {
+    adapters.push_back(LoraAdapter::Random("bench-" + std::to_string(i), config.num_layers,
+                                           config.d_model, 4, rng));
+  }
+
+  ClusterOptions options;
+  options.num_replicas = run.num_replicas;
+  options.policy = run.policy;
+  options.admission = AdmissionPolicy::kBlock;  // lossless
+  options.replica_queue_capacity = run.queue_capacity;
+  options.server.max_batch_size = run.max_batch_size;
+  options.server.device_pool_bytes =
+      run.pool_adapter_slots * adapters.front().SizeBytesFp16() + 64;
+
+  ClusterServer cluster(config, options);
+  for (const LoraAdapter& adapter : adapters) {
+    cluster.AddAdapter(adapter);
+  }
+  cluster.PlaceAdapters(AdapterShares(trace, run.num_adapters));
+
+  TraceMapOptions map;
+  map.token_scale = 32;
+  map.max_prompt_tokens = 24;
+  map.max_new_tokens = 4;
+  Stopwatch pace;
+  for (const Request& request : trace) {
+    if (run.paced) {
+      while (pace.ElapsedMillis() < request.arrival_s * 1e3) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    cluster.Submit(EngineRequestFromTrace(request, config, map));
+  }
+  cluster.Drain();
+  return cluster.Stats();
+}
+
+}  // namespace bench
+}  // namespace vlora
+
+#endif  // VLORA_BENCH_BENCH_CLUSTER_COMMON_H_

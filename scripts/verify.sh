@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then the cluster layer's
+# concurrency tests under ThreadSanitizer.
+#
+#   ./scripts/verify.sh            # tier-1 + TSan cluster_test
+#   SKIP_TSAN=1 ./scripts/verify.sh  # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: configure, build, ctest ==="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "=== ThreadSanitizer: cluster_test ==="
+  cmake -B build-tsan -S . -DVLORA_SANITIZE=thread
+  cmake --build build-tsan -j --target cluster_test
+  ctest --test-dir build-tsan --output-on-failure -R cluster_test
+fi
+
+echo "verify.sh: all checks passed"

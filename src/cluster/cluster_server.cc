@@ -1,0 +1,155 @@
+#include "src/cluster/cluster_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace vlora {
+
+ClusterServer::ClusterServer(const ModelConfig& config, const ClusterOptions& options)
+    : options_(options) {
+  VLORA_CHECK(options_.num_replicas >= 1);
+  if (options_.overload_spill_depth <= 0) {
+    options_.overload_spill_depth = std::max<int64_t>(1, options_.replica_queue_capacity / 2);
+  }
+  ReplicaOptions replica_options;
+  replica_options.server = options_.server;
+  replica_options.queue_capacity = options_.replica_queue_capacity;
+  replica_options.admission = options_.admission;
+  replicas_.reserve(static_cast<size_t>(options_.num_replicas));
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>(i, config, replica_options));
+  }
+  router_ = std::make_unique<Router>(options_.policy, &placement_, options_.num_replicas,
+                                     options_.overload_spill_depth);
+}
+
+ClusterServer::~ClusterServer() {
+  for (auto& replica : replicas_) {
+    replica->RequestStop();
+  }
+  if (pool_ != nullptr) {
+    pool_->WaitIdle();
+  }
+}
+
+int ClusterServer::AddAdapter(const LoraAdapter& adapter) {
+  VLORA_CHECK(!started_);
+  int id = -1;
+  for (auto& replica : replicas_) {
+    const int replica_id = replica->AddAdapter(adapter);
+    VLORA_CHECK(id == -1 || replica_id == id);
+    id = replica_id;
+  }
+  return id;
+}
+
+void ClusterServer::PlaceAdapters(const std::vector<double>& shares) {
+  VLORA_CHECK(!started_);
+  placement_ = AdapterPlacement::Compute(shares, num_replicas(), options_.placement);
+  for (auto& replica : replicas_) {
+    replica->Prewarm(placement_.AdaptersOf(replica->index()));
+  }
+}
+
+void ClusterServer::EnsureStarted() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  wall_.Reset();
+  wall_started_ = true;
+  pool_ = std::make_unique<ThreadPool>(num_replicas());
+  for (auto& replica : replicas_) {
+    replica->Start(pool_.get());
+  }
+}
+
+bool ClusterServer::Submit(EngineRequest request) {
+  EnsureStarted();
+  std::vector<int64_t> depths(static_cast<size_t>(num_replicas()));
+  for (int i = 0; i < num_replicas(); ++i) {
+    depths[static_cast<size_t>(i)] = replicas_[static_cast<size_t>(i)]->Depth();
+  }
+  const RouteDecision decision = router_->Pick(request.adapter_id, depths);
+  if (decision.affinity_hit) {
+    ++affinity_hits_;
+  }
+  if (decision.spilled) {
+    ++affinity_spills_;
+  }
+  const bool accepted = replicas_[static_cast<size_t>(decision.replica)]->Enqueue(std::move(request));
+  if (!accepted) {
+    ++rejected_;
+  }
+  return accepted;
+}
+
+std::vector<EngineResult> ClusterServer::Drain() {
+  std::vector<EngineResult> results;
+  if (!started_) {
+    return results;
+  }
+  for (auto& replica : replicas_) {
+    replica->WaitDrained();
+  }
+  wall_ms_ = wall_.ElapsedMillis();
+  for (auto& replica : replicas_) {
+    std::vector<EngineResult> part = replica->TakeResults();
+    results.insert(results.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  return results;
+}
+
+ClusterStats ClusterServer::Stats() {
+  ClusterStats stats;
+  const double wall_ms = wall_ms_ > 0.0 ? wall_ms_ : (wall_started_ ? wall_.ElapsedMillis() : 0.0);
+  for (auto& replica : replicas_) {
+    ReplicaSnapshot snapshot = replica->Snapshot();
+    stats.submitted += snapshot.submitted;
+    stats.completed += snapshot.completed;
+    stats.adapter_swap_ins += snapshot.server.adapter_swap_ins;
+    stats.adapter_evictions += snapshot.server.adapter_evictions;
+    stats.visible_swap_ms += snapshot.server.visible_swap_ms;
+    stats.latency.Merge(snapshot.latency);
+    stats.replicas.push_back(std::move(snapshot));
+  }
+  stats.rejected = rejected_;
+  stats.affinity_hits = affinity_hits_;
+  stats.affinity_spills = affinity_spills_;
+  stats.wall_ms = wall_ms;
+  if (wall_ms > 0.0) {
+    stats.throughput_rps = static_cast<double>(stats.completed) / (wall_ms / 1e3);
+  }
+  return stats;
+}
+
+EngineRequest EngineRequestFromTrace(const Request& request, const ModelConfig& config,
+                                     const TraceMapOptions& options) {
+  EngineRequest engine_request;
+  engine_request.id = request.id;
+  engine_request.adapter_id = request.adapter_id;
+  const int64_t prompt_len =
+      std::clamp(request.input_tokens / options.token_scale, options.min_prompt_tokens,
+                 options.max_prompt_tokens);
+  // Deterministic per-request prompt: the same trace maps to the same engine
+  // requests on every replica count, which is what makes cluster results
+  // comparable as multisets.
+  Rng rng(0x5eedu + static_cast<uint64_t>(request.id) * 7919u);
+  engine_request.prompt_tokens.reserve(static_cast<size_t>(prompt_len));
+  for (int64_t i = 0; i < prompt_len; ++i) {
+    engine_request.prompt_tokens.push_back(
+        static_cast<int32_t>(rng.NextInt(2, config.vocab_size - 1)));
+  }
+  engine_request.max_new_tokens = static_cast<int>(std::clamp(
+      request.output_tokens / options.token_scale, options.min_new_tokens,
+      options.max_new_tokens));
+  engine_request.use_task_head = options.use_task_heads && request.closed_set_output;
+  engine_request.eos_token = -1;  // fixed-length decode keeps runs comparable
+  return engine_request;
+}
+
+}  // namespace vlora

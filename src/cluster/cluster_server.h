@@ -1,0 +1,129 @@
+// ClusterServer: N VloraServer replicas behind an adapter-affinity router.
+//
+// The real-engine counterpart of the simulator's multi-device dispatch
+// (Table 3): every replica owns a full engine + adapter set and is driven by
+// its own worker thread on a shared ThreadPool; a Router assigns each
+// submitted request to a replica — round-robin (the paper's setup),
+// least-loaded, or adapter-affinity over an InfiniLoRA-style AdapterPlacement
+// (replicated hot set, partitioned cold tail). Bounded per-replica queues
+// give the cluster backpressure: a saturating trace either blocks the
+// submitter or sheds load, it never grows memory without bound.
+
+#ifndef VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_
+#define VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/placement.h"
+#include "src/cluster/replica.h"
+#include "src/cluster/router.h"
+#include "src/workload/request.h"
+
+namespace vlora {
+
+struct ClusterOptions {
+  int num_replicas = 2;
+  ServerOptions server;  // applied to every replica
+  RoutePolicy policy = RoutePolicy::kAdapterAffinity;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  int64_t replica_queue_capacity = 64;
+  // Home-replica depth at which affinity routing spills to least-loaded;
+  // 0 derives half the queue capacity.
+  int64_t overload_spill_depth = 0;
+  PlacementOptions placement;
+};
+
+struct ClusterStats {
+  std::vector<ReplicaSnapshot> replicas;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t affinity_hits = 0;    // routed to a home replica of the adapter
+  int64_t affinity_spills = 0;  // home overloaded, fell back to least-loaded
+  int64_t adapter_swap_ins = 0;     // summed over replicas
+  int64_t adapter_evictions = 0;    // summed over replicas
+  double visible_swap_ms = 0.0;     // summed over replicas
+  double wall_ms = 0.0;             // first Submit -> last Drain
+  double throughput_rps = 0.0;      // completed / wall
+  LatencyRecorder latency;          // wall-clock submit -> completion, merged
+};
+
+class ClusterServer {
+ public:
+  explicit ClusterServer(const ModelConfig& config, const ClusterOptions& options = {});
+  ~ClusterServer();
+
+  ClusterServer(const ClusterServer&) = delete;
+  ClusterServer& operator=(const ClusterServer&) = delete;
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+
+  // Registers a copy of the adapter on every replica so any replica can serve
+  // any request; returns the cluster-wide adapter id (identical on each
+  // replica). Setup phase only.
+  int AddAdapter(const LoraAdapter& adapter);
+
+  // Computes the placement from per-adapter request shares (AdapterShares()
+  // over the expected trace) and pre-warms each replica's home set onto its
+  // device. Setup phase only; without this call affinity routing degenerates
+  // to least-loaded.
+  void PlaceAdapters(const std::vector<double>& shares);
+  const AdapterPlacement& placement() const { return placement_; }
+
+  // Routes the request to a replica. Returns false when the target replica
+  // rejected it (kReject admission and full). Blocks under kBlock admission
+  // while the target is full. Starts the worker threads on first use.
+  bool Submit(EngineRequest request);
+
+  // Waits for every accepted request to finish; returns the results
+  // accumulated since the previous Drain, in completion order per replica.
+  std::vector<EngineResult> Drain();
+
+  // Aggregated counters; cheap and safe while serving (snapshots serialise
+  // against each replica's step loop).
+  ClusterStats Stats();
+
+  Replica& replica(int index) { return *replicas_[static_cast<size_t>(index)]; }
+
+ private:
+  void EnsureStarted();
+
+  ClusterOptions options_;
+  AdapterPlacement placement_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<ThreadPool> pool_;  // after replicas_: destroyed (joined) first
+  bool started_ = false;
+  Stopwatch wall_;
+  bool wall_started_ = false;
+  double wall_ms_ = 0.0;
+  int64_t affinity_hits_ = 0;
+  int64_t affinity_spills_ = 0;
+  int64_t rejected_ = 0;
+};
+
+// Maps a synthetic workload request onto the mini engine: a deterministic
+// prompt derived from the request id, token counts scaled down by
+// `token_scale` (paper-size prompts do not fit a tiny CPU model), and
+// closed-set requests resolved through the adapter's task head when it has
+// one. Shared by the cluster bench, test and example so they serve the same
+// requests the simulator costs.
+struct TraceMapOptions {
+  int64_t token_scale = 16;       // divide trace token counts by this
+  int64_t min_prompt_tokens = 4;
+  int64_t max_prompt_tokens = 64;
+  int64_t min_new_tokens = 1;
+  int64_t max_new_tokens = 16;
+  // Route closed-set requests through the adapter's vision task head. Only
+  // enable when every adapter the trace references carries a head — the
+  // engine checks at submit time.
+  bool use_task_heads = false;
+};
+
+EngineRequest EngineRequestFromTrace(const Request& request, const ModelConfig& config,
+                                     const TraceMapOptions& options = {});
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_

@@ -1,0 +1,105 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/status.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+
+AdapterPlacement AdapterPlacement::Compute(const std::vector<double>& shares, int num_replicas,
+                                           const PlacementOptions& options) {
+  VLORA_CHECK(num_replicas >= 1);
+  AdapterPlacement placement;
+  placement.num_replicas_ = num_replicas;
+  placement.homes_.assign(shares.size(), {});
+  placement.adapters_.assign(static_cast<size_t>(num_replicas), {});
+  placement.hot_.assign(shares.size(), false);
+  placement.replica_share_.assign(static_cast<size_t>(num_replicas), 0.0);
+
+  const std::vector<int> by_popularity = AdaptersByPopularity(shares);
+
+  // Hot set: replicated everywhere, its share spread evenly.
+  int hot_count = 0;
+  for (int adapter : by_popularity) {
+    if (hot_count >= options.max_hot ||
+        shares[static_cast<size_t>(adapter)] < options.hot_share_threshold) {
+      break;  // by_popularity is descending, so nothing later qualifies
+    }
+    placement.hot_[static_cast<size_t>(adapter)] = true;
+    ++hot_count;
+    for (int replica = 0; replica < num_replicas; ++replica) {
+      placement.homes_[static_cast<size_t>(adapter)].push_back(replica);
+      placement.adapters_[static_cast<size_t>(replica)].push_back(adapter);
+      placement.replica_share_[static_cast<size_t>(replica)] +=
+          shares[static_cast<size_t>(adapter)] / num_replicas;
+    }
+  }
+
+  // Cold tail: hottest-first greedy onto the least-loaded replica, ties to
+  // the lowest index — deterministic for a fixed share vector.
+  for (int adapter : by_popularity) {
+    if (placement.hot_[static_cast<size_t>(adapter)]) {
+      continue;
+    }
+    int target = 0;
+    for (int replica = 1; replica < num_replicas; ++replica) {
+      if (placement.replica_share_[static_cast<size_t>(replica)] <
+          placement.replica_share_[static_cast<size_t>(target)]) {
+        target = replica;
+      }
+    }
+    placement.homes_[static_cast<size_t>(adapter)].push_back(target);
+    placement.adapters_[static_cast<size_t>(target)].push_back(adapter);
+    placement.replica_share_[static_cast<size_t>(target)] += shares[static_cast<size_t>(adapter)];
+  }
+
+  for (auto& list : placement.adapters_) {
+    std::sort(list.begin(), list.end());
+  }
+  return placement;
+}
+
+const std::vector<int>& AdapterPlacement::HomesOf(int adapter_id) const {
+  static const std::vector<int> kNone;
+  if (adapter_id < 0 || adapter_id >= num_adapters()) {
+    return kNone;
+  }
+  return homes_[static_cast<size_t>(adapter_id)];
+}
+
+const std::vector<int>& AdapterPlacement::AdaptersOf(int replica) const {
+  VLORA_CHECK(replica >= 0 && replica < num_replicas_);
+  return adapters_[static_cast<size_t>(replica)];
+}
+
+bool AdapterPlacement::IsHome(int adapter_id, int replica) const {
+  const std::vector<int>& homes = HomesOf(adapter_id);
+  return std::binary_search(homes.begin(), homes.end(), replica);
+}
+
+bool AdapterPlacement::IsHot(int adapter_id) const {
+  return adapter_id >= 0 && adapter_id < num_adapters() && hot_[static_cast<size_t>(adapter_id)];
+}
+
+double AdapterPlacement::ReplicaShare(int replica) const {
+  VLORA_CHECK(replica >= 0 && replica < num_replicas_);
+  return replica_share_[static_cast<size_t>(replica)];
+}
+
+std::string AdapterPlacement::ToString() const {
+  std::ostringstream out;
+  for (int replica = 0; replica < num_replicas_; ++replica) {
+    out << "replica " << replica << " (share "
+        << static_cast<int>(replica_share_[static_cast<size_t>(replica)] * 100.0 + 0.5)
+        << "%):";
+    for (int adapter : adapters_[static_cast<size_t>(replica)]) {
+      out << " " << adapter << (hot_[static_cast<size_t>(adapter)] ? "*" : "");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlora

@@ -1,0 +1,65 @@
+// Adapter-to-replica placement for the cluster serving layer.
+//
+// Every replica registers every adapter (host copies are cheap; the device
+// pool is the scarce resource), so placement decides *residency affinity*:
+// which replicas pre-warm an adapter onto the device and advertise it to the
+// affinity router. Following InfiniLoRA-style disaggregated multi-LoRA
+// serving, the hot set — adapters whose request share clears a threshold,
+// e.g. the skew head the workload generator produces — is replicated on every
+// replica, while the cold tail is partitioned, each adapter homed on the
+// replica with the least cumulative request share (greedy balance,
+// hottest-first). Routing to a home replica finds the adapter already
+// device-resident, keeping swap traffic off the critical path.
+
+#ifndef VLORA_SRC_CLUSTER_PLACEMENT_H_
+#define VLORA_SRC_CLUSTER_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace vlora {
+
+struct PlacementOptions {
+  // Request share at or above which an adapter joins the replicated hot set.
+  double hot_share_threshold = 0.10;
+  // Upper bound on the hot set, whatever the shares say; device pools are
+  // finite and every hot adapter occupies them on all replicas.
+  int max_hot = 2;
+};
+
+class AdapterPlacement {
+ public:
+  // Uninitialised placement: no adapters, no homes. Compute() builds one.
+  AdapterPlacement() = default;
+
+  // `shares` is AdapterShares() over the (expected) trace; index = adapter id.
+  static AdapterPlacement Compute(const std::vector<double>& shares, int num_replicas,
+                                  const PlacementOptions& options = {});
+
+  int num_adapters() const { return static_cast<int>(homes_.size()); }
+  int num_replicas() const { return num_replicas_; }
+
+  // Replica indices homing this adapter, ascending. Empty for unknown ids
+  // (e.g. adapter -1 = base model), which routes by load alone.
+  const std::vector<int>& HomesOf(int adapter_id) const;
+  // Adapter ids homed on this replica, ascending.
+  const std::vector<int>& AdaptersOf(int replica) const;
+  bool IsHome(int adapter_id, int replica) const;
+  bool IsHot(int adapter_id) const;
+
+  // Cumulative request share assigned to a replica (hot shares split evenly).
+  double ReplicaShare(int replica) const;
+
+  std::string ToString() const;  // one line per replica, for bench output
+
+ private:
+  int num_replicas_ = 0;
+  std::vector<std::vector<int>> homes_;     // adapter id -> replicas
+  std::vector<std::vector<int>> adapters_;  // replica -> adapter ids
+  std::vector<bool> hot_;                   // adapter id -> in hot set
+  std::vector<double> replica_share_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,161 @@
+#include "src/cluster/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+Replica::Replica(int index, const ModelConfig& config, const ReplicaOptions& options)
+    : index_(index),
+      queue_capacity_(options.queue_capacity),
+      admission_(options.admission),
+      server_(config, options.server) {
+  VLORA_CHECK(queue_capacity_ >= 1);
+}
+
+Replica::~Replica() {
+  RequestStop();
+  // The hosting pool joins the worker; by the time the pool is destroyed the
+  // loop has observed stop_requested_ and returned.
+}
+
+int Replica::AddAdapter(const LoraAdapter& adapter) {
+  VLORA_CHECK(!running_);
+  return server_.AddAdapter(std::make_unique<LoraAdapter>(adapter));
+}
+
+void Replica::Prewarm(const std::vector<int>& adapter_ids) {
+  VLORA_CHECK(!running_);
+  for (int id : adapter_ids) {
+    server_.PrewarmAdapter(id);
+  }
+}
+
+void Replica::Start(ThreadPool* pool) {
+  VLORA_CHECK(pool != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VLORA_CHECK(!running_);
+    running_ = true;
+  }
+  pool->Post([this] { WorkerLoop(); });
+}
+
+bool Replica::Enqueue(EngineRequest request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto depth = [this] { return static_cast<int64_t>(ingress_.size()) + in_server_; };
+  if (admission_ == AdmissionPolicy::kReject) {
+    if (depth() >= queue_capacity_) {
+      ++rejected_;
+      return false;
+    }
+  } else {
+    space_cv_.wait(lock, [&] { return stop_requested_ || depth() < queue_capacity_; });
+  }
+  if (stop_requested_) {
+    ++rejected_;
+    return false;
+  }
+  ingress_.push_back(Ingress{std::move(request), clock_.ElapsedMillis()});
+  ++submitted_;
+  const int64_t new_depth = depth();
+  peak_depth_ = std::max(peak_depth_, new_depth);
+  depth_.store(new_depth, std::memory_order_relaxed);
+  lock.unlock();
+  ingress_cv_.notify_one();
+  return true;
+}
+
+void Replica::WorkerLoop() {
+  for (;;) {
+    std::vector<Ingress> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ingress_cv_.wait(lock,
+                       [this] { return stop_requested_ || !ingress_.empty() || in_server_ > 0; });
+      if (stop_requested_ && ingress_.empty() && in_server_ == 0) {
+        running_ = false;
+        drained_cv_.notify_all();
+        return;
+      }
+      while (!ingress_.empty()) {
+        batch.push_back(std::move(ingress_.front()));
+        ingress_.pop_front();
+      }
+      in_server_ += static_cast<int64_t>(batch.size());
+    }
+    for (Ingress& item : batch) {
+      enqueue_ms_[item.request.id] = item.enqueue_ms;
+      server_.Submit(std::move(item.request));
+    }
+    std::vector<EngineResult> finished;
+    {
+      std::lock_guard<std::mutex> step_lock(step_mutex_);
+      finished = server_.StepOnce();
+    }
+    const double now_ms = clock_.ElapsedMillis();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_server_ -= static_cast<int64_t>(finished.size());
+      for (EngineResult& result : finished) {
+        auto it = enqueue_ms_.find(result.request_id);
+        VLORA_CHECK(it != enqueue_ms_.end());
+        latency_.Record(now_ms - it->second);
+        enqueue_ms_.erase(it);
+        ++completed_;
+        results_.push_back(std::move(result));
+      }
+      depth_.store(static_cast<int64_t>(ingress_.size()) + in_server_,
+                   std::memory_order_relaxed);
+      if (ingress_.empty() && in_server_ == 0) {
+        drained_cv_.notify_all();
+      }
+    }
+    if (!finished.empty()) {
+      space_cv_.notify_all();
+    }
+  }
+}
+
+void Replica::WaitDrained() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return ingress_.empty() && in_server_ == 0; });
+}
+
+void Replica::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  ingress_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+std::vector<EngineResult> Replica::TakeResults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EngineResult> out;
+  out.swap(results_);
+  return out;
+}
+
+ReplicaSnapshot Replica::Snapshot() {
+  ReplicaSnapshot snapshot;
+  snapshot.index = index_;
+  {
+    // Order matters for TSan cleanliness: take the step mutex first so the
+    // server stats copy cannot overlap a StepOnce, then the state mutex.
+    std::lock_guard<std::mutex> step_lock(step_mutex_);
+    snapshot.server = server_.stats();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.submitted = submitted_;
+  snapshot.completed = completed_;
+  snapshot.rejected = rejected_;
+  snapshot.peak_depth = peak_depth_;
+  snapshot.latency = latency_;
+  return snapshot;
+}
+
+}  // namespace vlora

@@ -1,0 +1,135 @@
+// One serving replica: a VloraServer behind a bounded ingress queue, driven
+// by a worker loop hosted on the cluster's ThreadPool.
+//
+// Threading model: the router thread calls Enqueue(); exactly one worker
+// thread runs WorkerLoop(), which moves queued requests into the server and
+// calls StepOnce() until the replica drains. The server itself is therefore
+// single-threaded apart from its staged Submit. All cross-thread state
+// (ingress queue, outstanding count, result buffer, latency recorder) is
+// guarded by one mutex; stats snapshots serialise against StepOnce through a
+// separate step mutex so they can be taken mid-run under TSan.
+//
+// Backpressure: `queue_capacity` bounds *outstanding* requests (queued +
+// in-engine). kBlock makes Enqueue wait for space — the caller slows to the
+// replica's service rate; kReject makes it fail fast and count the reject.
+// Either way a saturating trace cannot grow replica memory without bound.
+
+#ifndef VLORA_SRC_CLUSTER_REPLICA_H_
+#define VLORA_SRC_CLUSTER_REPLICA_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/core/server.h"
+
+namespace vlora {
+
+enum class AdmissionPolicy {
+  kBlock,   // Enqueue waits for queue space (lossless, caller-paced)
+  kReject,  // Enqueue returns false when full (lossy, bounded latency)
+};
+
+struct ReplicaOptions {
+  ServerOptions server;
+  int64_t queue_capacity = 64;  // bound on outstanding requests
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+};
+
+struct ReplicaSnapshot {
+  int index = 0;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t peak_depth = 0;
+  ServerStats server;        // logical-clock serving stats
+  LatencyRecorder latency;   // wall-clock enqueue -> completion
+};
+
+class Replica {
+ public:
+  Replica(int index, const ModelConfig& config, const ReplicaOptions& options);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  int index() const { return index_; }
+
+  // Setup phase (before Start): register an adapter copy / pre-warm the
+  // placement's home set onto the device.
+  int AddAdapter(const LoraAdapter& adapter);
+  void Prewarm(const std::vector<int>& adapter_ids);
+
+  // Posts the worker loop; the pool must dedicate a thread to it.
+  void Start(ThreadPool* pool);
+
+  // Router-thread entry. Returns false when rejected (kReject and full, or
+  // the replica is stopping).
+  bool Enqueue(EngineRequest request);
+
+  // Outstanding requests (queued + in-engine). Lock-free; the router's load
+  // signal.
+  int64_t Depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  // Blocks until every accepted request has finished.
+  void WaitDrained();
+
+  // Asks the worker loop to exit once drained and wakes blocked submitters.
+  void RequestStop();
+
+  // Moves out results accumulated since the last call.
+  std::vector<EngineResult> TakeResults();
+
+  // Consistent copy of the counters; safe while the worker runs.
+  ReplicaSnapshot Snapshot();
+
+  // Direct server access for tests; only valid when the replica is idle.
+  VloraServer& server_for_testing() { return server_; }
+
+ private:
+  void WorkerLoop();
+
+  const int index_;
+  const int64_t queue_capacity_;
+  const AdmissionPolicy admission_;
+  VloraServer server_;
+  Stopwatch clock_;
+
+  std::mutex mutex_;
+  std::condition_variable ingress_cv_;  // wakes the worker
+  std::condition_variable space_cv_;    // wakes blocked submitters
+  std::condition_variable drained_cv_;  // wakes WaitDrained
+  struct Ingress {
+    EngineRequest request;
+    double enqueue_ms;
+  };
+  std::deque<Ingress> ingress_;
+  int64_t in_server_ = 0;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  int64_t rejected_ = 0;
+  int64_t peak_depth_ = 0;
+  std::vector<EngineResult> results_;
+  LatencyRecorder latency_;
+
+  std::mutex step_mutex_;  // serialises StepOnce vs Snapshot
+
+  std::atomic<int64_t> depth_{0};
+
+  // Worker-thread-only: wall enqueue time of requests inside the server.
+  std::unordered_map<int64_t, double> enqueue_ms_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_CLUSTER_REPLICA_H_

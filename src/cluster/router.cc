@@ -1,0 +1,71 @@
+#include "src/cluster/router.h"
+
+#include "src/common/status.h"
+
+namespace vlora {
+
+Router::Router(RoutePolicy policy, const AdapterPlacement* placement, int num_replicas,
+               int64_t overload_depth)
+    : policy_(policy),
+      placement_(placement),
+      num_replicas_(num_replicas),
+      overload_depth_(overload_depth) {
+  VLORA_CHECK(num_replicas_ >= 1);
+  if (policy_ == RoutePolicy::kAdapterAffinity) {
+    VLORA_CHECK(placement_ != nullptr);
+  }
+}
+
+int Router::LeastLoaded(const std::vector<int64_t>& depths) const {
+  int best = 0;
+  for (int replica = 1; replica < num_replicas_; ++replica) {
+    if (depths[static_cast<size_t>(replica)] < depths[static_cast<size_t>(best)]) {
+      best = replica;
+    }
+  }
+  return best;
+}
+
+RouteDecision Router::Pick(int adapter_id, const std::vector<int64_t>& depths) {
+  VLORA_CHECK(static_cast<int>(depths.size()) == num_replicas_);
+  RouteDecision decision;
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin:
+      decision.replica = static_cast<int>(round_robin_next_++ % num_replicas_);
+      break;
+    case RoutePolicy::kLeastLoaded:
+      decision.replica = LeastLoaded(depths);
+      break;
+    case RoutePolicy::kAdapterAffinity: {
+      const std::vector<int>& homes = placement_->HomesOf(adapter_id);
+      if (homes.empty()) {
+        // Base-model requests (and unknown adapters) have no affinity.
+        decision.replica = LeastLoaded(depths);
+        break;
+      }
+      int best_home = homes.front();
+      for (int home : homes) {
+        if (depths[static_cast<size_t>(home)] < depths[static_cast<size_t>(best_home)]) {
+          best_home = home;
+        }
+      }
+      if (overload_depth_ > 0 && depths[static_cast<size_t>(best_home)] >= overload_depth_) {
+        decision.replica = LeastLoaded(depths);
+        decision.spilled = decision.replica != best_home;
+        decision.affinity_hit = !decision.spilled;
+        if (decision.spilled) {
+          break;
+        }
+      }
+      decision.replica = best_home;
+      decision.affinity_hit = true;
+      break;
+    }
+  }
+  if (placement_ != nullptr && policy_ != RoutePolicy::kAdapterAffinity) {
+    decision.affinity_hit = placement_->IsHome(adapter_id, decision.replica);
+  }
+  return decision;
+}
+
+}  // namespace vlora

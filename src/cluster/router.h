@@ -1,0 +1,77 @@
+// Request dispatch across replicas.
+//
+// Three policies, matching the knobs the multi-GPU literature compares:
+//   kRoundRobin      — the paper's Table 3 setup ("no inter-GPU scheduling"):
+//                      a rotating counter, blind to load and placement.
+//   kLeastLoaded     — minimum outstanding-work depth, ties to the lowest
+//                      replica index.
+//   kAdapterAffinity — route to a home replica of the request's adapter (the
+//                      placement pre-warmed it there), picking the least
+//                      loaded home; when every home is at or past the
+//                      overload depth, spill to the globally least loaded
+//                      replica rather than queue behind a hotspot.
+//
+// The router is a pure decision function over (adapter, depths): it owns no
+// locks and touches no replica state, so decisions are deterministic for a
+// given depth vector and call sequence.
+
+#ifndef VLORA_SRC_CLUSTER_ROUTER_H_
+#define VLORA_SRC_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/placement.h"
+
+namespace vlora {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kAdapterAffinity,
+};
+
+constexpr const char* RoutePolicyName(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kLeastLoaded:
+      return "least-loaded";
+    case RoutePolicy::kAdapterAffinity:
+      return "adapter-affinity";
+  }
+  return "unknown";
+}
+
+struct RouteDecision {
+  int replica = 0;
+  bool affinity_hit = false;  // landed on a home replica of the adapter
+  bool spilled = false;       // affinity wanted a home but all were overloaded
+};
+
+class Router {
+ public:
+  // `placement` may outlive routing decisions; not owned. Only consulted by
+  // kAdapterAffinity. `overload_depth` is the queue depth at which a home
+  // replica stops being preferred (<= 0 disables spilling).
+  Router(RoutePolicy policy, const AdapterPlacement* placement, int num_replicas,
+         int64_t overload_depth);
+
+  // `depths[i]` is replica i's outstanding work (ingress + in-engine).
+  RouteDecision Pick(int adapter_id, const std::vector<int64_t>& depths);
+
+  RoutePolicy policy() const { return policy_; }
+
+ private:
+  int LeastLoaded(const std::vector<int64_t>& depths) const;
+
+  RoutePolicy policy_;
+  const AdapterPlacement* placement_;
+  int num_replicas_;
+  int64_t overload_depth_;
+  int64_t round_robin_next_ = 0;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_CLUSTER_ROUTER_H_

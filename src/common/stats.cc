@@ -60,6 +60,12 @@ double SampleStats::Percentile(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (double s : other.samples_.samples()) {
+    samples_.Add(s);
+  }
+}
+
 Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo), hi_(hi) {
   VLORA_CHECK(hi > lo);
   VLORA_CHECK(num_bins > 0);

@@ -37,6 +37,32 @@ class SampleStats {
   std::vector<double> samples_;
 };
 
+// Request-latency accumulator reporting the SLO percentiles every serving
+// surface prints (p50/p95/p99), so single-replica and cluster runs emit the
+// same metrics. Percentile queries on an empty recorder return 0 rather than
+// failing — serving stats are routinely printed before traffic arrives.
+class LatencyRecorder {
+ public:
+  void Record(double ms) { samples_.Add(ms); }
+  // Folds another recorder's samples in (per-replica -> cluster aggregation).
+  void Merge(const LatencyRecorder& other);
+  void Clear() { samples_.Clear(); }
+
+  int64_t count() const { return samples_.count(); }
+  bool empty() const { return samples_.empty(); }
+  double MeanMs() const { return samples_.empty() ? 0.0 : samples_.Mean(); }
+  double MaxMs() const { return samples_.empty() ? 0.0 : samples_.Max(); }
+  double PercentileMs(double p) const { return samples_.empty() ? 0.0 : samples_.Percentile(p); }
+  double P50Ms() const { return PercentileMs(50.0); }
+  double P95Ms() const { return PercentileMs(95.0); }
+  double P99Ms() const { return PercentileMs(99.0); }
+
+  const SampleStats& samples() const { return samples_; }
+
+ private:
+  SampleStats samples_;
+};
+
 // Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
 // first / last bin so no data is silently dropped.
 class Histogram {

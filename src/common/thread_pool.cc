@@ -50,6 +50,21 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VLORA_CHECK(!shutdown_);
+    ++in_flight_;
+    tasks_.push(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t)>& fn) {
   VLORA_CHECK(begin <= end);

@@ -34,6 +34,15 @@ class ThreadPool {
   // regions in every caller, so no ordering is guaranteed or needed.
   void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn);
 
+  // Enqueues one task and returns immediately. Used by the cluster layer to
+  // host long-running replica worker loops; a pool hosting posted loops must
+  // be dedicated to them (ParallelFor on the same pool would wait for the
+  // loops to finish). Tasks must not throw.
+  void Post(std::function<void()> fn);
+
+  // Blocks until every posted / dispatched task has completed.
+  void WaitIdle();
+
  private:
   void WorkerLoop();
 

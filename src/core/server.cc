@@ -51,12 +51,41 @@ const LoraAdapter& VloraServer::adapter(int id) const {
 }
 
 void VloraServer::Submit(EngineRequest request) {
-  VLORA_CHECK(!submit_ms_.contains(request.id));
-  submit_ms_[request.id] = logical_clock_ms_;
-  engine_.Submit(std::move(request));
+  std::lock_guard<std::mutex> lock(submit_mutex_);
+  staged_.push_back(std::move(request));
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void VloraServer::AdmitStaged() {
+  std::vector<EngineRequest> staged;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    staged.swap(staged_);
+  }
+  for (EngineRequest& request : staged) {
+    VLORA_CHECK(!submit_ms_.contains(request.id));
+    submit_ms_[request.id] = logical_clock_ms_;
+    engine_.Submit(std::move(request));
+  }
+}
+
+void VloraServer::PrewarmAdapter(int adapter_id) {
+  VLORA_CHECK(adapter_id >= 0 && adapter_id < num_adapters());
+  adapter_manager_.EnsureResident(adapter_id);
+}
+
+std::vector<int> VloraServer::ResidentAdapters() const {
+  std::vector<int> resident;
+  for (int id = 0; id < num_adapters(); ++id) {
+    if (adapter_manager_.IsResident(id)) {
+      resident.push_back(id);
+    }
+  }
+  return resident;
 }
 
 std::vector<EngineResult> VloraServer::StepOnce() {
+  AdmitStaged();
   // Build the Algorithm-1 queue view from the engine's live sequences. The
   // logical clock advances by the estimated iteration time, which is what the
   // credit term measures against θ.
@@ -140,15 +169,17 @@ std::vector<EngineResult> VloraServer::StepOnce() {
       options_.alg1.exec_estimate_ms + (switched ? options_.alg1.switch_ms : 0.0);
 
   for (const EngineResult& result : finished) {
+    stats_.latency.Record(logical_clock_ms_ - submit_ms_.at(result.request_id));
     submit_ms_.erase(result.request_id);
     last_service_ms_.erase(result.request_id);
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
   }
   return finished;
 }
 
 std::vector<EngineResult> VloraServer::RunAll() {
   std::vector<EngineResult> all;
-  while (engine_.HasWork()) {
+  while (QueueDepth() > 0) {
     std::vector<EngineResult> finished = StepOnce();
     all.insert(all.end(), std::make_move_iterator(finished.begin()),
                std::make_move_iterator(finished.end()));

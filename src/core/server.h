@@ -10,10 +10,13 @@
 #ifndef VLORA_SRC_CORE_SERVER_H_
 #define VLORA_SRC_CORE_SERVER_H_
 
-#include <map>
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/core/generator.h"
 #include "src/core/scheduler.h"
 #include "src/engine/engine.h"
@@ -47,6 +50,9 @@ struct ServerStats {
   int64_t adapter_swap_ins = 0;
   int64_t adapter_evictions = 0;
   double visible_swap_ms = 0.0;  // per the adapter manager's transfer model
+  // Per-request submit->finish latency on the server's logical clock; the
+  // cluster layer reports the same percentiles on the wall clock.
+  LatencyRecorder latency;
 };
 
 class VloraServer {
@@ -61,8 +67,24 @@ class VloraServer {
   InferenceEngine& engine() { return engine_; }
   const AdapterManager& adapter_manager() const { return adapter_manager_; }
 
-  // Enqueues a request (EngineRequest::id must be unique).
+  // Enqueues a request (EngineRequest::id must be unique). Thread-safe with
+  // respect to a concurrent StepOnce: the request lands in a staging buffer
+  // and joins the engine at the start of the next iteration. Everything else
+  // on this class must be called from the serving thread.
   void Submit(EngineRequest request);
+
+  // Requests accepted but not yet finished (staged + in-engine). Thread-safe;
+  // this is the load signal the cluster router reads.
+  int64_t QueueDepth() const { return queue_depth_.load(std::memory_order_relaxed); }
+
+  // Forces an adapter onto the device outside the serving path (placement
+  // warm-up); does not count toward swap statistics. Serving thread only, or
+  // before serving starts.
+  void PrewarmAdapter(int adapter_id);
+
+  // Adapter ids currently device-resident. Only meaningful when the server is
+  // quiescent or called from the serving thread.
+  std::vector<int> ResidentAdapters() const;
 
   // One orchestrated iteration: Algorithm 1 picks batch + mode, the engine
   // switches if needed and executes. Returns newly finished results.
@@ -74,13 +96,20 @@ class VloraServer {
   const ServerStats& stats() const { return stats_; }
 
  private:
+  // Moves staged requests into the engine, stamping their logical enqueue
+  // time. Serving thread only.
+  void AdmitStaged();
+
   ServerOptions options_;
   InferenceEngine engine_;
   UnifiedMemoryPool pool_;
   AdapterManager adapter_manager_;
   std::vector<std::unique_ptr<LoraAdapter>> adapters_;
-  std::map<int64_t, double> submit_ms_;        // request id -> logical enqueue time
-  std::map<int64_t, double> last_service_ms_;  // request id -> last scheduled time
+  std::mutex submit_mutex_;
+  std::vector<EngineRequest> staged_;          // guarded by submit_mutex_
+  std::atomic<int64_t> queue_depth_{0};
+  std::unordered_map<int64_t, double> submit_ms_;        // id -> logical enqueue time
+  std::unordered_map<int64_t, double> last_service_ms_;  // id -> last scheduled time
   double logical_clock_ms_ = 0.0;
   ServerStats stats_;
 };

@@ -137,4 +137,15 @@ std::vector<double> AdapterShares(const std::vector<Request>& trace, int num_ada
   return shares;
 }
 
+std::vector<int> AdaptersByPopularity(const std::vector<double>& shares) {
+  std::vector<int> order(shares.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&shares](int a, int b) {
+    return shares[static_cast<size_t>(a)] > shares[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
 }  // namespace vlora

@@ -46,6 +46,11 @@ std::vector<Request> GenerateTrace(const TraceOptions& options);
 // Empirical share of requests per adapter in a trace (index = adapter id).
 std::vector<double> AdapterShares(const std::vector<Request>& trace, int num_adapters);
 
+// Adapter ids ordered hottest-first (ties broken by lower id, so the order is
+// deterministic). The cluster placement consumes this to split the hot
+// replicated set from the cold partitioned set.
+std::vector<int> AdaptersByPopularity(const std::vector<double>& shares);
+
 }  // namespace vlora
 
 #endif  // VLORA_SRC_WORKLOAD_TRACE_GEN_H_
