@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then the cluster layer's
-# concurrency tests under ThreadSanitizer.
+# Repo verification: tier-1 build + full test suite, then the concurrency-
+# labelled tests (cluster, fault injection, thread pool) under both
+# ThreadSanitizer and AddressSanitizer+UBSan.
 #
-#   ./scripts/verify.sh            # tier-1 + TSan cluster_test
-#   SKIP_TSAN=1 ./scripts/verify.sh  # tier-1 only
+#   ./scripts/verify.sh              # tier-1 + TSan + ASan concurrency tests
+#   SKIP_TSAN=1 ./scripts/verify.sh  # skip the TSan tree
+#   SKIP_ASAN=1 ./scripts/verify.sh  # skip the ASan tree
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test)
 
 echo "=== tier-1: configure, build, ctest ==="
 cmake -B build -S .
@@ -13,10 +17,17 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer: cluster_test ==="
-  cmake -B build-tsan -S . -DVLORA_SANITIZE=thread
-  cmake --build build-tsan -j --target cluster_test
-  ctest --test-dir build-tsan --output-on-failure -R cluster_test
+  echo "=== ThreadSanitizer: concurrency tests ==="
+  cmake -B build-tsan -S . -DVLORA_SANITIZE=tsan
+  cmake --build build-tsan -j --target "${CONCURRENCY_TARGETS[@]}"
+  ctest --test-dir build-tsan --output-on-failure -L concurrency
+fi
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "=== AddressSanitizer+UBSan: concurrency tests ==="
+  cmake -B build-asan -S . -DVLORA_SANITIZE=asan
+  cmake --build build-asan -j --target "${CONCURRENCY_TARGETS[@]}"
+  ctest --test-dir build-asan --output-on-failure -L concurrency
 fi
 
 echo "verify.sh: all checks passed"

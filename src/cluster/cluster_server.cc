@@ -1,6 +1,8 @@
 #include "src/cluster/cluster_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <utility>
 
 #include "src/common/rng.h"
@@ -11,6 +13,7 @@ namespace vlora {
 ClusterServer::ClusterServer(const ModelConfig& config, const ClusterOptions& options)
     : options_(options) {
   VLORA_CHECK(options_.num_replicas >= 1);
+  VLORA_CHECK(options_.recovery.max_attempts >= 1);
   if (options_.overload_spill_depth <= 0) {
     options_.overload_spill_depth = std::max<int64_t>(1, options_.replica_queue_capacity / 2);
   }
@@ -18,22 +21,24 @@ ClusterServer::ClusterServer(const ModelConfig& config, const ClusterOptions& op
   replica_options.server = options_.server;
   replica_options.queue_capacity = options_.replica_queue_capacity;
   replica_options.admission = options_.admission;
+  replica_options.fault = options_.fault;
   replicas_.reserve(static_cast<size_t>(options_.num_replicas));
   for (int i = 0; i < options_.num_replicas; ++i) {
     replicas_.push_back(std::make_unique<Replica>(i, config, replica_options));
   }
+  for (auto& replica : replicas_) {
+    replica->SetHandlers(
+        [this](int index, int64_t request_id) { OnReplicaComplete(index, request_id); },
+        [this](int index, int64_t request_id, const Status& status) {
+          OnReplicaFailure(index, request_id, status);
+        });
+  }
   router_ = std::make_unique<Router>(options_.policy, &placement_, options_.num_replicas,
                                      options_.overload_spill_depth);
+  health_.assign(static_cast<size_t>(options_.num_replicas), HealthState{});
 }
 
-ClusterServer::~ClusterServer() {
-  for (auto& replica : replicas_) {
-    replica->RequestStop();
-  }
-  if (pool_ != nullptr) {
-    pool_->WaitIdle();
-  }
-}
+ClusterServer::~ClusterServer() { Shutdown(); }
 
 int ClusterServer::AddAdapter(const LoraAdapter& adapter) {
   VLORA_CHECK(!started_);
@@ -54,6 +59,12 @@ void ClusterServer::PlaceAdapters(const std::vector<double>& shares) {
   }
 }
 
+void ClusterServer::SetCompletionObserver(
+    std::function<void(int64_t request_id, double completed_ms)> observer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  completion_observer_ = std::move(observer);
+}
+
 void ClusterServer::EnsureStarted() {
   if (started_) {
     return;
@@ -65,32 +76,322 @@ void ClusterServer::EnsureStarted() {
   for (auto& replica : replicas_) {
     replica->Start(pool_.get());
   }
+  supervisor_ = std::thread([this] { SupervisorLoop(); });
+}
+
+double ClusterServer::BackoffMs(int attempts) const {
+  const int exponent = std::min(std::max(attempts - 1, 0), 20);
+  return options_.recovery.backoff_base_ms * static_cast<double>(int64_t{1} << exponent);
 }
 
 bool ClusterServer::Submit(EngineRequest request) {
   EnsureStarted();
-  std::vector<int64_t> depths(static_cast<size_t>(num_replicas()));
-  for (int i = 0; i < num_replicas(); ++i) {
-    depths[static_cast<size_t>(i)] = replicas_[static_cast<size_t>(i)]->Depth();
+  const int64_t id = request.id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Pending pending;
+    pending.request = request;
+    pending.deadline_ms = options_.recovery.request_deadline_ms > 0.0
+                              ? clock_.ElapsedMillis() + options_.recovery.request_deadline_ms
+                              : std::numeric_limits<double>::infinity();
+    const bool inserted = pending_.emplace(id, std::move(pending)).second;
+    VLORA_CHECK(inserted);  // recovery tracking needs unique request ids
   }
-  const RouteDecision decision = router_->Pick(request.adapter_id, depths);
-  if (decision.affinity_hit) {
-    ++affinity_hits_;
+  const RouteOutcome outcome =
+      RouteAndEnqueue(std::move(request), /*blocking=*/true, /*count_affinity=*/true);
+  if (outcome == RouteOutcome::kAccepted) {
+    return true;
   }
-  if (decision.spilled) {
-    ++affinity_spills_;
-  }
-  const bool accepted = replicas_[static_cast<size_t>(decision.replica)]->Enqueue(std::move(request));
-  if (!accepted) {
+  // Never dispatched: untrack it. An admission reject keeps the historical
+  // Submit() == false contract; no-live-replica additionally surfaces as a
+  // failure so callers that only look at TakeFailures() still see it.
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      if (outcome == RouteOutcome::kUnavailable) {
+        drained = FinalizeFailureLocked(it, Status::Unavailable("no live replica"),
+                                        /*deadline=*/false);
+      } else {
+        pending_.erase(it);
+        drained = pending_.empty();
+      }
+    }
     ++rejected_;
   }
-  return accepted;
+  if (drained) {
+    drained_cv_.notify_all();
+  }
+  return false;
+}
+
+ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request, bool blocking,
+                                                           bool count_affinity) {
+  std::vector<char> tried(static_cast<size_t>(num_replicas()), 0);
+  for (int round = 0; round < num_replicas(); ++round) {
+    int target = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::vector<int64_t> depths(static_cast<size_t>(num_replicas()));
+      for (int i = 0; i < num_replicas(); ++i) {
+        depths[static_cast<size_t>(i)] = replicas_[static_cast<size_t>(i)]->Depth();
+      }
+      const RouteDecision decision = router_->Pick(request.adapter_id, depths);
+      if (decision.replica >= 0 && !tried[static_cast<size_t>(decision.replica)]) {
+        target = decision.replica;
+        if (count_affinity && round == 0) {
+          if (decision.affinity_hit) {
+            ++affinity_hits_;
+          }
+          if (decision.spilled) {
+            ++affinity_spills_;
+          }
+        }
+      } else {
+        // The router repeated a pick that already refused us (it learns of a
+        // death only at the next health tick): probe the least-loaded live
+        // replica we have not tried yet.
+        for (int i = 0; i < num_replicas(); ++i) {
+          if (tried[static_cast<size_t>(i)] || !router_->IsReplicaAlive(i)) {
+            continue;
+          }
+          if (target < 0 ||
+              depths[static_cast<size_t>(i)] < depths[static_cast<size_t>(target)]) {
+            target = i;
+          }
+        }
+      }
+    }
+    if (target < 0) {
+      return RouteOutcome::kUnavailable;
+    }
+    const EnqueueResult result =
+        replicas_[static_cast<size_t>(target)]->Enqueue(request, /*never_block=*/!blocking);
+    if (result == EnqueueResult::kAccepted) {
+      return RouteOutcome::kAccepted;
+    }
+    if (result == EnqueueResult::kFull) {
+      return RouteOutcome::kFull;  // admission verdict, not a liveness one
+    }
+    tried[static_cast<size_t>(target)] = 1;  // refused: dead or stopping
+  }
+  return RouteOutcome::kUnavailable;
+}
+
+void ClusterServer::DispatchPending(EngineRequest request) {
+  const int64_t id = request.id;
+  const RouteOutcome outcome =
+      RouteAndEnqueue(std::move(request), /*blocking=*/false, /*count_affinity=*/false);
+  if (outcome == RouteOutcome::kAccepted) {
+    return;
+  }
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;
+    }
+    Pending& pending = it->second;
+    if (pending.attempts >= options_.recovery.max_attempts) {
+      drained = FinalizeFailureLocked(it, Status::Unavailable("no replica accepted the retry"),
+                                      /*deadline=*/false);
+    } else {
+      pending.state = PendingState::kWaitingRetry;
+      pending.retry_due_ms = clock_.ElapsedMillis() + BackoffMs(pending.attempts);
+    }
+  }
+  if (drained) {
+    drained_cv_.notify_all();
+  }
+}
+
+void ClusterServer::SupervisorLoop() {
+  const auto period =
+      std::chrono::duration<double, std::milli>(std::max(1.0, options_.recovery.health_period_ms));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!supervisor_stop_) {
+    supervisor_cv_.wait_for(lock, period);
+    if (supervisor_stop_) {
+      break;
+    }
+    const double now = clock_.ElapsedMillis();
+
+    // Deadlines first: a request whose budget elapsed while it waited out a
+    // backoff fails now rather than burning another attempt.
+    std::vector<int64_t> expired;
+    for (const auto& entry : pending_) {
+      if (entry.second.state == PendingState::kWaitingRetry && now > entry.second.deadline_ms) {
+        expired.push_back(entry.first);
+      }
+    }
+    std::sort(expired.begin(), expired.end());
+    for (int64_t id : expired) {
+      FinalizeFailureLocked(pending_.find(id), Status::DeadlineExceeded("request deadline elapsed"),
+                            /*deadline=*/true);
+    }
+    const bool drained = !expired.empty() && pending_.empty();
+
+    // Due retries: mark them in-flight under the lock, dispatch outside it.
+    std::vector<EngineRequest> to_dispatch;
+    for (auto& entry : pending_) {
+      Pending& pending = entry.second;
+      if (pending.state == PendingState::kWaitingRetry && now >= pending.retry_due_ms) {
+        pending.state = PendingState::kEnqueued;
+        ++pending.attempts;
+        ++retries_;
+        to_dispatch.push_back(pending.request);
+      }
+    }
+    std::sort(to_dispatch.begin(), to_dispatch.end(),
+              [](const EngineRequest& a, const EngineRequest& b) { return a.id < b.id; });
+
+    lock.unlock();
+    if (drained) {
+      drained_cv_.notify_all();
+    }
+    for (EngineRequest& request : to_dispatch) {
+      DispatchPending(std::move(request));
+    }
+    HealthCheck(now);
+    lock.lock();
+  }
+}
+
+void ClusterServer::HealthCheck(double now_ms) {
+  for (int r = 0; r < num_replicas(); ++r) {
+    Replica& replica = *replicas_[static_cast<size_t>(r)];
+    const bool is_dead = replica.dead();
+    const double heartbeat = replica.HeartbeatMs();
+    const int64_t depth = replica.Depth();
+    bool steal = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HealthState& health = health_[static_cast<size_t>(r)];
+      if (heartbeat != health.last_heartbeat) {
+        health.last_heartbeat = heartbeat;
+        health.last_change_ms = now_ms;
+      }
+      if (is_dead) {
+        if (!health.death_handled) {
+          // The replica failed over its own queue when it died; here we stop
+          // routing to it and give its orphaned adapters new homes.
+          health.death_handled = true;
+          health.quarantined = false;
+          ++replica_deaths_;
+          router_->SetReplicaAlive(r, false);
+          placement_.Rebalance(r);
+        }
+      } else if (!health.quarantined) {
+        if (options_.recovery.stall_quarantine_ms > 0.0 && depth > 0 &&
+            now_ms - health.last_change_ms > options_.recovery.stall_quarantine_ms) {
+          health.quarantined = true;
+          health.heartbeat_at_quarantine = heartbeat;
+          ++quarantines_;
+          router_->SetReplicaAlive(r, false);
+          steal = true;
+        }
+      } else if (heartbeat != health.heartbeat_at_quarantine) {
+        // The worker moved again: readmit. Whatever it still holds in-engine
+        // it will finish itself; new traffic may route to it immediately.
+        health.quarantined = false;
+        ++readmissions_;
+        router_->SetReplicaAlive(r, true);
+      }
+    }
+    if (steal) {
+      std::vector<EngineRequest> stolen = replica.StealIngress();
+      if (!stolen.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rerouted_ += static_cast<int64_t>(stolen.size());
+      }
+      std::sort(stolen.begin(), stolen.end(),
+                [](const EngineRequest& a, const EngineRequest& b) { return a.id < b.id; });
+      for (EngineRequest& request : stolen) {
+        DispatchPending(std::move(request));
+      }
+    }
+  }
+}
+
+void ClusterServer::OnReplicaComplete(int replica, int64_t request_id) {
+  (void)replica;
+  bool drained = false;
+  double now = 0.0;
+  std::function<void(int64_t, double)> observer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(request_id);
+    drained = pending_.empty();
+    now = clock_.ElapsedMillis();
+    observer = completion_observer_;
+  }
+  if (observer) {
+    observer(request_id, now);
+  }
+  if (drained) {
+    drained_cv_.notify_all();
+  }
+}
+
+void ClusterServer::OnReplicaFailure(int replica, int64_t request_id, const Status& status) {
+  (void)replica;
+  bool drained = false;
+  bool scheduled = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      return;  // already finalised (e.g. by the deadline scan)
+    }
+    Pending& pending = it->second;
+    const double now = clock_.ElapsedMillis();
+    if (status.code() == StatusCode::kCancelled) {
+      drained = FinalizeFailureLocked(it, status, /*deadline=*/false);
+    } else if (now > pending.deadline_ms) {
+      drained = FinalizeFailureLocked(it, Status::DeadlineExceeded("request deadline elapsed"),
+                                      /*deadline=*/true);
+    } else if (pending.attempts >= options_.recovery.max_attempts) {
+      drained = FinalizeFailureLocked(it, status, /*deadline=*/false);
+    } else {
+      pending.state = PendingState::kWaitingRetry;
+      pending.retry_due_ms = now + BackoffMs(pending.attempts);
+      scheduled = true;
+    }
+  }
+  if (drained) {
+    drained_cv_.notify_all();
+  }
+  if (scheduled) {
+    supervisor_cv_.notify_all();
+  }
+}
+
+bool ClusterServer::FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::iterator it,
+                                          const Status& status, bool deadline) {
+  VLORA_CHECK(it != pending_.end());
+  failures_.push_back(FailedRequest{it->first, status, it->second.attempts});
+  if (status.code() == StatusCode::kCancelled) {
+    ++cancelled_;
+  } else {
+    ++failed_;
+  }
+  if (deadline) {
+    ++deadline_failures_;
+  }
+  pending_.erase(it);
+  return pending_.empty();
 }
 
 std::vector<EngineResult> ClusterServer::Drain() {
   std::vector<EngineResult> results;
   if (!started_) {
     return results;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_cv_.wait(lock, [this] { return pending_.empty(); });
   }
   for (auto& replica : replicas_) {
     replica->WaitDrained();
@@ -104,9 +405,55 @@ std::vector<EngineResult> ClusterServer::Drain() {
   return results;
 }
 
+std::vector<FailedRequest> ClusterServer::TakeFailures() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FailedRequest> out;
+  out.swap(failures_);
+  return out;
+}
+
+void ClusterServer::Shutdown() {
+  if (shut_down_) {
+    return;
+  }
+  shut_down_ = true;
+  if (started_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      supervisor_stop_ = true;
+    }
+    supervisor_cv_.notify_all();
+    if (supervisor_.joinable()) {
+      supervisor_.join();
+    }
+  }
+  for (auto& replica : replicas_) {
+    replica->RequestStop();
+  }
+  if (pool_ != nullptr) {
+    pool_->WaitIdle();
+  }
+  // The workers cancelled their queues on the way out (reported through
+  // OnReplicaFailure); anything left in the table was waiting out a retry
+  // backoff the supervisor will never serve. Cancel it too.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<int64_t> ids;
+    ids.reserve(pending_.size());
+    for (const auto& entry : pending_) {
+      ids.push_back(entry.first);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (int64_t id : ids) {
+      FinalizeFailureLocked(pending_.find(id), Status::Cancelled("cluster shutdown"),
+                            /*deadline=*/false);
+    }
+  }
+  drained_cv_.notify_all();
+}
+
 ClusterStats ClusterServer::Stats() {
   ClusterStats stats;
-  const double wall_ms = wall_ms_ > 0.0 ? wall_ms_ : (wall_started_ ? wall_.ElapsedMillis() : 0.0);
   for (auto& replica : replicas_) {
     ReplicaSnapshot snapshot = replica->Snapshot();
     stats.submitted += snapshot.submitted;
@@ -117,9 +464,19 @@ ClusterStats ClusterServer::Stats() {
     stats.latency.Merge(snapshot.latency);
     stats.replicas.push_back(std::move(snapshot));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   stats.rejected = rejected_;
   stats.affinity_hits = affinity_hits_;
   stats.affinity_spills = affinity_spills_;
+  stats.retries = retries_;
+  stats.rerouted = rerouted_;
+  stats.failed = failed_;
+  stats.cancelled = cancelled_;
+  stats.deadline_failures = deadline_failures_;
+  stats.replica_deaths = replica_deaths_;
+  stats.quarantines = quarantines_;
+  stats.readmissions = readmissions_;
+  const double wall_ms = wall_ms_ > 0.0 ? wall_ms_ : (wall_started_ ? wall_.ElapsedMillis() : 0.0);
   stats.wall_ms = wall_ms;
   if (wall_ms > 0.0) {
     stats.throughput_rps = static_cast<double>(stats.completed) / (wall_ms / 1e3);

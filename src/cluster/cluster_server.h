@@ -8,19 +8,55 @@
 // (replicated hot set, partitioned cold tail). Bounded per-replica queues
 // give the cluster backpressure: a saturating trace either blocks the
 // submitter or sheds load, it never grows memory without bound.
+//
+// Failure recovery: every accepted request is tracked in a pending table
+// (with a copy for replay) until a replica completes or definitively fails
+// it. A supervisor thread (a) re-dispatches failed requests to surviving
+// replicas with bounded exponential-backoff retries, (b) enforces optional
+// per-request deadlines, and (c) health-checks the fleet — a replica whose
+// worker heartbeat goes stale while it holds work is quarantined (marked
+// unroutable, its queued requests stolen and re-routed) and readmitted when
+// the heartbeat resumes; a dead replica is permanently removed from routing
+// and its partitioned cold-tail adapters are re-homed onto survivors via
+// AdapterPlacement::Rebalance. Faults are injected deterministically through
+// an optional FaultInjector (src/common/fault.h); without one the recovery
+// layer is dormant apart from the supervisor's idle heartbeat scan.
 
 #ifndef VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_
 #define VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/placement.h"
 #include "src/cluster/replica.h"
 #include "src/cluster/router.h"
+#include "src/common/fault.h"
 #include "src/workload/request.h"
 
 namespace vlora {
+
+struct RecoveryOptions {
+  // Total enqueue attempts per request (first dispatch included) before it is
+  // failed with the last replica-reported status.
+  int max_attempts = 3;
+  // Retry delay after the Nth failed attempt: backoff_base_ms * 2^(N-1).
+  double backoff_base_ms = 2.0;
+  // Submit-to-completion budget; a request that cannot be completed within it
+  // fails with DEADLINE_EXCEEDED. 0 disables deadlines. Enforced at failure/
+  // retry decision points — a request already executing is never interrupted.
+  double request_deadline_ms = 0.0;
+  // Supervisor tick: health checks + due-retry dispatch.
+  double health_period_ms = 5.0;
+  // A replica with queued work whose worker heartbeat has not advanced for
+  // this long is quarantined. 0 disables stall detection.
+  double stall_quarantine_ms = 250.0;
+};
 
 struct ClusterOptions {
   int num_replicas = 2;
@@ -32,6 +68,15 @@ struct ClusterOptions {
   // 0 derives half the queue capacity.
   int64_t overload_spill_depth = 0;
   PlacementOptions placement;
+  RecoveryOptions recovery;
+  FaultInjector* fault = nullptr;  // not owned; must outlive the cluster
+};
+
+// A request the recovery layer gave up on, with its final status.
+struct FailedRequest {
+  int64_t request_id = 0;
+  Status status;
+  int attempts = 0;
 };
 
 struct ClusterStats {
@@ -47,6 +92,15 @@ struct ClusterStats {
   double wall_ms = 0.0;             // first Submit -> last Drain
   double throughput_rps = 0.0;      // completed / wall
   LatencyRecorder latency;          // wall-clock submit -> completion, merged
+  // Recovery counters (cluster-level; per-replica views in `replicas`).
+  int64_t retries = 0;            // failed requests re-dispatched
+  int64_t rerouted = 0;           // queued requests stolen off a quarantined replica
+  int64_t failed = 0;             // requests that exhausted recovery
+  int64_t cancelled = 0;          // requests cancelled at shutdown
+  int64_t deadline_failures = 0;  // subset of `failed` that hit the deadline
+  int64_t replica_deaths = 0;
+  int64_t quarantines = 0;
+  int64_t readmissions = 0;
 };
 
 class ClusterServer {
@@ -71,14 +125,32 @@ class ClusterServer {
   void PlaceAdapters(const std::vector<double>& shares);
   const AdapterPlacement& placement() const { return placement_; }
 
-  // Routes the request to a replica. Returns false when the target replica
-  // rejected it (kReject admission and full). Blocks under kBlock admission
-  // while the target is full. Starts the worker threads on first use.
+  // Invoked (from a replica worker thread) whenever a request completes, with
+  // the cluster-clock completion time; benches use it to build recovery
+  // timelines. Set before the first Submit.
+  void SetCompletionObserver(std::function<void(int64_t request_id, double completed_ms)> observer);
+
+  // Routes the request to a replica (skipping dead/quarantined ones) and
+  // tracks it for recovery. Returns false when no replica accepted it —
+  // admission rejection under kReject, or no live replica at all. Blocks
+  // under kBlock admission while the chosen target is full. Starts the
+  // worker threads and the supervisor on first use. EngineRequest::id must
+  // be unique across the cluster's lifetime.
   bool Submit(EngineRequest request);
 
-  // Waits for every accepted request to finish; returns the results
-  // accumulated since the previous Drain, in completion order per replica.
+  // Waits until every accepted request has completed or definitively failed;
+  // returns the results accumulated since the previous Drain, in completion
+  // order per replica.
   std::vector<EngineResult> Drain();
+
+  // Moves out the requests the recovery layer gave up on since the last call.
+  std::vector<FailedRequest> TakeFailures();
+
+  // Stops the supervisor and the replicas, cancelling queued-but-unstarted
+  // work with Status::Cancelled (reported through TakeFailures / Stats).
+  // Idempotent; the destructor calls it. Stats/TakeFailures remain valid
+  // afterwards.
+  void Shutdown();
 
   // Aggregated counters; cheap and safe while serving (snapshots serialise
   // against each replica's step loop).
@@ -87,7 +159,42 @@ class ClusterServer {
   Replica& replica(int index) { return *replicas_[static_cast<size_t>(index)]; }
 
  private:
+  enum class PendingState {
+    kEnqueued,      // on some replica's queue or inside its engine
+    kWaitingRetry,  // failed; waiting out the backoff before re-dispatch
+  };
+  struct Pending {
+    EngineRequest request;  // replay copy for retries
+    PendingState state = PendingState::kEnqueued;
+    int attempts = 1;
+    double deadline_ms = 0.0;   // cluster clock; +inf when disabled
+    double retry_due_ms = 0.0;  // kWaitingRetry only
+  };
+  struct HealthState {
+    double last_heartbeat = -1.0;
+    double last_change_ms = 0.0;          // cluster clock of last heartbeat change
+    double heartbeat_at_quarantine = 0.0;
+    bool quarantined = false;
+    bool death_handled = false;
+  };
+  enum class RouteOutcome { kAccepted, kFull, kUnavailable };
+
   void EnsureStarted();
+  // Picks a live replica and enqueues; probes other live replicas when the
+  // target refuses (dead/stopping). Never holds mutex_ across an Enqueue.
+  RouteOutcome RouteAndEnqueue(EngineRequest request, bool blocking, bool count_affinity);
+  // Re-dispatches a pending request (retry or quarantine spill); on failure
+  // schedules another backoff round or finalises. Supervisor thread only.
+  void DispatchPending(EngineRequest request);
+  void SupervisorLoop();
+  void HealthCheck(double now_ms);
+  // Replica worker callbacks.
+  void OnReplicaComplete(int replica, int64_t request_id);
+  void OnReplicaFailure(int replica, int64_t request_id, const Status& status);
+  // Returns true when the pending table drained; caller notifies drained_cv_.
+  bool FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::iterator it,
+                             const Status& status, bool deadline);
+  double BackoffMs(int attempts) const;
 
   ClusterOptions options_;
   AdapterPlacement placement_;
@@ -95,12 +202,32 @@ class ClusterServer {
   std::unique_ptr<Router> router_;
   std::unique_ptr<ThreadPool> pool_;  // after replicas_: destroyed (joined) first
   bool started_ = false;
+  bool shut_down_ = false;
   Stopwatch wall_;
   bool wall_started_ = false;
   double wall_ms_ = 0.0;
+  Stopwatch clock_;  // deadlines, backoff and health tracking
+
+  std::mutex mutex_;  // router/placement decisions, pending table, counters
+  std::condition_variable drained_cv_;     // pending table emptied
+  std::condition_variable supervisor_cv_;  // retry due / stop
+  std::thread supervisor_;
+  bool supervisor_stop_ = false;
+  std::unordered_map<int64_t, Pending> pending_;
+  std::vector<HealthState> health_;
+  std::vector<FailedRequest> failures_;
+  std::function<void(int64_t, double)> completion_observer_;
   int64_t affinity_hits_ = 0;
   int64_t affinity_spills_ = 0;
   int64_t rejected_ = 0;
+  int64_t retries_ = 0;
+  int64_t rerouted_ = 0;
+  int64_t failed_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t deadline_failures_ = 0;
+  int64_t replica_deaths_ = 0;
+  int64_t quarantines_ = 0;
+  int64_t readmissions_ = 0;
 };
 
 // Maps a synthetic workload request onto the mini engine: a deterministic

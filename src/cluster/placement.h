@@ -10,6 +10,13 @@
 // replica with the least cumulative request share (greedy balance,
 // hottest-first). Routing to a home replica finds the adapter already
 // device-resident, keeping swap traffic off the critical path.
+//
+// Failure recovery: Rebalance(dead_replica) removes a replica from the plan.
+// Hot adapters simply lose one of their homes; cold adapters homed only on
+// the dead replica are re-homed greedily (hottest first) onto the surviving
+// replica with the least cumulative share. As long as one replica lives,
+// every adapter keeps at least one home — the invariant the property test
+// checks under random death sequences.
 
 #ifndef VLORA_SRC_CLUSTER_PLACEMENT_H_
 #define VLORA_SRC_CLUSTER_PLACEMENT_H_
@@ -47,16 +54,32 @@ class AdapterPlacement {
   bool IsHome(int adapter_id, int replica) const;
   bool IsHot(int adapter_id) const;
 
-  // Cumulative request share assigned to a replica (hot shares split evenly).
+  // Cumulative request share assigned to a replica (hot shares split over
+  // the homes that actually carry them).
   double ReplicaShare(int replica) const;
+
+  // Removes a dead replica from the plan and re-homes its orphaned cold
+  // adapters onto the surviving replica with the least cumulative share
+  // (hottest first, ties to the lowest index — deterministic). Idempotent;
+  // a no-op on an uninitialised placement. At least one replica must remain
+  // alive once any adapter is placed.
+  void Rebalance(int dead_replica);
+
+  bool IsReplicaLive(int replica) const;
+  int num_live_replicas() const { return num_live_; }
 
   std::string ToString() const;  // one line per replica, for bench output
 
  private:
+  void RehomeColdAdapter(int adapter);
+
   int num_replicas_ = 0;
+  int num_live_ = 0;
+  std::vector<double> shares_;              // adapter id -> request share
   std::vector<std::vector<int>> homes_;     // adapter id -> replicas
   std::vector<std::vector<int>> adapters_;  // replica -> adapter ids
   std::vector<bool> hot_;                   // adapter id -> in hot set
+  std::vector<bool> live_;                  // replica -> not declared dead
   std::vector<double> replica_share_;
 };
 

@@ -1,9 +1,9 @@
 #include "src/cluster/replica.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
-
-#include "src/common/status.h"
 
 namespace vlora {
 
@@ -11,6 +11,7 @@ Replica::Replica(int index, const ModelConfig& config, const ReplicaOptions& opt
     : index_(index),
       queue_capacity_(options.queue_capacity),
       admission_(options.admission),
+      fault_(options.fault),
       server_(config, options.server) {
   VLORA_CHECK(queue_capacity_ >= 1);
 }
@@ -33,6 +34,12 @@ void Replica::Prewarm(const std::vector<int>& adapter_ids) {
   }
 }
 
+void Replica::SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) {
+  VLORA_CHECK(!running_);
+  on_complete_ = std::move(on_complete);
+  on_failure_ = std::move(on_failure);
+}
+
 void Replica::Start(ThreadPool* pool) {
   VLORA_CHECK(pool != nullptr);
   {
@@ -43,20 +50,27 @@ void Replica::Start(ThreadPool* pool) {
   pool->Post([this] { WorkerLoop(); });
 }
 
-bool Replica::Enqueue(EngineRequest request) {
+EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto depth = [this] { return static_cast<int64_t>(ingress_.size()) + in_server_; };
-  if (admission_ == AdmissionPolicy::kReject) {
+  if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
+    return EnqueueResult::kRefused;
+  }
+  if (admission_ == AdmissionPolicy::kReject || never_block) {
     if (depth() >= queue_capacity_) {
-      ++rejected_;
-      return false;
+      if (admission_ == AdmissionPolicy::kReject) {
+        ++rejected_;
+      }
+      return EnqueueResult::kFull;
     }
   } else {
-    space_cv_.wait(lock, [&] { return stop_requested_ || depth() < queue_capacity_; });
-  }
-  if (stop_requested_) {
-    ++rejected_;
-    return false;
+    space_cv_.wait(lock, [&] {
+      return stop_requested_ || dead_.load(std::memory_order_acquire) ||
+             depth() < queue_capacity_;
+    });
+    if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
+      return EnqueueResult::kRefused;
+    }
   }
   ingress_.push_back(Ingress{std::move(request), clock_.ElapsedMillis()});
   ++submitted_;
@@ -65,26 +79,113 @@ bool Replica::Enqueue(EngineRequest request) {
   depth_.store(new_depth, std::memory_order_relaxed);
   lock.unlock();
   ingress_cv_.notify_one();
-  return true;
+  return EnqueueResult::kAccepted;
+}
+
+void Replica::FailRequest(int64_t request_id, const Status& status) {
+  if (on_failure_) {
+    on_failure_(index_, request_id, status);
+  }
+}
+
+void Replica::Die() {
+  std::vector<int64_t> failed_ids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dead_.store(true, std::memory_order_release);
+    running_ = false;
+    for (Ingress& item : ingress_) {
+      failed_ids.push_back(item.request.id);
+    }
+    ingress_.clear();
+    // enqueue_ms_ is worker-thread-only and Die runs on the worker: these
+    // are the requests already inside the engine, lost with the replica.
+    for (const auto& [id, enqueue_ms] : enqueue_ms_) {
+      (void)enqueue_ms;
+      failed_ids.push_back(id);
+    }
+    enqueue_ms_.clear();
+    in_server_ = 0;
+    failed_ += static_cast<int64_t>(failed_ids.size());
+    depth_.store(0, std::memory_order_relaxed);
+  }
+  space_cv_.notify_all();
+  drained_cv_.notify_all();
+  // Deterministic fail-over order: the unordered map above scrambles ids.
+  std::sort(failed_ids.begin(), failed_ids.end());
+  for (int64_t id : failed_ids) {
+    FailRequest(id, Status::Unavailable("replica " + std::to_string(index_) + " killed"));
+  }
 }
 
 void Replica::WorkerLoop() {
+  int64_t completed_local = 0;
   for (;;) {
+    if (fault_ != nullptr) {
+      fault_->WaitWhileGated();
+      const WorkerFault fault = fault_->OnWorkerIteration(index_, completed_local);
+      if (fault.kill) {
+        Die();
+        return;
+      }
+      if (fault.stall_ms > 0.0) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stalls_;
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fault.stall_ms));
+      }
+    }
+    heartbeat_ms_.store(clock_.ElapsedMillis(), std::memory_order_relaxed);
+
     std::vector<Ingress> batch;
+    std::vector<Ingress> to_cancel;
+    std::vector<Ingress> to_fail;
+    bool exiting = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ingress_cv_.wait(lock,
                        [this] { return stop_requested_ || !ingress_.empty() || in_server_ > 0; });
-      if (stop_requested_ && ingress_.empty() && in_server_ == 0) {
-        running_ = false;
-        drained_cv_.notify_all();
-        return;
+      if (stop_requested_) {
+        // Shutdown: cancel queued work instead of serving it; only finish
+        // what is already inside the engine.
+        to_cancel.assign(std::make_move_iterator(ingress_.begin()),
+                         std::make_move_iterator(ingress_.end()));
+        ingress_.clear();
+        cancelled_ += static_cast<int64_t>(to_cancel.size());
+        depth_.store(in_server_, std::memory_order_relaxed);
+        if (in_server_ == 0) {
+          running_ = false;
+          exiting = true;
+        }
+      } else {
+        while (!ingress_.empty()) {
+          Ingress item = std::move(ingress_.front());
+          ingress_.pop_front();
+          if (fault_ != nullptr && fault_->ShouldFailRequest(index_, item.request.id)) {
+            to_fail.push_back(std::move(item));
+            ++failed_;
+          } else {
+            batch.push_back(std::move(item));
+          }
+        }
+        in_server_ += static_cast<int64_t>(batch.size());
+        depth_.store(in_server_, std::memory_order_relaxed);
       }
-      while (!ingress_.empty()) {
-        batch.push_back(std::move(ingress_.front()));
-        ingress_.pop_front();
+    }
+    if (!to_cancel.empty() || !to_fail.empty()) {
+      space_cv_.notify_all();
+      drained_cv_.notify_all();  // waiters re-check the predicate
+      for (Ingress& item : to_cancel) {
+        FailRequest(item.request.id, Status::Cancelled("replica stopping"));
       }
-      in_server_ += static_cast<int64_t>(batch.size());
+      for (Ingress& item : to_fail) {
+        FailRequest(item.request.id, Status::Internal("injected request failure"));
+      }
+    }
+    if (exiting) {
+      drained_cv_.notify_all();
+      return;
     }
     for (Ingress& item : batch) {
       enqueue_ms_[item.request.id] = item.enqueue_ms;
@@ -96,6 +197,7 @@ void Replica::WorkerLoop() {
       finished = server_.StepOnce();
     }
     const double now_ms = clock_.ElapsedMillis();
+    std::vector<int64_t> finished_ids;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       in_server_ -= static_cast<int64_t>(finished.size());
@@ -105,6 +207,7 @@ void Replica::WorkerLoop() {
         latency_.Record(now_ms - it->second);
         enqueue_ms_.erase(it);
         ++completed_;
+        finished_ids.push_back(result.request_id);
         results_.push_back(std::move(result));
       }
       depth_.store(static_cast<int64_t>(ingress_.size()) + in_server_,
@@ -113,10 +216,37 @@ void Replica::WorkerLoop() {
         drained_cv_.notify_all();
       }
     }
-    if (!finished.empty()) {
+    completed_local += static_cast<int64_t>(finished_ids.size());
+    heartbeat_ms_.store(clock_.ElapsedMillis(), std::memory_order_relaxed);
+    if (!finished_ids.empty()) {
       space_cv_.notify_all();
+      if (on_complete_) {
+        for (int64_t id : finished_ids) {
+          on_complete_(index_, id);
+        }
+      }
     }
   }
+}
+
+std::vector<EngineRequest> Replica::StealIngress() {
+  std::vector<EngineRequest> stolen;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Ingress& item : ingress_) {
+      stolen.push_back(std::move(item.request));
+    }
+    ingress_.clear();
+    stolen_ += static_cast<int64_t>(stolen.size());
+    depth_.store(in_server_, std::memory_order_relaxed);
+    drained = in_server_ == 0;
+  }
+  space_cv_.notify_all();
+  if (drained) {
+    drained_cv_.notify_all();
+  }
+  return stolen;
 }
 
 void Replica::WaitDrained() {
@@ -128,6 +258,9 @@ void Replica::RequestStop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_requested_ = true;
+  }
+  if (fault_ != nullptr) {
+    fault_->OpenGate();  // a gated worker must be able to observe the stop
   }
   ingress_cv_.notify_all();
   space_cv_.notify_all();
@@ -150,9 +283,14 @@ ReplicaSnapshot Replica::Snapshot() {
     snapshot.server = server_.stats();
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.dead = dead_.load(std::memory_order_acquire);
   snapshot.submitted = submitted_;
   snapshot.completed = completed_;
   snapshot.rejected = rejected_;
+  snapshot.cancelled = cancelled_;
+  snapshot.failed = failed_;
+  snapshot.stolen = stolen_;
+  snapshot.stalls = stalls_;
   snapshot.peak_depth = peak_depth_;
   snapshot.latency = latency_;
   return snapshot;

@@ -13,6 +13,17 @@
 // in-engine). kBlock makes Enqueue wait for space — the caller slows to the
 // replica's service rate; kReject makes it fail fast and count the reject.
 // Either way a saturating trace cannot grow replica memory without bound.
+//
+// Failure semantics: the worker loop consults an optional FaultInjector each
+// iteration. An injected kill marks the replica dead and *fails over* every
+// request it holds (queued and in-engine) through the failure handler —
+// nothing is silently dropped; the cluster's recovery layer retries them on
+// survivors. Injected request failures are reported the same way. On
+// RequestStop the worker cancels queued-but-unstarted requests with
+// Status::Cancelled (rather than serving a possibly long queue during
+// shutdown) and finishes only what is already inside the engine. A heartbeat
+// stamped each worker iteration lets the cluster health checker distinguish
+// a stalled replica (queued work, stale heartbeat) from an idle one.
 
 #ifndef VLORA_SRC_CLUSTER_REPLICA_H_
 #define VLORA_SRC_CLUSTER_REPLICA_H_
@@ -21,11 +32,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/fault.h"
+#include "src/common/status.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 #include "src/core/server.h"
@@ -34,20 +48,32 @@ namespace vlora {
 
 enum class AdmissionPolicy {
   kBlock,   // Enqueue waits for queue space (lossless, caller-paced)
-  kReject,  // Enqueue returns false when full (lossy, bounded latency)
+  kReject,  // Enqueue returns kFull when full (lossy, bounded latency)
+};
+
+enum class EnqueueResult {
+  kAccepted,  // request queued
+  kFull,      // admission rejected it (kReject, or a non-blocking attempt)
+  kRefused,   // replica is dead or stopping; try another replica
 };
 
 struct ReplicaOptions {
   ServerOptions server;
   int64_t queue_capacity = 64;  // bound on outstanding requests
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  FaultInjector* fault = nullptr;  // not owned; hooks into the worker loop
 };
 
 struct ReplicaSnapshot {
   int index = 0;
+  bool dead = false;
   int64_t submitted = 0;
   int64_t completed = 0;
   int64_t rejected = 0;
+  int64_t cancelled = 0;  // queued requests cancelled at shutdown
+  int64_t failed = 0;     // injected request failures + failed over on death
+  int64_t stolen = 0;     // queued requests reclaimed by the health checker
+  int64_t stalls = 0;     // injected worker stalls served
   int64_t peak_depth = 0;
   ServerStats server;        // logical-clock serving stats
   LatencyRecorder latency;   // wall-clock enqueue -> completion
@@ -55,6 +81,11 @@ struct ReplicaSnapshot {
 
 class Replica {
  public:
+  // Called without the replica lock held; both must be set before Start and
+  // be safe to invoke from the worker thread.
+  using CompletionHandler = std::function<void(int replica, int64_t request_id)>;
+  using FailureHandler = std::function<void(int replica, int64_t request_id, const Status&)>;
+
   Replica(int index, const ModelConfig& config, const ReplicaOptions& options);
   ~Replica();
 
@@ -68,21 +99,37 @@ class Replica {
   int AddAdapter(const LoraAdapter& adapter);
   void Prewarm(const std::vector<int>& adapter_ids);
 
+  // Optional recovery wiring; may be left unset for standalone use.
+  void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure);
+
   // Posts the worker loop; the pool must dedicate a thread to it.
   void Start(ThreadPool* pool);
 
-  // Router-thread entry. Returns false when rejected (kReject and full, or
-  // the replica is stopping).
-  bool Enqueue(EngineRequest request);
+  // Router-thread entry. `never_block` turns a kBlock replica into fail-fast
+  // for this one call (the supervisor's retry path must never block).
+  EnqueueResult Enqueue(EngineRequest request, bool never_block = false);
 
   // Outstanding requests (queued + in-engine). Lock-free; the router's load
   // signal.
   int64_t Depth() const { return depth_.load(std::memory_order_relaxed); }
 
-  // Blocks until every accepted request has finished.
+  // True once an injected kill has fired; the replica accepts nothing more.
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+  // Worker-loop liveness stamp on the replica's own clock. Advances every
+  // iteration; stops during an injected stall and after death. Paired with
+  // Depth() it is the health checker's stall signal.
+  double HeartbeatMs() const { return heartbeat_ms_.load(std::memory_order_relaxed); }
+
+  // Reclaims queued-but-unstarted requests (quarantine spill); the caller
+  // re-routes them. In-engine requests cannot be reclaimed.
+  std::vector<EngineRequest> StealIngress();
+
+  // Blocks until every accepted request has finished (or failed over).
   void WaitDrained();
 
-  // Asks the worker loop to exit once drained and wakes blocked submitters.
+  // Asks the worker loop to cancel queued work and exit once the engine is
+  // empty; wakes blocked submitters and opens any fault-injector gate.
   void RequestStop();
 
   // Moves out results accumulated since the last call.
@@ -95,22 +142,29 @@ class Replica {
   VloraServer& server_for_testing() { return server_; }
 
  private:
+  struct Ingress {
+    EngineRequest request;
+    double enqueue_ms;
+  };
+
   void WorkerLoop();
+  // Injected-kill path: fails over everything held (worker thread only).
+  void Die();
+  void FailRequest(int64_t request_id, const Status& status);
 
   const int index_;
   const int64_t queue_capacity_;
   const AdmissionPolicy admission_;
+  FaultInjector* const fault_;  // may be null
   VloraServer server_;
   Stopwatch clock_;
+  CompletionHandler on_complete_;
+  FailureHandler on_failure_;
 
   std::mutex mutex_;
   std::condition_variable ingress_cv_;  // wakes the worker
   std::condition_variable space_cv_;    // wakes blocked submitters
   std::condition_variable drained_cv_;  // wakes WaitDrained
-  struct Ingress {
-    EngineRequest request;
-    double enqueue_ms;
-  };
   std::deque<Ingress> ingress_;
   int64_t in_server_ = 0;
   bool stop_requested_ = false;
@@ -118,6 +172,10 @@ class Replica {
   int64_t submitted_ = 0;
   int64_t completed_ = 0;
   int64_t rejected_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t failed_ = 0;
+  int64_t stolen_ = 0;
+  int64_t stalls_ = 0;
   int64_t peak_depth_ = 0;
   std::vector<EngineResult> results_;
   LatencyRecorder latency_;
@@ -125,6 +183,8 @@ class Replica {
   std::mutex step_mutex_;  // serialises StepOnce vs Snapshot
 
   std::atomic<int64_t> depth_{0};
+  std::atomic<bool> dead_{false};
+  std::atomic<double> heartbeat_ms_{0.0};
 
   // Worker-thread-only: wall enqueue time of requests inside the server.
   std::unordered_map<int64_t, double> enqueue_ms_;

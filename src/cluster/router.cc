@@ -9,17 +9,36 @@ Router::Router(RoutePolicy policy, const AdapterPlacement* placement, int num_re
     : policy_(policy),
       placement_(placement),
       num_replicas_(num_replicas),
-      overload_depth_(overload_depth) {
+      overload_depth_(overload_depth),
+      alive_(static_cast<size_t>(num_replicas), true),
+      num_alive_(num_replicas) {
   VLORA_CHECK(num_replicas_ >= 1);
   if (policy_ == RoutePolicy::kAdapterAffinity) {
     VLORA_CHECK(placement_ != nullptr);
   }
 }
 
-int Router::LeastLoaded(const std::vector<int64_t>& depths) const {
-  int best = 0;
-  for (int replica = 1; replica < num_replicas_; ++replica) {
-    if (depths[static_cast<size_t>(replica)] < depths[static_cast<size_t>(best)]) {
+void Router::SetReplicaAlive(int replica, bool alive) {
+  VLORA_CHECK(replica >= 0 && replica < num_replicas_);
+  if (alive_[static_cast<size_t>(replica)] == alive) {
+    return;
+  }
+  alive_[static_cast<size_t>(replica)] = alive;
+  num_alive_ += alive ? 1 : -1;
+}
+
+bool Router::IsReplicaAlive(int replica) const {
+  VLORA_CHECK(replica >= 0 && replica < num_replicas_);
+  return alive_[static_cast<size_t>(replica)];
+}
+
+int Router::LeastLoadedAlive(const std::vector<int64_t>& depths) const {
+  int best = -1;
+  for (int replica = 0; replica < num_replicas_; ++replica) {
+    if (!alive_[static_cast<size_t>(replica)]) {
+      continue;
+    }
+    if (best < 0 || depths[static_cast<size_t>(replica)] < depths[static_cast<size_t>(best)]) {
       best = replica;
     }
   }
@@ -29,28 +48,41 @@ int Router::LeastLoaded(const std::vector<int64_t>& depths) const {
 RouteDecision Router::Pick(int adapter_id, const std::vector<int64_t>& depths) {
   VLORA_CHECK(static_cast<int>(depths.size()) == num_replicas_);
   RouteDecision decision;
+  if (num_alive_ == 0) {
+    decision.replica = -1;
+    return decision;
+  }
   switch (policy_) {
     case RoutePolicy::kRoundRobin:
+      // Rotate past dead replicas; num_alive_ > 0 bounds the scan.
       decision.replica = static_cast<int>(round_robin_next_++ % num_replicas_);
+      while (!alive_[static_cast<size_t>(decision.replica)]) {
+        decision.replica = static_cast<int>(round_robin_next_++ % num_replicas_);
+      }
       break;
     case RoutePolicy::kLeastLoaded:
-      decision.replica = LeastLoaded(depths);
+      decision.replica = LeastLoadedAlive(depths);
       break;
     case RoutePolicy::kAdapterAffinity: {
       const std::vector<int>& homes = placement_->HomesOf(adapter_id);
-      if (homes.empty()) {
-        // Base-model requests (and unknown adapters) have no affinity.
-        decision.replica = LeastLoaded(depths);
-        break;
-      }
-      int best_home = homes.front();
+      int best_home = -1;
       for (int home : homes) {
-        if (depths[static_cast<size_t>(home)] < depths[static_cast<size_t>(best_home)]) {
+        if (!alive_[static_cast<size_t>(home)]) {
+          continue;
+        }
+        if (best_home < 0 ||
+            depths[static_cast<size_t>(home)] < depths[static_cast<size_t>(best_home)]) {
           best_home = home;
         }
       }
+      if (best_home < 0) {
+        // Base-model requests, unknown adapters, and adapters whose every
+        // home is dead route by load alone.
+        decision.replica = LeastLoadedAlive(depths);
+        break;
+      }
       if (overload_depth_ > 0 && depths[static_cast<size_t>(best_home)] >= overload_depth_) {
-        decision.replica = LeastLoaded(depths);
+        decision.replica = LeastLoadedAlive(depths);
         decision.spilled = decision.replica != best_home;
         decision.affinity_hit = !decision.spilled;
         if (decision.spilled) {
@@ -62,7 +94,8 @@ RouteDecision Router::Pick(int adapter_id, const std::vector<int64_t>& depths) {
       break;
     }
   }
-  if (placement_ != nullptr && policy_ != RoutePolicy::kAdapterAffinity) {
+  if (placement_ != nullptr && policy_ != RoutePolicy::kAdapterAffinity &&
+      decision.replica >= 0) {
     decision.affinity_hit = placement_->IsHome(adapter_id, decision.replica);
   }
   return decision;

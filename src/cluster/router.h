@@ -11,9 +11,16 @@
 //                      overload depth, spill to the globally least loaded
 //                      replica rather than queue behind a hotspot.
 //
-// The router is a pure decision function over (adapter, depths): it owns no
-// locks and touches no replica state, so decisions are deterministic for a
-// given depth vector and call sequence.
+// Every policy routes only to replicas marked alive: the cluster's health
+// checker marks a replica dead (crashed) or quarantined (stalled) via
+// SetReplicaAlive, and the router then treats it as non-existent — dead
+// homes are skipped, round-robin rotates past it, and least-loaded ignores
+// its depth. When no replica is alive Pick returns replica = -1.
+//
+// The router is a pure decision function over (adapter, depths, alive mask):
+// it owns no locks and touches no replica state, so decisions are
+// deterministic for a given mask, depth vector and call sequence. Callers
+// serialise Pick and SetReplicaAlive externally.
 
 #ifndef VLORA_SRC_CLUSTER_ROUTER_H_
 #define VLORA_SRC_CLUSTER_ROUTER_H_
@@ -44,7 +51,7 @@ constexpr const char* RoutePolicyName(RoutePolicy policy) {
 }
 
 struct RouteDecision {
-  int replica = 0;
+  int replica = 0;            // -1: no routable replica (all dead/quarantined)
   bool affinity_hit = false;  // landed on a home replica of the adapter
   bool spilled = false;       // affinity wanted a home but all were overloaded
 };
@@ -60,16 +67,24 @@ class Router {
   // `depths[i]` is replica i's outstanding work (ingress + in-engine).
   RouteDecision Pick(int adapter_id, const std::vector<int64_t>& depths);
 
+  // Health-checker interface: an unroutable replica receives no new traffic.
+  void SetReplicaAlive(int replica, bool alive);
+  bool IsReplicaAlive(int replica) const;
+  int num_alive() const { return num_alive_; }
+
   RoutePolicy policy() const { return policy_; }
 
  private:
-  int LeastLoaded(const std::vector<int64_t>& depths) const;
+  // Least-loaded among alive replicas; -1 when none are alive.
+  int LeastLoadedAlive(const std::vector<int64_t>& depths) const;
 
   RoutePolicy policy_;
   const AdapterPlacement* placement_;
   int num_replicas_;
   int64_t overload_depth_;
   int64_t round_robin_next_ = 0;
+  std::vector<bool> alive_;
+  int num_alive_ = 0;
 };
 
 }  // namespace vlora

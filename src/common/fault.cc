@@ -1,0 +1,136 @@
+#include "src/common/fault.h"
+
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace vlora {
+namespace {
+
+// splitmix64: the per-request failure decision must depend only on
+// (seed, replica, id), never on how many draws other threads made first.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double UnitDouble(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::KillReplicaAfter(int replica, int64_t completed) {
+  VLORA_CHECK(replica >= 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_.push_back({FaultKind::kKillReplica, replica, completed, 0.0, false});
+}
+
+void FaultInjector::StallReplicaAfter(int replica, int64_t completed, double stall_ms) {
+  VLORA_CHECK(replica >= 0);
+  VLORA_CHECK(stall_ms > 0.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  scripted_.push_back({FaultKind::kStallReplica, replica, completed, stall_ms, false});
+}
+
+void FaultInjector::FailRequests(double probability) {
+  VLORA_CHECK(probability >= 0.0 && probability <= 1.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  request_failure_prob_ = probability;
+}
+
+void FaultInjector::GateWorkers() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gated_ = true;
+}
+
+void FaultInjector::OpenGate() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gated_ = false;
+  }
+  gate_cv_.notify_all();
+}
+
+void FaultInjector::WaitWhileGated() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  gate_cv_.wait(lock, [this] { return !gated_; });
+}
+
+void FaultInjector::RecordLocked(FaultKind kind, int replica, int64_t request_id,
+                                 double stall_ms) {
+  if (replica >= static_cast<int>(next_sequence_.size())) {
+    next_sequence_.resize(static_cast<size_t>(replica) + 1, 0);
+  }
+  FaultEvent event;
+  event.kind = kind;
+  event.replica = replica;
+  event.request_id = request_id;
+  event.sequence = next_sequence_[static_cast<size_t>(replica)]++;
+  event.stall_ms = stall_ms;
+  event.when_ms = clock_.ElapsedMillis();
+  events_.push_back(event);
+}
+
+WorkerFault FaultInjector::OnWorkerIteration(int replica, int64_t completed) {
+  WorkerFault fault;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ScriptedFault& scripted : scripted_) {
+    if (scripted.fired || scripted.replica != replica || completed < scripted.after_completed) {
+      continue;
+    }
+    scripted.fired = true;
+    RecordLocked(scripted.kind, replica, -1, scripted.stall_ms);
+    if (scripted.kind == FaultKind::kKillReplica) {
+      fault.kill = true;
+    } else if (scripted.kind == FaultKind::kStallReplica) {
+      fault.stall_ms += scripted.stall_ms;
+    }
+  }
+  return fault;
+}
+
+bool FaultInjector::ShouldFailRequest(int replica, int64_t request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (request_failure_prob_ <= 0.0) {
+    return false;
+  }
+  const uint64_t h = Mix(seed_ ^ Mix(static_cast<uint64_t>(request_id) * 0x9E3779B97F4A7C15ull +
+                                     static_cast<uint64_t>(replica) * 0xD1B54A32D192ED03ull));
+  if (UnitDouble(h) >= request_failure_prob_) {
+    return false;
+  }
+  RecordLocked(FaultKind::kFailRequest, replica, request_id, 0.0);
+  ++injected_request_failures_;
+  return true;
+}
+
+std::vector<FaultEvent> FaultInjector::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+int64_t FaultInjector::injected_request_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_request_failures_;
+}
+
+std::string FaultInjector::EventsToString() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : Events()) {
+    out << FaultKindName(event.kind) << " replica=" << event.replica
+        << " seq=" << event.sequence;
+    if (event.request_id >= 0) {
+      out << " request=" << event.request_id;
+    }
+    if (event.stall_ms > 0.0) {
+      out << " stall_ms=" << event.stall_ms;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlora

@@ -1,0 +1,146 @@
+// Deterministic fault injection for the cluster serving layer.
+//
+// A FaultInjector is scripted once at setup time and then consulted from the
+// replica worker loops through three hooks:
+//
+//   * OnWorkerIteration(replica, completed) — fires scripted replica faults:
+//     kKill (the worker dies, failing everything it holds) and kStall (the
+//     worker sleeps for a configured interval, exactly once). Triggers are
+//     keyed on the replica's *completed-request count*, not wall time, so a
+//     fixed script produces the same per-replica event sequence on every run.
+//   * ShouldFailRequest(replica, id) — decides injected request failures by
+//     hashing (seed, replica, id). The decision depends only on those three
+//     values, never on thread interleaving, so a fixed seed fails the same
+//     requests on the same replicas regardless of scheduling. A request that
+//     fails on one replica gets a fresh draw when it is retried on another.
+//   * WaitWhileGated() — a start gate for tests: while the gate is closed
+//     every worker parks before touching its ingress queue, which lets a test
+//     fill bounded queues to a deterministic depth before any processing
+//     happens. Replica::RequestStop opens the gate permanently so shutdown
+//     can never deadlock behind it.
+//
+// Every fired fault is recorded in an event log (ordered per replica; the
+// interleaving across replicas follows real scheduling) that tests compare
+// across runs to prove determinism.
+
+#ifndef VLORA_SRC_COMMON_FAULT_H_
+#define VLORA_SRC_COMMON_FAULT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+
+namespace vlora {
+
+enum class FaultKind {
+  kKillReplica,   // worker dies; queued + in-flight requests fail over
+  kStallReplica,  // worker sleeps once for stall_ms (stuck-GPU stand-in)
+  kFailRequest,   // one request fails at submit time on one replica
+};
+
+constexpr const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillReplica:
+      return "kill-replica";
+    case FaultKind::kStallReplica:
+      return "stall-replica";
+    case FaultKind::kFailRequest:
+      return "fail-request";
+  }
+  return "unknown";
+}
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kFailRequest;
+  int replica = -1;
+  int64_t request_id = -1;  // kFailRequest only
+  int64_t sequence = 0;     // per-replica firing order (0, 1, ...)
+  double stall_ms = 0.0;    // kStallReplica only
+  double when_ms = 0.0;     // injector-clock timestamp, for bench timelines
+
+  bool operator==(const FaultEvent& other) const {
+    return kind == other.kind && replica == other.replica &&
+           request_id == other.request_id && sequence == other.sequence &&
+           stall_ms == other.stall_ms;  // when_ms is wall time, excluded
+  }
+};
+
+// What a worker should do at the top of its current iteration.
+struct WorkerFault {
+  bool kill = false;
+  double stall_ms = 0.0;  // > 0: sleep this long before proceeding
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0x5eedfau);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Scripting (call before serving starts) ------------------------------
+
+  // The replica's worker dies at the first iteration where it has completed
+  // at least `completed` requests (0 = before processing anything).
+  void KillReplicaAfter(int replica, int64_t completed);
+
+  // The worker sleeps `stall_ms` once, at the first iteration where it has
+  // completed at least `completed` requests.
+  void StallReplicaAfter(int replica, int64_t completed, double stall_ms);
+
+  // Every submit attempt, on any replica, fails independently with this
+  // probability (hash-based; see header comment).
+  void FailRequests(double probability);
+
+  // Closes the start gate: workers park in WaitWhileGated until OpenGate.
+  void GateWorkers();
+  void OpenGate();
+
+  // --- Hooks (thread-safe; called from replica workers) --------------------
+
+  // `completed` is the replica's completed-request count so far.
+  WorkerFault OnWorkerIteration(int replica, int64_t completed);
+
+  bool ShouldFailRequest(int replica, int64_t request_id);
+
+  // Parks while the gate is closed. Returns immediately once the gate has
+  // been opened (it never re-closes for waiters already past it).
+  void WaitWhileGated();
+
+  // --- Introspection -------------------------------------------------------
+
+  // Copy of the event log in firing order (per replica: deterministic).
+  std::vector<FaultEvent> Events() const;
+  int64_t injected_request_failures() const;
+  std::string EventsToString() const;  // one line per event, for debugging
+
+ private:
+  struct ScriptedFault {
+    FaultKind kind = FaultKind::kKillReplica;
+    int replica = -1;
+    int64_t after_completed = 0;
+    double stall_ms = 0.0;
+    bool fired = false;
+  };
+
+  void RecordLocked(FaultKind kind, int replica, int64_t request_id, double stall_ms);
+
+  const uint64_t seed_;
+  Stopwatch clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable gate_cv_;
+  bool gated_ = false;
+  double request_failure_prob_ = 0.0;
+  std::vector<ScriptedFault> scripted_;
+  std::vector<FaultEvent> events_;
+  std::vector<int64_t> next_sequence_;  // per replica
+  int64_t injected_request_failures_ = 0;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_FAULT_H_

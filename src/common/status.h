@@ -25,6 +25,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 // Human-readable name for a status code.
@@ -46,6 +49,12 @@ constexpr const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -75,6 +84,15 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
   static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -148,13 +148,17 @@ class ClusterTest : public ::testing::Test {
   std::unique_ptr<ClusterServer> MakeCluster(int replicas, RoutePolicy policy,
                                              const std::vector<Request>& trace,
                                              AdmissionPolicy admission = AdmissionPolicy::kBlock,
-                                             int64_t capacity = 256) {
+                                             int64_t capacity = 256,
+                                             FaultInjector* fault = nullptr,
+                                             RecoveryOptions recovery = {}) {
     ClusterOptions options;
     options.num_replicas = replicas;
     options.policy = policy;
     options.admission = admission;
     options.replica_queue_capacity = capacity;
     options.server.max_batch_size = 4;
+    options.fault = fault;
+    options.recovery = recovery;
     auto cluster = std::make_unique<ClusterServer>(config_, options);
     for (const LoraAdapter& adapter : MakeAdapters(config_, 6, 11)) {
       cluster->AddAdapter(adapter);
@@ -219,34 +223,76 @@ TEST_F(ClusterTest, RoundRobinSpreadsWorkAcrossReplicas) {
 }
 
 TEST_F(ClusterTest, BackpressureRejectsAtTheConfiguredBound) {
+  // The start gate parks every worker before it touches its queue, so the
+  // admission outcome depends only on the fixed routing sequence — exact
+  // counts, no dependence on how fast workers drain.
   const std::vector<Request> trace = SkewedTrace(6, 0.6, 60.0, 2.0, 19);
-  ASSERT_GT(trace.size(), 40u);
+  ASSERT_GT(trace.size(), 20u);
   const int64_t capacity = 4;
+  FaultInjector fault;
+  fault.GateWorkers();
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 0.0;  // gated workers are parked, not stalled
   auto cluster = MakeCluster(2, RoutePolicy::kRoundRobin, trace, AdmissionPolicy::kReject,
-                             capacity);
+                             capacity, &fault, recovery);
   int64_t accepted = 0;
   int64_t rejected = 0;
-  for (const Request& request : trace) {
-    if (cluster->Submit(EngineRequestFromTrace(request, config_, SmallMap()))) {
+  for (size_t i = 0; i < 20; ++i) {
+    if (cluster->Submit(EngineRequestFromTrace(trace[i], config_, SmallMap()))) {
       ++accepted;
     } else {
       ++rejected;
     }
-    for (int i = 0; i < cluster->num_replicas(); ++i) {
-      EXPECT_LE(cluster->replica(i).Depth(), capacity);
+    for (int r = 0; r < cluster->num_replicas(); ++r) {
+      EXPECT_LE(cluster->replica(r).Depth(), capacity);
     }
   }
+  // Round-robin over two gated depth-4 replicas: exactly the first four
+  // requests per replica are admitted, the remaining twelve shed.
+  EXPECT_EQ(accepted, 2 * capacity);
+  EXPECT_EQ(rejected, 20 - 2 * capacity);
+  fault.OpenGate();
   const std::vector<EngineResult> results = cluster->Drain();
-  // Submitting full-speed against depth-4 replicas must shed load...
-  EXPECT_GT(rejected, 0);
-  // ...but everything accepted still completes.
+  // Everything accepted still completes once the workers run.
   EXPECT_EQ(static_cast<int64_t>(results.size()), accepted);
   const ClusterStats stats = cluster->Stats();
   EXPECT_EQ(stats.completed, accepted);
   EXPECT_EQ(stats.rejected, rejected);
   for (const ReplicaSnapshot& replica : stats.replicas) {
-    EXPECT_LE(replica.peak_depth, capacity);
+    EXPECT_EQ(replica.peak_depth, capacity);
   }
+}
+
+TEST_F(ClusterTest, ShutdownCancelsQueuedIngressInsteadOfLosingIt) {
+  const std::vector<Request> trace = SkewedTrace(6, 0.6, 60.0, 2.0, 37);
+  ASSERT_GT(trace.size(), 10u);
+  FaultInjector fault;
+  fault.GateWorkers();
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 0.0;
+  auto cluster = MakeCluster(2, RoutePolicy::kRoundRobin, trace, AdmissionPolicy::kBlock,
+                             /*capacity=*/8, &fault, recovery);
+  const int64_t submitted = 10;
+  for (int64_t i = 0; i < submitted; ++i) {
+    ASSERT_TRUE(cluster->Submit(
+        EngineRequestFromTrace(trace[static_cast<size_t>(i)], config_, SmallMap())));
+  }
+  // Shut down with the queues still full: the stop opens the gate, and each
+  // worker must cancel (not serve, and not silently drop) its queued ingress.
+  cluster->Shutdown();
+  const std::vector<FailedRequest> failures = cluster->TakeFailures();
+  for (const FailedRequest& failure : failures) {
+    EXPECT_EQ(failure.status.code(), StatusCode::kCancelled) << failure.status.ToString();
+  }
+  const std::vector<EngineResult> results = cluster->Drain();
+  // Every accepted request is accounted for: completed or cancelled.
+  EXPECT_EQ(static_cast<int64_t>(results.size() + failures.size()), submitted);
+  const ClusterStats stats = cluster->Stats();
+  EXPECT_EQ(stats.cancelled, static_cast<int64_t>(failures.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(results.size()));
+  // Replica 0's stop flag is set before the shared gate opens, so its queued
+  // half of the trace is guaranteed to take the cancel path.
+  EXPECT_GE(failures.size(), 5u);
 }
 
 TEST_F(ClusterTest, BlockingAdmissionLosesNothing) {

@@ -1,0 +1,334 @@
+// Deterministic fault-injection scenarios for the cluster recovery layer.
+//
+// Every scenario scripts a FaultInjector with a fixed seed and asserts exact
+// outcomes — which requests complete, how many retries fire, what the event
+// log contains — then re-runs the scenario and requires the same answers.
+// Scripted faults trigger on completed-request counts and request failures on
+// a hash of (seed, replica, id), so none of this depends on thread timing.
+// The whole file also runs under TSan and ASan via scripts/verify.sh.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster_server.h"
+#include "src/common/fault.h"
+#include "src/workload/trace_gen.h"
+
+namespace vlora {
+namespace {
+
+std::vector<LoraAdapter> MakeAdapters(const ModelConfig& config, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LoraAdapter> adapters;
+  for (int i = 0; i < count; ++i) {
+    adapters.push_back(LoraAdapter::Random("fault-" + std::to_string(i), config.num_layers,
+                                           config.d_model, 4, rng));
+  }
+  return adapters;
+}
+
+std::vector<Request> SmallTrace(int num_adapters, double rate_rps, double duration_s,
+                                uint64_t seed) {
+  TraceOptions options;
+  options.app = AppKind::kVisualRetrieval;
+  options.duration_s = duration_s;
+  options.rate_rps = rate_rps;
+  options.num_adapters = num_adapters;
+  options.skewness = 0.6;
+  options.seed = seed;
+  return GenerateTrace(options);
+}
+
+TraceMapOptions SmallMap() {
+  TraceMapOptions map;
+  map.token_scale = 32;
+  map.max_prompt_tokens = 16;
+  map.max_new_tokens = 3;
+  return map;
+}
+
+std::unique_ptr<ClusterServer> MakeCluster(const ModelConfig& config, int replicas,
+                                           const std::vector<Request>& trace,
+                                           FaultInjector* fault, RecoveryOptions recovery,
+                                           int64_t capacity = 64) {
+  ClusterOptions options;
+  options.num_replicas = replicas;
+  options.policy = RoutePolicy::kRoundRobin;  // fixed routing sequence
+  options.admission = AdmissionPolicy::kBlock;
+  options.replica_queue_capacity = capacity;
+  options.server.max_batch_size = 4;
+  options.fault = fault;
+  options.recovery = recovery;
+  auto cluster = std::make_unique<ClusterServer>(config, options);
+  for (const LoraAdapter& adapter : MakeAdapters(config, 6, 11)) {
+    cluster->AddAdapter(adapter);
+  }
+  cluster->PlaceAdapters(AdapterShares(trace, 6));
+  return cluster;
+}
+
+// --- FaultInjector unit behaviour -------------------------------------------
+
+TEST(FaultInjectorTest, ScriptedKillFiresOnceAtThreshold) {
+  FaultInjector injector(7);
+  injector.KillReplicaAfter(/*replica=*/1, /*completed=*/2);
+  EXPECT_FALSE(injector.OnWorkerIteration(1, 0).kill);
+  EXPECT_FALSE(injector.OnWorkerIteration(1, 1).kill);
+  EXPECT_FALSE(injector.OnWorkerIteration(0, 5).kill);  // other replica untouched
+  EXPECT_TRUE(injector.OnWorkerIteration(1, 2).kill);
+  EXPECT_FALSE(injector.OnWorkerIteration(1, 5).kill);  // fires exactly once
+
+  const std::vector<FaultEvent> events = injector.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultKind::kKillReplica);
+  EXPECT_EQ(events[0].replica, 1);
+  EXPECT_EQ(events[0].sequence, 0);
+}
+
+TEST(FaultInjectorTest, RequestFailureDecisionsDependOnlyOnSeedReplicaAndId) {
+  FaultInjector a(0xfeedu);
+  FaultInjector b(0xfeedu);
+  a.FailRequests(0.5);
+  b.FailRequests(0.5);
+  int failed = 0;
+  for (int replica = 0; replica < 4; ++replica) {
+    // Query b in reverse to prove call order does not matter.
+    for (int64_t id = 99; id >= 0; --id) {
+      const bool decision = a.ShouldFailRequest(replica, id);
+      failed += decision ? 1 : 0;
+      EXPECT_EQ(decision, b.ShouldFailRequest(replica, id))
+          << "replica " << replica << " id " << id;
+    }
+  }
+  // The hash actually spreads: roughly half of 400 draws fail.
+  EXPECT_GT(failed, 100);
+  EXPECT_LT(failed, 300);
+
+  FaultInjector other_seed(0xbeefu);
+  other_seed.FailRequests(0.5);
+  int disagreements = 0;
+  for (int64_t id = 0; id < 100; ++id) {
+    disagreements += other_seed.ShouldFailRequest(0, id) != a.ShouldFailRequest(0, id) ? 1 : 0;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+// --- Scenario 1: kill one of four, everything completes via retry -----------
+
+struct KillRunOutcome {
+  std::set<int64_t> completed_ids;
+  std::vector<FaultEvent> events;
+  int64_t retries = 0;
+  int64_t replica_deaths = 0;
+  size_t failures = 0;
+};
+
+KillRunOutcome RunKillOneOfFour(const ModelConfig& config, const std::vector<Request>& trace) {
+  FaultInjector fault(0x5eedu);
+  fault.GateWorkers();                    // queues fill before any processing
+  fault.KillReplicaAfter(/*replica=*/2, /*completed=*/0);
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 0.0;     // gated workers are parked, not stalled
+  recovery.backoff_base_ms = 1.0;
+  recovery.health_period_ms = 2.0;
+  auto cluster = MakeCluster(config, /*replicas=*/4, trace, &fault, recovery);
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  fault.OpenGate();  // replica 2 dies holding its 10 queued requests
+  const std::vector<EngineResult> results = cluster->Drain();
+  const ClusterStats stats = cluster->Stats();
+
+  KillRunOutcome outcome;
+  for (const EngineResult& result : results) {
+    outcome.completed_ids.insert(result.request_id);
+  }
+  outcome.events = fault.Events();
+  outcome.retries = stats.retries;
+  outcome.replica_deaths = stats.replica_deaths;
+  outcome.failures = cluster->TakeFailures().size();
+  EXPECT_EQ(results.size(), 40u);
+  EXPECT_EQ(stats.completed, 40);
+  return outcome;
+}
+
+TEST(FaultInjectionTest, KillOneOfFourCompletesAllRequestsDeterministically) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 41);
+  ASSERT_GE(trace.size(), 40u);
+
+  const KillRunOutcome first = RunKillOneOfFour(config, trace);
+  // Round-robin put exactly 10 of the 40 gated requests on replica 2; its
+  // death fails them over and every one is retried onto a survivor.
+  EXPECT_EQ(first.completed_ids.size(), 40u);
+  EXPECT_EQ(first.retries, 10);
+  EXPECT_EQ(first.replica_deaths, 1);
+  EXPECT_EQ(first.failures, 0u);  // nothing lost, nothing given up on
+  ASSERT_EQ(first.events.size(), 1u);
+  EXPECT_EQ(first.events[0].kind, FaultKind::kKillReplica);
+  EXPECT_EQ(first.events[0].replica, 2);
+
+  // Same script, same seed: identical completions and identical event log.
+  const KillRunOutcome second = RunKillOneOfFour(config, trace);
+  EXPECT_EQ(second.completed_ids, first.completed_ids);
+  EXPECT_EQ(second.events, first.events);
+  EXPECT_EQ(second.retries, first.retries);
+  EXPECT_EQ(second.replica_deaths, first.replica_deaths);
+}
+
+// --- Scenario 2: stalled replica quarantined, then readmitted ---------------
+
+TEST(FaultInjectionTest, StalledReplicaIsQuarantinedAndReadmitted) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 43);
+  ASSERT_GE(trace.size(), 34u);
+
+  FaultInjector fault(0x5eedu);
+  fault.GateWorkers();
+  // Replica 1 sleeps 600 ms before ingesting anything: its 15 queued
+  // requests sit in ingress where the health checker can reclaim them.
+  fault.StallReplicaAfter(/*replica=*/1, /*completed=*/0, /*stall_ms=*/600.0);
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 100.0;
+  recovery.health_period_ms = 10.0;
+  recovery.backoff_base_ms = 1.0;
+  auto cluster = MakeCluster(config, /*replicas=*/2, trace, &fault, recovery);
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  fault.OpenGate();
+  const std::vector<EngineResult> results = cluster->Drain();
+  EXPECT_EQ(results.size(), 30u);  // the survivor absorbed the stolen queue
+  EXPECT_TRUE(cluster->TakeFailures().empty());
+
+  ClusterStats stats = cluster->Stats();
+  EXPECT_GE(stats.quarantines, 1);
+  EXPECT_EQ(stats.rerouted, 15);  // replica 1's entire gated queue was stolen
+  EXPECT_EQ(stats.replica_deaths, 0);
+
+  // Once the stall ends the worker's heartbeat moves again and the health
+  // checker readmits the replica (eventually: supervisor ticks every 10 ms).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (cluster->Stats().readmissions < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stats = cluster->Stats();
+  ASSERT_GE(stats.readmissions, 1);
+
+  // A readmitted replica carries traffic again: round-robin sends half of
+  // these new requests to it.
+  for (size_t i = 30; i < 34; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  EXPECT_EQ(cluster->Drain().size(), 4u);
+  EXPECT_GT(cluster->replica(1).Snapshot().completed, 0);
+
+  const std::vector<FaultEvent> events = fault.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultKind::kStallReplica);
+  EXPECT_EQ(events[0].replica, 1);
+  EXPECT_EQ(events[0].stall_ms, 600.0);
+}
+
+// --- Scenario 3: retry count respects max_attempts --------------------------
+
+struct RetryRunOutcome {
+  std::map<int64_t, int> attempts_by_id;
+  std::vector<StatusCode> codes;
+  int64_t retries = 0;
+  int64_t injected_failures = 0;
+  size_t results = 0;
+};
+
+RetryRunOutcome RunAlwaysFail(const ModelConfig& config, const std::vector<Request>& trace) {
+  FaultInjector fault(0x5eedu);
+  fault.FailRequests(1.0);  // every submit attempt fails on every replica
+  RecoveryOptions recovery;
+  recovery.max_attempts = 3;
+  recovery.backoff_base_ms = 1.0;
+  recovery.health_period_ms = 2.0;
+  recovery.stall_quarantine_ms = 0.0;
+  auto cluster = MakeCluster(config, /*replicas=*/1, trace, &fault, recovery);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  RetryRunOutcome outcome;
+  outcome.results = cluster->Drain().size();
+  for (const FailedRequest& failure : cluster->TakeFailures()) {
+    outcome.attempts_by_id[failure.request_id] = failure.attempts;
+    outcome.codes.push_back(failure.status.code());
+  }
+  outcome.retries = cluster->Stats().retries;
+  outcome.injected_failures = fault.injected_request_failures();
+  return outcome;
+}
+
+TEST(FaultInjectionTest, RetryCountIsBoundedByMaxAttempts) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 1.0, 47);
+  ASSERT_GE(trace.size(), 6u);
+
+  const RetryRunOutcome first = RunAlwaysFail(config, trace);
+  EXPECT_EQ(first.results, 0u);  // nothing can complete
+  ASSERT_EQ(first.attempts_by_id.size(), 6u);
+  for (const auto& [id, attempts] : first.attempts_by_id) {
+    EXPECT_EQ(attempts, 3) << "request " << id;  // exactly max_attempts, never more
+  }
+  for (StatusCode code : first.codes) {
+    EXPECT_EQ(code, StatusCode::kInternal);
+  }
+  // 6 first attempts + 2 retries each; every attempt hit the injector.
+  EXPECT_EQ(first.retries, 12);
+  EXPECT_EQ(first.injected_failures, 18);
+
+  const RetryRunOutcome second = RunAlwaysFail(config, trace);
+  EXPECT_EQ(second.attempts_by_id, first.attempts_by_id);
+  EXPECT_EQ(second.retries, first.retries);
+  EXPECT_EQ(second.injected_failures, first.injected_failures);
+}
+
+// --- Scenario 4: deadlines cut recovery short -------------------------------
+
+TEST(FaultInjectionTest, DeadlineBoundsRecoveryBeforeRetriesBurnAttempts) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 1.0, 53);
+  ASSERT_GE(trace.size(), 4u);
+
+  FaultInjector fault(0x5eedu);
+  fault.FailRequests(1.0);
+  RecoveryOptions recovery;
+  recovery.max_attempts = 5;
+  recovery.backoff_base_ms = 50.0;       // first retry would fire at +50 ms...
+  recovery.request_deadline_ms = 5.0;    // ...long past the budget
+  recovery.health_period_ms = 5.0;
+  recovery.stall_quarantine_ms = 0.0;
+  auto cluster = MakeCluster(config, /*replicas=*/1, trace, &fault, recovery);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  EXPECT_TRUE(cluster->Drain().empty());
+
+  const std::vector<FailedRequest> failures = cluster->TakeFailures();
+  ASSERT_EQ(failures.size(), 4u);
+  for (const FailedRequest& failure : failures) {
+    EXPECT_EQ(failure.status.code(), StatusCode::kDeadlineExceeded)
+        << failure.status.ToString();
+    // The deadline scan runs before retry dispatch, so an expired request is
+    // failed on its first attempt instead of burning more.
+    EXPECT_EQ(failure.attempts, 1);
+  }
+  const ClusterStats stats = cluster->Stats();
+  EXPECT_EQ(stats.deadline_failures, 4);
+  EXPECT_EQ(stats.failed, 4);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+}  // namespace
+}  // namespace vlora

@@ -8,6 +8,8 @@
 #include <set>
 
 #include "src/baselines/policies.h"
+#include "src/cluster/placement.h"
+#include "src/cluster/router.h"
 #include "src/core/generator.h"
 #include "src/core/scheduler.h"
 #include "src/engine/engine.h"
@@ -295,6 +297,89 @@ TEST_P(GeneratorFuzzTest, PackingProperties) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorFuzzTest, ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------------------
+// Cluster recovery: under any replica-death sequence that leaves at least one
+// replica alive, every adapter keeps a live home and no routing policy ever
+// targets a dead replica, whatever the load vector looks like.
+class ClusterFailureFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterFailureFuzzTest, PlacementAndRoutingSurviveDeathSequences) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 104729 + 13);
+  const int num_replicas = static_cast<int>(rng.NextInt(2, 6));
+  const int num_adapters = static_cast<int>(rng.NextInt(1, 12));
+  std::vector<double> shares(static_cast<size_t>(num_adapters));
+  double total = 0.0;
+  for (double& share : shares) {
+    share = rng.NextUniform(0.01, 1.0);
+    total += share;
+  }
+  for (double& share : shares) {
+    share /= total;
+  }
+  PlacementOptions options;
+  options.hot_share_threshold = rng.NextUniform(0.05, 0.5);
+  options.max_hot = static_cast<int>(rng.NextInt(0, 3));
+  AdapterPlacement placement = AdapterPlacement::Compute(shares, num_replicas, options);
+
+  Router round_robin(RoutePolicy::kRoundRobin, &placement, num_replicas, 4);
+  Router least_loaded(RoutePolicy::kLeastLoaded, &placement, num_replicas, 4);
+  Router affinity(RoutePolicy::kAdapterAffinity, &placement, num_replicas, 4);
+  Router* const routers[] = {&round_robin, &least_loaded, &affinity};
+
+  std::vector<bool> alive(static_cast<size_t>(num_replicas), true);
+  int num_alive = num_replicas;
+  while (num_alive > 1) {
+    int victim;
+    do {
+      victim = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(num_replicas)));
+    } while (!alive[static_cast<size_t>(victim)]);
+    alive[static_cast<size_t>(victim)] = false;
+    --num_alive;
+    placement.Rebalance(victim);
+    for (Router* router : routers) {
+      router->SetReplicaAlive(victim, false);
+    }
+
+    ASSERT_EQ(placement.num_live_replicas(), num_alive);
+    for (int adapter = 0; adapter < num_adapters; ++adapter) {
+      const std::vector<int>& homes = placement.HomesOf(adapter);
+      ASSERT_FALSE(homes.empty())
+          << "seed " << seed << ": adapter " << adapter << " lost every home";
+      for (int home : homes) {
+        ASSERT_TRUE(alive[static_cast<size_t>(home)])
+            << "seed " << seed << ": adapter " << adapter << " homed on dead replica " << home;
+      }
+    }
+
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<int64_t> depths(static_cast<size_t>(num_replicas));
+      for (int64_t& depth : depths) {
+        depth = static_cast<int64_t>(rng.NextBounded(10));
+      }
+      const int adapter = static_cast<int>(rng.NextInt(-1, num_adapters - 1));
+      for (Router* router : routers) {
+        const RouteDecision decision = router->Pick(adapter, depths);
+        ASSERT_GE(decision.replica, 0) << "seed " << seed;
+        ASSERT_LT(decision.replica, num_replicas) << "seed " << seed;
+        ASSERT_TRUE(alive[static_cast<size_t>(decision.replica)])
+            << "seed " << seed << ": policy " << RoutePolicyName(router->policy())
+            << " routed adapter " << adapter << " to dead replica " << decision.replica;
+      }
+    }
+  }
+
+  // With the last survivor, routing still works and owns every adapter.
+  for (Router* router : routers) {
+    const RouteDecision decision = router->Pick(0, std::vector<int64_t>(
+                                                       static_cast<size_t>(num_replicas), 3));
+    ASSERT_GE(decision.replica, 0);
+    ASSERT_TRUE(alive[static_cast<size_t>(decision.replica)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterFailureFuzzTest, ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace vlora
