@@ -76,9 +76,12 @@ inline ClusterStats RunClusterTrace(const ModelConfig& config, const std::vector
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     }
-    cluster.Submit(EngineRequestFromTrace(request, config, map));
+    if (!cluster.Submit(EngineRequestFromTrace(request, config, map))) {
+      std::fprintf(stderr, "bench: submit rejected request %lld\n",
+                   static_cast<long long>(request.id));
+    }
   }
-  cluster.Drain();
+  (void)cluster.Drain();
   return cluster.Stats();
 }
 

@@ -13,13 +13,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/cluster/cluster_server.h"
 #include "src/common/fault.h"
+#include "src/common/sync.h"
 
 namespace vlora {
 namespace {
@@ -81,11 +81,11 @@ void Run() {
 
   // Completion times on the bench clock, recorded from the worker threads.
   Stopwatch pace;
-  std::mutex completions_mutex;
+  vlora::Mutex completions_mutex;
   std::vector<std::pair<int64_t, double>> completions;  // (id, bench ms)
   cluster.SetCompletionObserver([&](int64_t request_id, double /*cluster_ms*/) {
     const double now_ms = pace.ElapsedMillis();
-    std::lock_guard<std::mutex> lock(completions_mutex);
+    vlora::MutexLock lock(&completions_mutex);
     completions.emplace_back(request_id, now_ms);
   });
 

@@ -54,13 +54,16 @@ int main() {
   map.token_scale = 32;
   map.max_prompt_tokens = 16;
   map.max_new_tokens = 4;
+  int64_t accepted = 0;
   for (const Request& request : trace) {
-    cluster.Submit(EngineRequestFromTrace(request, config, map));
+    accepted += cluster.Submit(EngineRequestFromTrace(request, config, map)) ? 1 : 0;
   }
   const std::vector<EngineResult> results = cluster.Drain();
 
   const ClusterStats stats = cluster.Stats();
-  std::printf("\nCompleted %zu requests in %.0f ms (%.1f rps aggregate)\n", results.size(),
+  std::printf("\nAccepted %lld of %zu requests\n", static_cast<long long>(accepted),
+              trace.size());
+  std::printf("Completed %zu requests in %.0f ms (%.1f rps aggregate)\n", results.size(),
               stats.wall_ms, stats.throughput_rps);
   std::printf("Latency p50/p95/p99: %.1f / %.1f / %.1f ms\n", stats.latency.P50Ms(),
               stats.latency.P95Ms(), stats.latency.P99Ms());

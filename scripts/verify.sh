@@ -1,26 +1,72 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then the concurrency-
-# labelled tests (cluster, fault injection, thread pool) under both
-# ThreadSanitizer and AddressSanitizer+UBSan.
+# Repo verification: tier-1 build + full test suite, the static-analysis
+# stage (vlora_lint, Clang thread-safety build, clang-tidy), then the
+# concurrency-labelled tests (cluster, fault injection, thread pool) under
+# both ThreadSanitizer and AddressSanitizer+UBSan.
 #
-#   ./scripts/verify.sh              # tier-1 + TSan + ASan concurrency tests
+#   ./scripts/verify.sh              # everything
 #   SKIP_TSAN=1 ./scripts/verify.sh  # skip the TSan tree
 #   SKIP_ASAN=1 ./scripts/verify.sh  # skip the ASan tree
+#   SKIP_STATIC=1 ./scripts/verify.sh# skip the static-analysis stage
+#
+# Stages that need a Clang toolchain (thread-safety build, clang-tidy) are
+# skipped with a note when the tools are not installed; vlora_lint always
+# runs — it is built by the tier-1 tree itself.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test)
 
+STAGE_NAMES=()
+STAGE_RESULTS=()
+record() { STAGE_NAMES+=("$1"); STAGE_RESULTS+=("$2"); }
+
 echo "=== tier-1: configure, build, ctest ==="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+record "tier-1 build+tests" "pass"
+
+if [[ "${SKIP_STATIC:-0}" != "1" ]]; then
+  echo "=== static-analysis: vlora_lint ==="
+  ./build/tools/vlora_lint src tests bench examples tools
+  record "vlora_lint" "pass"
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== static-analysis: clang -Werror=thread-safety ==="
+    cmake -B build-ts -S . -DCMAKE_CXX_COMPILER=clang++ -DVLORA_THREAD_SAFETY=ON
+    cmake --build build-ts -j
+    record "thread-safety build" "pass"
+  else
+    echo "--- clang++ not found; skipping thread-safety build (annotations are"
+    echo "    no-ops under GCC — install clang to check them) ---"
+    record "thread-safety build" "skip (no clang++)"
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== static-analysis: clang-tidy over src/ ==="
+    # compile_commands.json comes from whichever tree configured last with
+    # the export flag; generate one against the tier-1 build.
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src tools -name '*.cc' -print0 |
+      xargs -0 clang-tidy -p build --quiet
+    record "clang-tidy" "pass"
+  else
+    echo "--- clang-tidy not found; skipping (config lives in .clang-tidy) ---"
+    record "clang-tidy" "skip (no clang-tidy)"
+  fi
+else
+  record "static-analysis" "skip (SKIP_STATIC=1)"
+fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "=== ThreadSanitizer: concurrency tests ==="
   cmake -B build-tsan -S . -DVLORA_SANITIZE=tsan
   cmake --build build-tsan -j --target "${CONCURRENCY_TARGETS[@]}"
   ctest --test-dir build-tsan --output-on-failure -L concurrency
+  record "TSan concurrency tests" "pass"
+else
+  record "TSan concurrency tests" "skip (SKIP_TSAN=1)"
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
@@ -28,6 +74,14 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DVLORA_SANITIZE=asan
   cmake --build build-asan -j --target "${CONCURRENCY_TARGETS[@]}"
   ctest --test-dir build-asan --output-on-failure -L concurrency
+  record "ASan+UBSan concurrency tests" "pass"
+else
+  record "ASan+UBSan concurrency tests" "skip (SKIP_ASAN=1)"
 fi
 
-echo "verify.sh: all checks passed"
+echo
+echo "=== verify.sh stage summary ==="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-28s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+echo "verify.sh: all executed checks passed"

@@ -61,11 +61,11 @@ void ClusterServer::PlaceAdapters(const std::vector<double>& shares) {
 
 void ClusterServer::SetCompletionObserver(
     std::function<void(int64_t request_id, double completed_ms)> observer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   completion_observer_ = std::move(observer);
 }
 
-void ClusterServer::EnsureStarted() {
+void ClusterServer::EnsureStartedLocked() {
   if (started_) {
     return;
   }
@@ -76,6 +76,8 @@ void ClusterServer::EnsureStarted() {
   for (auto& replica : replicas_) {
     replica->Start(pool_.get());
   }
+  // The supervisor blocks on mutex_ immediately, so it only runs once the
+  // caller's critical section ends.
   supervisor_ = std::thread([this] { SupervisorLoop(); });
 }
 
@@ -85,10 +87,10 @@ double ClusterServer::BackoffMs(int attempts) const {
 }
 
 bool ClusterServer::Submit(EngineRequest request) {
-  EnsureStarted();
   const int64_t id = request.id;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
+    EnsureStartedLocked();
     Pending pending;
     pending.request = request;
     pending.deadline_ms = options_.recovery.request_deadline_ms > 0.0
@@ -107,7 +109,7 @@ bool ClusterServer::Submit(EngineRequest request) {
   // failure so callers that only look at TakeFailures() still see it.
   bool drained = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = pending_.find(id);
     if (it != pending_.end()) {
       if (outcome == RouteOutcome::kUnavailable) {
@@ -121,7 +123,7 @@ bool ClusterServer::Submit(EngineRequest request) {
     ++rejected_;
   }
   if (drained) {
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
   return false;
 }
@@ -132,7 +134,7 @@ ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request
   for (int round = 0; round < num_replicas(); ++round) {
     int target = -1;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       std::vector<int64_t> depths(static_cast<size_t>(num_replicas()));
       for (int i = 0; i < num_replicas(); ++i) {
         depths[static_cast<size_t>(i)] = replicas_[static_cast<size_t>(i)]->Depth();
@@ -188,7 +190,7 @@ void ClusterServer::DispatchPending(EngineRequest request) {
   }
   bool drained = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = pending_.find(id);
     if (it == pending_.end()) {
       return;
@@ -203,59 +205,64 @@ void ClusterServer::DispatchPending(EngineRequest request) {
     }
   }
   if (drained) {
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 
 void ClusterServer::SupervisorLoop() {
-  const auto period =
-      std::chrono::duration<double, std::milli>(std::max(1.0, options_.recovery.health_period_ms));
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (!supervisor_stop_) {
-    supervisor_cv_.wait_for(lock, period);
-    if (supervisor_stop_) {
-      break;
-    }
-    const double now = clock_.ElapsedMillis();
-
-    // Deadlines first: a request whose budget elapsed while it waited out a
-    // backoff fails now rather than burning another attempt.
-    std::vector<int64_t> expired;
-    for (const auto& entry : pending_) {
-      if (entry.second.state == PendingState::kWaitingRetry && now > entry.second.deadline_ms) {
-        expired.push_back(entry.first);
-      }
-    }
-    std::sort(expired.begin(), expired.end());
-    for (int64_t id : expired) {
-      FinalizeFailureLocked(pending_.find(id), Status::DeadlineExceeded("request deadline elapsed"),
-                            /*deadline=*/true);
-    }
-    const bool drained = !expired.empty() && pending_.empty();
-
-    // Due retries: mark them in-flight under the lock, dispatch outside it.
+  const double period_ms = std::max(1.0, options_.recovery.health_period_ms);
+  for (;;) {
+    // Collect this tick's work under the lock, then act on it outside the
+    // lock — no lock juggling across the dispatch/health-check calls.
+    bool drained = false;
+    double now = 0.0;
     std::vector<EngineRequest> to_dispatch;
-    for (auto& entry : pending_) {
-      Pending& pending = entry.second;
-      if (pending.state == PendingState::kWaitingRetry && now >= pending.retry_due_ms) {
-        pending.state = PendingState::kEnqueued;
-        ++pending.attempts;
-        ++retries_;
-        to_dispatch.push_back(pending.request);
+    {
+      MutexLock lock(&mutex_);
+      if (!supervisor_stop_) {
+        supervisor_cv_.WaitForMs(mutex_, period_ms);
       }
-    }
-    std::sort(to_dispatch.begin(), to_dispatch.end(),
-              [](const EngineRequest& a, const EngineRequest& b) { return a.id < b.id; });
+      if (supervisor_stop_) {
+        return;
+      }
+      now = clock_.ElapsedMillis();
 
-    lock.unlock();
+      // Deadlines first: a request whose budget elapsed while it waited out a
+      // backoff fails now rather than burning another attempt.
+      std::vector<int64_t> expired;
+      for (const auto& entry : pending_) {
+        if (entry.second.state == PendingState::kWaitingRetry && now > entry.second.deadline_ms) {
+          expired.push_back(entry.first);
+        }
+      }
+      std::sort(expired.begin(), expired.end());
+      for (int64_t id : expired) {
+        FinalizeFailureLocked(pending_.find(id),
+                              Status::DeadlineExceeded("request deadline elapsed"),
+                              /*deadline=*/true);
+      }
+      drained = !expired.empty() && pending_.empty();
+
+      // Due retries: mark them in-flight under the lock, dispatch outside it.
+      for (auto& entry : pending_) {
+        Pending& pending = entry.second;
+        if (pending.state == PendingState::kWaitingRetry && now >= pending.retry_due_ms) {
+          pending.state = PendingState::kEnqueued;
+          ++pending.attempts;
+          ++retries_;
+          to_dispatch.push_back(pending.request);
+        }
+      }
+      std::sort(to_dispatch.begin(), to_dispatch.end(),
+                [](const EngineRequest& a, const EngineRequest& b) { return a.id < b.id; });
+    }
     if (drained) {
-      drained_cv_.notify_all();
+      drained_cv_.NotifyAll();
     }
     for (EngineRequest& request : to_dispatch) {
       DispatchPending(std::move(request));
     }
     HealthCheck(now);
-    lock.lock();
   }
 }
 
@@ -266,8 +273,9 @@ void ClusterServer::HealthCheck(double now_ms) {
     const double heartbeat = replica.HeartbeatMs();
     const int64_t depth = replica.Depth();
     bool steal = false;
+    bool health_event = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       HealthState& health = health_[static_cast<size_t>(r)];
       if (heartbeat != health.last_heartbeat) {
         health.last_heartbeat = heartbeat;
@@ -280,6 +288,7 @@ void ClusterServer::HealthCheck(double now_ms) {
           health.death_handled = true;
           health.quarantined = false;
           ++replica_deaths_;
+          health_event = true;
           router_->SetReplicaAlive(r, false);
           placement_.Rebalance(r);
         }
@@ -289,6 +298,7 @@ void ClusterServer::HealthCheck(double now_ms) {
           health.quarantined = true;
           health.heartbeat_at_quarantine = heartbeat;
           ++quarantines_;
+          health_event = true;
           router_->SetReplicaAlive(r, false);
           steal = true;
         }
@@ -297,13 +307,17 @@ void ClusterServer::HealthCheck(double now_ms) {
         // it will finish itself; new traffic may route to it immediately.
         health.quarantined = false;
         ++readmissions_;
+        health_event = true;
         router_->SetReplicaAlive(r, true);
       }
+    }
+    if (health_event) {
+      health_cv_.NotifyAll();
     }
     if (steal) {
       std::vector<EngineRequest> stolen = replica.StealIngress();
       if (!stolen.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(&mutex_);
         rerouted_ += static_cast<int64_t>(stolen.size());
       }
       std::sort(stolen.begin(), stolen.end(),
@@ -321,7 +335,7 @@ void ClusterServer::OnReplicaComplete(int replica, int64_t request_id) {
   double now = 0.0;
   std::function<void(int64_t, double)> observer;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     pending_.erase(request_id);
     drained = pending_.empty();
     now = clock_.ElapsedMillis();
@@ -331,7 +345,7 @@ void ClusterServer::OnReplicaComplete(int replica, int64_t request_id) {
     observer(request_id, now);
   }
   if (drained) {
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
 }
 
@@ -340,7 +354,7 @@ void ClusterServer::OnReplicaFailure(int replica, int64_t request_id, const Stat
   bool drained = false;
   bool scheduled = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = pending_.find(request_id);
     if (it == pending_.end()) {
       return;  // already finalised (e.g. by the deadline scan)
@@ -361,10 +375,10 @@ void ClusterServer::OnReplicaFailure(int replica, int64_t request_id, const Stat
     }
   }
   if (drained) {
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
   if (scheduled) {
-    supervisor_cv_.notify_all();
+    supervisor_cv_.NotifyAll();
   }
 }
 
@@ -386,17 +400,22 @@ bool ClusterServer::FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::
 
 std::vector<EngineResult> ClusterServer::Drain() {
   std::vector<EngineResult> results;
-  if (!started_) {
-    return results;
-  }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    drained_cv_.wait(lock, [this] { return pending_.empty(); });
+    MutexLock lock(&mutex_);
+    if (!started_) {
+      return results;
+    }
+    while (!pending_.empty()) {
+      drained_cv_.Wait(mutex_);
+    }
   }
   for (auto& replica : replicas_) {
     replica->WaitDrained();
   }
-  wall_ms_ = wall_.ElapsedMillis();
+  {
+    MutexLock lock(&mutex_);
+    wall_ms_ = wall_.ElapsedMillis();
+  }
   for (auto& replica : replicas_) {
     std::vector<EngineResult> part = replica->TakeResults();
     results.insert(results.end(), std::make_move_iterator(part.begin()),
@@ -406,26 +425,37 @@ std::vector<EngineResult> ClusterServer::Drain() {
 }
 
 std::vector<FailedRequest> ClusterServer::TakeFailures() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<FailedRequest> out;
   out.swap(failures_);
   return out;
 }
 
-void ClusterServer::Shutdown() {
-  if (shut_down_) {
-    return;
+bool ClusterServer::WaitForReadmissions(int64_t count, double timeout_ms) {
+  const double deadline_ms = clock_.ElapsedMillis() + timeout_ms;
+  MutexLock lock(&mutex_);
+  while (readmissions_ < count) {
+    const double remaining_ms = deadline_ms - clock_.ElapsedMillis();
+    if (remaining_ms <= 0.0) {
+      return false;
+    }
+    health_cv_.WaitForMs(mutex_, remaining_ms);
   }
-  shut_down_ = true;
-  if (started_) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      supervisor_stop_ = true;
+  return true;
+}
+
+void ClusterServer::Shutdown() {
+  {
+    MutexLock lock(&mutex_);
+    if (shut_down_) {
+      return;
     }
-    supervisor_cv_.notify_all();
-    if (supervisor_.joinable()) {
-      supervisor_.join();
-    }
+    shut_down_ = true;
+    supervisor_stop_ = true;
+  }
+  supervisor_cv_.NotifyAll();
+  if (supervisor_.joinable()) {
+    supervisor_.join();
   }
   for (auto& replica : replicas_) {
     replica->RequestStop();
@@ -437,7 +467,7 @@ void ClusterServer::Shutdown() {
   // OnReplicaFailure); anything left in the table was waiting out a retry
   // backoff the supervisor will never serve. Cancel it too.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     std::vector<int64_t> ids;
     ids.reserve(pending_.size());
     for (const auto& entry : pending_) {
@@ -449,7 +479,7 @@ void ClusterServer::Shutdown() {
                             /*deadline=*/false);
     }
   }
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
 }
 
 ClusterStats ClusterServer::Stats() {
@@ -464,7 +494,7 @@ ClusterStats ClusterServer::Stats() {
     stats.latency.Merge(snapshot.latency);
     stats.replicas.push_back(std::move(snapshot));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   stats.rejected = rejected_;
   stats.affinity_hits = affinity_hits_;
   stats.affinity_spills = affinity_spills_;

@@ -25,10 +25,8 @@
 #ifndef VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_
 #define VLORA_SRC_CLUSTER_CLUSTER_SERVER_H_
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +35,7 @@
 #include "src/cluster/replica.h"
 #include "src/cluster/router.h"
 #include "src/common/fault.h"
+#include "src/common/sync.h"
 #include "src/workload/request.h"
 
 namespace vlora {
@@ -128,7 +127,8 @@ class ClusterServer {
   // Invoked (from a replica worker thread) whenever a request completes, with
   // the cluster-clock completion time; benches use it to build recovery
   // timelines. Set before the first Submit.
-  void SetCompletionObserver(std::function<void(int64_t request_id, double completed_ms)> observer);
+  void SetCompletionObserver(std::function<void(int64_t request_id, double completed_ms)> observer)
+      VLORA_EXCLUDES(mutex_);
 
   // Routes the request to a replica (skipping dead/quarantined ones) and
   // tracks it for recovery. Returns false when no replica accepted it —
@@ -136,25 +136,32 @@ class ClusterServer {
   // under kBlock admission while the chosen target is full. Starts the
   // worker threads and the supervisor on first use. EngineRequest::id must
   // be unique across the cluster's lifetime.
-  bool Submit(EngineRequest request);
+  [[nodiscard]] bool Submit(EngineRequest request) VLORA_EXCLUDES(mutex_);
 
   // Waits until every accepted request has completed or definitively failed;
   // returns the results accumulated since the previous Drain, in completion
   // order per replica.
-  std::vector<EngineResult> Drain();
+  [[nodiscard]] std::vector<EngineResult> Drain() VLORA_EXCLUDES(mutex_);
 
   // Moves out the requests the recovery layer gave up on since the last call.
-  std::vector<FailedRequest> TakeFailures();
+  [[nodiscard]] std::vector<FailedRequest> TakeFailures() VLORA_EXCLUDES(mutex_);
+
+  // Blocks until the health checker has recorded at least `count`
+  // readmissions, or `timeout_ms` elapsed (returns false). The deterministic
+  // replacement for sleep-polling Stats() in tests and benches that observe
+  // recovery progress.
+  [[nodiscard]] bool WaitForReadmissions(int64_t count, double timeout_ms)
+      VLORA_EXCLUDES(mutex_);
 
   // Stops the supervisor and the replicas, cancelling queued-but-unstarted
   // work with Status::Cancelled (reported through TakeFailures / Stats).
   // Idempotent; the destructor calls it. Stats/TakeFailures remain valid
   // afterwards.
-  void Shutdown();
+  void Shutdown() VLORA_EXCLUDES(mutex_);
 
   // Aggregated counters; cheap and safe while serving (snapshots serialise
   // against each replica's step loop).
-  ClusterStats Stats();
+  [[nodiscard]] ClusterStats Stats() VLORA_EXCLUDES(mutex_);
 
   Replica& replica(int index) { return *replicas_[static_cast<size_t>(index)]; }
 
@@ -179,55 +186,67 @@ class ClusterServer {
   };
   enum class RouteOutcome { kAccepted, kFull, kUnavailable };
 
-  void EnsureStarted();
+  // First-Submit initialisation: starts the replica workers, the hosting
+  // pool and the supervisor. Holding mutex_ while starting is part of the
+  // documented lock order (ClusterServer::mutex_ before Replica::mutex_ /
+  // ThreadPool::mutex_; see DESIGN.md "Static concurrency invariants").
+  void EnsureStartedLocked() VLORA_REQUIRES(mutex_);
   // Picks a live replica and enqueues; probes other live replicas when the
   // target refuses (dead/stopping). Never holds mutex_ across an Enqueue.
-  RouteOutcome RouteAndEnqueue(EngineRequest request, bool blocking, bool count_affinity);
+  RouteOutcome RouteAndEnqueue(EngineRequest request, bool blocking, bool count_affinity)
+      VLORA_EXCLUDES(mutex_);
   // Re-dispatches a pending request (retry or quarantine spill); on failure
   // schedules another backoff round or finalises. Supervisor thread only.
-  void DispatchPending(EngineRequest request);
-  void SupervisorLoop();
-  void HealthCheck(double now_ms);
-  // Replica worker callbacks.
-  void OnReplicaComplete(int replica, int64_t request_id);
-  void OnReplicaFailure(int replica, int64_t request_id, const Status& status);
+  void DispatchPending(EngineRequest request) VLORA_EXCLUDES(mutex_);
+  void SupervisorLoop() VLORA_EXCLUDES(mutex_);
+  void HealthCheck(double now_ms) VLORA_EXCLUDES(mutex_);
+  // Replica worker callbacks (invoked without any replica lock held).
+  void OnReplicaComplete(int replica, int64_t request_id) VLORA_EXCLUDES(mutex_);
+  void OnReplicaFailure(int replica, int64_t request_id, const Status& status)
+      VLORA_EXCLUDES(mutex_);
   // Returns true when the pending table drained; caller notifies drained_cv_.
   bool FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::iterator it,
-                             const Status& status, bool deadline);
+                             const Status& status, bool deadline) VLORA_REQUIRES(mutex_);
   double BackoffMs(int attempts) const;
 
   ClusterOptions options_;
+  // Routing/placement state: written under mutex_ once serving starts
+  // (Rebalance, SetReplicaAlive). The const placement() accessor is
+  // setup-phase / quiescent-only by contract and deliberately unchecked.
   AdapterPlacement placement_;
   std::vector<std::unique_ptr<Replica>> replicas_;
-  std::unique_ptr<Router> router_;
+  std::unique_ptr<Router> router_ VLORA_PT_GUARDED_BY(mutex_);  // set once in ctor
   std::unique_ptr<ThreadPool> pool_;  // after replicas_: destroyed (joined) first
-  bool started_ = false;
-  bool shut_down_ = false;
-  Stopwatch wall_;
-  bool wall_started_ = false;
-  double wall_ms_ = 0.0;
-  Stopwatch clock_;  // deadlines, backoff and health tracking
+  Stopwatch clock_;  // deadlines, backoff and health tracking; read-only after ctor
 
-  std::mutex mutex_;  // router/placement decisions, pending table, counters
-  std::condition_variable drained_cv_;     // pending table emptied
-  std::condition_variable supervisor_cv_;  // retry due / stop
+  Mutex mutex_;  // router/placement decisions, pending table, counters
+  CondVar drained_cv_;     // pending table emptied
+  CondVar supervisor_cv_;  // retry due / stop
+  CondVar health_cv_;      // quarantine / readmission / death recorded
+  // Started once under mutex_, joined by Shutdown; the handle itself is only
+  // touched by the single start/shutdown lifecycle.
   std::thread supervisor_;
-  bool supervisor_stop_ = false;
-  std::unordered_map<int64_t, Pending> pending_;
-  std::vector<HealthState> health_;
-  std::vector<FailedRequest> failures_;
-  std::function<void(int64_t, double)> completion_observer_;
-  int64_t affinity_hits_ = 0;
-  int64_t affinity_spills_ = 0;
-  int64_t rejected_ = 0;
-  int64_t retries_ = 0;
-  int64_t rerouted_ = 0;
-  int64_t failed_ = 0;
-  int64_t cancelled_ = 0;
-  int64_t deadline_failures_ = 0;
-  int64_t replica_deaths_ = 0;
-  int64_t quarantines_ = 0;
-  int64_t readmissions_ = 0;
+  bool started_ VLORA_GUARDED_BY(mutex_) = false;
+  bool shut_down_ VLORA_GUARDED_BY(mutex_) = false;
+  Stopwatch wall_ VLORA_GUARDED_BY(mutex_);
+  bool wall_started_ VLORA_GUARDED_BY(mutex_) = false;
+  double wall_ms_ VLORA_GUARDED_BY(mutex_) = 0.0;
+  bool supervisor_stop_ VLORA_GUARDED_BY(mutex_) = false;
+  std::unordered_map<int64_t, Pending> pending_ VLORA_GUARDED_BY(mutex_);
+  std::vector<HealthState> health_ VLORA_GUARDED_BY(mutex_);
+  std::vector<FailedRequest> failures_ VLORA_GUARDED_BY(mutex_);
+  std::function<void(int64_t, double)> completion_observer_ VLORA_GUARDED_BY(mutex_);
+  int64_t affinity_hits_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t affinity_spills_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t rejected_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t retries_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t rerouted_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t failed_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t cancelled_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t deadline_failures_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t replica_deaths_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t quarantines_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t readmissions_ VLORA_GUARDED_BY(mutex_) = 0;
 };
 
 // Maps a synthetic workload request onto the mini engine: a deterministic

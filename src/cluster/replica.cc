@@ -23,19 +23,28 @@ Replica::~Replica() {
 }
 
 int Replica::AddAdapter(const LoraAdapter& adapter) {
-  VLORA_CHECK(!running_);
+  {
+    MutexLock lock(&mutex_);
+    VLORA_CHECK(!running_);
+  }
   return server_.AddAdapter(std::make_unique<LoraAdapter>(adapter));
 }
 
 void Replica::Prewarm(const std::vector<int>& adapter_ids) {
-  VLORA_CHECK(!running_);
+  {
+    MutexLock lock(&mutex_);
+    VLORA_CHECK(!running_);
+  }
   for (int id : adapter_ids) {
     server_.PrewarmAdapter(id);
   }
 }
 
 void Replica::SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) {
-  VLORA_CHECK(!running_);
+  {
+    MutexLock lock(&mutex_);
+    VLORA_CHECK(!running_);
+  }
   on_complete_ = std::move(on_complete);
   on_failure_ = std::move(on_failure);
 }
@@ -43,7 +52,7 @@ void Replica::SetHandlers(CompletionHandler on_complete, FailureHandler on_failu
 void Replica::Start(ThreadPool* pool) {
   VLORA_CHECK(pool != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     VLORA_CHECK(!running_);
     running_ = true;
   }
@@ -51,34 +60,34 @@ void Replica::Start(ThreadPool* pool) {
 }
 
 EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const auto depth = [this] { return static_cast<int64_t>(ingress_.size()) + in_server_; };
-  if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
-    return EnqueueResult::kRefused;
-  }
-  if (admission_ == AdmissionPolicy::kReject || never_block) {
-    if (depth() >= queue_capacity_) {
-      if (admission_ == AdmissionPolicy::kReject) {
-        ++rejected_;
-      }
-      return EnqueueResult::kFull;
-    }
-  } else {
-    space_cv_.wait(lock, [&] {
-      return stop_requested_ || dead_.load(std::memory_order_acquire) ||
-             depth() < queue_capacity_;
-    });
+  {
+    MutexLock lock(&mutex_);
     if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
       return EnqueueResult::kRefused;
     }
+    if (admission_ == AdmissionPolicy::kReject || never_block) {
+      if (DepthLocked() >= queue_capacity_) {
+        if (admission_ == AdmissionPolicy::kReject) {
+          ++rejected_;
+        }
+        return EnqueueResult::kFull;
+      }
+    } else {
+      while (!stop_requested_ && !dead_.load(std::memory_order_acquire) &&
+             DepthLocked() >= queue_capacity_) {
+        space_cv_.Wait(mutex_);
+      }
+      if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
+        return EnqueueResult::kRefused;
+      }
+    }
+    ingress_.push_back(Ingress{std::move(request), clock_.ElapsedMillis()});
+    ++submitted_;
+    const int64_t new_depth = DepthLocked();
+    peak_depth_ = std::max(peak_depth_, new_depth);
+    depth_.store(new_depth, std::memory_order_relaxed);
   }
-  ingress_.push_back(Ingress{std::move(request), clock_.ElapsedMillis()});
-  ++submitted_;
-  const int64_t new_depth = depth();
-  peak_depth_ = std::max(peak_depth_, new_depth);
-  depth_.store(new_depth, std::memory_order_relaxed);
-  lock.unlock();
-  ingress_cv_.notify_one();
+  ingress_cv_.NotifyOne();
   return EnqueueResult::kAccepted;
 }
 
@@ -91,7 +100,7 @@ void Replica::FailRequest(int64_t request_id, const Status& status) {
 void Replica::Die() {
   std::vector<int64_t> failed_ids;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     dead_.store(true, std::memory_order_release);
     running_ = false;
     for (Ingress& item : ingress_) {
@@ -109,8 +118,8 @@ void Replica::Die() {
     failed_ += static_cast<int64_t>(failed_ids.size());
     depth_.store(0, std::memory_order_relaxed);
   }
-  space_cv_.notify_all();
-  drained_cv_.notify_all();
+  space_cv_.NotifyAll();
+  drained_cv_.NotifyAll();
   // Deterministic fail-over order: the unordered map above scrambles ids.
   std::sort(failed_ids.begin(), failed_ids.end());
   for (int64_t id : failed_ids) {
@@ -130,7 +139,7 @@ void Replica::WorkerLoop() {
       }
       if (fault.stall_ms > 0.0) {
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(&mutex_);
           ++stalls_;
         }
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fault.stall_ms));
@@ -143,9 +152,10 @@ void Replica::WorkerLoop() {
     std::vector<Ingress> to_fail;
     bool exiting = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ingress_cv_.wait(lock,
-                       [this] { return stop_requested_ || !ingress_.empty() || in_server_ > 0; });
+      MutexLock lock(&mutex_);
+      while (!stop_requested_ && ingress_.empty() && in_server_ == 0) {
+        ingress_cv_.Wait(mutex_);
+      }
       if (stop_requested_) {
         // Shutdown: cancel queued work instead of serving it; only finish
         // what is already inside the engine.
@@ -174,8 +184,8 @@ void Replica::WorkerLoop() {
       }
     }
     if (!to_cancel.empty() || !to_fail.empty()) {
-      space_cv_.notify_all();
-      drained_cv_.notify_all();  // waiters re-check the predicate
+      space_cv_.NotifyAll();
+      drained_cv_.NotifyAll();  // waiters re-check the predicate
       for (Ingress& item : to_cancel) {
         FailRequest(item.request.id, Status::Cancelled("replica stopping"));
       }
@@ -184,7 +194,7 @@ void Replica::WorkerLoop() {
       }
     }
     if (exiting) {
-      drained_cv_.notify_all();
+      drained_cv_.NotifyAll();
       return;
     }
     for (Ingress& item : batch) {
@@ -193,13 +203,13 @@ void Replica::WorkerLoop() {
     }
     std::vector<EngineResult> finished;
     {
-      std::lock_guard<std::mutex> step_lock(step_mutex_);
+      MutexLock step_lock(&step_mutex_);
       finished = server_.StepOnce();
     }
     const double now_ms = clock_.ElapsedMillis();
     std::vector<int64_t> finished_ids;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       in_server_ -= static_cast<int64_t>(finished.size());
       for (EngineResult& result : finished) {
         auto it = enqueue_ms_.find(result.request_id);
@@ -210,16 +220,15 @@ void Replica::WorkerLoop() {
         finished_ids.push_back(result.request_id);
         results_.push_back(std::move(result));
       }
-      depth_.store(static_cast<int64_t>(ingress_.size()) + in_server_,
-                   std::memory_order_relaxed);
+      depth_.store(DepthLocked(), std::memory_order_relaxed);
       if (ingress_.empty() && in_server_ == 0) {
-        drained_cv_.notify_all();
+        drained_cv_.NotifyAll();
       }
     }
     completed_local += static_cast<int64_t>(finished_ids.size());
     heartbeat_ms_.store(clock_.ElapsedMillis(), std::memory_order_relaxed);
     if (!finished_ids.empty()) {
-      space_cv_.notify_all();
+      space_cv_.NotifyAll();
       if (on_complete_) {
         for (int64_t id : finished_ids) {
           on_complete_(index_, id);
@@ -233,7 +242,7 @@ std::vector<EngineRequest> Replica::StealIngress() {
   std::vector<EngineRequest> stolen;
   bool drained = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (Ingress& item : ingress_) {
       stolen.push_back(std::move(item.request));
     }
@@ -242,32 +251,34 @@ std::vector<EngineRequest> Replica::StealIngress() {
     depth_.store(in_server_, std::memory_order_relaxed);
     drained = in_server_ == 0;
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   if (drained) {
-    drained_cv_.notify_all();
+    drained_cv_.NotifyAll();
   }
   return stolen;
 }
 
 void Replica::WaitDrained() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_cv_.wait(lock, [this] { return ingress_.empty() && in_server_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!ingress_.empty() || in_server_ != 0) {
+    drained_cv_.Wait(mutex_);
+  }
 }
 
 void Replica::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     stop_requested_ = true;
   }
   if (fault_ != nullptr) {
     fault_->OpenGate();  // a gated worker must be able to observe the stop
   }
-  ingress_cv_.notify_all();
-  space_cv_.notify_all();
+  ingress_cv_.NotifyAll();
+  space_cv_.NotifyAll();
 }
 
 std::vector<EngineResult> Replica::TakeResults() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<EngineResult> out;
   out.swap(results_);
   return out;
@@ -279,10 +290,10 @@ ReplicaSnapshot Replica::Snapshot() {
   {
     // Order matters for TSan cleanliness: take the step mutex first so the
     // server stats copy cannot overlap a StepOnce, then the state mutex.
-    std::lock_guard<std::mutex> step_lock(step_mutex_);
+    MutexLock step_lock(&step_mutex_);
     snapshot.server = server_.stats();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   snapshot.dead = dead_.load(std::memory_order_acquire);
   snapshot.submitted = submitted_;
   snapshot.completed = completed_;

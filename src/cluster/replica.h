@@ -29,18 +29,17 @@
 #define VLORA_SRC_CLUSTER_REPLICA_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/fault.h"
 #include "src/common/status.h"
 #include "src/common/stopwatch.h"
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 #include "src/core/server.h"
 
@@ -96,18 +95,20 @@ class Replica {
 
   // Setup phase (before Start): register an adapter copy / pre-warm the
   // placement's home set onto the device.
-  int AddAdapter(const LoraAdapter& adapter);
-  void Prewarm(const std::vector<int>& adapter_ids);
+  int AddAdapter(const LoraAdapter& adapter) VLORA_EXCLUDES(mutex_);
+  void Prewarm(const std::vector<int>& adapter_ids) VLORA_EXCLUDES(mutex_);
 
   // Optional recovery wiring; may be left unset for standalone use.
-  void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure);
+  void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure)
+      VLORA_EXCLUDES(mutex_);
 
   // Posts the worker loop; the pool must dedicate a thread to it.
-  void Start(ThreadPool* pool);
+  void Start(ThreadPool* pool) VLORA_EXCLUDES(mutex_);
 
   // Router-thread entry. `never_block` turns a kBlock replica into fail-fast
   // for this one call (the supervisor's retry path must never block).
-  EnqueueResult Enqueue(EngineRequest request, bool never_block = false);
+  [[nodiscard]] EnqueueResult Enqueue(EngineRequest request, bool never_block = false)
+      VLORA_EXCLUDES(mutex_);
 
   // Outstanding requests (queued + in-engine). Lock-free; the router's load
   // signal.
@@ -123,20 +124,20 @@ class Replica {
 
   // Reclaims queued-but-unstarted requests (quarantine spill); the caller
   // re-routes them. In-engine requests cannot be reclaimed.
-  std::vector<EngineRequest> StealIngress();
+  [[nodiscard]] std::vector<EngineRequest> StealIngress() VLORA_EXCLUDES(mutex_);
 
   // Blocks until every accepted request has finished (or failed over).
-  void WaitDrained();
+  void WaitDrained() VLORA_EXCLUDES(mutex_);
 
   // Asks the worker loop to cancel queued work and exit once the engine is
   // empty; wakes blocked submitters and opens any fault-injector gate.
-  void RequestStop();
+  void RequestStop() VLORA_EXCLUDES(mutex_);
 
   // Moves out results accumulated since the last call.
-  std::vector<EngineResult> TakeResults();
+  [[nodiscard]] std::vector<EngineResult> TakeResults() VLORA_EXCLUDES(mutex_);
 
   // Consistent copy of the counters; safe while the worker runs.
-  ReplicaSnapshot Snapshot();
+  [[nodiscard]] ReplicaSnapshot Snapshot() VLORA_EXCLUDES(step_mutex_, mutex_);
 
   // Direct server access for tests; only valid when the replica is idle.
   VloraServer& server_for_testing() { return server_; }
@@ -147,10 +148,15 @@ class Replica {
     double enqueue_ms;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() VLORA_EXCLUDES(mutex_, step_mutex_);
   // Injected-kill path: fails over everything held (worker thread only).
-  void Die();
-  void FailRequest(int64_t request_id, const Status& status);
+  void Die() VLORA_EXCLUDES(mutex_);
+  void FailRequest(int64_t request_id, const Status& status) VLORA_EXCLUDES(mutex_);
+  // Outstanding requests (queued + in-engine) under the lock; the source of
+  // truth behind the lock-free depth_ mirror.
+  int64_t DepthLocked() const VLORA_REQUIRES(mutex_) {
+    return static_cast<int64_t>(ingress_.size()) + in_server_;
+  }
 
   const int index_;
   const int64_t queue_capacity_;
@@ -161,26 +167,28 @@ class Replica {
   CompletionHandler on_complete_;
   FailureHandler on_failure_;
 
-  std::mutex mutex_;
-  std::condition_variable ingress_cv_;  // wakes the worker
-  std::condition_variable space_cv_;    // wakes blocked submitters
-  std::condition_variable drained_cv_;  // wakes WaitDrained
-  std::deque<Ingress> ingress_;
-  int64_t in_server_ = 0;
-  bool stop_requested_ = false;
-  bool running_ = false;
-  int64_t submitted_ = 0;
-  int64_t completed_ = 0;
-  int64_t rejected_ = 0;
-  int64_t cancelled_ = 0;
-  int64_t failed_ = 0;
-  int64_t stolen_ = 0;
-  int64_t stalls_ = 0;
-  int64_t peak_depth_ = 0;
-  std::vector<EngineResult> results_;
-  LatencyRecorder latency_;
+  Mutex mutex_;
+  CondVar ingress_cv_;  // wakes the worker
+  CondVar space_cv_;    // wakes blocked submitters
+  CondVar drained_cv_;  // wakes WaitDrained
+  std::deque<Ingress> ingress_ VLORA_GUARDED_BY(mutex_);
+  int64_t in_server_ VLORA_GUARDED_BY(mutex_) = 0;
+  bool stop_requested_ VLORA_GUARDED_BY(mutex_) = false;
+  bool running_ VLORA_GUARDED_BY(mutex_) = false;
+  int64_t submitted_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t completed_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t rejected_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t cancelled_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t failed_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t stolen_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t stalls_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t peak_depth_ VLORA_GUARDED_BY(mutex_) = 0;
+  std::vector<EngineResult> results_ VLORA_GUARDED_BY(mutex_);
+  LatencyRecorder latency_ VLORA_GUARDED_BY(mutex_);
 
-  std::mutex step_mutex_;  // serialises StepOnce vs Snapshot
+  // Serialises StepOnce vs Snapshot's server-stats copy. Lock order: always
+  // taken before mutex_ (Snapshot), never the other way around.
+  Mutex step_mutex_ VLORA_ACQUIRED_BEFORE(mutex_);
 
   std::atomic<int64_t> depth_{0};
   std::atomic<bool> dead_{false};

@@ -24,39 +24,41 @@ FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
 
 void FaultInjector::KillReplicaAfter(int replica, int64_t completed) {
   VLORA_CHECK(replica >= 0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   scripted_.push_back({FaultKind::kKillReplica, replica, completed, 0.0, false});
 }
 
 void FaultInjector::StallReplicaAfter(int replica, int64_t completed, double stall_ms) {
   VLORA_CHECK(replica >= 0);
   VLORA_CHECK(stall_ms > 0.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   scripted_.push_back({FaultKind::kStallReplica, replica, completed, stall_ms, false});
 }
 
 void FaultInjector::FailRequests(double probability) {
   VLORA_CHECK(probability >= 0.0 && probability <= 1.0);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   request_failure_prob_ = probability;
 }
 
 void FaultInjector::GateWorkers() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   gated_ = true;
 }
 
 void FaultInjector::OpenGate() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     gated_ = false;
   }
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
 }
 
 void FaultInjector::WaitWhileGated() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  gate_cv_.wait(lock, [this] { return !gated_; });
+  MutexLock lock(&mutex_);
+  while (gated_) {
+    gate_cv_.Wait(mutex_);
+  }
 }
 
 void FaultInjector::RecordLocked(FaultKind kind, int replica, int64_t request_id,
@@ -76,7 +78,7 @@ void FaultInjector::RecordLocked(FaultKind kind, int replica, int64_t request_id
 
 WorkerFault FaultInjector::OnWorkerIteration(int replica, int64_t completed) {
   WorkerFault fault;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (ScriptedFault& scripted : scripted_) {
     if (scripted.fired || scripted.replica != replica || completed < scripted.after_completed) {
       continue;
@@ -93,7 +95,7 @@ WorkerFault FaultInjector::OnWorkerIteration(int replica, int64_t completed) {
 }
 
 bool FaultInjector::ShouldFailRequest(int replica, int64_t request_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (request_failure_prob_ <= 0.0) {
     return false;
   }
@@ -108,12 +110,12 @@ bool FaultInjector::ShouldFailRequest(int replica, int64_t request_id) {
 }
 
 std::vector<FaultEvent> FaultInjector::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return events_;
 }
 
 int64_t FaultInjector::injected_request_failures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return injected_request_failures_;
 }
 

@@ -26,13 +26,12 @@
 #ifndef VLORA_SRC_COMMON_FAULT_H_
 #define VLORA_SRC_COMMON_FAULT_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/stopwatch.h"
+#include "src/common/sync.h"
 
 namespace vlora {
 
@@ -86,36 +85,37 @@ class FaultInjector {
 
   // The replica's worker dies at the first iteration where it has completed
   // at least `completed` requests (0 = before processing anything).
-  void KillReplicaAfter(int replica, int64_t completed);
+  void KillReplicaAfter(int replica, int64_t completed) VLORA_EXCLUDES(mutex_);
 
   // The worker sleeps `stall_ms` once, at the first iteration where it has
   // completed at least `completed` requests.
-  void StallReplicaAfter(int replica, int64_t completed, double stall_ms);
+  void StallReplicaAfter(int replica, int64_t completed, double stall_ms)
+      VLORA_EXCLUDES(mutex_);
 
   // Every submit attempt, on any replica, fails independently with this
   // probability (hash-based; see header comment).
-  void FailRequests(double probability);
+  void FailRequests(double probability) VLORA_EXCLUDES(mutex_);
 
   // Closes the start gate: workers park in WaitWhileGated until OpenGate.
-  void GateWorkers();
-  void OpenGate();
+  void GateWorkers() VLORA_EXCLUDES(mutex_);
+  void OpenGate() VLORA_EXCLUDES(mutex_);
 
   // --- Hooks (thread-safe; called from replica workers) --------------------
 
   // `completed` is the replica's completed-request count so far.
-  WorkerFault OnWorkerIteration(int replica, int64_t completed);
+  WorkerFault OnWorkerIteration(int replica, int64_t completed) VLORA_EXCLUDES(mutex_);
 
-  bool ShouldFailRequest(int replica, int64_t request_id);
+  bool ShouldFailRequest(int replica, int64_t request_id) VLORA_EXCLUDES(mutex_);
 
   // Parks while the gate is closed. Returns immediately once the gate has
   // been opened (it never re-closes for waiters already past it).
-  void WaitWhileGated();
+  void WaitWhileGated() VLORA_EXCLUDES(mutex_);
 
   // --- Introspection -------------------------------------------------------
 
   // Copy of the event log in firing order (per replica: deterministic).
-  std::vector<FaultEvent> Events() const;
-  int64_t injected_request_failures() const;
+  std::vector<FaultEvent> Events() const VLORA_EXCLUDES(mutex_);
+  int64_t injected_request_failures() const VLORA_EXCLUDES(mutex_);
   std::string EventsToString() const;  // one line per event, for debugging
 
  private:
@@ -127,18 +127,19 @@ class FaultInjector {
     bool fired = false;
   };
 
-  void RecordLocked(FaultKind kind, int replica, int64_t request_id, double stall_ms);
+  void RecordLocked(FaultKind kind, int replica, int64_t request_id, double stall_ms)
+      VLORA_REQUIRES(mutex_);
 
   const uint64_t seed_;
   Stopwatch clock_;
-  mutable std::mutex mutex_;
-  std::condition_variable gate_cv_;
-  bool gated_ = false;
-  double request_failure_prob_ = 0.0;
-  std::vector<ScriptedFault> scripted_;
-  std::vector<FaultEvent> events_;
-  std::vector<int64_t> next_sequence_;  // per replica
-  int64_t injected_request_failures_ = 0;
+  mutable Mutex mutex_;
+  CondVar gate_cv_;
+  bool gated_ VLORA_GUARDED_BY(mutex_) = false;
+  double request_failure_prob_ VLORA_GUARDED_BY(mutex_) = 0.0;
+  std::vector<ScriptedFault> scripted_ VLORA_GUARDED_BY(mutex_);
+  std::vector<FaultEvent> events_ VLORA_GUARDED_BY(mutex_);
+  std::vector<int64_t> next_sequence_ VLORA_GUARDED_BY(mutex_);  // per replica
+  int64_t injected_request_failures_ VLORA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace vlora

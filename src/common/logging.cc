@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace vlora {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;  // serialises stderr writes so lines never interleave
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -45,7 +46,7 @@ LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < g_level.load()) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(&g_emit_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

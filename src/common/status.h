@@ -60,8 +60,9 @@ constexpr const char* StatusCodeName(StatusCode code) {
 }
 
 // A Status carries a code plus an optional message. The OK status carries no
-// message and is cheap to copy.
-class Status {
+// message and is cheap to copy. [[nodiscard]] at class scope: any function
+// returning Status (or Result) must have its return value examined.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -112,7 +113,7 @@ class Status {
 
 // Result<T> holds either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status)                            // NOLINT(google-explicit-constructor)

@@ -1,0 +1,99 @@
+// Annotated synchronization primitives — the only place in the repo allowed
+// to touch <mutex> / <condition_variable> directly (vlora_lint enforces it).
+//
+// vlora::Mutex, MutexLock and CondVar are thin, zero-overhead wrappers over
+// the std primitives that carry the Clang thread-safety attributes from
+// annotations.h, so every guarded member and every REQUIRES-taking helper in
+// the concurrent subsystems (cluster, core server, thread pool, fault
+// injector) is checked at compile time under -Werror=thread-safety.
+//
+// Condition waits: the analysis cannot see through lambda predicates (a
+// lambda body is analysed as a separate function with no capability context),
+// so CondVar deliberately has no predicate-taking Wait. Callers write the
+// explicit loop, which keeps every guarded read inside the annotated scope:
+//
+//   MutexLock lock(&mutex_);
+//   while (!ready_) {          // ready_ is VLORA_GUARDED_BY(mutex_)
+//     cv_.Wait(mutex_);        // VLORA_REQUIRES(mutex_)
+//   }
+
+#ifndef VLORA_SRC_COMMON_SYNC_H_
+#define VLORA_SRC_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/annotations.h"
+
+namespace vlora {
+
+class VLORA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VLORA_ACQUIRE() { mu_.lock(); }
+  void Unlock() VLORA_RELEASE() { mu_.unlock(); }
+  bool TryLock() VLORA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For CondVar only: the raw handle the std wait primitives need.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock; the annotated replacement for std::lock_guard / the
+// non-predicate uses of std::unique_lock.
+class VLORA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) VLORA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() VLORA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires `mu` before returning.
+  // Spurious wakeups happen; callers loop on their predicate (see header
+  // comment). The adopt/release dance hands the already-held mutex to the
+  // std wait call and takes it back without a second lock round-trip.
+  void Wait(Mutex& mu) VLORA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  // Timed wait; returns false when `timeout_ms` elapsed without a notify
+  // (callers still re-check their predicate either way).
+  bool WaitForMs(Mutex& mu, double timeout_ms) VLORA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms));
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_COMMON_SYNC_H_

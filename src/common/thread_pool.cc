@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -31,8 +31,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutdown_ && tasks_.empty()) {
+        work_cv_.Wait(mutex_);
+      }
       if (shutdown_ && tasks_.empty()) {
         return;
       }
@@ -41,10 +43,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
       if (in_flight_ == 0) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }
@@ -52,17 +54,19 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     VLORA_CHECK(!shutdown_);
     ++in_flight_;
     tasks_.push(std::move(fn));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) {
+    done_cv_.Wait(mutex_);
+  }
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
@@ -76,16 +80,18 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     VLORA_CHECK(in_flight_ == 0);  // nested / concurrent ParallelFor unsupported
     in_flight_ = end - begin;
     for (int64_t i = begin; i < end; ++i) {
       tasks_.push([&fn, i] { fn(i); });
     }
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  work_cv_.NotifyAll();
+  MutexLock lock(&mutex_);
+  while (in_flight_ != 0) {
+    done_cv_.Wait(mutex_);
+  }
 }
 
 }  // namespace vlora

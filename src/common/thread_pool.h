@@ -8,13 +8,13 @@
 #ifndef VLORA_SRC_COMMON_THREAD_POOL_H_
 #define VLORA_SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace vlora {
 
@@ -32,27 +32,28 @@ class ThreadPool {
   // Runs fn(i) for every i in [begin, end), one task per index, and blocks
   // until all complete. Tasks must not throw. Indices map to disjoint output
   // regions in every caller, so no ordering is guaranteed or needed.
-  void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn);
+  void ParallelFor(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn)
+      VLORA_EXCLUDES(mutex_);
 
   // Enqueues one task and returns immediately. Used by the cluster layer to
   // host long-running replica worker loops; a pool hosting posted loops must
   // be dedicated to them (ParallelFor on the same pool would wait for the
   // loops to finish). Tasks must not throw.
-  void Post(std::function<void()> fn);
+  void Post(std::function<void()> fn) VLORA_EXCLUDES(mutex_);
 
   // Blocks until every posted / dispatched task has completed.
-  void WaitIdle();
+  void WaitIdle() VLORA_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() VLORA_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::queue<std::function<void()>> tasks_;
-  int64_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;  // wakes workers: new task or shutdown
+  CondVar done_cv_;  // wakes waiters: in_flight_ hit zero
+  std::queue<std::function<void()>> tasks_ VLORA_GUARDED_BY(mutex_);
+  int64_t in_flight_ VLORA_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ VLORA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vlora

@@ -51,7 +51,7 @@ const LoraAdapter& VloraServer::adapter(int id) const {
 }
 
 void VloraServer::Submit(EngineRequest request) {
-  std::lock_guard<std::mutex> lock(submit_mutex_);
+  MutexLock lock(&submit_mutex_);
   staged_.push_back(std::move(request));
   queue_depth_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -59,7 +59,7 @@ void VloraServer::Submit(EngineRequest request) {
 void VloraServer::AdmitStaged() {
   std::vector<EngineRequest> staged;
   {
-    std::lock_guard<std::mutex> lock(submit_mutex_);
+    MutexLock lock(&submit_mutex_);
     staged.swap(staged_);
   }
   for (EngineRequest& request : staged) {

@@ -12,11 +12,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/common/sync.h"
 #include "src/core/generator.h"
 #include "src/core/scheduler.h"
 #include "src/engine/engine.h"
@@ -71,7 +71,7 @@ class VloraServer {
   // respect to a concurrent StepOnce: the request lands in a staging buffer
   // and joins the engine at the start of the next iteration. Everything else
   // on this class must be called from the serving thread.
-  void Submit(EngineRequest request);
+  void Submit(EngineRequest request) VLORA_EXCLUDES(submit_mutex_);
 
   // Requests accepted but not yet finished (staged + in-engine). Thread-safe;
   // this is the load signal the cluster router reads.
@@ -98,15 +98,15 @@ class VloraServer {
  private:
   // Moves staged requests into the engine, stamping their logical enqueue
   // time. Serving thread only.
-  void AdmitStaged();
+  void AdmitStaged() VLORA_EXCLUDES(submit_mutex_);
 
   ServerOptions options_;
   InferenceEngine engine_;
   UnifiedMemoryPool pool_;
   AdapterManager adapter_manager_;
   std::vector<std::unique_ptr<LoraAdapter>> adapters_;
-  std::mutex submit_mutex_;
-  std::vector<EngineRequest> staged_;          // guarded by submit_mutex_
+  Mutex submit_mutex_;
+  std::vector<EngineRequest> staged_ VLORA_GUARDED_BY(submit_mutex_);
   std::atomic<int64_t> queue_depth_{0};
   std::unordered_map<int64_t, double> submit_ms_;        // id -> logical enqueue time
   std::unordered_map<int64_t, double> last_service_ms_;  // id -> last scheduled time

@@ -6,6 +6,7 @@ namespace vlora {
 
 void AtmmDispatcher::Register(const ShapeKey& key, const TileConfig& config) {
   VLORA_CHECK(config.Valid());
+  MutexLock lock(&mutex_);
   table_[key] = config;
 }
 
@@ -34,6 +35,7 @@ TileConfig AtmmDispatcher::HeuristicConfig(int64_t m, int64_t n, int64_t k) {
 }
 
 TileConfig AtmmDispatcher::Select(int64_t m, int64_t n, int64_t k) const {
+  MutexLock lock(&mutex_);
   // Exact hit first.
   auto it = table_.find(ShapeKey{m, n, k});
   if (it != table_.end()) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/common/sync.h"
 #include "src/kernels/gemm.h"
 #include "src/kernels/tile_config.h"
 #include "src/tensor/tensor.h"
@@ -44,29 +45,39 @@ struct ShapeKeyHash {
   }
 };
 
+// Thread-safety: the shape -> config table is guarded, so a tiling search may
+// Register entries concurrently (e.g. profiling shards on a ThreadPool) while
+// other threads Select. Execute is NOT concurrency-safe on a shared
+// dispatcher — the packed-panel workspace is reused across calls — so each
+// execution thread (each replica engine) owns its own dispatcher.
 class AtmmDispatcher {
  public:
   AtmmDispatcher() = default;
 
   // Registers the optimal config for a profiled shape (called by the search).
-  void Register(const ShapeKey& key, const TileConfig& config);
+  void Register(const ShapeKey& key, const TileConfig& config) VLORA_EXCLUDES(mutex_);
 
   // Picks the config for a runtime shape: exact hit, else nearest registered
   // bucket (snapping m to the profiling grid), else the heuristic fallback.
-  TileConfig Select(int64_t m, int64_t n, int64_t k) const;
+  TileConfig Select(int64_t m, int64_t n, int64_t k) const VLORA_EXCLUDES(mutex_);
 
   // Shape-driven fallback used when the table has no suitable entry.
   static TileConfig HeuristicConfig(int64_t m, int64_t n, int64_t k);
 
-  // C += A * B with the adaptively selected configuration.
+  // C += A * B with the adaptively selected configuration. Calling thread
+  // must own this dispatcher's execution (see class comment).
   void Execute(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
   void Execute(const Tensor& a, const Tensor& b, Tensor& c);
 
   // Number of registered shape -> config entries.
-  int64_t TableSize() const { return static_cast<int64_t>(table_.size()); }
+  int64_t TableSize() const VLORA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
+    return static_cast<int64_t>(table_.size());
+  }
 
   // Snapshot of the table for persistence (order unspecified).
-  std::vector<std::pair<ShapeKey, TileConfig>> Entries() const {
+  std::vector<std::pair<ShapeKey, TileConfig>> Entries() const VLORA_EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     std::vector<std::pair<ShapeKey, TileConfig>> entries(table_.begin(), table_.end());
     return entries;
   }
@@ -76,8 +87,9 @@ class AtmmDispatcher {
   static constexpr int64_t kMStep = 32;
 
  private:
-  std::unordered_map<ShapeKey, TileConfig, ShapeKeyHash> table_;
-  GemmWorkspace workspace_;
+  mutable Mutex mutex_;
+  std::unordered_map<ShapeKey, TileConfig, ShapeKeyHash> table_ VLORA_GUARDED_BY(mutex_);
+  GemmWorkspace workspace_;  // execution-thread-only; see class comment
 };
 
 }  // namespace vlora

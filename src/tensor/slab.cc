@@ -6,8 +6,8 @@ namespace vlora {
 
 WeightSlab::WeightSlab(int64_t capacity) : capacity_(capacity) {
   VLORA_CHECK(capacity > 0);
-  storage_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(capacity)]);
-  std::memset(storage_.get(), 0, static_cast<size_t>(capacity) * sizeof(float));
+  // Value-initialised: the slab hands out zeroed weight storage.
+  storage_ = std::make_shared<float[]>(static_cast<size_t>(capacity));
 }
 
 Tensor WeightSlab::Allocate(int64_t rows, int64_t cols) {

@@ -20,7 +20,8 @@ std::string Shape::ToString() const {
 Tensor::Tensor(const Shape& shape) : shape_(shape) {
   const int64_t n = shape.NumElements();
   VLORA_CHECK(n > 0);
-  storage_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(n)]);
+  // _for_overwrite: callers (Zeros/Full/Random) initialise every element.
+  storage_ = std::make_shared_for_overwrite<float[]>(static_cast<size_t>(n));
   data_ = storage_.get();
 }
 

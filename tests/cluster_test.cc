@@ -10,6 +10,19 @@
 namespace vlora {
 namespace {
 
+// Negative compile-time test (see thread_pool_test.cc for the convention):
+// under -DVLORA_THREAD_SAFETY=ON -DVLORA_EXPECT_TS_ERROR this must fail to
+// compile — the helper demands the lock via VLORA_REQUIRES but the caller
+// never takes it.
+#ifdef VLORA_EXPECT_TS_ERROR
+struct TsRequiresProbe {
+  Mutex mu;
+  int state VLORA_GUARDED_BY(mu) = 0;
+  void TouchLocked() VLORA_REQUIRES(mu) { ++state; }
+  void CallWithoutLock() { TouchLocked(); }  // thread-safety error here
+};
+#endif
+
 // Small, fast fixtures: everything here also runs under ThreadSanitizer via
 // scripts/verify.sh, so traces stay short.
 
@@ -211,9 +224,9 @@ TEST_F(ClusterTest, RoundRobinSpreadsWorkAcrossReplicas) {
   const std::vector<Request> trace = SkewedTrace(6, 0.6, 25.0, 2.0, 17);
   auto cluster = MakeCluster(3, RoutePolicy::kRoundRobin, trace);
   for (const Request& request : trace) {
-    cluster->Submit(EngineRequestFromTrace(request, config_, SmallMap()));
+    ASSERT_TRUE(cluster->Submit(EngineRequestFromTrace(request, config_, SmallMap())));
   }
-  cluster->Drain();
+  (void)cluster->Drain();
   const ClusterStats stats = cluster->Stats();
   for (const ReplicaSnapshot& replica : stats.replicas) {
     // Round-robin gives each replica a third of the trace, within one.
@@ -334,9 +347,9 @@ TEST_F(ClusterTest, AffinityReducesSwapInsVersusRoundRobin) {
     }
     cluster.PlaceAdapters(AdapterShares(trace, 6));
     for (const Request& request : trace) {
-      cluster.Submit(EngineRequestFromTrace(request, config_, SmallMap()));
+      ASSERT_TRUE(cluster.Submit(EngineRequestFromTrace(request, config_, SmallMap())));
     }
-    cluster.Drain();
+    (void)cluster.Drain();
     const ClusterStats stats = cluster.Stats();
     swap_ins[policy] = stats.adapter_swap_ins;
     if (policy == RoutePolicy::kAdapterAffinity) {
@@ -351,9 +364,9 @@ TEST_F(ClusterTest, ServerStatsReportLatencyPercentiles) {
   const std::vector<Request> trace = SkewedTrace(4, 0.6, 15.0, 1.5, 31);
   auto cluster = MakeCluster(1, RoutePolicy::kRoundRobin, trace);
   for (const Request& request : trace) {
-    cluster->Submit(EngineRequestFromTrace(request, config_, SmallMap()));
+    ASSERT_TRUE(cluster->Submit(EngineRequestFromTrace(request, config_, SmallMap())));
   }
-  cluster->Drain();
+  (void)cluster->Drain();
   const ReplicaSnapshot snapshot = cluster->replica(0).Snapshot();
   EXPECT_EQ(snapshot.server.latency.count(), static_cast<int64_t>(trace.size()));
   EXPECT_GE(snapshot.server.latency.P95Ms(), snapshot.server.latency.P50Ms());

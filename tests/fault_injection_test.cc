@@ -10,10 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <set>
-#include <thread>
 #include <vector>
 
 #include "src/cluster/cluster_server.h"
@@ -214,11 +212,7 @@ TEST(FaultInjectionTest, StalledReplicaIsQuarantinedAndReadmitted) {
 
   // Once the stall ends the worker's heartbeat moves again and the health
   // checker readmits the replica (eventually: supervisor ticks every 10 ms).
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (cluster->Stats().readmissions < 1 &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
+  ASSERT_TRUE(cluster->WaitForReadmissions(/*count=*/1, /*timeout_ms=*/10'000.0));
   stats = cluster->Stats();
   ASSERT_GE(stats.readmissions, 1);
 

@@ -1,0 +1,168 @@
+// Unit tests for the vlora_lint rule library: each rule fires on a synthetic
+// bad snippet at exactly the expected line, stays quiet on the good twin, and
+// honours the allow() suppression. Snippet text is assembled from adjacent
+// string literals so the whole-tree lint scan (vlora_lint_tree) does not trip
+// over this file's own test data.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace vlora {
+namespace lint {
+namespace {
+
+std::vector<std::string> RulesAt(const std::vector<Finding>& findings, int line) {
+  std::vector<std::string> rules;
+  for (const Finding& finding : findings) {
+    if (finding.line == line) {
+      rules.push_back(finding.rule);
+    }
+  }
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintRulesTest, RawMutexFiresOutsideSyncHeader) {
+  const std::string bad = std::string("#include <cstdint>\n") +
+                          "std" "::mutex m;\n" +
+                          "std" "::lock_guard<std" "::mutex> lock(m);\n" +
+                          "std" "::condition_variable cv;\n";
+  const std::vector<Finding> findings = LintContent("src/cluster/foo.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 1), std::vector<std::string>{});
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"raw-mutex"});
+  EXPECT_EQ(RulesAt(findings, 3), std::vector<std::string>{"raw-mutex"});
+  EXPECT_EQ(RulesAt(findings, 4), std::vector<std::string>{"raw-mutex"});
+}
+
+TEST(LintRulesTest, RawMutexIncludeDirectiveFires) {
+  const std::string bad = std::string("#include <") + "mutex>\n";
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", bad), "raw-mutex"));
+  const std::string ok = "#include <atomic>\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", ok), "raw-mutex"));
+}
+
+TEST(LintRulesTest, RawMutexExemptInSyncHeaderAndSuppressible) {
+  const std::string body = std::string("std" "::mutex mu_;\n");
+  EXPECT_FALSE(HasRule(LintContent("src/common/sync.h", body), "raw-mutex"));
+  EXPECT_TRUE(HasRule(LintContent("src/common/other.h", body), "raw-mutex"));
+  const std::string suppressed =
+      std::string("std" "::mutex mu_;  // vlora-lint: allow(raw-mutex)\n");
+  EXPECT_FALSE(HasRule(LintContent("src/common/other.h", suppressed), "raw-mutex"));
+}
+
+TEST(LintRulesTest, RawMutexInCommentDoesNotFire) {
+  const std::string commented = std::string("// prefer vlora::Mutex over ") + "std" "::mutex\n" +
+                                "/* std" "::lock_guard is banned */\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", commented), "raw-mutex"));
+}
+
+TEST(LintRulesTest, StatusClassWithoutNodiscardFires) {
+  const std::string bad = std::string("class ") + "Status {\n public:\n};\n";
+  const std::vector<Finding> findings = LintContent("src/common/s.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 1), std::vector<std::string>{"status-not-nodiscard"});
+
+  const std::string good =
+      std::string("class [[nodiscard]] ") + "Status {\n public:\n};\n";
+  EXPECT_FALSE(HasRule(LintContent("src/common/s.cc", good), "status-not-nodiscard"));
+
+  // Forward declarations carry no attribute and are fine.
+  const std::string fwd = std::string("class ") + "Status;\n";
+  EXPECT_FALSE(HasRule(LintContent("src/common/s.cc", fwd), "status-not-nodiscard"));
+}
+
+TEST(LintRulesTest, ResultClassWithoutNodiscardFires) {
+  const std::string bad =
+      std::string("template <typename T>\nclass ") + "Result {\n};\n";
+  const std::vector<Finding> findings = LintContent("src/common/s.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"status-not-nodiscard"});
+}
+
+TEST(LintRulesTest, SleepFiresOnlyUnderTests) {
+  const std::string body =
+      std::string("std::this_thread::sleep_") + "for(std::chrono::milliseconds(10));\n";
+  EXPECT_TRUE(HasRule(LintContent("tests/foo_test.cc", body), "sleep-in-test"));
+  EXPECT_FALSE(HasRule(LintContent("bench/foo_bench.cc", body), "sleep-in-test"));
+  const std::string suppressed =
+      std::string("std::this_thread::sleep_") + "for(kPaceUs);  " +
+      "// vlora-lint: allow(sleep-in-test)\n";
+  EXPECT_FALSE(HasRule(LintContent("tests/foo_test.cc", suppressed), "sleep-in-test"));
+}
+
+TEST(LintRulesTest, NakedNewFiresButFactoriesAndPlacementDoNot) {
+  const std::string bad = std::string("auto* leak = ") + "new" " Widget();\n";
+  EXPECT_EQ(RulesAt(LintContent("src/a.cc", bad), 1), std::vector<std::string>{"naked-new"});
+
+  const std::string factory = "auto owned = std::make_unique<Widget>();\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", factory), "naked-new"));
+
+  const std::string placement = std::string("::") + "new" " (buffer) Widget();\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", placement), "naked-new"));
+
+  const std::string hyphenated = "const char kRule[] = \"naked-" "new\";\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", hyphenated), "naked-new"));
+}
+
+TEST(LintRulesTest, ThreadDetachFires) {
+  const std::string bad = std::string("worker.") + "detach" "();\n";
+  EXPECT_EQ(RulesAt(LintContent("src/a.cc", bad), 1),
+            std::vector<std::string>{"thread-detach"});
+  const std::string good = "worker.join();\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", good), "thread-detach"));
+}
+
+TEST(LintRulesTest, IncludeGuardAcceptsIfndefOrPragmaOnce) {
+  const std::string unguarded = "int F();\n";
+  const std::vector<Finding> findings = LintContent("src/common/u.h", unguarded);
+  EXPECT_EQ(RulesAt(findings, 1), std::vector<std::string>{"missing-include-guard"});
+
+  const std::string ifndef_guarded =
+      std::string("// comment first\n#ifndef") + " VLORA_U_H_\n#define VLORA_U_H_\nint F();\n#endif\n";
+  EXPECT_FALSE(HasRule(LintContent("src/common/u.h", ifndef_guarded), "missing-include-guard"));
+
+  const std::string pragma_guarded = std::string("#pragma") + " once\nint F();\n";
+  EXPECT_FALSE(HasRule(LintContent("src/common/u.h", pragma_guarded), "missing-include-guard"));
+
+  // Non-headers are exempt.
+  EXPECT_FALSE(HasRule(LintContent("src/common/u.cc", unguarded), "missing-include-guard"));
+}
+
+TEST(LintRulesTest, CleanFileYieldsNoFindings) {
+  const std::string clean =
+      std::string("#ifndef") + " VLORA_CLEAN_H_\n#define VLORA_CLEAN_H_\n" +
+      "#include \"src/common/sync.h\"\n"
+      "namespace vlora {\n"
+      "class Clean {\n"
+      " private:\n"
+      "  Mutex mutex_;\n"
+      "  int value_ VLORA_GUARDED_BY(mutex_) = 0;\n"
+      "};\n"
+      "}  // namespace vlora\n"
+      "#endif\n";
+  EXPECT_TRUE(LintContent("src/common/clean.h", clean).empty());
+}
+
+TEST(LintRulesTest, RuleNamesAreStable) {
+  const std::vector<std::string> names = RuleNames();
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
+}
+
+TEST(LintRulesTest, FormatFindingIsFileLineRuleMessage) {
+  const Finding finding{"raw-mutex", "src/a.cc", 7, "msg"};
+  EXPECT_EQ(FormatFinding(finding), "src/a.cc:7: [raw-mutex] msg");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vlora

@@ -10,6 +10,20 @@
 namespace vlora {
 namespace {
 
+// Negative compile-time test for the thread-safety analysis. Building
+//   clang++ -DVLORA_THREAD_SAFETY=ON ... -DVLORA_EXPECT_TS_ERROR
+// must FAIL: the probe reads a guarded member without holding its mutex,
+// which -Werror=thread-safety rejects. Normal builds never compile this
+// block; it exists so the analysis itself can be smoke-tested (an ON build
+// that accepts it means the annotations are wired up wrong).
+#ifdef VLORA_EXPECT_TS_ERROR
+struct TsNegativeProbe {
+  Mutex mu;
+  int guarded VLORA_GUARDED_BY(mu) = 0;
+  int ReadWithoutLock() { return guarded; }  // thread-safety error here
+};
+#endif
+
 TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.num_threads(), 4);

@@ -1,0 +1,246 @@
+#include "tools/lint_rules.h"
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace vlora {
+namespace lint {
+namespace {
+
+// Rule names and the patterns below are assembled from adjacent string
+// literals so this file does not trip its own rules when the CLI lints the
+// whole tree (the scanner sees `std::" "mutex`, never `std::mutex`).
+
+const char kRawMutex[] = "raw-mutex";
+const char kStatusNodiscard[] = "status-not-nodiscard";
+const char kSleepInTest[] = "sleep-in-test";
+const char kNakedNew[] = "naked-new";
+const char kThreadDetach[] = "thread-detach";
+const char kMissingGuard[] = "missing-include-guard";
+const char kIoError[] = "io-error";
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsSyncHeader(const std::string& path) {
+  return EndsWith(path, "src/common/sync.h") || path == "sync.h";
+}
+
+bool IsTestFile(const std::string& path) {
+  return path.find("tests/") != std::string::npos;
+}
+
+bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
+
+// Strips // and /* */ comments for matching, preserving column positions is
+// unnecessary — rules are line-granular. `in_block` carries /* state across
+// lines. String literals are left in place; the rule patterns are chosen so
+// log-message text does not collide with them.
+std::string StripComments(const std::string& line, bool* in_block) {
+  std::string out;
+  out.reserve(line.size());
+  size_t i = 0;
+  bool in_string = false;
+  char quote = '"';
+  while (i < line.size()) {
+    if (*in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block = false;
+        i += 2;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    const char c = line[i];
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(line[i + 1]);
+        i += 2;
+        continue;
+      }
+      if (c == quote) {
+        in_string = false;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_string = true;
+      quote = c;
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      break;  // rest of line is a comment
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block = true;
+      i += 2;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+bool Suppressed(const std::string& raw_line, const char* rule) {
+  const std::string marker = std::string("vlora-lint: allow(") + rule + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+const std::regex& RawMutexRe() {
+  static const std::regex re(
+      "(std" "::" "(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+      "condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|shared_lock)\\b)"
+      "|(#\\s*include\\s*<(mutex|condition_variable|shared_mutex)>)");
+  return re;
+}
+
+const std::regex& StatusClassRe() {
+  // Opening declaration of the status vocabulary types without [[nodiscard]].
+  // Forward declarations (`class Status;`) are fine.
+  static const std::regex re("\\bclass" "\\s+(Status|Result)\\s*(\\{|$|:)");
+  return re;
+}
+
+const std::regex& SleepRe() {
+  static const std::regex re("\\bsleep_" "(for|until)\\s*\\(");
+  return re;
+}
+
+const std::regex& NakedNewRe() {
+  // `new T...` — placement new (`new (buf) T`) and nothrow new are not
+  // matched (open paren after `new`), nor is the `-new` in hyphenated names.
+  static const std::regex re("(^|[^_A-Za-z0-9.])new" "\\s+[A-Za-z_:][A-Za-z0-9_:<]*");
+  return re;
+}
+
+const std::regex& DetachRe() {
+  static const std::regex re("\\.detach" "\\s*\\(\\s*\\)");
+  return re;
+}
+
+const std::regex& IfndefRe() {
+  static const std::regex re("#\\s*ifndef" "\\s+\\w+");
+  return re;
+}
+
+const std::regex& PragmaOnceRe() {
+  static const std::regex re("#\\s*pragma" "\\s+once\\b");
+  return re;
+}
+
+void CheckLine(const std::string& path, int line_no, const std::string& raw,
+               const std::string& code, std::vector<Finding>* findings) {
+  if (!IsSyncHeader(path) && std::regex_search(code, RawMutexRe()) &&
+      !Suppressed(raw, kRawMutex)) {
+    findings->push_back({kRawMutex, path, line_no,
+                         "raw standard-library mutex primitive; use vlora::Mutex / "
+                         "vlora::MutexLock / vlora::CondVar from src/common/sync.h so the "
+                         "thread-safety annotations see the lock"});
+  }
+  std::smatch m;
+  if (std::regex_search(code, m, StatusClassRe()) &&
+      code.find("nodiscard") == std::string::npos && !Suppressed(raw, kStatusNodiscard)) {
+    findings->push_back({kStatusNodiscard, path, line_no,
+                         "class " + m[1].str() +
+                             " must be declared [[nodiscard]] so ignored error returns "
+                             "fail the build"});
+  }
+  if (IsTestFile(path) && std::regex_search(code, SleepRe()) && !Suppressed(raw, kSleepInTest)) {
+    findings->push_back({kSleepInTest, path, line_no,
+                         "sleeping in a test hides races and slows the suite; wait on a "
+                         "condition (e.g. ClusterServer::WaitForReadmissions) instead"});
+  }
+  if (std::regex_search(code, NakedNewRe()) && !Suppressed(raw, kNakedNew)) {
+    findings->push_back({kNakedNew, path, line_no,
+                         "naked new; use std::make_unique / std::make_shared or a "
+                         "container"});
+  }
+  if (std::regex_search(code, DetachRe()) && !Suppressed(raw, kThreadDetach)) {
+    findings->push_back({kThreadDetach, path, line_no,
+                         "detached threads outlive the state they touch; keep the handle "
+                         "and join it"});
+  }
+}
+
+void CheckIncludeGuard(const std::string& path, const std::vector<std::string>& raw_lines,
+                       std::vector<Finding>* findings) {
+  if (!IsHeader(path)) {
+    return;
+  }
+  bool in_block = false;
+  for (const std::string& raw : raw_lines) {
+    const std::string code = StripComments(raw, &in_block);
+    if (std::regex_search(code, IfndefRe()) || std::regex_search(code, PragmaOnceRe())) {
+      return;  // guarded
+    }
+    // Any other preprocessor directive or code before the guard means the
+    // header is effectively unguarded.
+    std::string trimmed;
+    for (char c : code) {
+      if (!isspace(static_cast<unsigned char>(c))) {
+        trimmed.push_back(c);
+      }
+    }
+    if (!trimmed.empty()) {
+      break;
+    }
+  }
+  if (!raw_lines.empty() && Suppressed(raw_lines[0], kMissingGuard)) {
+    return;
+  }
+  findings->push_back({kMissingGuard, path, 1,
+                       "header has neither an #ifndef include guard nor #pragma once"});
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  return {kRawMutex, kStatusNodiscard, kSleepInTest, kNakedNew, kThreadDetach, kMissingGuard};
+}
+
+std::vector<Finding> LintContent(const std::string& path, const std::string& content) {
+  std::vector<Finding> findings;
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream stream(content);
+    std::string line;
+    while (std::getline(stream, line)) {
+      raw_lines.push_back(line);
+    }
+  }
+  bool in_block = false;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string code = StripComments(raw_lines[i], &in_block);
+    CheckLine(path, static_cast<int>(i) + 1, raw_lines[i], code, &findings);
+  }
+  CheckIncludeGuard(path, raw_lines, &findings);
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    return {{kIoError, path, 0, "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return LintContent(path, buffer.str());
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace vlora

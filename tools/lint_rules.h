@@ -1,0 +1,64 @@
+// Repo-local lint rules behind vlora_lint (see tools/vlora_lint.cc).
+//
+// Each rule is a line-oriented check over one file's text. Rules are pure
+// functions of (path, content) so tests can feed synthetic snippets without
+// touching the filesystem; the CLI layers directory walking on top.
+//
+// Rules:
+//   raw-mutex             std::mutex / std::condition_variable / std::lock_*
+//                         outside src/common/sync.h (use vlora::Mutex, which
+//                         carries the thread-safety annotations)
+//   status-not-nodiscard  class Status / class Result declared without
+//                         [[nodiscard]] (class-level nodiscard is what makes
+//                         every ignored Status return a compile error)
+//   sleep-in-test         sleep_for / sleep_until under tests/ (poll loops
+//                         hide race conditions; use CondVar-backed waits like
+//                         ClusterServer::WaitForReadmissions)
+//   naked-new             `new T` outside a smart-pointer factory
+//   thread-detach         .detach() — detached threads outlive their state
+//   missing-include-guard header with neither an #ifndef guard nor
+//                         #pragma once in its first non-comment lines
+//
+// A finding on line N is suppressed by appending the comment
+//   // vlora-lint: allow(<rule>)
+// to that line. Suppressions are deliberate and visible in review.
+
+#ifndef VLORA_TOOLS_LINT_RULES_H_
+#define VLORA_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace vlora {
+namespace lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;  // 1-based; 0 for whole-file findings
+  std::string message;
+
+  bool operator==(const Finding& o) const {
+    return rule == o.rule && file == o.file && line == o.line;
+  }
+};
+
+// Names of every rule, in report order.
+std::vector<std::string> RuleNames();
+
+// Runs every applicable rule over one file's content. `path` decides
+// applicability (tests/ rules, header rules, the sync.h exemption); it is
+// matched on suffix so absolute and relative paths behave the same.
+std::vector<Finding> LintContent(const std::string& path, const std::string& content);
+
+// Reads `path` and lints it. Missing/unreadable files yield a single
+// "io-error" finding rather than a crash.
+std::vector<Finding> LintFile(const std::string& path);
+
+// One "file:line: [rule] message" line per finding.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace lint
+}  // namespace vlora
+
+#endif  // VLORA_TOOLS_LINT_RULES_H_

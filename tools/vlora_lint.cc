@@ -1,0 +1,67 @@
+// vlora_lint: repo-local static checks that clang/gcc do not cover.
+//
+// Usage: vlora_lint <file-or-dir>...
+//
+// Directories are walked recursively for .h/.cc/.cpp sources; every finding
+// prints as "file:line: [rule] message" and a non-empty report exits 1, so
+// the binary slots straight into ctest / CI. See tools/lint_rules.h for the
+// rule list and the suppression syntax.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+void Collect(const fs::path& root, std::vector<std::string>* files) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end; it.increment(ec)) {
+      if (ec) {
+        break;
+      }
+      if (it->is_regular_file(ec) && IsSourceFile(it->path())) {
+        files->push_back(it->path().generic_string());
+      }
+    }
+  } else {
+    files->push_back(root.generic_string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    Collect(fs::path(argv[i]), &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  int64_t findings_count = 0;
+  for (const std::string& file : files) {
+    for (const vlora::lint::Finding& finding : vlora::lint::LintFile(file)) {
+      std::printf("%s\n", vlora::lint::FormatFinding(finding).c_str());
+      ++findings_count;
+    }
+  }
+  std::printf("vlora_lint: %lld finding(s) in %zu file(s)\n",
+              static_cast<long long>(findings_count), files.size());
+  return findings_count == 0 ? 0 : 1;
+}
