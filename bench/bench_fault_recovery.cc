@@ -81,7 +81,7 @@ void Run() {
 
   // Completion times on the bench clock, recorded from the worker threads.
   Stopwatch pace;
-  vlora::Mutex completions_mutex;
+  vlora::Mutex completions_mutex{vlora::Rank::kLeaf, "bench completions_mutex"};
   std::vector<std::pair<int64_t, double>> completions;  // (id, bench ms)
   cluster.SetCompletionObserver([&](int64_t request_id, double /*cluster_ms*/) {
     const double now_ms = pace.ElapsedMillis();

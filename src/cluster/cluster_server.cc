@@ -87,6 +87,9 @@ double ClusterServer::BackoffMs(int attempts) const {
 }
 
 bool ClusterServer::Submit(EngineRequest request) {
+  if (options_.admission == AdmissionPolicy::kBlock) {
+    VLORA_BLOCKING_REGION(nullptr, "ClusterServer::Submit(kBlock)");
+  }
   const int64_t id = request.id;
   {
     MutexLock lock(&mutex_);
@@ -399,6 +402,7 @@ bool ClusterServer::FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::
 }
 
 std::vector<EngineResult> ClusterServer::Drain() {
+  VLORA_BLOCKING_REGION(nullptr, "ClusterServer::Drain");
   std::vector<EngineResult> results;
   {
     MutexLock lock(&mutex_);

@@ -219,7 +219,10 @@ class ClusterServer {
   std::unique_ptr<ThreadPool> pool_;  // after replicas_: destroyed (joined) first
   Stopwatch clock_;  // deadlines, backoff and health tracking; read-only after ctor
 
-  Mutex mutex_;  // router/placement decisions, pending table, counters
+  // Router/placement decisions, pending table, counters. Top of the lock
+  // hierarchy: held across Replica::Start in EnsureStartedLocked, never
+  // acquired while any lower lock is held.
+  Mutex mutex_{Rank::kCluster, "ClusterServer::mutex_"};
   CondVar drained_cv_;     // pending table emptied
   CondVar supervisor_cv_;  // retry due / stop
   CondVar health_cv_;      // quarantine / readmission / death recorded

@@ -60,6 +60,11 @@ void Replica::Start(ThreadPool* pool) {
 }
 
 EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
+  if (admission_ == AdmissionPolicy::kBlock && !never_block) {
+    // This call may park on space_cv_; a caller holding any real lock here
+    // would stall the whole cluster behind one full queue.
+    VLORA_BLOCKING_REGION(nullptr, "Replica::Enqueue(kBlock)");
+  }
   {
     MutexLock lock(&mutex_);
     if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
@@ -259,6 +264,7 @@ std::vector<EngineRequest> Replica::StealIngress() {
 }
 
 void Replica::WaitDrained() {
+  VLORA_BLOCKING_REGION(nullptr, "Replica::WaitDrained");
   MutexLock lock(&mutex_);
   while (!ingress_.empty() || in_server_ != 0) {
     drained_cv_.Wait(mutex_);

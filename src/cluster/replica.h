@@ -167,7 +167,7 @@ class Replica {
   CompletionHandler on_complete_;
   FailureHandler on_failure_;
 
-  Mutex mutex_;
+  Mutex mutex_{Rank::kReplicaIngress, "Replica::mutex_"};
   CondVar ingress_cv_;  // wakes the worker
   CondVar space_cv_;    // wakes blocked submitters
   CondVar drained_cv_;  // wakes WaitDrained
@@ -187,8 +187,9 @@ class Replica {
   LatencyRecorder latency_ VLORA_GUARDED_BY(mutex_);
 
   // Serialises StepOnce vs Snapshot's server-stats copy. Lock order: always
-  // taken before mutex_ (Snapshot), never the other way around.
-  Mutex step_mutex_ VLORA_ACQUIRED_BEFORE(mutex_);
+  // taken before mutex_ (Snapshot), never the other way around — the rank
+  // (kReplicaStep > kReplicaIngress) enforces it at runtime in debug builds.
+  Mutex step_mutex_ VLORA_ACQUIRED_BEFORE(mutex_){Rank::kReplicaStep, "Replica::step_mutex_"};
 
   std::atomic<int64_t> depth_{0};
   std::atomic<bool> dead_{false};

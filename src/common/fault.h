@@ -132,7 +132,7 @@ class FaultInjector {
 
   const uint64_t seed_;
   Stopwatch clock_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{Rank::kLeaf, "FaultInjector::mutex_"};
   CondVar gate_cv_;
   bool gated_ VLORA_GUARDED_BY(mutex_) = false;
   double request_failure_prob_ VLORA_GUARDED_BY(mutex_) = 0.0;

@@ -10,7 +10,9 @@ namespace vlora {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-Mutex g_emit_mutex;  // serialises stderr writes so lines never interleave
+// Serialises stderr writes so lines never interleave. kLogging ranks below
+// everything: any thread may log while holding any lock.
+Mutex g_emit_mutex{Rank::kLogging, "g_emit_mutex"};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {

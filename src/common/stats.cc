@@ -46,8 +46,14 @@ double SampleStats::StdDev() const {
 }
 
 double SampleStats::Percentile(double p) const {
-  VLORA_CHECK(!samples_.empty());
-  VLORA_CHECK(p >= 0.0 && p <= 100.0);
+  // Degenerate inputs answer rather than abort: percentiles are printed from
+  // serving stats that may not have seen traffic yet (empty -> 0), and a
+  // single sample / all-equal distribution IS its own percentile — there is
+  // nothing to interpolate. Out-of-range p clamps to the nearest bound.
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) {

@@ -27,7 +27,9 @@ class SampleStats {
   double Max() const;
   // Population standard deviation.
   double StdDev() const;
-  // Linear-interpolated percentile; p in [0, 100].
+  // Linear-interpolated percentile; p clamps into [0, 100]. Degenerate
+  // distributions are well-defined: empty -> 0, a single sample -> that
+  // sample (for every p), all-equal samples -> the common value.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 

@@ -63,6 +63,7 @@ void ThreadPool::Post(std::function<void()> fn) {
 }
 
 void ThreadPool::WaitIdle() {
+  VLORA_BLOCKING_REGION(nullptr, "ThreadPool::WaitIdle");
   MutexLock lock(&mutex_);
   while (in_flight_ != 0) {
     done_cv_.Wait(mutex_);
@@ -72,6 +73,7 @@ void ThreadPool::WaitIdle() {
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t)>& fn) {
   VLORA_CHECK(begin <= end);
+  VLORA_BLOCKING_REGION(nullptr, "ThreadPool::ParallelFor");
   if (begin == end) {
     return;
   }

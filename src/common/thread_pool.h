@@ -48,7 +48,7 @@ class ThreadPool {
   void WorkerLoop() VLORA_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{Rank::kPool, "ThreadPool::mutex_"};
   CondVar work_cv_;  // wakes workers: new task or shutdown
   CondVar done_cv_;  // wakes waiters: in_flight_ hit zero
   std::queue<std::function<void()>> tasks_ VLORA_GUARDED_BY(mutex_);

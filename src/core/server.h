@@ -105,7 +105,7 @@ class VloraServer {
   UnifiedMemoryPool pool_;
   AdapterManager adapter_manager_;
   std::vector<std::unique_ptr<LoraAdapter>> adapters_;
-  Mutex submit_mutex_;
+  Mutex submit_mutex_{Rank::kServerStage, "VloraServer::submit_mutex_"};
   std::vector<EngineRequest> staged_ VLORA_GUARDED_BY(submit_mutex_);
   std::atomic<int64_t> queue_depth_{0};
   std::unordered_map<int64_t, double> submit_ms_;        // id -> logical enqueue time

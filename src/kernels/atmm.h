@@ -87,7 +87,7 @@ class AtmmDispatcher {
   static constexpr int64_t kMStep = 32;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{Rank::kLeaf, "AtmmDispatcher::mutex_"};
   std::unordered_map<ShapeKey, TileConfig, ShapeKeyHash> table_ VLORA_GUARDED_BY(mutex_);
   GemmWorkspace workspace_;  // execution-thread-only; see class comment
 };

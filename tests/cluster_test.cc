@@ -16,7 +16,7 @@ namespace {
 // never takes it.
 #ifdef VLORA_EXPECT_TS_ERROR
 struct TsRequiresProbe {
-  Mutex mu;
+  Mutex mu{Rank::kLeaf, "TsRequiresProbe::mu"};
   int state VLORA_GUARDED_BY(mu) = 0;
   void TouchLocked() VLORA_REQUIRES(mu) { ++state; }
   void CallWithoutLock() { TouchLocked(); }  // thread-safety error here

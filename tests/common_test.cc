@@ -215,6 +215,57 @@ TEST(SampleStatsTest, SingleSample) {
   EXPECT_DOUBLE_EQ(stats.StdDev(), 0.0);
 }
 
+TEST(SampleStatsTest, EmptyPercentileIsZero) {
+  SampleStats stats;
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Median(), 0.0);
+}
+
+TEST(SampleStatsTest, SingleSampleAnswersEveryPercentile) {
+  SampleStats stats;
+  stats.Add(42.5);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 42.5);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 42.5);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100.0), 42.5);
+}
+
+TEST(SampleStatsTest, AllEqualSamplesReturnTheCommonValue) {
+  SampleStats stats;
+  for (int i = 0; i < 8; ++i) {
+    stats.Add(3.25);
+  }
+  EXPECT_DOUBLE_EQ(stats.Percentile(1.0), 3.25);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 3.25);
+  EXPECT_DOUBLE_EQ(stats.Percentile(99.0), 3.25);
+}
+
+TEST(SampleStatsTest, OutOfRangePercentileClamps) {
+  SampleStats stats;
+  stats.Add(1.0);
+  stats.Add(9.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(250.0), 9.0);
+}
+
+TEST(LatencyRecorderTest, EmptyRecorderReportsZeros) {
+  LatencyRecorder recorder;
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_DOUBLE_EQ(recorder.MeanMs(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.MaxMs(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.P50Ms(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.P95Ms(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.P99Ms(), 0.0);
+}
+
+TEST(LatencyRecorderTest, SingleRecordDefinesAllPercentiles) {
+  LatencyRecorder recorder;
+  recorder.Record(12.0);
+  EXPECT_DOUBLE_EQ(recorder.P50Ms(), 12.0);
+  EXPECT_DOUBLE_EQ(recorder.P95Ms(), 12.0);
+  EXPECT_DOUBLE_EQ(recorder.P99Ms(), 12.0);
+}
+
 TEST(HistogramTest, BinsAndClamping) {
   Histogram hist(0.0, 10.0, 5);
   hist.Add(0.5);   // bin 0

@@ -151,11 +151,85 @@ TEST(LintRulesTest, CleanFileYieldsNoFindings) {
   EXPECT_TRUE(LintContent("src/common/clean.h", clean).empty());
 }
 
+TEST(LintRulesTest, MutexLockTemporaryFires) {
+  const std::string bad = std::string("Mutex" "Lock(&mu_);\n");
+  EXPECT_EQ(RulesAt(LintContent("src/a.cc", bad), 1),
+            std::vector<std::string>{"mutexlock-temporary"});
+
+  const std::string qualified = std::string("vlora::Mutex" "Lock(&mu_);\n");
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", qualified), "mutexlock-temporary"));
+
+  const std::string named = std::string("Mutex" "Lock lock(&mu_);\n");
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", named), "mutexlock-temporary"));
+
+  const std::string dtor = std::string("  ~Mutex" "Lock() { mu_->Unlock(); }\n");
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", dtor), "mutexlock-temporary"));
+
+  // The class's own declaration lives in sync.h, which is exempt.
+  const std::string decl = std::string("  explicit Mutex" "Lock(Mutex* mu) : mu_(mu) {}\n");
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", decl), "mutexlock-temporary"));
+  EXPECT_FALSE(HasRule(LintContent("src/common/sync.h", decl), "mutexlock-temporary"));
+
+  const std::string suppressed =
+      std::string("Mutex" "Lock(&mu_);  // vlora-lint: allow(mutexlock-temporary)\n");
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", suppressed), "mutexlock-temporary"));
+}
+
+TEST(LintRulesTest, StatusSwitchMissingCasesWithoutDefaultFires) {
+  const std::string bad = std::string("void F(Status s) {\n") +
+                          "  " "switch" " (s.code()) {\n" +
+                          "    " "case Status" "Code::kOk:\n" +
+                          "      return;\n" +
+                          "    " "case Status" "Code::kNotFound:\n" +
+                          "      return;\n" +
+                          "  }\n" +
+                          "}\n";
+  const std::vector<Finding> findings = LintContent("src/a.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"status-switch-exhaustive"});
+}
+
+TEST(LintRulesTest, StatusSwitchWithDefaultIsQuiet) {
+  const std::string good = std::string("void F(Status s) {\n") +
+                           "  " "switch" " (s.code()) {\n" +
+                           "    " "case Status" "Code::kOk:\n" +
+                           "      return;\n" +
+                           "    default:\n" +
+                           "      return;\n" +
+                           "  }\n" +
+                           "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", good), "status-switch-exhaustive"));
+}
+
+TEST(LintRulesTest, StatusSwitchCoveringEveryEnumeratorIsQuiet) {
+  std::string good = std::string("void F(Status s) {\n") + "  " "switch" " (s.code()) {\n";
+  for (const char* name :
+       {"kOk", "kInvalidArgument", "kNotFound", "kResourceExhausted", "kFailedPrecondition",
+        "kOutOfRange", "kUnimplemented", "kInternal", "kCancelled", "kDeadlineExceeded",
+        "kUnavailable"}) {
+    good += std::string("    ") + "case Status" "Code::" + name + ":\n      break;\n";
+  }
+  good += "  }\n}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", good), "status-switch-exhaustive"));
+}
+
+TEST(LintRulesTest, NonStatusSwitchIsIgnoredAndSuppressionWorks) {
+  const std::string other = std::string("switch" " (kind) {\n") +
+                            "  case Kind::kA:\n    break;\n}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", other), "status-switch-exhaustive"));
+
+  const std::string suppressed =
+      std::string("switch" " (s.code()) {  // vlora-lint: allow(status-switch-exhaustive)\n") +
+      "  " "case Status" "Code::kOk:\n    break;\n}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", suppressed), "status-switch-exhaustive"));
+}
+
 TEST(LintRulesTest, RuleNamesAreStable) {
   const std::vector<std::string> names = RuleNames();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 8u);
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mutexlock-temporary"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "status-switch-exhaustive"), names.end());
 }
 
 TEST(LintRulesTest, FormatFindingIsFileLineRuleMessage) {

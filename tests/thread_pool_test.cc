@@ -18,7 +18,7 @@ namespace {
 // that accepts it means the annotations are wired up wrong).
 #ifdef VLORA_EXPECT_TS_ERROR
 struct TsNegativeProbe {
-  Mutex mu;
+  Mutex mu{Rank::kLeaf, "TsNegativeProbe::mu"};
   int guarded VLORA_GUARDED_BY(mu) = 0;
   int ReadWithoutLock() { return guarded; }  // thread-safety error here
 };

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <regex>
+#include <set>
 #include <sstream>
 
 namespace vlora {
@@ -18,6 +19,8 @@ const char kSleepInTest[] = "sleep-in-test";
 const char kNakedNew[] = "naked-new";
 const char kThreadDetach[] = "thread-detach";
 const char kMissingGuard[] = "missing-include-guard";
+const char kMutexLockTemporary[] = "mutexlock-temporary";
+const char kStatusSwitch[] = "status-switch-exhaustive";
 const char kIoError[] = "io-error";
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -33,6 +36,8 @@ bool IsTestFile(const std::string& path) {
 }
 
 bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
+
+}  // namespace
 
 // Strips // and /* */ comments for matching, preserving column positions is
 // unnecessary — rules are line-granular. `in_block` carries /* state across
@@ -89,6 +94,8 @@ std::string StripComments(const std::string& line, bool* in_block) {
   return out;
 }
 
+namespace {
+
 bool Suppressed(const std::string& raw_line, const char* rule) {
   const std::string marker = std::string("vlora-lint: allow(") + rule + ")";
   return raw_line.find(marker) != std::string::npos;
@@ -125,6 +132,39 @@ const std::regex& DetachRe() {
   static const std::regex re("\\.detach" "\\s*\\(\\s*\\)");
   return re;
 }
+
+const std::regex& MutexLockTempRe() {
+  // `MutexLock(mu);` — an unnamed temporary that unlocks again before the
+  // next statement. A named guard (`MutexLock lock(&mu);`) has an identifier
+  // between the type and the paren and does not match; `~MutexLock()` and
+  // member access are excluded by the leading character class.
+  static const std::regex re("(^|[^_A-Za-z0-9~.])Mutex" "Lock\\s*\\(");
+  return re;
+}
+
+const std::regex& SwitchRe() {
+  static const std::regex re("\\bswitch" "\\s*\\(");
+  return re;
+}
+
+const std::regex& CaseStatusCodeRe() {
+  static const std::regex re("\\bcase" "\\s+(?:vlora::)?Status" "Code::(k\\w+)");
+  return re;
+}
+
+const std::regex& DefaultLabelRe() {
+  static const std::regex re("\\bdefault" "\\s*:");
+  return re;
+}
+
+// Every StatusCode enumerator; must track src/common/status.h. If status.h
+// grows a code missing from this list, the exhaustive switches there (which
+// deliberately have no default) start failing this rule — the failure message
+// names the list to update.
+const char* const kStatusCodeNames[] = {
+    "kOk",          "kInvalidArgument",   "kNotFound", "kResourceExhausted",
+    "kFailedPrecondition", "kOutOfRange", "kUnimplemented", "kInternal",
+    "kCancelled",   "kDeadlineExceeded",  "kUnavailable"};
 
 const std::regex& IfndefRe() {
   static const std::regex re("#\\s*ifndef" "\\s+\\w+");
@@ -168,6 +208,99 @@ void CheckLine(const std::string& path, int line_no, const std::string& raw,
                          "detached threads outlive the state they touch; keep the handle "
                          "and join it"});
   }
+  if (!IsSyncHeader(path) && std::regex_search(code, MutexLockTempRe()) &&
+      !Suppressed(raw, kMutexLockTemporary)) {
+    findings->push_back({kMutexLockTemporary, path, line_no,
+                         "Mutex" "Lock temporary unlocks at the end of this statement and "
+                         "guards nothing; name it: Mutex" "Lock lock(&mu)"});
+  }
+}
+
+// Flags `switch` statements over StatusCode that neither cover every
+// enumerator nor carry a default. Operates on the comment-stripped lines so a
+// commented-out case label cannot satisfy the check. The body is found by
+// balancing parens from the switch condition and then braces; heuristic, but
+// switches in this tree are plain statements, not macro soup.
+void CheckStatusSwitches(const std::string& path, const std::vector<std::string>& raw_lines,
+                         const std::vector<std::string>& code_lines,
+                         std::vector<Finding>* findings) {
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(code_lines[i], m, SwitchRe())) {
+      continue;
+    }
+    // Walk forward from just after "switch (": first balance the condition
+    // parens, then capture the brace-balanced body.
+    size_t line = i;
+    size_t col = static_cast<size_t>(m.position(0) + m.length(0));
+    int paren_depth = 1;
+    int brace_depth = 0;
+    bool in_body = false;
+    std::string body;
+    while (line < code_lines.size()) {
+      const std::string& text = code_lines[line];
+      for (; col < text.size(); ++col) {
+        const char c = text[col];
+        if (!in_body) {
+          if (c == '(') {
+            ++paren_depth;
+          } else if (c == ')') {
+            --paren_depth;
+          } else if (c == '{' && paren_depth == 0) {
+            in_body = true;
+            brace_depth = 1;
+          }
+          continue;
+        }
+        if (c == '{') {
+          ++brace_depth;
+        } else if (c == '}') {
+          if (--brace_depth == 0) {
+            break;
+          }
+        }
+        body.push_back(c);
+      }
+      if (in_body && brace_depth == 0) {
+        break;
+      }
+      body.push_back('\n');
+      ++line;
+      col = 0;
+    }
+    std::set<std::string> covered;
+    for (std::sregex_iterator it(body.begin(), body.end(), CaseStatusCodeRe()), end;
+         it != end; ++it) {
+      covered.insert((*it)[1].str());
+    }
+    if (covered.empty()) {
+      continue;  // not a StatusCode switch
+    }
+    if (std::regex_search(body, DefaultLabelRe())) {
+      continue;
+    }
+    std::vector<std::string> missing;
+    for (const char* name : kStatusCodeNames) {
+      if (covered.count(name) == 0) {
+        missing.push_back(name);
+      }
+    }
+    if (missing.empty()) {
+      continue;  // exhaustive without default: fine, the compiler warns on new codes
+    }
+    if (Suppressed(raw_lines[i], kStatusSwitch)) {
+      continue;
+    }
+    std::string msg = "switch over Status" "Code has no default and misses ";
+    for (size_t k = 0; k < missing.size(); ++k) {
+      if (k > 0) {
+        msg += ", ";
+      }
+      msg += missing[k];
+    }
+    msg += "; add the missing cases or a default (enumerator list: tools/lint_rules.cc)";
+    findings->push_back({kStatusSwitch, path, static_cast<int>(i) + 1, msg});
+  }
 }
 
 void CheckIncludeGuard(const std::string& path, const std::vector<std::string>& raw_lines,
@@ -203,7 +336,9 @@ void CheckIncludeGuard(const std::string& path, const std::vector<std::string>& 
 }  // namespace
 
 std::vector<std::string> RuleNames() {
-  return {kRawMutex, kStatusNodiscard, kSleepInTest, kNakedNew, kThreadDetach, kMissingGuard};
+  return {kRawMutex,      kStatusNodiscard,     kSleepInTest,
+          kNakedNew,      kThreadDetach,        kMissingGuard,
+          kMutexLockTemporary, kStatusSwitch};
 }
 
 std::vector<Finding> LintContent(const std::string& path, const std::string& content) {
@@ -216,11 +351,16 @@ std::vector<Finding> LintContent(const std::string& path, const std::string& con
       raw_lines.push_back(line);
     }
   }
+  std::vector<std::string> code_lines;
+  code_lines.reserve(raw_lines.size());
   bool in_block = false;
-  for (size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string code = StripComments(raw_lines[i], &in_block);
-    CheckLine(path, static_cast<int>(i) + 1, raw_lines[i], code, &findings);
+  for (const std::string& raw : raw_lines) {
+    code_lines.push_back(StripComments(raw, &in_block));
   }
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    CheckLine(path, static_cast<int>(i) + 1, raw_lines[i], code_lines[i], &findings);
+  }
+  CheckStatusSwitches(path, raw_lines, code_lines, &findings);
   CheckIncludeGuard(path, raw_lines, &findings);
   return findings;
 }

@@ -18,6 +18,13 @@
 //   thread-detach         .detach() — detached threads outlive their state
 //   missing-include-guard header with neither an #ifndef guard nor
 //                         #pragma once in its first non-comment lines
+//   mutexlock-temporary   MutexLock constructed as an unnamed temporary
+//                         (`MutexLock(mu);`) — it unlocks at the end of the
+//                         statement, guarding nothing
+//   status-switch-exhaustive
+//                         switch over StatusCode that neither covers every
+//                         enumerator nor has a default: new codes would fall
+//                         through silently
 //
 // A finding on line N is suppressed by appending the comment
 //   // vlora-lint: allow(<rule>)
@@ -57,6 +64,11 @@ std::vector<Finding> LintFile(const std::string& path);
 
 // One "file:line: [rule] message" line per finding.
 std::string FormatFinding(const Finding& finding);
+
+// Strips // and /* */ comment text from one line of C++; `in_block` carries
+// the /* state across lines, string literals are preserved. Shared with the
+// lock-order pass (tools/lock_order.cc) so both layers see the same code.
+std::string StripComments(const std::string& line, bool* in_block);
 
 }  // namespace lint
 }  // namespace vlora

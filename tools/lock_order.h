@@ -1,0 +1,77 @@
+// Whole-tree lock-order analysis behind vlora_lint --lock-order.
+//
+// Unlike the per-line rules in lint_rules.h this is a file-graph pass: it
+// parses every ranked vlora::Mutex declaration, the REQUIRES / ACQUIRE /
+// EXCLUDES thread-safety annotations, and the MutexLock nesting inside .cc
+// function bodies, then checks that every implied acquisition edge strictly
+// decreases in rank. Because the declared ranks are a total order, rank
+// consistency is exactly the DAG property — any violating edge is reported
+// together with the conflicting chain that closes the cycle when one exists.
+//
+// The canonical hierarchy lives in tools/lock_hierarchy.toml, which is also
+// what DESIGN.md §9 documents and what the runtime checker in
+// src/common/sync.h enforces in VLORA_LOCK_RANK_CHECKS builds. This pass
+// cross-checks all three views:
+//
+//   lock-order          an acquisition edge that does not strictly decrease
+//                       in rank (same rank counts: two same-rank locks taken
+//                       in opposite orders by two threads deadlock)
+//   lock-decl-mismatch  a Mutex declaration whose rank disagrees with the
+//                       [locks] table, a ranked lock missing from the table,
+//                       or a stale table entry with no declaration behind it
+//   lock-unranked       a Mutex under src/ declared without a Rank
+//   rank-enum-drift     enum class Rank in sync.h and [ranks] diverged
+//
+// The analysis is a heuristic over comment-stripped source (no real C++
+// parse): lambda bodies are analysed as separate contexts with an empty held
+// set (they run on other threads), and call edges are only created when the
+// callee resolves confidently (same class, a typed member / local receiver,
+// or a method name defined by exactly one class). Unresolved calls are
+// skipped, trading recall for zero false positives.
+
+#ifndef VLORA_TOOLS_LOCK_ORDER_H_
+#define VLORA_TOOLS_LOCK_ORDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace vlora {
+namespace lint {
+
+struct LockHierarchy {
+  // Rank name -> numeric value, e.g. "kCluster" -> 60.
+  std::map<std::string, int> ranks;
+  // Qualified lock name -> rank name, e.g. "Replica::mutex_" -> "kReplicaIngress".
+  std::map<std::string, std::string> locks;
+};
+
+// Parses the minimal TOML subset used by tools/lock_hierarchy.toml:
+// [section] headers, `key = value` with optionally quoted keys and values,
+// integer or string values, and # comments. Returns false and fills *error
+// on malformed input or on a lock referencing an undeclared rank.
+bool ParseLockHierarchy(const std::string& content, LockHierarchy* out, std::string* error);
+
+// A source file handed to the analysis; `path` decides applicability the same
+// way LintContent does, so tests can feed synthetic trees.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// Runs the lock-order analysis over the given files against the hierarchy.
+std::vector<Finding> CheckLockOrder(const LockHierarchy& hierarchy,
+                                    const std::vector<SourceFile>& files);
+
+// Filesystem wrapper: loads `toml_path`, recursively collects .h/.cc/.cpp
+// files under each root, and runs CheckLockOrder. IO problems surface as
+// io-error findings instead of crashes.
+std::vector<Finding> CheckLockOrderOverTree(const std::string& toml_path,
+                                            const std::vector<std::string>& roots);
+
+}  // namespace lint
+}  // namespace vlora
+
+#endif  // VLORA_TOOLS_LOCK_ORDER_H_

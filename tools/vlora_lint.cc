@@ -1,11 +1,14 @@
 // vlora_lint: repo-local static checks that clang/gcc do not cover.
 //
 // Usage: vlora_lint <file-or-dir>...
+//        vlora_lint --lock-order <hierarchy.toml> <file-or-dir>...
 //
-// Directories are walked recursively for .h/.cc/.cpp sources; every finding
-// prints as "file:line: [rule] message" and a non-empty report exits 1, so
-// the binary slots straight into ctest / CI. See tools/lint_rules.h for the
-// rule list and the suppression syntax.
+// The first form runs the per-line rules (tools/lint_rules.h). The second
+// runs the whole-tree lock-order pass (tools/lock_order.h) against the
+// canonical hierarchy in tools/lock_hierarchy.toml. Directories are walked
+// recursively for .h/.cc/.cpp sources; every finding prints as
+// "file:line: [rule] message" and a non-empty report exits 1, so the binary
+// slots straight into ctest / CI.
 
 #include <algorithm>
 #include <cstdio>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "tools/lint_rules.h"
+#include "tools/lock_order.h"
 
 namespace fs = std::filesystem;
 
@@ -44,8 +48,29 @@ void Collect(const fs::path& root, std::vector<std::string>* files) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <file-or-dir>...\n"
+                 "       %s --lock-order <hierarchy.toml> <file-or-dir>...\n",
+                 argv[0], argv[0]);
     return 2;
+  }
+  if (std::string(argv[1]) == "--lock-order") {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: %s --lock-order <hierarchy.toml> <file-or-dir>...\n",
+                   argv[0]);
+      return 2;
+    }
+    std::vector<std::string> roots;
+    for (int i = 3; i < argc; ++i) {
+      roots.push_back(argv[i]);
+    }
+    const std::vector<vlora::lint::Finding> findings =
+        vlora::lint::CheckLockOrderOverTree(argv[2], roots);
+    for (const vlora::lint::Finding& finding : findings) {
+      std::printf("%s\n", vlora::lint::FormatFinding(finding).c_str());
+    }
+    std::printf("vlora_lint: lock-order: %zu finding(s)\n", findings.size());
+    return findings.empty() ? 0 : 1;
   }
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
