@@ -115,6 +115,23 @@ void Run() {
       "Shape check: sustained throughput tracks offered load as replicas scale; "
       "adapter-affinity reports the fewest swap-ins because home replicas keep their "
       "placement resident.\n");
+
+  // --- Experiment 4: one traced run — request spans and a Chrome trace. ----
+  // RunClusterTrace destroys its cluster before returning, so the collected
+  // stream is complete and quiescent.
+  trace::TraceOptions trace_options_ring;
+  trace_options_ring.ring_capacity = int64_t{1} << 17;
+  trace::TraceSession trace_session(trace_options_ring);
+  {
+    bench::ClusterRunConfig run;
+    run.num_replicas = 4;
+    run.policy = RoutePolicy::kAdapterAffinity;
+    run.num_adapters = saturating.num_adapters;
+    (void)bench::RunClusterTrace(config, trace, run);
+  }
+  trace_session.Stop();
+  bench::PrintTraceArtifacts(trace_session.Collect(), "bench_cluster_scaling.trace.json",
+                             trace_session.dropped_events());
 }
 
 }  // namespace

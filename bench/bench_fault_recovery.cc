@@ -20,6 +20,7 @@
 #include "src/cluster/cluster_server.h"
 #include "src/common/fault.h"
 #include "src/common/sync.h"
+#include "src/common/trace.h"
 
 namespace vlora {
 namespace {
@@ -37,6 +38,11 @@ void Run() {
   bench::PrintHeader("Fault recovery — kill 1 of 4 replicas mid-run",
                      "not covered (healthy fleet assumed); serving-layer recovery property");
   const ModelConfig config = TinyConfig();
+  // Kernel-dispatch events dominate at this request volume; a deeper ring
+  // keeps the whole run in the artifact instead of just the tail.
+  trace::TraceOptions trace_options_ring;
+  trace_options_ring.ring_capacity = int64_t{1} << 17;
+  trace::TraceSession trace_session(trace_options_ring);
 
   TraceOptions trace_options;
   trace_options.app = AppKind::kVisualRetrieval;
@@ -182,6 +188,16 @@ void Run() {
                                               1)});
   }
   timeline.Print("Completion timeline (250 ms bins)");
+
+  // --- Trace artifacts: spans, Chrome JSON, metrics. -----------------------
+  // Shut the cluster down first so every worker/supervisor emitter has
+  // quiesced and the collected stream contains the whole run — including the
+  // victim's last BatchStepEnd, the fail-over Retries and the re-routed
+  // completions.
+  cluster.Shutdown();
+  trace_session.Stop();
+  bench::PrintTraceArtifacts(trace_session.Collect(), "bench_fault_recovery.trace.json",
+                             trace_session.dropped_events());
 
   // --- Summary against the acceptance bar. ---------------------------------
   const double completion_rate =

@@ -1,0 +1,98 @@
+// Trace-overhead guard: the tracer's hot path must stay cheap enough that it
+// can be left on in production. Runs the same deterministic single-threaded
+// engine workload with tracing off and on, takes the min of several
+// interleaved repetitions (min-of-k rejects scheduler noise in both
+// directions equally), and FAILS (exit 1) if tracing-on costs more than 5%.
+// scripts/verify.sh and CI run this as a gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/common/trace.h"
+#include "src/core/server.h"
+
+namespace vlora {
+namespace {
+
+EngineRequest MakeRequest(int64_t id, int adapter, int prompt_len) {
+  EngineRequest request;
+  request.id = id;
+  request.adapter_id = adapter;
+  for (int i = 0; i < prompt_len; ++i) {
+    request.prompt_tokens.push_back(2 + (i % 50));
+  }
+  request.max_new_tokens = 3;
+  request.eos_token = -1;
+  return request;
+}
+
+// One full serve of a fixed request set; batch steps and kernel dispatches
+// are exactly the instrumented paths.
+double RunWorkloadMs(const ModelConfig& config, int num_requests) {
+  VloraServer server(config);
+  Rng rng(23);
+  server.AddAdapter(std::make_unique<LoraAdapter>(
+      LoraAdapter::Random("overhead-a", config.num_layers, config.d_model, 4, rng)));
+  server.AddAdapter(std::make_unique<LoraAdapter>(
+      LoraAdapter::Random("overhead-b", config.num_layers, config.d_model, 4, rng)));
+  for (int64_t id = 0; id < num_requests; ++id) {
+    server.Submit(MakeRequest(id, static_cast<int>(id % 2), 8 + static_cast<int>(id % 5)));
+  }
+  Stopwatch timer;
+  const std::vector<EngineResult> results = server.RunAll();
+  const double elapsed_ms = timer.ElapsedMillis();
+  VLORA_CHECK(static_cast<int>(results.size()) == num_requests);
+  return elapsed_ms;
+}
+
+int Run() {
+  bench::PrintHeader("Trace overhead guard — tracing on vs off",
+                     "not covered; engineering budget: <= 5% overhead with tracing enabled");
+  const ModelConfig config = TinyConfig();
+  const int kRequests = 24;
+  const int kRepetitions = 7;
+
+  // Warm-up run (page-in, allocator steady state) before any timing.
+  (void)RunWorkloadMs(config, kRequests);
+
+  double best_off_ms = 0.0;
+  double best_on_ms = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    // Interleave off/on so drift (thermal, frequency) hits both arms alike.
+    const double off_ms = RunWorkloadMs(config, kRequests);
+    double on_ms = 0.0;
+    {
+      trace::TraceSession session;
+      on_ms = RunWorkloadMs(config, kRequests);
+    }
+    best_off_ms = rep == 0 ? off_ms : std::min(best_off_ms, off_ms);
+    best_on_ms = rep == 0 ? on_ms : std::min(best_on_ms, on_ms);
+  }
+
+  const double overhead_pct = 100.0 * (best_on_ms - best_off_ms) / best_off_ms;
+  AsciiTable table({"config", "best ms", "overhead"});
+  table.AddRow({"tracing off", AsciiTable::FormatDouble(best_off_ms, 3), "-"});
+  table.AddRow({"tracing on", AsciiTable::FormatDouble(best_on_ms, 3),
+                AsciiTable::FormatDouble(overhead_pct, 2) + "%"});
+  table.Print("Min-of-" + std::to_string(kRepetitions) + " interleaved runs, " +
+              std::to_string(kRequests) + " requests each");
+
+  const double kBudgetPct = 5.0;
+  if (overhead_pct > kBudgetPct) {
+    std::printf("FAIL: tracing-on overhead %.2f%% exceeds the %.1f%% budget\n", overhead_pct,
+                kBudgetPct);
+    return 1;
+  }
+  std::printf("OK: tracing-on overhead %.2f%% within the %.1f%% budget\n", overhead_pct,
+              kBudgetPct);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vlora
+
+int main() { return vlora::Run(); }

@@ -14,6 +14,7 @@
 
 #include "src/baselines/policies.h"
 #include "src/common/table.h"
+#include "src/common/trace.h"
 #include "src/core/scheduler.h"
 #include "src/gpusim/simulator.h"
 #include "src/workload/trace_gen.h"
@@ -58,6 +59,41 @@ inline double PercentReduction(double ours, double baseline) {
     return 0.0;
   }
   return 100.0 * (baseline - ours) / baseline;
+}
+
+// Prints the observability artifacts of a traced run: the per-request span
+// table (slowest first), a chrome://tracing-loadable JSON file, and the
+// process-wide metrics snapshot. Call after the traced cluster/server has
+// shut down so the collected stream is complete.
+inline void PrintTraceArtifacts(const std::vector<trace::TraceEvent>& events,
+                                const std::string& json_path, int64_t dropped_events = 0,
+                                size_t max_rows = 12) {
+  if (dropped_events > 0) {
+    std::printf("trace: ring wrapped, %lld oldest events dropped — raise "
+                "TraceOptions::ring_capacity for a complete artifact\n",
+                static_cast<long long>(dropped_events));
+  }
+  const std::vector<trace::RequestSpan> spans = trace::BuildRequestSpans(events);
+  trace::RequestSpanTable(spans, max_rows).Print("Per-request spans (slowest first)");
+  if (trace::WriteChromeTraceFile(events, json_path)) {
+    std::string json = trace::ChromeTraceJson(events);
+    int64_t exported = 0;
+    const bool valid = trace::ValidateChromeTraceJson(json, &exported);
+    std::printf("trace: %zu events -> %s (%lld records, %s); load via chrome://tracing\n",
+                events.size(), json_path.c_str(), static_cast<long long>(exported),
+                valid ? "valid JSON" : "INVALID JSON");
+  } else {
+    std::printf("trace: failed to write %s\n", json_path.c_str());
+  }
+  const MetricsRegistry::Snapshot snapshot = MetricsRegistry::Global().Snap();
+  AsciiTable metrics({"metric", "value"});
+  for (const auto& [name, value] : snapshot.counters) {
+    metrics.AddRow({name, std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    metrics.AddRow({name, AsciiTable::FormatDouble(value, 3)});
+  }
+  metrics.Print("Metrics registry snapshot");
 }
 
 }  // namespace bench

@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test)
+CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test trace_test)
 
 STAGE_NAMES=()
 STAGE_RESULTS=()
@@ -26,6 +26,10 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 record "tier-1 build+tests" "pass"
+
+echo "=== trace-overhead guard (fails above 5%) ==="
+./build/bench/bench_trace_overhead
+record "trace-overhead guard" "pass"
 
 if [[ "${SKIP_STATIC:-0}" != "1" ]]; then
   echo "=== static-analysis: vlora_lint ==="

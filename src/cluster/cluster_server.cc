@@ -7,6 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 
 namespace vlora {
 
@@ -102,6 +103,9 @@ bool ClusterServer::Submit(EngineRequest request) {
     const bool inserted = pending_.emplace(id, std::move(pending)).second;
     VLORA_CHECK(inserted);  // recovery tracking needs unique request ids
   }
+  trace::EmitRequestAdmitted(id, request.adapter_id);
+  static Counter* const submitted = MetricsRegistry::Global().counter("cluster.submitted");
+  submitted->Increment();
   const RouteOutcome outcome =
       RouteAndEnqueue(std::move(request), /*blocking=*/true, /*count_affinity=*/true);
   if (outcome == RouteOutcome::kAccepted) {
@@ -136,6 +140,8 @@ ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request
   std::vector<char> tried(static_cast<size_t>(num_replicas()), 0);
   for (int round = 0; round < num_replicas(); ++round) {
     int target = -1;
+    bool affinity_hit = false;
+    bool spilled = false;
     {
       MutexLock lock(&mutex_);
       std::vector<int64_t> depths(static_cast<size_t>(num_replicas()));
@@ -145,6 +151,8 @@ ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request
       const RouteDecision decision = router_->Pick(request.adapter_id, depths);
       if (decision.replica >= 0 && !tried[static_cast<size_t>(decision.replica)]) {
         target = decision.replica;
+        affinity_hit = decision.affinity_hit;
+        spilled = decision.spilled;
         if (count_affinity && round == 0) {
           if (decision.affinity_hit) {
             ++affinity_hits_;
@@ -171,6 +179,7 @@ ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request
     if (target < 0) {
       return RouteOutcome::kUnavailable;
     }
+    trace::EmitRouted(request.id, request.adapter_id, target, affinity_hit, spilled);
     const EnqueueResult result =
         replicas_[static_cast<size_t>(target)]->Enqueue(request, /*never_block=*/!blocking);
     if (result == EnqueueResult::kAccepted) {
@@ -253,6 +262,9 @@ void ClusterServer::SupervisorLoop() {
           pending.state = PendingState::kEnqueued;
           ++pending.attempts;
           ++retries_;
+          static Counter* const retries = MetricsRegistry::Global().counter("cluster.retries");
+          retries->Increment();
+          trace::EmitRetry(entry.first, pending.request.adapter_id, pending.attempts);
           to_dispatch.push_back(pending.request);
         }
       }
@@ -302,6 +314,10 @@ void ClusterServer::HealthCheck(double now_ms) {
           health.heartbeat_at_quarantine = heartbeat;
           ++quarantines_;
           health_event = true;
+          static Counter* const quarantines =
+              MetricsRegistry::Global().counter("cluster.quarantines");
+          quarantines->Increment();
+          trace::EmitQuarantine(r);
           router_->SetReplicaAlive(r, false);
           steal = true;
         }
@@ -311,6 +327,7 @@ void ClusterServer::HealthCheck(double now_ms) {
         health.quarantined = false;
         ++readmissions_;
         health_event = true;
+        trace::EmitReadmit(r);
         router_->SetReplicaAlive(r, true);
       }
     }
@@ -344,6 +361,8 @@ void ClusterServer::OnReplicaComplete(int replica, int64_t request_id) {
     now = clock_.ElapsedMillis();
     observer = completion_observer_;
   }
+  static Counter* const completed = MetricsRegistry::Global().counter("cluster.completed");
+  completed->Increment();
   if (observer) {
     observer(request_id, now);
   }
@@ -388,6 +407,9 @@ void ClusterServer::OnReplicaFailure(int replica, int64_t request_id, const Stat
 bool ClusterServer::FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::iterator it,
                                           const Status& status, bool deadline) {
   VLORA_CHECK(it != pending_.end());
+  // Terminal failure: the successful path emits its kCompleted{kOk} from the
+  // finishing replica's worker, so the two never double-report.
+  trace::EmitCompleted(it->first, it->second.request.adapter_id, /*replica=*/-1, status.code());
   failures_.push_back(FailedRequest{it->first, status, it->second.attempts});
   if (status.code() == StatusCode::kCancelled) {
     ++cancelled_;

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/trace.h"
+
 namespace vlora {
 
 Replica::Replica(int index, const ModelConfig& config, const ReplicaOptions& options)
@@ -65,6 +67,8 @@ EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
     // would stall the whole cluster behind one full queue.
     VLORA_BLOCKING_REGION(nullptr, "Replica::Enqueue(kBlock)");
   }
+  const int64_t request_id = request.id;
+  const int adapter_id = request.adapter_id;
   {
     MutexLock lock(&mutex_);
     if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
@@ -92,6 +96,7 @@ EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
     peak_depth_ = std::max(peak_depth_, new_depth);
     depth_.store(new_depth, std::memory_order_relaxed);
   }
+  trace::EmitEnqueued(request_id, adapter_id, index_);
   ingress_cv_.NotifyOne();
   return EnqueueResult::kAccepted;
 }
@@ -133,6 +138,10 @@ void Replica::Die() {
 }
 
 void Replica::WorkerLoop() {
+  // Worker-thread attribution: engine batch steps and kernel dispatches
+  // emitted from this thread carry the replica index.
+  trace::SetCurrentReplica(index_);
+  static Counter* const completions = MetricsRegistry::Global().counter("replica.completions");
   int64_t completed_local = 0;
   for (;;) {
     if (fault_ != nullptr) {
@@ -233,6 +242,10 @@ void Replica::WorkerLoop() {
     completed_local += static_cast<int64_t>(finished_ids.size());
     heartbeat_ms_.store(clock_.ElapsedMillis(), std::memory_order_relaxed);
     if (!finished_ids.empty()) {
+      completions->Add(static_cast<int64_t>(finished_ids.size()));
+      for (int64_t id : finished_ids) {
+        trace::EmitCompleted(id, /*adapter=*/-1, index_, StatusCode::kOk);
+      }
       space_cv_.NotifyAll();
       if (on_complete_) {
         for (int64_t id : finished_ids) {

@@ -65,6 +65,7 @@ namespace vlora {
 // can slot in without renumbering.
 enum class Rank : int {
   kLogging = 0,         // logging g_emit_mutex; any thread may log under any lock
+  kTrace = 5,           // tracer/metrics registries; cold paths of src/common/trace.h
   kLeaf = 10,           // terminal locks that never call out (fault injector, ATMM table)
   kPool = 20,           // ThreadPool::mutex_
   kServerStage = 30,    // VloraServer::submit_mutex_ (staging buffer)
@@ -77,6 +78,8 @@ constexpr const char* RankName(Rank rank) {
   switch (rank) {
     case Rank::kLogging:
       return "kLogging";
+    case Rank::kTrace:
+      return "kTrace";
     case Rank::kLeaf:
       return "kLeaf";
     case Rank::kPool:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/trace.h"
+
 namespace vlora {
 
 std::vector<std::unique_ptr<LoraAdapter>> MaterializeAdapters(
@@ -122,6 +124,11 @@ std::vector<EngineResult> VloraServer::StepOnce() {
     logical_clock_ms_ += options_.alg1.exec_estimate_ms;
     return {};
   }
+  // RAII span (Begin here, End on every return path); tid comes from the
+  // calling thread's replica attribution.
+  trace::BatchStepSpan step_span(static_cast<int64_t>(plan.selected.size()));
+  static Counter* const batch_steps = MetricsRegistry::Global().counter("engine.batch_steps");
+  batch_steps->Increment();
 
   // Residency: every adapter the batch touches must be on the device; the
   // asynchronous prefetch window is the previous iteration's estimated time.
@@ -174,6 +181,7 @@ std::vector<EngineResult> VloraServer::StepOnce() {
     last_service_ms_.erase(result.request_id);
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
   }
+  step_span.set_completed(static_cast<int64_t>(finished.size()));
   return finished;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/trace.h"
+
 namespace vlora {
 
 void AtmmDispatcher::Register(const ShapeKey& key, const TileConfig& config) {
@@ -60,6 +62,9 @@ TileConfig AtmmDispatcher::Select(int64_t m, int64_t n, int64_t k) const {
 void AtmmDispatcher::Execute(const float* a, const float* b, float* c, int64_t m, int64_t n,
                              int64_t k) {
   const TileConfig config = Select(m, n, k);
+  static Counter* const dispatches = MetricsRegistry::Global().counter("atmm.dispatches");
+  dispatches->Increment();
+  trace::EmitKernelDispatch(m, n, k, config.mc, config.nc, config.kc, config.mr, config.nr);
   GemmTiled(a, b, c, m, n, k, config, workspace_);
 }
 

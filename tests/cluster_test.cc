@@ -5,10 +5,16 @@
 #include <vector>
 
 #include "src/cluster/cluster_server.h"
+#include "src/common/trace.h"
 #include "src/workload/trace_gen.h"
+#include "tests/trace_matcher.h"
 
 namespace vlora {
 namespace {
+
+using trace::TraceEventKind;
+using trace::TraceMatcher;
+using trace::TraceSession;
 
 // Negative compile-time test (see thread_pool_test.cc for the convention):
 // under -DVLORA_THREAD_SAFETY=ON -DVLORA_EXPECT_TS_ERROR this must fail to
@@ -222,6 +228,7 @@ TEST_F(ClusterTest, ResultsIdenticalAcrossReplicaCounts) {
 
 TEST_F(ClusterTest, RoundRobinSpreadsWorkAcrossReplicas) {
   const std::vector<Request> trace = SkewedTrace(6, 0.6, 25.0, 2.0, 17);
+  TraceSession session;
   auto cluster = MakeCluster(3, RoutePolicy::kRoundRobin, trace);
   for (const Request& request : trace) {
     ASSERT_TRUE(cluster->Submit(EngineRequestFromTrace(request, config_, SmallMap())));
@@ -233,6 +240,23 @@ TEST_F(ClusterTest, RoundRobinSpreadsWorkAcrossReplicas) {
     EXPECT_NEAR(static_cast<double>(replica.submitted),
                 static_cast<double>(trace.size()) / 3.0, 1.0);
   }
+
+  cluster.reset();
+  session.Stop();
+  TraceMatcher matcher(session.Collect());
+  // The per-replica ingress spread is visible in the event stream too, and
+  // every request walked the full admitted -> routed -> enqueued -> completed
+  // lifecycle with a single kOk terminal event.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_NEAR(static_cast<double>(matcher.CountForReplica(TraceEventKind::kEnqueued, r)),
+                static_cast<double>(trace.size()) / 3.0, 1.0);
+  }
+  for (const Request& request : trace) {
+    EXPECT_TRUE(matcher.ExpectSequence(
+        request.id, {TraceEventKind::kRequestAdmitted, TraceEventKind::kRouted,
+                     TraceEventKind::kEnqueued, TraceEventKind::kCompleted}));
+    EXPECT_TRUE(matcher.ExpectCompleted(request.id, StatusCode::kOk));
+  }
 }
 
 TEST_F(ClusterTest, BackpressureRejectsAtTheConfiguredBound) {
@@ -242,6 +266,7 @@ TEST_F(ClusterTest, BackpressureRejectsAtTheConfiguredBound) {
   const std::vector<Request> trace = SkewedTrace(6, 0.6, 60.0, 2.0, 19);
   ASSERT_GT(trace.size(), 20u);
   const int64_t capacity = 4;
+  TraceSession session;
   FaultInjector fault;
   fault.GateWorkers();
   RecoveryOptions recovery;
@@ -274,6 +299,16 @@ TEST_F(ClusterTest, BackpressureRejectsAtTheConfiguredBound) {
   for (const ReplicaSnapshot& replica : stats.replicas) {
     EXPECT_EQ(replica.peak_depth, capacity);
   }
+
+  cluster.reset();
+  session.Stop();
+  TraceMatcher matcher(session.Collect());
+  // All 20 were admitted, but the bound is visible per replica: exactly
+  // `capacity` Enqueued events each, and only the accepted ones completed.
+  EXPECT_EQ(matcher.Count(TraceEventKind::kRequestAdmitted), 20);
+  EXPECT_EQ(matcher.CountForReplica(TraceEventKind::kEnqueued, 0), capacity);
+  EXPECT_EQ(matcher.CountForReplica(TraceEventKind::kEnqueued, 1), capacity);
+  EXPECT_EQ(matcher.Count(TraceEventKind::kCompleted), accepted);
 }
 
 TEST_F(ClusterTest, ShutdownCancelsQueuedIngressInsteadOfLosingIt) {

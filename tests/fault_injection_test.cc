@@ -10,16 +10,25 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <vector>
 
 #include "src/cluster/cluster_server.h"
 #include "src/common/fault.h"
+#include "src/common/trace.h"
 #include "src/workload/trace_gen.h"
+#include "tests/trace_matcher.h"
 
 namespace vlora {
 namespace {
+
+using trace::TraceEvent;
+using trace::TraceEventKind;
+using trace::TraceMatcher;
+using trace::TraceSession;
 
 std::vector<LoraAdapter> MakeAdapters(const ModelConfig& config, int count, uint64_t seed) {
   Rng rng(seed);
@@ -122,12 +131,14 @@ TEST(FaultInjectorTest, RequestFailureDecisionsDependOnlyOnSeedReplicaAndId) {
 struct KillRunOutcome {
   std::set<int64_t> completed_ids;
   std::vector<FaultEvent> events;
+  std::vector<TraceEvent> trace_events;
   int64_t retries = 0;
   int64_t replica_deaths = 0;
   size_t failures = 0;
 };
 
 KillRunOutcome RunKillOneOfFour(const ModelConfig& config, const std::vector<Request>& trace) {
+  TraceSession session;
   FaultInjector fault(0x5eedu);
   fault.GateWorkers();                    // queues fill before any processing
   fault.KillReplicaAfter(/*replica=*/2, /*completed=*/0);
@@ -153,6 +164,10 @@ KillRunOutcome RunKillOneOfFour(const ModelConfig& config, const std::vector<Req
   outcome.failures = cluster->TakeFailures().size();
   EXPECT_EQ(results.size(), 40u);
   EXPECT_EQ(stats.completed, 40);
+  cluster.reset();  // join supervisor + workers, then collect quiescent buffers
+  session.Stop();
+  outcome.trace_events = session.Collect();
+  EXPECT_EQ(session.dropped_events(), 0);
   return outcome;
 }
 
@@ -172,12 +187,130 @@ TEST(FaultInjectionTest, KillOneOfFourCompletesAllRequestsDeterministically) {
   EXPECT_EQ(first.events[0].kind, FaultKind::kKillReplica);
   EXPECT_EQ(first.events[0].replica, 2);
 
+  // The trace tells the same story, without scraping stats: exactly one Retry
+  // per orphaned request, each of which then completed kOk on a survivor, and
+  // nothing was routed to the dead replica after its first fail-over.
+  TraceMatcher matcher(first.trace_events);
+  EXPECT_EQ(matcher.Count(TraceEventKind::kRetry), 10);
+  EXPECT_EQ(matcher.CountForReplica(TraceEventKind::kEnqueued, 2), 10);
+  const double first_retry_ms = matcher.FirstTime({TraceEventKind::kRetry});
+  ASSERT_GE(first_retry_ms, 0.0);
+  EXPECT_EQ(matcher.CountAfter({TraceEventKind::kEnqueued, 2}, first_retry_ms), 0);
+  std::set<int64_t> retried_ids;
+  for (const TraceEvent& event : matcher.events()) {
+    if (event.kind == TraceEventKind::kRetry) {
+      retried_ids.insert(event.request_id);
+    }
+  }
+  EXPECT_EQ(retried_ids.size(), 10u);
+  for (int64_t id : retried_ids) {
+    EXPECT_TRUE(matcher.ExpectSequence(
+        id, {TraceEventKind::kRequestAdmitted, TraceEventKind::kRouted, TraceEventKind::kEnqueued,
+             TraceEventKind::kRetry, TraceEventKind::kEnqueued, TraceEventKind::kCompleted}));
+    EXPECT_TRUE(matcher.ExpectCompleted(id, StatusCode::kOk));
+    // The retry's second Enqueued landed on a survivor, not on replica 2.
+    EXPECT_EQ(matcher.CountAfter({TraceEventKind::kEnqueued, 2, id},
+                                 matcher.FirstTime({TraceEventKind::kRetry, -1, id})),
+              0);
+  }
+
   // Same script, same seed: identical completions and identical event log.
   const KillRunOutcome second = RunKillOneOfFour(config, trace);
   EXPECT_EQ(second.completed_ids, first.completed_ids);
   EXPECT_EQ(second.events, first.events);
   EXPECT_EQ(second.retries, first.retries);
   EXPECT_EQ(second.replica_deaths, first.replica_deaths);
+  EXPECT_EQ(TraceMatcher(second.trace_events).Count(TraceEventKind::kRetry), 10);
+}
+
+// --- Scenario 1b: full recovery ordering, asserted from the trace alone -----
+//
+// One replica dies mid-service, another is quarantined for a stall and later
+// readmitted. The exported Chrome trace must contain the killed replica's
+// batch steps, the supervisor's Quarantine/Readmit, every Retry, and each
+// re-routed request's kOk completion — correctly ordered — and load cleanly.
+TEST(FaultInjectionTest, KillRecoveryOrderingIsFullyTraced) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 41);
+  ASSERT_GE(trace.size(), 30u);
+
+  TraceSession session;
+  FaultInjector fault(0x5eedu);
+  fault.GateWorkers();
+  // Replica 2 serves a couple of batches and then dies holding the rest of
+  // its queue; replica 1 stalls before ingesting anything and is quarantined.
+  fault.KillReplicaAfter(/*replica=*/2, /*completed=*/2);
+  fault.StallReplicaAfter(/*replica=*/1, /*completed=*/0, /*stall_ms=*/2000.0);
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 1000.0;
+  recovery.health_period_ms = 10.0;
+  recovery.max_attempts = 8;
+  recovery.backoff_base_ms = 1.0;
+  auto cluster = MakeCluster(config, /*replicas=*/3, trace, &fault, recovery);
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  fault.OpenGate();
+  const std::vector<EngineResult> results = cluster->Drain();
+  EXPECT_EQ(results.size(), 30u);
+  EXPECT_TRUE(cluster->TakeFailures().empty());
+  // The stall ends and the health checker readmits replica 1.
+  ASSERT_TRUE(cluster->WaitForReadmissions(/*count=*/1, /*timeout_ms=*/10'000.0));
+  cluster.reset();
+  session.Stop();
+  const std::vector<TraceEvent> events = session.Collect();
+  EXPECT_EQ(session.dropped_events(), 0);
+
+  TraceMatcher matcher(events);
+  // The killed replica really served batches before dying, and its last
+  // BatchStepEnd precedes the first fail-over Retry.
+  EXPECT_GT(matcher.CountForReplica(TraceEventKind::kBatchStepEnd, 2), 0);
+  const double last_step_end_ms = matcher.LastTime({TraceEventKind::kBatchStepEnd, 2});
+  const double first_retry_ms = matcher.FirstTime({TraceEventKind::kRetry});
+  ASSERT_GE(first_retry_ms, 0.0);
+  EXPECT_LT(last_step_end_ms, first_retry_ms);
+  // Every Retry belongs to a request that then completed kOk on a survivor,
+  // with the Retry preceding the terminal event and no post-death routing to
+  // the dead replica.
+  std::set<int64_t> retried_ids;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEventKind::kRetry) {
+      retried_ids.insert(event.request_id);
+    }
+  }
+  EXPECT_FALSE(retried_ids.empty());
+  for (int64_t id : retried_ids) {
+    EXPECT_TRUE(matcher.ExpectCompleted(id, StatusCode::kOk));
+    EXPECT_LT(matcher.FirstTime({TraceEventKind::kRetry, -1, id}),
+              matcher.LastTime({TraceEventKind::kCompleted, -1, id}));
+    EXPECT_EQ(matcher.CountAfter({TraceEventKind::kEnqueued, 2, id},
+                                 matcher.FirstTime({TraceEventKind::kRetry, -1, id})),
+              0);
+  }
+  EXPECT_EQ(matcher.CountAfter({TraceEventKind::kEnqueued, 2}, first_retry_ms), 0);
+  // The stalled replica was quarantined and only later readmitted; while
+  // quarantined nothing was enqueued on it.
+  EXPECT_TRUE(matcher.ExpectAllBefore({TraceEventKind::kQuarantine, 1},
+                                      {TraceEventKind::kReadmit, 1}));
+  EXPECT_EQ(
+      matcher.CountAfter({TraceEventKind::kEnqueued, 1},
+                         matcher.FirstTime({TraceEventKind::kQuarantine, 1})),
+      0);
+  // All 30 requests reached exactly one kOk terminal event.
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(matcher.ExpectCompleted(trace[i].id, StatusCode::kOk));
+  }
+
+  // The same stream exports to Chrome-loadable JSON.
+  const std::string path = "fault_recovery.trace.json";
+  ASSERT_TRUE(trace::WriteChromeTraceFile(events, path));
+  std::ifstream stream(path);
+  ASSERT_TRUE(stream.good());
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  int64_t exported = 0;
+  EXPECT_TRUE(trace::ValidateChromeTraceJson(buffer.str(), &exported));
+  EXPECT_GE(exported, static_cast<int64_t>(events.size()));
 }
 
 // --- Scenario 2: stalled replica quarantined, then readmitted ---------------
@@ -185,8 +318,9 @@ TEST(FaultInjectionTest, KillOneOfFourCompletesAllRequestsDeterministically) {
 TEST(FaultInjectionTest, StalledReplicaIsQuarantinedAndReadmitted) {
   const ModelConfig config = TinyConfig();
   const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 43);
-  ASSERT_GE(trace.size(), 34u);
+  ASSERT_GE(trace.size(), 30u);
 
+  TraceSession session;
   FaultInjector fault(0x5eedu);
   fault.GateWorkers();
   // Replica 1 sleeps 2 s before ingesting anything: its 15 queued requests
@@ -227,40 +361,33 @@ TEST(FaultInjectionTest, StalledReplicaIsQuarantinedAndReadmitted) {
   stats = cluster->Stats();
   ASSERT_GE(stats.readmissions, 1);
 
-  // A readmitted replica carries traffic again: round-robin sends half of
-  // each submit round to it. One round is usually enough, but on a loaded
-  // machine the freshly readmitted worker can be starved past the stall
-  // threshold, re-quarantined, and its queue re-stolen — correct recovery
-  // behavior that leaves it at zero completions. Retry with fresh request
-  // ids until a completion lands on replica 1.
-  int64_t next_id = 100'000;  // trace ids are small; keep retry ids disjoint
-  int64_t completed_on_1 = 0;
-  for (int round = 0; round < 25 && completed_on_1 == 0; ++round) {
-    // Zero completions on replica 1 after a full drain means it was
-    // quarantined during (or before) the round — every one of its requests
-    // was stolen. Block on the next readmission rather than spinning through
-    // rounds while it is unroutable; the wait returns immediately when the
-    // readmission already happened between the drain and this check.
-    const int64_t readmissions_before = cluster->Stats().readmissions;
-    for (size_t i = 30; i < 34; ++i) {
-      EngineRequest request = EngineRequestFromTrace(trace[i], config, SmallMap());
-      request.id = next_id++;
-      EXPECT_TRUE(cluster->Submit(std::move(request)));
-    }
-    EXPECT_EQ(cluster->Drain().size(), 4u);
-    completed_on_1 = cluster->replica(1).Snapshot().completed;
-    if (completed_on_1 == 0 &&
-        !cluster->WaitForReadmissions(readmissions_before + 1, /*timeout_ms=*/10'000.0)) {
-      break;  // replica 1 never came back; fail on the assertion below
-    }
-  }
-  EXPECT_GT(completed_on_1, 0);
+  const std::vector<FaultEvent> fault_events = fault.Events();
+  ASSERT_EQ(fault_events.size(), 1u);
+  EXPECT_EQ(fault_events[0].kind, FaultKind::kStallReplica);
+  EXPECT_EQ(fault_events[0].replica, 1);
+  EXPECT_EQ(fault_events[0].stall_ms, 2000.0);
 
-  const std::vector<FaultEvent> events = fault.Events();
-  ASSERT_EQ(events.size(), 1u);
-  EXPECT_EQ(events[0].kind, FaultKind::kStallReplica);
-  EXPECT_EQ(events[0].replica, 1);
-  EXPECT_EQ(events[0].stall_ms, 2000.0);
+  // Quarantine-then-readmit ordering and the no-traffic-while-quarantined
+  // guarantee come straight from the trace — no probe traffic, no retry
+  // rounds, no timing margins beyond the injected stall itself.
+  cluster.reset();
+  session.Stop();
+  TraceMatcher matcher(session.Collect());
+  EXPECT_EQ(session.dropped_events(), 0);
+  EXPECT_GE(matcher.CountForReplica(TraceEventKind::kQuarantine, 1), 1);
+  EXPECT_TRUE(matcher.ExpectAllBefore({TraceEventKind::kQuarantine, 1},
+                                      {TraceEventKind::kReadmit, 1}));
+  // Everything on replica 1 was enqueued before the quarantine; nothing was
+  // routed to it while it was out of rotation.
+  EXPECT_EQ(
+      matcher.CountAfter({TraceEventKind::kEnqueued, 1},
+                         matcher.FirstTime({TraceEventKind::kQuarantine, 1})),
+      0);
+  // Every submitted request reached exactly one kOk terminal event even
+  // though half of them were stolen from the stalled replica.
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(matcher.ExpectCompleted(trace[i].id, StatusCode::kOk));
+  }
 }
 
 // --- Scenario 3: retry count respects max_attempts --------------------------

@@ -223,13 +223,67 @@ TEST(LintRulesTest, NonStatusSwitchIsIgnoredAndSuppressionWorks) {
   EXPECT_FALSE(HasRule(LintContent("src/a.cc", suppressed), "status-switch-exhaustive"));
 }
 
+TEST(LintRulesTest, TraceSpanUnclosedFiresOnBeginWithoutEnd) {
+  const std::string bad = std::string("void Step() {\n") +
+                          "  trace::EmitBatchStep" "Begin(0, 4);\n" +
+                          "  engine.Step();\n" +
+                          "}\n";
+  const std::vector<Finding> findings = LintContent("src/core/a.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"trace-span-unclosed"});
+}
+
+TEST(LintRulesTest, TraceSpanClosedByEndOrRaiiIsQuiet) {
+  const std::string paired = std::string("void Step() {\n") +
+                             "  trace::EmitBatchStep" "Begin(0, 4);\n" +
+                             "  engine.Step();\n" +
+                             "  trace::EmitBatchStep" "End(0, 1);\n" +
+                             "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/core/a.cc", paired), "trace-span-unclosed"));
+
+  const std::string raii = std::string("void Step() {\n") +
+                           "  trace::EmitBatchStep" "Begin(0, 4);\n" +
+                           "  trace::BatchStep" "Span span(4);\n" +
+                           "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/core/a.cc", raii), "trace-span-unclosed"));
+}
+
+TEST(LintRulesTest, TraceSpanEndInLaterScopeDoesNotCount) {
+  // The End emission lives in a different function: the Begin's own scope
+  // closes first, so the finding stands.
+  const std::string bad = std::string("void Step() {\n") +
+                          "  trace::EmitBatchStep" "Begin(0, 4);\n" +
+                          "}\n" +
+                          "void Other() {\n" +
+                          "  trace::EmitBatchStep" "End(0, 1);\n" +
+                          "}\n";
+  const std::vector<Finding> findings = LintContent("src/core/a.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"trace-span-unclosed"});
+}
+
+TEST(LintRulesTest, TraceSpanExemptionsAndSuppression) {
+  const std::string bad_line = std::string("  trace::EmitBatchStep" "Begin(0, 4);\n");
+  const std::string body = std::string("void Step() {\n") + bad_line + "}\n";
+  // Tests are exempt: they assert on Begin events without emitting End.
+  EXPECT_FALSE(HasRule(LintContent("tests/a_test.cc", body), "trace-span-unclosed"));
+  // Enum references and event-name string literals do not trigger.
+  const std::string refs = std::string("if (e.kind == TraceEventKind::kBatchStep" "Begin)\n") +
+                           "  name = \"BatchStep" "Begin\";\n";
+  EXPECT_FALSE(HasRule(LintContent("src/core/a.cc", refs), "trace-span-unclosed"));
+  const std::string suppressed =
+      std::string("void Step() {\n") +
+      "  trace::EmitBatchStep" "Begin(0, 4);  // vlora-lint: allow(trace-span-unclosed)\n" +
+      "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/core/a.cc", suppressed), "trace-span-unclosed"));
+}
+
 TEST(LintRulesTest, RuleNamesAreStable) {
   const std::vector<std::string> names = RuleNames();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "mutexlock-temporary"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "status-switch-exhaustive"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-unclosed"), names.end());
 }
 
 TEST(LintRulesTest, FormatFindingIsFileLineRuleMessage) {

@@ -1,0 +1,229 @@
+// Fluent assertions over captured trace-event streams (tests only).
+//
+// Wraps the vector returned by TraceSession::Collect() (already sorted by
+// timestamp) and answers ordering / counting / span questions about it. The
+// verbose failure messages embed the request's event list so a failing
+// ordering assertion shows the actual lifecycle without rerunning under a
+// debugger.
+
+#ifndef VLORA_TESTS_TRACE_MATCHER_H_
+#define VLORA_TESTS_TRACE_MATCHER_H_
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/trace.h"
+
+namespace vlora {
+namespace trace {
+
+class TraceMatcher {
+ public:
+  // Filter over the stream: kind always, replica / request_id when >= 0.
+  struct EventQuery {
+    TraceEventKind kind;
+    int replica = -1;
+    int64_t request_id = -1;
+  };
+
+  explicit TraceMatcher(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  std::vector<TraceEvent> ForRequest(int64_t request_id) const {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& event : events_) {
+      if (event.request_id == request_id) {
+        out.push_back(event);
+      }
+    }
+    return out;
+  }
+
+  int64_t Count(TraceEventKind kind) const { return CountMatching({kind}); }
+
+  int64_t CountForReplica(TraceEventKind kind, int replica) const {
+    return CountMatching({kind, replica});
+  }
+
+  int64_t CountForRequest(TraceEventKind kind, int64_t request_id) const {
+    return CountMatching({kind, /*replica=*/-1, request_id});
+  }
+
+  int64_t CountMatching(const EventQuery& query) const {
+    int64_t count = 0;
+    for (const TraceEvent& event : events_) {
+      if (Matches(event, query)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // Matching events strictly after `when_ms`.
+  int64_t CountAfter(const EventQuery& query, double when_ms) const {
+    int64_t count = 0;
+    for (const TraceEvent& event : events_) {
+      if (event.when_ms > when_ms && Matches(event, query)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // Timestamp of the first/last matching event; -1 when none matches.
+  double FirstTime(const EventQuery& query) const {
+    for (const TraceEvent& event : events_) {
+      if (Matches(event, query)) {
+        return event.when_ms;
+      }
+    }
+    return -1.0;
+  }
+
+  double LastTime(const EventQuery& query) const {
+    double last = -1.0;
+    for (const TraceEvent& event : events_) {
+      if (Matches(event, query)) {
+        last = event.when_ms;
+      }
+    }
+    return last;
+  }
+
+  // The request's events contain `kinds` as an ordered subsequence, e.g.
+  //   ExpectSequence(id, {kRequestAdmitted, kRouted, kEnqueued, kCompleted})
+  ::testing::AssertionResult ExpectSequence(int64_t request_id,
+                                            std::initializer_list<TraceEventKind> kinds) const {
+    const std::vector<TraceEvent> stream = ForRequest(request_id);
+    auto next = stream.begin();
+    for (TraceEventKind kind : kinds) {
+      while (next != stream.end() && next->kind != kind) {
+        ++next;
+      }
+      if (next == stream.end()) {
+        return ::testing::AssertionFailure()
+               << "request " << request_id << " missing " << TraceEventKindName(kind)
+               << " (in order) from its event stream: " << Describe(stream);
+      }
+      ++next;
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  // At least one event matches each query, and every `first` match precedes
+  // every `second` match.
+  ::testing::AssertionResult ExpectAllBefore(const EventQuery& first,
+                                             const EventQuery& second) const {
+    const double last_first = LastTime(first);
+    const double first_second = FirstTime(second);
+    if (last_first < 0.0) {
+      return ::testing::AssertionFailure() << "no event matches " << Describe(first);
+    }
+    if (first_second < 0.0) {
+      return ::testing::AssertionFailure() << "no event matches " << Describe(second);
+    }
+    if (last_first >= first_second) {
+      return ::testing::AssertionFailure()
+             << "expected every " << Describe(first) << " (last at " << last_first
+             << "ms) before every " << Describe(second) << " (first at " << first_second << "ms)";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  // Admission-to-terminal duration of the request within [lo_ms, hi_ms].
+  ::testing::AssertionResult ExpectSpanWithin(int64_t request_id, double lo_ms,
+                                              double hi_ms) const {
+    const double admitted = FirstTime({TraceEventKind::kRequestAdmitted, -1, request_id});
+    const double completed = LastTime({TraceEventKind::kCompleted, -1, request_id});
+    if (admitted < 0.0 || completed < 0.0) {
+      return ::testing::AssertionFailure()
+             << "request " << request_id << " has no closed admission->completion span: "
+             << Describe(ForRequest(request_id));
+    }
+    const double span = completed - admitted;
+    if (span < lo_ms || span > hi_ms) {
+      return ::testing::AssertionFailure()
+             << "request " << request_id << " span " << span << "ms outside [" << lo_ms << ", "
+             << hi_ms << "]ms";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  // The request reached exactly one terminal event, with the given status.
+  ::testing::AssertionResult ExpectCompleted(int64_t request_id, StatusCode status) const {
+    const TraceEvent* terminal = nullptr;
+    int64_t terminals = 0;
+    for (const TraceEvent& event : events_) {
+      if (event.request_id == request_id && event.kind == TraceEventKind::kCompleted) {
+        terminal = &event;
+        ++terminals;
+      }
+    }
+    if (terminals != 1) {
+      return ::testing::AssertionFailure()
+             << "request " << request_id << " has " << terminals
+             << " terminal events (want exactly 1): " << Describe(ForRequest(request_id));
+    }
+    if (terminal->status != status) {
+      return ::testing::AssertionFailure()
+             << "request " << request_id << " completed with " << StatusCodeName(terminal->status)
+             << ", want " << StatusCodeName(status);
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  static std::string Describe(const std::vector<TraceEvent>& stream) {
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (i > 0) {
+        out << ", ";
+      }
+      out << TraceEventKindName(stream[i].kind);
+      if (stream[i].replica >= 0) {
+        out << "@r" << stream[i].replica;
+      }
+    }
+    out << "]";
+    return out.str();
+  }
+
+  static std::string Describe(const EventQuery& query) {
+    std::ostringstream out;
+    out << TraceEventKindName(query.kind);
+    if (query.replica >= 0) {
+      out << "@r" << query.replica;
+    }
+    if (query.request_id >= 0) {
+      out << "#" << query.request_id;
+    }
+    return out.str();
+  }
+
+ private:
+  static bool Matches(const TraceEvent& event, const EventQuery& query) {
+    if (event.kind != query.kind) {
+      return false;
+    }
+    if (query.replica >= 0 && event.replica != query.replica) {
+      return false;
+    }
+    if (query.request_id >= 0 && event.request_id != query.request_id) {
+      return false;
+    }
+    return true;
+  }
+
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace trace
+}  // namespace vlora
+
+#endif  // VLORA_TESTS_TRACE_MATCHER_H_

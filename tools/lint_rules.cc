@@ -21,6 +21,7 @@ const char kThreadDetach[] = "thread-detach";
 const char kMissingGuard[] = "missing-include-guard";
 const char kMutexLockTemporary[] = "mutexlock-temporary";
 const char kStatusSwitch[] = "status-switch-exhaustive";
+const char kTraceSpan[] = "trace-span-unclosed";
 const char kIoError[] = "io-error";
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -166,6 +167,14 @@ const char* const kStatusCodeNames[] = {
     "kFailedPrecondition", "kOutOfRange", "kUnimplemented", "kInternal",
     "kCancelled",   "kDeadlineExceeded",  "kUnavailable"};
 
+const std::regex& TraceSpanBeginRe() {
+  // A call (or declaration) of a batch-step Begin emitter. Enum references
+  // like kBatchStep... and string literals naming the event do not match —
+  // only the open paren after the identifier does.
+  static const std::regex re("BatchStep" "Begin\\s*\\(");
+  return re;
+}
+
 const std::regex& IfndefRe() {
   static const std::regex re("#\\s*ifndef" "\\s+\\w+");
   return re;
@@ -303,6 +312,66 @@ void CheckStatusSwitches(const std::string& path, const std::vector<std::string>
   }
 }
 
+// Flags an explicit BatchStep-Begin emission whose enclosing scope contains
+// neither a matching End emission nor an RAII span. An early return between
+// Begin and End leaks an open span and corrupts the Chrome trace's B/E
+// nesting; trace::BatchStep-Span closes on every path. Scope is approximated
+// by scanning forward from the trigger to the first unmatched '}' — calls at
+// statement level inside a function body resolve to that function. Tests are
+// exempt (they reference Begin events alone in assertions).
+void CheckTraceSpans(const std::string& path, const std::vector<std::string>& raw_lines,
+                     const std::vector<std::string>& code_lines,
+                     std::vector<Finding>* findings) {
+  if (IsTestFile(path)) {
+    return;
+  }
+  const std::string end_token = std::string("BatchStep") + "End";
+  const std::string span_token = std::string("BatchStep") + "Span";
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(code_lines[i], m, TraceSpanBeginRe())) {
+      continue;
+    }
+    if (Suppressed(raw_lines[i], kTraceSpan)) {
+      continue;
+    }
+    bool closed = false;
+    int depth = 0;
+    size_t line = i;
+    size_t col = static_cast<size_t>(m.position(0) + m.length(0));
+    while (line < code_lines.size()) {
+      const std::string& text = code_lines[line];
+      if (text.find(end_token, col) != std::string::npos ||
+          text.find(span_token, col) != std::string::npos) {
+        closed = true;
+        break;
+      }
+      bool scope_over = false;
+      for (; col < text.size(); ++col) {
+        if (text[col] == '{') {
+          ++depth;
+        } else if (text[col] == '}' && --depth < 0) {
+          scope_over = true;
+          break;
+        }
+      }
+      if (scope_over) {
+        break;
+      }
+      ++line;
+      col = 0;
+    }
+    if (!closed) {
+      findings->push_back(
+          {kTraceSpan, path, static_cast<int>(i) + 1,
+           std::string("BatchStep") + "Begin emitted without a matching BatchStep" +
+               "End or RAII BatchStep" +
+               "Span in the enclosing scope; an early return would leak an open span — "
+               "prefer trace::BatchStep" "Span"});
+    }
+  }
+}
+
 void CheckIncludeGuard(const std::string& path, const std::vector<std::string>& raw_lines,
                        std::vector<Finding>* findings) {
   if (!IsHeader(path)) {
@@ -338,7 +407,7 @@ void CheckIncludeGuard(const std::string& path, const std::vector<std::string>& 
 std::vector<std::string> RuleNames() {
   return {kRawMutex,      kStatusNodiscard,     kSleepInTest,
           kNakedNew,      kThreadDetach,        kMissingGuard,
-          kMutexLockTemporary, kStatusSwitch};
+          kMutexLockTemporary, kStatusSwitch,   kTraceSpan};
 }
 
 std::vector<Finding> LintContent(const std::string& path, const std::string& content) {
@@ -361,6 +430,7 @@ std::vector<Finding> LintContent(const std::string& path, const std::string& con
     CheckLine(path, static_cast<int>(i) + 1, raw_lines[i], code_lines[i], &findings);
   }
   CheckStatusSwitches(path, raw_lines, code_lines, &findings);
+  CheckTraceSpans(path, raw_lines, code_lines, &findings);
   CheckIncludeGuard(path, raw_lines, &findings);
   return findings;
 }

@@ -25,6 +25,11 @@
 //                         switch over StatusCode that neither covers every
 //                         enumerator nor has a default: new codes would fall
 //                         through silently
+//   trace-span-unclosed   explicit BatchStepBegin emission with no matching
+//                         BatchStepEnd / RAII BatchStepSpan in the enclosing
+//                         scope — an early return would leak an open span and
+//                         corrupt the Chrome trace's B/E nesting (tests/
+//                         exempt; they assert on Begin events alone)
 //
 // A finding on line N is suppressed by appending the comment
 //   // vlora-lint: allow(<rule>)
