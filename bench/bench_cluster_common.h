@@ -39,6 +39,10 @@ struct ClusterRunConfig {
   int max_batch_size = 8;
   uint64_t adapter_seed = 11;
   bool paced = false;  // honour trace arrival times instead of saturating
+  // kThread serves in-process; kProcess forks a vlora_executor per replica
+  // and pays the wire protocol on every request — the thread-vs-process
+  // latency delta in bench_cluster_scaling is the measured IPC overhead.
+  ReplicaBackend backend = ReplicaBackend::kThread;
 };
 
 inline ClusterStats RunClusterTrace(const ModelConfig& config, const std::vector<Request>& trace,
@@ -58,6 +62,7 @@ inline ClusterStats RunClusterTrace(const ModelConfig& config, const std::vector
   options.server.max_batch_size = run.max_batch_size;
   options.server.device_pool_bytes =
       run.pool_adapter_slots * adapters.front().SizeBytesFp16() + 64;
+  options.backend = run.backend;
 
   ClusterServer cluster(config, options);
   for (const LoraAdapter& adapter : adapters) {

@@ -116,7 +116,49 @@ void Run() {
       "adapter-affinity reports the fewest swap-ins because home replicas keep their "
       "placement resident.\n");
 
-  // --- Experiment 4: one traced run — request spans and a Chrome trace. ----
+  // --- Experiment 4: thread vs process backend — the cost of the wire. -----
+  // Same saturated trace through both backends at each replica count. The
+  // process backend pays request/result framing, a socket hop each way and
+  // the bounded inflight window; the per-request submit->complete latency
+  // delta is that IPC overhead, measured rather than guessed.
+  if (ProcessReplica::ExecutorAvailable()) {
+    AsciiTable backends({"replicas", "backend", "throughput rps", "p50 ms", "p95 ms", "p99 ms",
+                         "p50 overhead"});
+    for (int replicas : {1, 2}) {
+      double thread_p50 = 0.0;
+      for (ReplicaBackend backend : {ReplicaBackend::kThread, ReplicaBackend::kProcess}) {
+        bench::ClusterRunConfig run;
+        run.num_replicas = replicas;
+        run.policy = RoutePolicy::kRoundRobin;
+        run.num_adapters = saturating.num_adapters;
+        run.backend = backend;
+        const ClusterStats stats = bench::RunClusterTrace(config, trace, run);
+        const double p50 = stats.latency.P50Ms();
+        std::string overhead = "-";
+        if (backend == ReplicaBackend::kThread) {
+          thread_p50 = p50;
+        } else if (thread_p50 > 0.0) {
+          overhead = AsciiTable::FormatDouble(p50 - thread_p50, 2) + " ms";
+        }
+        backends.AddRow({std::to_string(replicas), ReplicaBackendName(backend),
+                         AsciiTable::FormatDouble(stats.throughput_rps, 1),
+                         AsciiTable::FormatDouble(p50, 2),
+                         AsciiTable::FormatDouble(stats.latency.PercentileMs(95.0), 2),
+                         AsciiTable::FormatDouble(stats.latency.P99Ms(), 2), overhead});
+      }
+    }
+    backends.Print("Thread vs process backend (saturated trace; overhead = wire protocol IPC)");
+    std::printf(
+        "note: the process rows fork one vlora_executor per replica and carry every "
+        "request/result over a unix socket; 'p50 overhead' is the per-request price of "
+        "process isolation.\n");
+  } else {
+    std::printf(
+        "thread-vs-process comparison skipped: vlora_executor not found (build it or set "
+        "VLORA_EXECUTOR).\n");
+  }
+
+  // --- Experiment 5: one traced run — request spans and a Chrome trace. ----
   // RunClusterTrace destroys its cluster before returning, so the collected
   // stream is complete and quiescent.
   trace::TraceOptions trace_options_ring;

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, the static-analysis
-# stage (vlora_lint, Clang thread-safety build, clang-tidy), then the
-# concurrency-labelled tests (cluster, fault injection, thread pool) under
-# both ThreadSanitizer and AddressSanitizer+UBSan.
+# Repo verification: tier-1 build + full test suite (plus an explicit
+# `ctest -L e2e_process` pass over the forked-executor suites), the
+# static-analysis stage (vlora_lint, Clang thread-safety build,
+# clang-tidy), then the concurrency-labelled tests (cluster, fault
+# injection, thread pool) under both ThreadSanitizer and
+# AddressSanitizer+UBSan. The ASan tree also runs the e2e_process suites,
+# so real executor SIGKILL recovery is exercised under ASan; the TSan tree
+# deliberately does not (fork + threads is unsupported under TSan).
 #
 #   ./scripts/verify.sh              # everything
 #   SKIP_TSAN=1 ./scripts/verify.sh  # skip the TSan tree
@@ -16,6 +20,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test trace_test)
+# e2e_process targets run under ASan but not TSan (fork + threads). The
+# process_cluster_test target pulls in vlora_executor via add_dependencies.
+E2E_PROCESS_TARGETS=(net_test process_cluster_test)
 
 STAGE_NAMES=()
 STAGE_RESULTS=()
@@ -26,6 +33,12 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 record "tier-1 build+tests" "pass"
+
+echo "=== e2e: process cluster over the wire (forked executors) ==="
+# Already part of the full ctest above; the explicit label pass guarantees
+# the e2e_process label (and the SIGKILL-recovery coverage) stays present.
+ctest --test-dir build --output-on-failure -L e2e_process
+record "e2e_process tests" "pass"
 
 echo "=== trace-overhead guard (fails above 5%) ==="
 ./build/bench/bench_trace_overhead
@@ -96,13 +109,13 @@ else
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "=== AddressSanitizer+UBSan: concurrency tests ==="
+  echo "=== AddressSanitizer+UBSan: concurrency + e2e_process tests ==="
   cmake -B build-asan -S . -DVLORA_SANITIZE=asan
-  cmake --build build-asan -j --target "${CONCURRENCY_TARGETS[@]}"
-  ctest --test-dir build-asan --output-on-failure -L concurrency
-  record "ASan+UBSan concurrency tests" "pass"
+  cmake --build build-asan -j --target "${CONCURRENCY_TARGETS[@]}" "${E2E_PROCESS_TARGETS[@]}"
+  ctest --test-dir build-asan --output-on-failure -L "concurrency|e2e_process"
+  record "ASan+UBSan concurrency+e2e tests" "pass"
 else
-  record "ASan+UBSan concurrency tests" "skip (SKIP_ASAN=1)"
+  record "ASan+UBSan concurrency+e2e tests" "skip (SKIP_ASAN=1)"
 fi
 
 echo

@@ -18,14 +18,28 @@ ClusterServer::ClusterServer(const ModelConfig& config, const ClusterOptions& op
   if (options_.overload_spill_depth <= 0) {
     options_.overload_spill_depth = std::max<int64_t>(1, options_.replica_queue_capacity / 2);
   }
-  ReplicaOptions replica_options;
-  replica_options.server = options_.server;
-  replica_options.queue_capacity = options_.replica_queue_capacity;
-  replica_options.admission = options_.admission;
-  replica_options.fault = options_.fault;
   replicas_.reserve(static_cast<size_t>(options_.num_replicas));
-  for (int i = 0; i < options_.num_replicas; ++i) {
-    replicas_.push_back(std::make_unique<Replica>(i, config, replica_options));
+  if (options_.backend == ReplicaBackend::kProcess) {
+    // The cluster-level knobs win over whatever the caller left in the
+    // process sub-options; only transport/window/timing tuning comes from
+    // options_.process.
+    ProcessReplicaOptions process_options = options_.process;
+    process_options.server = options_.server;
+    process_options.queue_capacity = options_.replica_queue_capacity;
+    process_options.admission = options_.admission;
+    process_options.fault = options_.fault;
+    for (int i = 0; i < options_.num_replicas; ++i) {
+      replicas_.push_back(std::make_unique<ProcessReplica>(i, config, process_options));
+    }
+  } else {
+    ReplicaOptions replica_options;
+    replica_options.server = options_.server;
+    replica_options.queue_capacity = options_.replica_queue_capacity;
+    replica_options.admission = options_.admission;
+    replica_options.fault = options_.fault;
+    for (int i = 0; i < options_.num_replicas; ++i) {
+      replicas_.push_back(std::make_unique<ThreadReplica>(i, config, replica_options));
+    }
   }
   for (auto& replica : replicas_) {
     replica->SetHandlers(
@@ -461,6 +475,19 @@ bool ClusterServer::WaitForReadmissions(int64_t count, double timeout_ms) {
   const double deadline_ms = clock_.ElapsedMillis() + timeout_ms;
   MutexLock lock(&mutex_);
   while (readmissions_ < count) {
+    const double remaining_ms = deadline_ms - clock_.ElapsedMillis();
+    if (remaining_ms <= 0.0) {
+      return false;
+    }
+    health_cv_.WaitForMs(mutex_, remaining_ms);
+  }
+  return true;
+}
+
+bool ClusterServer::WaitForReplicaDeaths(int64_t count, double timeout_ms) {
+  const double deadline_ms = clock_.ElapsedMillis() + timeout_ms;
+  MutexLock lock(&mutex_);
+  while (replica_deaths_ < count) {
     const double remaining_ms = deadline_ms - clock_.ElapsedMillis();
     if (remaining_ms <= 0.0) {
       return false;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/cluster/placement.h"
+#include "src/cluster/process_replica.h"
 #include "src/cluster/replica.h"
 #include "src/cluster/router.h"
 #include "src/common/fault.h"
@@ -62,6 +63,15 @@ struct ClusterOptions {
   ServerOptions server;  // applied to every replica
   RoutePolicy policy = RoutePolicy::kAdapterAffinity;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  // kThread hosts every replica in this process (default); kProcess forks a
+  // vlora_executor per replica and drives it over the wire protocol. The
+  // recovery machinery (quarantine, retries, rebalance) is identical either
+  // way — with kProcess an executor death is a real process death.
+  ReplicaBackend backend = ReplicaBackend::kThread;
+  // kProcess tuning (transport, inflight window, heartbeat/stop timing).
+  // The server/queue_capacity/admission/fault members inside are ignored:
+  // the cluster-level equivalents above are applied to every backend.
+  ProcessReplicaOptions process;
   int64_t replica_queue_capacity = 64;
   // Home-replica depth at which affinity routing spills to least-loaded;
   // 0 derives half the queue capacity.
@@ -151,6 +161,13 @@ class ClusterServer {
   // replacement for sleep-polling Stats() in tests and benches that observe
   // recovery progress.
   [[nodiscard]] bool WaitForReadmissions(int64_t count, double timeout_ms)
+      VLORA_EXCLUDES(mutex_);
+
+  // Same contract for recorded replica deaths. A replica's own fail-over runs
+  // before its orphans complete, but the supervisor's health tick *records*
+  // the death slightly later — tests that assert on replica_deaths wait here
+  // instead of racing Drain against that tick.
+  [[nodiscard]] bool WaitForReplicaDeaths(int64_t count, double timeout_ms)
       VLORA_EXCLUDES(mutex_);
 
   // Stops the supervisor and the replicas, cancelling queued-but-unstarted

@@ -9,8 +9,9 @@
 
 namespace vlora {
 
-Replica::Replica(int index, const ModelConfig& config, const ReplicaOptions& options)
-    : index_(index),
+ThreadReplica::ThreadReplica(int index, const ModelConfig& config,
+                             const ReplicaOptions& options)
+    : Replica(index),
       queue_capacity_(options.queue_capacity),
       admission_(options.admission),
       fault_(options.fault),
@@ -18,13 +19,13 @@ Replica::Replica(int index, const ModelConfig& config, const ReplicaOptions& opt
   VLORA_CHECK(queue_capacity_ >= 1);
 }
 
-Replica::~Replica() {
+ThreadReplica::~ThreadReplica() {
   RequestStop();
   // The hosting pool joins the worker; by the time the pool is destroyed the
   // loop has observed stop_requested_ and returned.
 }
 
-int Replica::AddAdapter(const LoraAdapter& adapter) {
+int ThreadReplica::AddAdapter(const LoraAdapter& adapter) {
   {
     MutexLock lock(&mutex_);
     VLORA_CHECK(!running_);
@@ -32,7 +33,7 @@ int Replica::AddAdapter(const LoraAdapter& adapter) {
   return server_.AddAdapter(std::make_unique<LoraAdapter>(adapter));
 }
 
-void Replica::Prewarm(const std::vector<int>& adapter_ids) {
+void ThreadReplica::Prewarm(const std::vector<int>& adapter_ids) {
   {
     MutexLock lock(&mutex_);
     VLORA_CHECK(!running_);
@@ -42,7 +43,7 @@ void Replica::Prewarm(const std::vector<int>& adapter_ids) {
   }
 }
 
-void Replica::SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) {
+void ThreadReplica::SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) {
   {
     MutexLock lock(&mutex_);
     VLORA_CHECK(!running_);
@@ -51,7 +52,7 @@ void Replica::SetHandlers(CompletionHandler on_complete, FailureHandler on_failu
   on_failure_ = std::move(on_failure);
 }
 
-void Replica::Start(ThreadPool* pool) {
+void ThreadReplica::Start(ThreadPool* pool) {
   VLORA_CHECK(pool != nullptr);
   {
     MutexLock lock(&mutex_);
@@ -61,11 +62,11 @@ void Replica::Start(ThreadPool* pool) {
   pool->Post([this] { WorkerLoop(); });
 }
 
-EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
+EnqueueResult ThreadReplica::Enqueue(EngineRequest request, bool never_block) {
   if (admission_ == AdmissionPolicy::kBlock && !never_block) {
     // This call may park on space_cv_; a caller holding any real lock here
     // would stall the whole cluster behind one full queue.
-    VLORA_BLOCKING_REGION(nullptr, "Replica::Enqueue(kBlock)");
+    VLORA_BLOCKING_REGION(nullptr, "ThreadReplica::Enqueue(kBlock)");
   }
   const int64_t request_id = request.id;
   const int adapter_id = request.adapter_id;
@@ -101,13 +102,13 @@ EnqueueResult Replica::Enqueue(EngineRequest request, bool never_block) {
   return EnqueueResult::kAccepted;
 }
 
-void Replica::FailRequest(int64_t request_id, const Status& status) {
+void ThreadReplica::FailRequest(int64_t request_id, const Status& status) {
   if (on_failure_) {
     on_failure_(index_, request_id, status);
   }
 }
 
-void Replica::Die() {
+void ThreadReplica::Die() {
   std::vector<int64_t> failed_ids;
   {
     MutexLock lock(&mutex_);
@@ -137,7 +138,7 @@ void Replica::Die() {
   }
 }
 
-void Replica::WorkerLoop() {
+void ThreadReplica::WorkerLoop() {
   // Worker-thread attribution: engine batch steps and kernel dispatches
   // emitted from this thread carry the replica index.
   trace::SetCurrentReplica(index_);
@@ -256,7 +257,7 @@ void Replica::WorkerLoop() {
   }
 }
 
-std::vector<EngineRequest> Replica::StealIngress() {
+std::vector<EngineRequest> ThreadReplica::StealIngress() {
   std::vector<EngineRequest> stolen;
   bool drained = false;
   {
@@ -276,15 +277,15 @@ std::vector<EngineRequest> Replica::StealIngress() {
   return stolen;
 }
 
-void Replica::WaitDrained() {
-  VLORA_BLOCKING_REGION(nullptr, "Replica::WaitDrained");
+void ThreadReplica::WaitDrained() {
+  VLORA_BLOCKING_REGION(nullptr, "ThreadReplica::WaitDrained");
   MutexLock lock(&mutex_);
   while (!ingress_.empty() || in_server_ != 0) {
     drained_cv_.Wait(mutex_);
   }
 }
 
-void Replica::RequestStop() {
+void ThreadReplica::RequestStop() {
   {
     MutexLock lock(&mutex_);
     stop_requested_ = true;
@@ -296,16 +297,17 @@ void Replica::RequestStop() {
   space_cv_.NotifyAll();
 }
 
-std::vector<EngineResult> Replica::TakeResults() {
+std::vector<EngineResult> ThreadReplica::TakeResults() {
   MutexLock lock(&mutex_);
   std::vector<EngineResult> out;
   out.swap(results_);
   return out;
 }
 
-ReplicaSnapshot Replica::Snapshot() {
+ReplicaSnapshot ThreadReplica::Snapshot() {
   ReplicaSnapshot snapshot;
   snapshot.index = index_;
+  snapshot.backend = ReplicaBackendName(ReplicaBackend::kThread);
   {
     // Order matters for TSan cleanliness: take the step mutex first so the
     // server stats copy cannot overlap a StepOnce, then the state mutex.

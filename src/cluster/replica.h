@@ -1,13 +1,27 @@
-// One serving replica: a VloraServer behind a bounded ingress queue, driven
-// by a worker loop hosted on the cluster's ThreadPool.
+// The replica contract and its in-process implementation.
 //
-// Threading model: the router thread calls Enqueue(); exactly one worker
-// thread runs WorkerLoop(), which moves queued requests into the server and
-// calls StepOnce() until the replica drains. The server itself is therefore
-// single-threaded apart from its staged Submit. All cross-thread state
-// (ingress queue, outstanding count, result buffer, latency recorder) is
-// guarded by one mutex; stats snapshots serialise against StepOnce through a
-// separate step mutex so they can be taken mid-run under TSan.
+// `Replica` is the abstract surface the ClusterServer drives: setup
+// (AddAdapter/Prewarm/SetHandlers), a Start that posts the replica's service
+// loop onto the cluster's ThreadPool, the router-thread Enqueue with
+// admission control, the health signals (Depth/dead/HeartbeatMs), and the
+// recovery hooks (StealIngress on quarantine, completion/failure handlers).
+// Two implementations exist:
+//
+//   ThreadReplica   (here)      a VloraServer behind a bounded ingress queue,
+//                               driven by a worker loop in this process — the
+//                               default and the test backend.
+//   ProcessReplica  (process_replica.h)  the same contract over a forked
+//                               executor process and the src/net wire
+//                               protocol; real SIGKILLs instead of simulated
+//                               ones.
+//
+// ThreadReplica threading model: the router thread calls Enqueue(); exactly
+// one worker thread runs WorkerLoop(), which moves queued requests into the
+// server and calls StepOnce() until the replica drains. The server itself is
+// therefore single-threaded apart from its staged Submit. All cross-thread
+// state (ingress queue, outstanding count, result buffer, latency recorder)
+// is guarded by one mutex; stats snapshots serialise against StepOnce
+// through a separate step mutex so they can be taken mid-run under TSan.
 //
 // Backpressure: `queue_capacity` bounds *outstanding* requests (queued +
 // in-engine). kBlock makes Enqueue wait for space — the caller slows to the
@@ -56,6 +70,22 @@ enum class EnqueueResult {
   kRefused,   // replica is dead or stopping; try another replica
 };
 
+// Which Replica implementation a cluster hosts.
+enum class ReplicaBackend {
+  kThread,   // in-process worker thread (default; deterministic tests)
+  kProcess,  // forked executor process over the wire protocol
+};
+
+constexpr const char* ReplicaBackendName(ReplicaBackend backend) {
+  switch (backend) {
+    case ReplicaBackend::kThread:
+      return "thread";
+    case ReplicaBackend::kProcess:
+      return "process";
+  }
+  return "?";
+}
+
 struct ReplicaOptions {
   ServerOptions server;
   int64_t queue_capacity = 64;  // bound on outstanding requests
@@ -65,6 +95,7 @@ struct ReplicaOptions {
 
 struct ReplicaSnapshot {
   int index = 0;
+  const char* backend = "thread";
   bool dead = false;
   int64_t submitted = 0;
   int64_t completed = 0;
@@ -74,19 +105,22 @@ struct ReplicaSnapshot {
   int64_t stolen = 0;     // queued requests reclaimed by the health checker
   int64_t stalls = 0;     // injected worker stalls served
   int64_t peak_depth = 0;
-  ServerStats server;        // logical-clock serving stats
+  ServerStats server;        // logical-clock serving stats (thread backend only)
   LatencyRecorder latency;   // wall-clock enqueue -> completion
 };
 
+// Abstract replica driven by the ClusterServer. All methods are called from
+// the master process: Enqueue from router threads, StealIngress and the
+// health-signal getters from the supervisor, the rest from the setup /
+// shutdown path. Handlers registered via SetHandlers are invoked with no
+// replica lock held and may call back into the cluster layer.
 class Replica {
  public:
-  // Called without the replica lock held; both must be set before Start and
-  // be safe to invoke from the worker thread.
   using CompletionHandler = std::function<void(int replica, int64_t request_id)>;
   using FailureHandler = std::function<void(int replica, int64_t request_id, const Status&)>;
 
-  Replica(int index, const ModelConfig& config, const ReplicaOptions& options);
-  ~Replica();
+  explicit Replica(int index) : index_(index) {}
+  virtual ~Replica() = default;
 
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
@@ -94,50 +128,80 @@ class Replica {
   int index() const { return index_; }
 
   // Setup phase (before Start): register an adapter copy / pre-warm the
-  // placement's home set onto the device.
-  int AddAdapter(const LoraAdapter& adapter) VLORA_EXCLUDES(mutex_);
-  void Prewarm(const std::vector<int>& adapter_ids) VLORA_EXCLUDES(mutex_);
+  // placement's home set onto the device. AddAdapter returns the id the
+  // replica assigned (identical across replicas for identical call order).
+  virtual int AddAdapter(const LoraAdapter& adapter) = 0;
+  virtual void Prewarm(const std::vector<int>& adapter_ids) = 0;
 
-  // Optional recovery wiring; may be left unset for standalone use.
-  void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure)
-      VLORA_EXCLUDES(mutex_);
+  // Optional recovery wiring; may be left unset for standalone use. Both
+  // handlers must be set before Start and be safe to invoke from the
+  // replica's service thread.
+  virtual void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) = 0;
 
-  // Posts the worker loop; the pool must dedicate a thread to it.
-  void Start(ThreadPool* pool) VLORA_EXCLUDES(mutex_);
+  // Posts the replica's service loop; the pool must dedicate a thread to it.
+  virtual void Start(ThreadPool* pool) = 0;
 
   // Router-thread entry. `never_block` turns a kBlock replica into fail-fast
   // for this one call (the supervisor's retry path must never block).
-  [[nodiscard]] EnqueueResult Enqueue(EngineRequest request, bool never_block = false)
-      VLORA_EXCLUDES(mutex_);
+  [[nodiscard]] virtual EnqueueResult Enqueue(EngineRequest request,
+                                              bool never_block = false) = 0;
 
-  // Outstanding requests (queued + in-engine). Lock-free; the router's load
+  // Outstanding requests (queued + in-flight). Lock-free; the router's load
   // signal.
-  int64_t Depth() const { return depth_.load(std::memory_order_relaxed); }
+  virtual int64_t Depth() const = 0;
 
-  // True once an injected kill has fired; the replica accepts nothing more.
-  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  // True once the replica is permanently gone (injected kill, executor
+  // death); it accepts nothing more.
+  virtual bool dead() const = 0;
 
-  // Worker-loop liveness stamp on the replica's own clock. Advances every
-  // iteration; stops during an injected stall and after death. Paired with
-  // Depth() it is the health checker's stall signal.
-  double HeartbeatMs() const { return heartbeat_ms_.load(std::memory_order_relaxed); }
+  // Service-loop liveness stamp. Advances while the replica makes progress;
+  // stops during a stall and after death. Paired with Depth() it is the
+  // health checker's stall signal.
+  virtual double HeartbeatMs() const = 0;
 
   // Reclaims queued-but-unstarted requests (quarantine spill); the caller
-  // re-routes them. In-engine requests cannot be reclaimed.
-  [[nodiscard]] std::vector<EngineRequest> StealIngress() VLORA_EXCLUDES(mutex_);
+  // re-routes them. Requests already executing cannot be reclaimed.
+  [[nodiscard]] virtual std::vector<EngineRequest> StealIngress() = 0;
 
   // Blocks until every accepted request has finished (or failed over).
-  void WaitDrained() VLORA_EXCLUDES(mutex_);
+  virtual void WaitDrained() = 0;
 
-  // Asks the worker loop to cancel queued work and exit once the engine is
-  // empty; wakes blocked submitters and opens any fault-injector gate.
-  void RequestStop() VLORA_EXCLUDES(mutex_);
+  // Asks the replica to cancel queued work and wind down once in-flight
+  // requests finish; wakes blocked submitters.
+  virtual void RequestStop() = 0;
 
   // Moves out results accumulated since the last call.
-  [[nodiscard]] std::vector<EngineResult> TakeResults() VLORA_EXCLUDES(mutex_);
+  [[nodiscard]] virtual std::vector<EngineResult> TakeResults() = 0;
 
-  // Consistent copy of the counters; safe while the worker runs.
-  [[nodiscard]] ReplicaSnapshot Snapshot() VLORA_EXCLUDES(step_mutex_, mutex_);
+  // Consistent copy of the counters; safe while the replica serves.
+  [[nodiscard]] virtual ReplicaSnapshot Snapshot() = 0;
+
+ protected:
+  const int index_;
+};
+
+// The in-process implementation (see the file comment for the threading and
+// failure model).
+class ThreadReplica : public Replica {
+ public:
+  ThreadReplica(int index, const ModelConfig& config, const ReplicaOptions& options);
+  ~ThreadReplica() override;
+
+  int AddAdapter(const LoraAdapter& adapter) override VLORA_EXCLUDES(mutex_);
+  void Prewarm(const std::vector<int>& adapter_ids) override VLORA_EXCLUDES(mutex_);
+  void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) override
+      VLORA_EXCLUDES(mutex_);
+  void Start(ThreadPool* pool) override VLORA_EXCLUDES(mutex_);
+  [[nodiscard]] EnqueueResult Enqueue(EngineRequest request, bool never_block) override
+      VLORA_EXCLUDES(mutex_);
+  int64_t Depth() const override { return depth_.load(std::memory_order_relaxed); }
+  bool dead() const override { return dead_.load(std::memory_order_acquire); }
+  double HeartbeatMs() const override { return heartbeat_ms_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::vector<EngineRequest> StealIngress() override VLORA_EXCLUDES(mutex_);
+  void WaitDrained() override VLORA_EXCLUDES(mutex_);
+  void RequestStop() override VLORA_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<EngineResult> TakeResults() override VLORA_EXCLUDES(mutex_);
+  [[nodiscard]] ReplicaSnapshot Snapshot() override VLORA_EXCLUDES(step_mutex_, mutex_);
 
   // Direct server access for tests; only valid when the replica is idle.
   VloraServer& server_for_testing() { return server_; }
@@ -158,7 +222,6 @@ class Replica {
     return static_cast<int64_t>(ingress_.size()) + in_server_;
   }
 
-  const int index_;
   const int64_t queue_capacity_;
   const AdmissionPolicy admission_;
   FaultInjector* const fault_;  // may be null
@@ -167,7 +230,7 @@ class Replica {
   CompletionHandler on_complete_;
   FailureHandler on_failure_;
 
-  Mutex mutex_{Rank::kReplicaIngress, "Replica::mutex_"};
+  Mutex mutex_{Rank::kReplicaIngress, "ThreadReplica::mutex_"};
   CondVar ingress_cv_;  // wakes the worker
   CondVar space_cv_;    // wakes blocked submitters
   CondVar drained_cv_;  // wakes WaitDrained
@@ -189,7 +252,8 @@ class Replica {
   // Serialises StepOnce vs Snapshot's server-stats copy. Lock order: always
   // taken before mutex_ (Snapshot), never the other way around — the rank
   // (kReplicaStep > kReplicaIngress) enforces it at runtime in debug builds.
-  Mutex step_mutex_ VLORA_ACQUIRED_BEFORE(mutex_){Rank::kReplicaStep, "Replica::step_mutex_"};
+  Mutex step_mutex_ VLORA_ACQUIRED_BEFORE(mutex_){Rank::kReplicaStep,
+                                                  "ThreadReplica::step_mutex_"};
 
   std::atomic<int64_t> depth_{0};
   std::atomic<bool> dead_{false};

@@ -35,6 +35,12 @@ void FaultInjector::StallReplicaAfter(int replica, int64_t completed, double sta
   scripted_.push_back({FaultKind::kStallReplica, replica, completed, stall_ms, false});
 }
 
+void FaultInjector::KillProcessAfter(int replica, int64_t completed) {
+  VLORA_CHECK(replica >= 0);
+  MutexLock lock(&mutex_);
+  scripted_.push_back({FaultKind::kKillProcess, replica, completed, 0.0, false});
+}
+
 void FaultInjector::FailRequests(double probability) {
   VLORA_CHECK(probability >= 0.0 && probability <= 1.0);
   MutexLock lock(&mutex_);
@@ -80,7 +86,8 @@ WorkerFault FaultInjector::OnWorkerIteration(int replica, int64_t completed) {
   WorkerFault fault;
   MutexLock lock(&mutex_);
   for (ScriptedFault& scripted : scripted_) {
-    if (scripted.fired || scripted.replica != replica || completed < scripted.after_completed) {
+    if (scripted.fired || scripted.kind == FaultKind::kKillProcess ||
+        scripted.replica != replica || completed < scripted.after_completed) {
       continue;
     }
     scripted.fired = true;
@@ -92,6 +99,20 @@ WorkerFault FaultInjector::OnWorkerIteration(int replica, int64_t completed) {
     }
   }
   return fault;
+}
+
+bool FaultInjector::ShouldKillProcess(int replica, int64_t completed) {
+  MutexLock lock(&mutex_);
+  for (ScriptedFault& scripted : scripted_) {
+    if (scripted.fired || scripted.kind != FaultKind::kKillProcess ||
+        scripted.replica != replica || completed < scripted.after_completed) {
+      continue;
+    }
+    scripted.fired = true;
+    RecordLocked(scripted.kind, replica, -1, 0.0);
+    return true;
+  }
+  return false;
 }
 
 bool FaultInjector::ShouldFailRequest(int replica, int64_t request_id) {

@@ -13,6 +13,11 @@
 //     values, never on thread interleaving, so a fixed seed fails the same
 //     requests on the same replicas regardless of scheduling. A request that
 //     fails on one replica gets a fresh draw when it is retried on another.
+//   * ShouldKillProcess(replica, completed) — the process-backend twin of the
+//     scripted kill: ProcessReplica consults it after each completion *it*
+//     observed, and on a hit SIGKILLs its executor for real. Keyed on the
+//     stable replica id and the master-observed completion count (executor-
+//     local counts reset across restarts and would misfire).
 //   * WaitWhileGated() — a start gate for tests: while the gate is closed
 //     every worker parks before touching its ingress queue, which lets a test
 //     fill bounded queues to a deterministic depth before any processing
@@ -39,6 +44,7 @@ enum class FaultKind {
   kKillReplica,   // worker dies; queued + in-flight requests fail over
   kStallReplica,  // worker sleeps once for stall_ms (stuck-GPU stand-in)
   kFailRequest,   // one request fails at submit time on one replica
+  kKillProcess,   // an executor process gets a real SIGKILL (process backend)
 };
 
 constexpr const char* FaultKindName(FaultKind kind) {
@@ -49,6 +55,8 @@ constexpr const char* FaultKindName(FaultKind kind) {
       return "stall-replica";
     case FaultKind::kFailRequest:
       return "fail-request";
+    case FaultKind::kKillProcess:
+      return "kill-process";
   }
   return "unknown";
 }
@@ -96,6 +104,13 @@ class FaultInjector {
   // probability (hash-based; see header comment).
   void FailRequests(double probability) VLORA_EXCLUDES(mutex_);
 
+  // Process-backend kill: the replica's executor is SIGKILLed at the first
+  // completion where the *master-observed* completed count reaches
+  // `completed`. Keyed on the stable replica id plus the master's counter —
+  // never on executor-local counts, which restart from zero if the process
+  // is ever respawned and would make scripts fire at the wrong point.
+  void KillProcessAfter(int replica, int64_t completed) VLORA_EXCLUDES(mutex_);
+
   // Closes the start gate: workers park in WaitWhileGated until OpenGate.
   void GateWorkers() VLORA_EXCLUDES(mutex_);
   void OpenGate() VLORA_EXCLUDES(mutex_);
@@ -106,6 +121,10 @@ class FaultInjector {
   WorkerFault OnWorkerIteration(int replica, int64_t completed) VLORA_EXCLUDES(mutex_);
 
   bool ShouldFailRequest(int replica, int64_t request_id) VLORA_EXCLUDES(mutex_);
+
+  // Consulted by ProcessReplica after each completion it observes; true
+  // exactly once per matching kKillProcess script entry.
+  bool ShouldKillProcess(int replica, int64_t completed) VLORA_EXCLUDES(mutex_);
 
   // Parks while the gate is closed. Returns immediately once the gate has
   // been opened (it never re-closes for waiters already past it).

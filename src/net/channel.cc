@@ -1,0 +1,29 @@
+#include "src/net/channel.h"
+
+namespace vlora {
+namespace net {
+
+Status Channel::Send(MessageType type, const std::string& body) {
+  const std::string frame = EncodeFrame(type, body);
+  MutexLock lock(&send_mutex_);
+  return SendAll(fd_, frame.data(), frame.size());
+}
+
+Result<Envelope> Channel::Recv() {
+  std::string payload;
+  char chunk[16 * 1024];
+  while (!assembler_.Next(&payload)) {
+    if (assembler_.poisoned()) {
+      return Status::OutOfRange("oversized frame on the wire");
+    }
+    Result<size_t> received = RecvSome(fd_, chunk, sizeof(chunk));
+    if (!received.ok()) {
+      return received.status();
+    }
+    VLORA_RETURN_IF_ERROR(assembler_.Feed(chunk, received.value()));
+  }
+  return DecodeEnvelope(payload);
+}
+
+}  // namespace net
+}  // namespace vlora

@@ -1,0 +1,303 @@
+#include "src/net/fd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vlora {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Result<Fd> NewSocket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  return Fd(fd);
+}
+
+// Fills a sockaddr_un; the 108-byte sun_path bound is why callers keep unix
+// socket names short (see ProcessReplica's /tmp naming).
+Result<sockaddr_un> UnixSockaddr(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.data(), path.size());
+  return addr;
+}
+
+// Request/response frames are small and latency-bound; without this, Nagle
+// against delayed ACKs adds ~40 ms per exchange on loopback TCP. Best-effort
+// (a no-op errno on non-TCP sockets is fine).
+void DisableNagle(const Fd& fd) {
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<sockaddr_in> TcpSockaddr(const std::string& host, int port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+SocketAddress SocketAddress::Unix(std::string socket_path) {
+  SocketAddress address;
+  address.transport = Transport::kUnix;
+  address.path = std::move(socket_path);
+  return address;
+}
+
+SocketAddress SocketAddress::Tcp(std::string host, int port) {
+  SocketAddress address;
+  address.transport = Transport::kTcp;
+  address.host = std::move(host);
+  address.port = port;
+  return address;
+}
+
+Result<SocketAddress> SocketAddress::Parse(const std::string& text) {
+  if (text.rfind("unix:", 0) == 0) {
+    const std::string path = text.substr(5);
+    if (path.empty()) {
+      return Status::InvalidArgument("empty unix socket path: " + text);
+    }
+    return Unix(path);
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+      return Status::InvalidArgument("expected tcp:host:port, got: " + text);
+    }
+    const std::string host = rest.substr(0, colon);
+    int port = 0;
+    for (size_t i = colon + 1; i < rest.size(); ++i) {
+      const char c = rest[i];
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad port in: " + text);
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("port out of range in: " + text);
+      }
+    }
+    return Tcp(host, port);
+  }
+  return Status::InvalidArgument("address must start with unix: or tcp:, got: " + text);
+}
+
+std::string SocketAddress::ToString() const {
+  if (transport == Transport::kUnix) {
+    return "unix:" + path;
+  }
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<Fd> Listen(const SocketAddress& address, int backlog) {
+  if (address.transport == Transport::kUnix) {
+    auto addr = UnixSockaddr(address.path);
+    if (!addr.ok()) {
+      return addr.status();
+    }
+    UnlinkSocketFile(address.path);  // stale file from a crashed run
+    auto fd = NewSocket(AF_UNIX);
+    if (!fd.ok()) {
+      return fd.status();
+    }
+    if (::bind(fd->get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+               sizeof(addr.value())) != 0) {
+      return Errno("bind(" + address.ToString() + ")");
+    }
+    if (::listen(fd->get(), backlog) != 0) {
+      return Errno("listen(" + address.ToString() + ")");
+    }
+    return std::move(fd).value();
+  }
+  auto addr = TcpSockaddr(address.host, address.port);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  auto fd = NewSocket(AF_INET);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  const int one = 1;
+  if (::setsockopt(fd->get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd->get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(addr.value())) != 0) {
+    return Errno("bind(" + address.ToString() + ")");
+  }
+  if (::listen(fd->get(), backlog) != 0) {
+    return Errno("listen(" + address.ToString() + ")");
+  }
+  return std::move(fd).value();
+}
+
+Result<int> BoundTcpPort(const Fd& listener) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<Fd> AcceptWithTimeout(const Fd& listener, double timeout_ms) {
+  pollfd pfd;
+  pfd.fd = listener.get();
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("poll(listener)");
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("no connection within " + std::to_string(timeout_ms) +
+                                      " ms");
+    }
+    break;
+  }
+  const int fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    return Errno("accept");
+  }
+  Fd accepted(fd);
+  DisableNagle(accepted);
+  return accepted;
+}
+
+Result<Fd> Connect(const SocketAddress& address) {
+  if (address.transport == Transport::kUnix) {
+    auto addr = UnixSockaddr(address.path);
+    if (!addr.ok()) {
+      return addr.status();
+    }
+    auto fd = NewSocket(AF_UNIX);
+    if (!fd.ok()) {
+      return fd.status();
+    }
+    if (::connect(fd->get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                  sizeof(addr.value())) != 0) {
+      return Errno("connect(" + address.ToString() + ")");
+    }
+    return std::move(fd).value();
+  }
+  auto addr = TcpSockaddr(address.host, address.port);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  auto fd = NewSocket(AF_INET);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  if (::connect(fd->get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                sizeof(addr.value())) != 0) {
+    return Errno("connect(" + address.ToString() + ")");
+  }
+  DisableNagle(fd.value());
+  return std::move(fd).value();
+}
+
+Result<std::pair<Fd, Fd>> MakeSocketPair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return Errno("socketpair");
+  }
+  return std::make_pair(Fd(fds[0]), Fd(fds[1]));
+}
+
+Status SendAll(const Fd& fd, const void* data, size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::send(fd.get(), cursor, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("peer closed the connection");
+      }
+      return Errno("send");
+    }
+    cursor += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> RecvSome(const Fd& fd, void* data, size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), data, size, 0);
+    if (n > 0) {
+      return static_cast<size_t>(n);
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed the connection");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("receive timed out");
+    }
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("connection reset by peer");
+    }
+    return Errno("recv");
+  }
+}
+
+Status SetRecvTimeout(const Fd& fd, double timeout_ms) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1e3);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms - static_cast<double>(tv.tv_sec) * 1e3) * 1e3);
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+void UnlinkSocketFile(const std::string& path) {
+  if (!path.empty()) {
+    ::unlink(path.c_str());
+  }
+}
+
+}  // namespace net
+}  // namespace vlora

@@ -1,0 +1,135 @@
+// Length-prefixed binary wire format shared by the master and the executor.
+//
+// Frame layout (see DESIGN.md §11 for the full diagram):
+//
+//   [u32 length]                      -- payload bytes that follow, LE
+//   payload:
+//     [u16 magic 0x564C "VL"]         -- cheap desync detector
+//     [u8  protocol version]
+//     [u8  message type]              -- net::MessageType
+//     [body ...]                      -- per-type fields (messages.h)
+//
+// Field codec inside bodies: fixed-width little-endian scalars for floats
+// and hash-like values, LEB128 varints for counts/lengths (zigzag for signed
+// ints that can be negative, e.g. adapter_id = -1), and length-prefixed byte
+// runs for strings and numeric arrays.
+//
+// Decoding never trusts the peer: every count/length is bounded before
+// allocation, a frame longer than kMaxFrameBytes poisons the assembler with
+// a clean Status (no crash, no unbounded buffering), and WireReader turns
+// any truncated or malformed read into `ok() == false` rather than UB.
+
+#ifndef VLORA_SRC_NET_WIRE_H_
+#define VLORA_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace vlora {
+namespace net {
+
+inline constexpr uint16_t kWireMagic = 0x564C;  // "VL"
+inline constexpr uint8_t kProtocolVersion = 1;
+// Bounds one frame; large enough for a serialized adapter of the biggest
+// test model, small enough that a corrupt length cannot OOM the master.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+// Appends fields to a growing byte buffer. All writes succeed; the caller
+// frames the result with EncodeFrame / Channel::Send.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Fixed(&v, sizeof(v)); }
+  void U32(uint32_t v) { Fixed(&v, sizeof(v)); }
+  void U64(uint64_t v) { Fixed(&v, sizeof(v)); }
+  void F32(float v) { Fixed(&v, sizeof(v)); }
+  void F64(double v) { Fixed(&v, sizeof(v)); }
+
+  // LEB128: 7 bits per byte, high bit = continuation.
+  void Varint(uint64_t v);
+  // Zigzag-mapped varint for small-magnitude signed values.
+  void SignedVarint(int64_t v);
+
+  void Str(const std::string& s);
+  void I32Array(const int32_t* data, size_t count);
+  void F32Array(const float* data, size_t count);
+
+  const std::string& data() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  void Fixed(const void* v, size_t size);
+
+  std::string buffer_;
+};
+
+// Consumes fields from a byte span. Every accessor returns false (and
+// latches ok() == false) on truncation, overflow or a bound violation; a
+// failed reader never reads past the span.
+class WireReader {
+ public:
+  WireReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit WireReader(const std::string& bytes) : WireReader(bytes.data(), bytes.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool F32(float* v);
+  bool F64(double* v);
+  bool Varint(uint64_t* v);
+  bool SignedVarint(int64_t* v);
+  bool Str(std::string* s, uint64_t max_size = 1u << 16);
+  bool I32Array(std::vector<int32_t>* out, uint64_t max_count);
+  bool F32Array(std::vector<float>* out, uint64_t max_count);
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  // True when every byte was consumed cleanly — trailing garbage in a frame
+  // is a protocol error, not padding.
+  bool Done() const { return ok_ && pos_ == size_; }
+
+ private:
+  bool Fixed(void* v, size_t size);
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Prepends the u32 length prefix to an already-built payload.
+std::string FramePayload(const std::string& payload);
+
+// Incremental frame reassembly over arbitrary read chunk boundaries (a
+// single Recv may deliver half a frame or three). Feed bytes as they arrive;
+// Next pops complete payloads in order. A declared length above
+// kMaxFrameBytes fails the Feed and poisons the assembler — the connection
+// must be dropped, there is no way to resynchronise a corrupt stream.
+class FrameAssembler {
+ public:
+  [[nodiscard]] Status Feed(const void* data, size_t size);
+  // Moves the next complete payload into *payload; false when none is
+  // buffered yet (or the assembler is poisoned).
+  bool Next(std::string* payload);
+
+  bool poisoned() const { return poisoned_; }
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace net
+}  // namespace vlora
+
+#endif  // VLORA_SRC_NET_WIRE_H_

@@ -276,14 +276,46 @@ TEST(LintRulesTest, TraceSpanExemptionsAndSuppression) {
   EXPECT_FALSE(HasRule(LintContent("src/core/a.cc", suppressed), "trace-span-unclosed"));
 }
 
+TEST(LintRulesTest, RawSocketFdFiresOutsideNetDirectory) {
+  const std::string bad = std::string("void Connect() {\n") +
+                          "  int fd = ::soc" "ket(AF_INET, SOCK_STREAM, 0);\n" +
+                          "  int peer = acc" "ept4(fd, nullptr, nullptr, 0);\n" +
+                          "  int pair[2];\n" +
+                          "  soc" "ketpair(AF_UNIX, SOCK_STREAM, 0, pair);\n" +
+                          "  ::clo" "se(fd);\n" +
+                          "}\n";
+  const std::vector<Finding> findings = LintContent("src/cluster/foo.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"raw-socket-fd"});
+  EXPECT_EQ(RulesAt(findings, 3), std::vector<std::string>{"raw-socket-fd"});
+  EXPECT_EQ(RulesAt(findings, 5), std::vector<std::string>{"raw-socket-fd"});
+  EXPECT_EQ(RulesAt(findings, 6), std::vector<std::string>{"raw-socket-fd"});
+  // The same text inside src/net/ is the RAII wrapper itself: exempt.
+  EXPECT_FALSE(HasRule(LintContent("src/net/fd.cc", bad), "raw-socket-fd"));
+}
+
+TEST(LintRulesTest, RawSocketFdIgnoresMembersCommentsAndSuppression) {
+  // Member calls, destructor references and identifiers that merely contain
+  // the call names are not raw descriptor calls.
+  const std::string quiet = std::string("channel.clo" "se();\n") +
+                            "stream->clo" "se();\n" +
+                            "WebSoc" "ket(url);\n" +
+                            "OnClo" "se(handler);\n" +
+                            "// ::clo" "se(fd) is banned here\n";
+  EXPECT_FALSE(HasRule(LintContent("src/cluster/foo.cc", quiet), "raw-socket-fd"));
+  const std::string suppressed =
+      std::string("  ::clo" "se(fd);  // vlora-lint: allow(raw-socket-fd)\n");
+  EXPECT_FALSE(HasRule(LintContent("src/cluster/foo.cc", suppressed), "raw-socket-fd"));
+}
+
 TEST(LintRulesTest, RuleNamesAreStable) {
   const std::vector<std::string> names = RuleNames();
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "mutexlock-temporary"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "status-switch-exhaustive"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-unclosed"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-socket-fd"), names.end());
 }
 
 TEST(LintRulesTest, FormatFindingIsFileLineRuleMessage) {

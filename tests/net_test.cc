@@ -1,0 +1,624 @@
+// Wire-protocol tests (src/net): codec edge cases, frame reassembly across
+// arbitrary chunk boundaries, rejection of truncated/corrupt/oversized input
+// (always a clean Status or false, never UB), a round trip of every message
+// type — including bit-exact adapter weights — and a Channel smoke test over
+// a real socketpair.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/model_config.h"
+#include "src/lora/adapter.h"
+#include "src/net/channel.h"
+#include "src/net/fd.h"
+#include "src/net/messages.h"
+#include "src/net/wire.h"
+
+namespace vlora {
+namespace net {
+namespace {
+
+// --- WireWriter / WireReader -----------------------------------------------
+
+TEST(WireCodecTest, VarintRoundTripsEdgeValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : values) {
+    WireWriter writer;
+    writer.Varint(value);
+    WireReader reader(writer.data());
+    uint64_t decoded = 0;
+    EXPECT_TRUE(reader.Varint(&decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(reader.Done());
+  }
+}
+
+TEST(WireCodecTest, SignedVarintZigzagsSmallNegatives) {
+  const int64_t values[] = {0, -1, 1, -64, 64, std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t value : values) {
+    WireWriter writer;
+    writer.SignedVarint(value);
+    WireReader reader(writer.data());
+    int64_t decoded = 0;
+    EXPECT_TRUE(reader.SignedVarint(&decoded)) << value;
+    EXPECT_EQ(decoded, value);
+  }
+  // -1 must stay one byte on the wire (adapter_id = -1 is the common case).
+  WireWriter writer;
+  writer.SignedVarint(-1);
+  EXPECT_EQ(writer.data().size(), 1u);
+}
+
+TEST(WireCodecTest, TruncatedVarintFailsCleanly) {
+  WireWriter writer;
+  writer.Varint(std::numeric_limits<uint64_t>::max());
+  const std::string bytes = writer.data();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireReader reader(bytes.data(), cut);
+    uint64_t decoded = 0;
+    EXPECT_FALSE(reader.Varint(&decoded)) << "cut at " << cut;
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+TEST(WireCodecTest, OverlongVarintIsRejected) {
+  // Ten continuation bytes claiming bits beyond the 64th.
+  const std::string overlong(10, static_cast<char>(0xFF));
+  WireReader reader(overlong);
+  uint64_t decoded = 0;
+  EXPECT_FALSE(reader.Varint(&decoded));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireCodecTest, FailedReaderLatchesAndStopsConsuming) {
+  WireWriter writer;
+  writer.U8(7);
+  WireReader reader(writer.data());
+  uint32_t wide = 0;
+  EXPECT_FALSE(reader.U32(&wide));  // only one byte available
+  // Latched: even a read that would fit now fails.
+  uint8_t narrow = 0;
+  EXPECT_FALSE(reader.U8(&narrow));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.Done());
+}
+
+TEST(WireCodecTest, StrHonoursCallerBound) {
+  WireWriter writer;
+  writer.Str("hello world");
+  WireReader strict(writer.data());
+  std::string out;
+  EXPECT_FALSE(strict.Str(&out, /*max_size=*/4));
+  WireReader relaxed(writer.data());
+  EXPECT_TRUE(relaxed.Str(&out, /*max_size=*/64));
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(WireCodecTest, StrLengthBeyondBufferFails) {
+  WireWriter writer;
+  writer.Varint(1000);  // declares 1000 bytes, provides none
+  WireReader reader(writer.data());
+  std::string out;
+  EXPECT_FALSE(reader.Str(&out));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireCodecTest, ArraysRoundTripAndEnforceMaxCount) {
+  const std::vector<int32_t> ints = {-3, 0, 7, 1 << 30};
+  const std::vector<float> floats = {0.0f, -1.5f, 3.25e6f};
+  WireWriter writer;
+  writer.I32Array(ints.data(), ints.size());
+  writer.F32Array(floats.data(), floats.size());
+
+  WireReader reader(writer.data());
+  std::vector<int32_t> ints_out;
+  std::vector<float> floats_out;
+  EXPECT_TRUE(reader.I32Array(&ints_out, /*max_count=*/16));
+  EXPECT_TRUE(reader.F32Array(&floats_out, /*max_count=*/16));
+  EXPECT_EQ(ints_out, ints);
+  EXPECT_EQ(floats_out, floats);
+  EXPECT_TRUE(reader.Done());
+
+  WireReader bounded(writer.data());
+  EXPECT_FALSE(bounded.I32Array(&ints_out, /*max_count=*/3));
+  EXPECT_FALSE(bounded.ok());
+}
+
+TEST(WireCodecTest, MixedFieldsRoundTrip) {
+  WireWriter writer;
+  writer.U8(0xAB);
+  writer.U16(0xBEEF);
+  writer.U32(0xDEADBEEFu);
+  writer.U64(0x0123456789ABCDEFull);
+  writer.F32(2.5f);
+  writer.F64(-1e100);
+  writer.Str("mixed");
+
+  WireReader reader(writer.data());
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  float f32 = 0.0f;
+  double f64 = 0.0;
+  std::string str;
+  EXPECT_TRUE(reader.U8(&u8));
+  EXPECT_TRUE(reader.U16(&u16));
+  EXPECT_TRUE(reader.U32(&u32));
+  EXPECT_TRUE(reader.U64(&u64));
+  EXPECT_TRUE(reader.F32(&f32));
+  EXPECT_TRUE(reader.F64(&f64));
+  EXPECT_TRUE(reader.Str(&str));
+  EXPECT_TRUE(reader.Done());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(f32, 2.5f);
+  EXPECT_EQ(f64, -1e100);
+  EXPECT_EQ(str, "mixed");
+}
+
+// --- FrameAssembler ---------------------------------------------------------
+
+TEST(FrameAssemblerTest, ReassemblesByteByByte) {
+  const std::string payload = EncodeFrame(MessageType::kStart, "");
+  const std::string frame = payload;  // EncodeFrame already length-prefixes
+  FrameAssembler assembler;
+  std::string out;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    ASSERT_TRUE(assembler.Feed(frame.data() + i, 1).ok());
+    EXPECT_FALSE(assembler.Next(&out)) << "frame complete too early at byte " << i;
+  }
+  ASSERT_TRUE(assembler.Feed(frame.data() + frame.size() - 1, 1).ok());
+  ASSERT_TRUE(assembler.Next(&out));
+  Result<Envelope> envelope = DecodeEnvelope(out);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_EQ(envelope.value().type, MessageType::kStart);
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+TEST(FrameAssemblerTest, PopsMultipleFramesFromOneFeed) {
+  HelloMessage hello;
+  hello.replica = 3;
+  hello.pid = 4242;
+  StopMessage stop;
+  const std::string stream = EncodeMessageFrame(hello) + EncodeMessageFrame(stop);
+
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(stream.data(), stream.size()).ok());
+  std::string first;
+  std::string second;
+  std::string third;
+  ASSERT_TRUE(assembler.Next(&first));
+  ASSERT_TRUE(assembler.Next(&second));
+  EXPECT_FALSE(assembler.Next(&third));
+
+  Result<Envelope> a = DecodeEnvelope(first);
+  Result<Envelope> b = DecodeEnvelope(second);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().type, MessageType::kHello);
+  EXPECT_EQ(b.value().type, MessageType::kStop);
+}
+
+TEST(FrameAssemblerTest, OversizedDeclaredLengthPoisons) {
+  const uint32_t huge = kMaxFrameBytes + 1;
+  char prefix[sizeof(huge)];
+  std::memcpy(prefix, &huge, sizeof(huge));
+
+  FrameAssembler assembler;
+  const Status fed = assembler.Feed(prefix, sizeof(prefix));
+  EXPECT_FALSE(fed.ok());
+  EXPECT_EQ(fed.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(assembler.poisoned());
+  std::string out;
+  EXPECT_FALSE(assembler.Next(&out));
+  // Poisoning is terminal: further feeds are refused, nothing is buffered up.
+  const Status refed = assembler.Feed("x", 1);
+  EXPECT_FALSE(refed.ok());
+  EXPECT_EQ(refed.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FrameAssemblerTest, OversizedQueuedFramePoisonsAfterPop) {
+  // A valid frame followed by a corrupt oversized length in the same buffer.
+  // Feed's eager check only sees the head of the buffer (the valid length),
+  // so the corrupt length is caught when Next pops past it — the first frame
+  // still delivers, then the assembler poisons instead of waiting for 4 GiB.
+  std::string stream = EncodeMessageFrame(StopMessage{});
+  const uint32_t huge = kMaxFrameBytes + 1;
+  stream.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.Feed(stream.data(), stream.size()).ok());
+  std::string out;
+  ASSERT_TRUE(assembler.Next(&out));
+  EXPECT_EQ(DecodeEnvelope(out).value().type, MessageType::kStop);
+  EXPECT_TRUE(assembler.poisoned());
+  EXPECT_FALSE(assembler.Next(&out));
+}
+
+// --- Envelope validation ----------------------------------------------------
+
+std::string PayloadOf(const std::string& frame) {
+  FrameAssembler assembler;
+  EXPECT_TRUE(assembler.Feed(frame.data(), frame.size()).ok());
+  std::string payload;
+  EXPECT_TRUE(assembler.Next(&payload));
+  return payload;
+}
+
+TEST(EnvelopeTest, RejectsShortHeaderBadMagicBadVersionUnknownType) {
+  EXPECT_FALSE(DecodeEnvelope("").ok());
+  EXPECT_FALSE(DecodeEnvelope("VL").ok());
+
+  std::string payload = PayloadOf(EncodeFrame(MessageType::kHeartbeat, "body"));
+  ASSERT_GE(payload.size(), 4u);
+
+  std::string bad_magic = payload;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeEnvelope(bad_magic).ok());
+
+  std::string bad_version = payload;
+  bad_version[2] = static_cast<char>(kProtocolVersion + 1);
+  EXPECT_FALSE(DecodeEnvelope(bad_version).ok());
+
+  std::string bad_type = payload;
+  bad_type[3] = 0;  // below kHello
+  EXPECT_FALSE(DecodeEnvelope(bad_type).ok());
+  bad_type[3] = static_cast<char>(static_cast<uint8_t>(MessageType::kGoodbye) + 1);
+  EXPECT_FALSE(DecodeEnvelope(bad_type).ok());
+
+  Result<Envelope> good = DecodeEnvelope(payload);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().type, MessageType::kHeartbeat);
+  EXPECT_EQ(good.value().body, "body");
+}
+
+// --- Typed message round trips ----------------------------------------------
+
+template <typename M>
+Result<M> RoundTrip(const M& message) {
+  const std::string payload = PayloadOf(EncodeMessageFrame(message));
+  Result<Envelope> envelope = DecodeEnvelope(payload);
+  if (!envelope.ok()) {
+    return envelope.status();
+  }
+  return DecodeAs<M>(envelope.value());
+}
+
+TEST(MessagesTest, HelloRoundTrips) {
+  HelloMessage hello;
+  hello.replica = 5;
+  hello.pid = 123456789;
+  Result<HelloMessage> out = RoundTrip(hello);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().replica, 5);
+  EXPECT_EQ(out.value().pid, 123456789);
+}
+
+TEST(MessagesTest, ConfigRoundTripsModelAndTuning) {
+  ConfigMessage config;
+  config.model = TinyConfig();
+  config.kv_block_size = 8;
+  config.kv_num_blocks = 99;
+  config.engine_seed = 0xC0FFEE;
+  config.theta_ms = 12.5;
+  config.exec_estimate_ms = 3.25;
+  config.switch_ms = 0.75;
+  config.slo_urgency_fraction = 0.4;
+  config.max_batch_size = 3;
+  config.device_pool_bytes = 12345678;
+  config.queue_capacity = 17;
+  config.heartbeat_period_ms = 7.5;
+
+  Result<ConfigMessage> out = RoundTrip(config);
+  ASSERT_TRUE(out.ok());
+  const ConfigMessage& decoded = out.value();
+  EXPECT_EQ(decoded.model.name, config.model.name);
+  EXPECT_EQ(decoded.model.num_layers, config.model.num_layers);
+  EXPECT_EQ(decoded.model.d_model, config.model.d_model);
+  EXPECT_EQ(decoded.model.vocab_size, config.model.vocab_size);
+  EXPECT_EQ(decoded.kv_block_size, 8);
+  EXPECT_EQ(decoded.kv_num_blocks, 99);
+  EXPECT_EQ(decoded.engine_seed, 0xC0FFEEu);
+  EXPECT_EQ(decoded.theta_ms, 12.5);
+  EXPECT_EQ(decoded.exec_estimate_ms, 3.25);
+  EXPECT_EQ(decoded.switch_ms, 0.75);
+  EXPECT_EQ(decoded.slo_urgency_fraction, 0.4);
+  EXPECT_EQ(decoded.max_batch_size, 3);
+  EXPECT_EQ(decoded.device_pool_bytes, 12345678);
+  EXPECT_EQ(decoded.queue_capacity, 17);
+  EXPECT_EQ(decoded.heartbeat_period_ms, 7.5);
+}
+
+TEST(MessagesTest, AckPrewarmStartStopGoodbyeRoundTrip) {
+  AckMessage ack;
+  ack.value = 42;
+  ack.code = StatusCode::kInvalidArgument;
+  ack.message = "nope";
+  Result<AckMessage> ack_out = RoundTrip(ack);
+  ASSERT_TRUE(ack_out.ok());
+  EXPECT_EQ(ack_out.value().value, 42);
+  EXPECT_EQ(ack_out.value().code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(ack_out.value().message, "nope");
+
+  PrewarmMessage prewarm;
+  prewarm.adapter_ids = {0, 3, 1};
+  Result<PrewarmMessage> prewarm_out = RoundTrip(prewarm);
+  ASSERT_TRUE(prewarm_out.ok());
+  EXPECT_EQ(prewarm_out.value().adapter_ids, prewarm.adapter_ids);
+
+  EXPECT_TRUE(RoundTrip(StartMessage{}).ok());
+  EXPECT_TRUE(RoundTrip(StopMessage{}).ok());
+
+  GoodbyeMessage goodbye;
+  goodbye.completed = 314;
+  Result<GoodbyeMessage> goodbye_out = RoundTrip(goodbye);
+  ASSERT_TRUE(goodbye_out.ok());
+  EXPECT_EQ(goodbye_out.value().completed, 314);
+}
+
+TEST(MessagesTest, RequestRoundTripsIncludingInjectedEmbeddings) {
+  RequestMessage message;
+  EngineRequest& request = message.request;
+  request.id = -7;  // ids are signed on the wire
+  request.prompt_tokens = {1, 2, 3, 500, 0};
+  request.adapter_id = -1;
+  request.max_new_tokens = 5;
+  request.use_task_head = true;
+  request.eos_token = 2;
+  request.sampling.temperature = 0.5f;
+  request.sampling.top_k = 40;
+  request.sampling.seed = 0xFACEu;
+  request.capture_final_hidden = true;
+  InjectedEmbeddings injected;
+  injected.position = 1;
+  injected.embeddings = Tensor(Shape(2, 3));
+  for (int64_t i = 0; i < injected.embeddings.NumElements(); ++i) {
+    injected.embeddings.data()[static_cast<size_t>(i)] = 0.25f * static_cast<float>(i);
+  }
+  request.injected.push_back(injected);
+
+  Result<RequestMessage> out = RoundTrip(message);
+  ASSERT_TRUE(out.ok());
+  const EngineRequest& decoded = out.value().request;
+  EXPECT_EQ(decoded.id, -7);
+  EXPECT_EQ(decoded.prompt_tokens, request.prompt_tokens);
+  EXPECT_EQ(decoded.adapter_id, -1);
+  EXPECT_EQ(decoded.max_new_tokens, 5);
+  EXPECT_TRUE(decoded.use_task_head);
+  EXPECT_EQ(decoded.eos_token, 2);
+  EXPECT_EQ(decoded.sampling.temperature, 0.5f);
+  EXPECT_EQ(decoded.sampling.top_k, 40);
+  EXPECT_EQ(decoded.sampling.seed, 0xFACEu);
+  EXPECT_TRUE(decoded.capture_final_hidden);
+  ASSERT_EQ(decoded.injected.size(), 1u);
+  EXPECT_EQ(decoded.injected[0].position, 1);
+  ASSERT_EQ(decoded.injected[0].embeddings.NumElements(), 6);
+  EXPECT_EQ(std::memcmp(decoded.injected[0].embeddings.data(), injected.embeddings.data(),
+                        6 * sizeof(float)),
+            0);
+}
+
+TEST(MessagesTest, ResultAndFailureRoundTrip) {
+  ResultMessage result;
+  result.result.request_id = 9;
+  result.result.output_tokens = {4, 5, 6};
+  result.result.head_option = 2;
+  result.result.prefill_tokens = 12;
+  result.result.reused_tokens = 4;
+  result.result.decode_steps = 3;
+  result.result.final_hidden = {1.0f, -2.0f};
+  Result<ResultMessage> result_out = RoundTrip(result);
+  ASSERT_TRUE(result_out.ok());
+  EXPECT_EQ(result_out.value().result.request_id, 9);
+  EXPECT_EQ(result_out.value().result.output_tokens, result.result.output_tokens);
+  EXPECT_EQ(result_out.value().result.head_option, 2);
+  EXPECT_EQ(result_out.value().result.prefill_tokens, 12);
+  EXPECT_EQ(result_out.value().result.reused_tokens, 4);
+  EXPECT_EQ(result_out.value().result.decode_steps, 3);
+  EXPECT_EQ(result_out.value().result.final_hidden, result.result.final_hidden);
+
+  FailureMessage failure;
+  failure.request_id = 11;
+  failure.code = StatusCode::kUnavailable;
+  failure.message = "replica 2 executor killed";
+  Result<FailureMessage> failure_out = RoundTrip(failure);
+  ASSERT_TRUE(failure_out.ok());
+  EXPECT_EQ(failure_out.value().request_id, 11);
+  EXPECT_EQ(failure_out.value().ToStatus().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(failure_out.value().message, "replica 2 executor killed");
+}
+
+TEST(MessagesTest, HeartbeatRoundTrips) {
+  HeartbeatMessage heartbeat;
+  heartbeat.worker_ms = 1234.5;
+  heartbeat.depth = 6;
+  heartbeat.completed = 78;
+  Result<HeartbeatMessage> out = RoundTrip(heartbeat);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().worker_ms, 1234.5);
+  EXPECT_EQ(out.value().depth, 6);
+  EXPECT_EQ(out.value().completed, 78);
+}
+
+TEST(MessagesTest, TruncatedBodyAndTrailingGarbageAreRejected) {
+  HelloMessage hello;
+  hello.replica = 1;
+  hello.pid = 100000;  // multi-byte varint, so truncation bites
+  const std::string payload = PayloadOf(EncodeMessageFrame(hello));
+  Result<Envelope> envelope = DecodeEnvelope(payload);
+  ASSERT_TRUE(envelope.ok());
+
+  Envelope truncated = envelope.value();
+  ASSERT_FALSE(truncated.body.empty());
+  truncated.body.pop_back();
+  EXPECT_FALSE(DecodeAs<HelloMessage>(truncated).ok());
+
+  Envelope trailing = envelope.value();
+  trailing.body.push_back('\0');
+  EXPECT_FALSE(DecodeAs<HelloMessage>(trailing).ok());  // Done() rejects padding
+
+  Envelope wrong_type = envelope.value();
+  EXPECT_FALSE(DecodeAs<StopMessage>(wrong_type).ok());
+}
+
+TEST(MessagesTest, EveryTruncationOfARequestFailsCleanly) {
+  RequestMessage message;
+  message.request.id = 3;
+  message.request.prompt_tokens = {10, 20, 30, 40};
+  const std::string payload = PayloadOf(EncodeMessageFrame(message));
+  Result<Envelope> envelope = DecodeEnvelope(payload);
+  ASSERT_TRUE(envelope.ok());
+  const std::string body = envelope.value().body;
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    WireReader reader(body.data(), cut);
+    RequestMessage out;
+    // Either the parse fails outright or it leaves bytes it cannot explain;
+    // both are protocol errors. It must never succeed with Done().
+    EXPECT_FALSE(RequestMessage::Parse(reader, &out) && reader.Done()) << "cut at " << cut;
+  }
+}
+
+// --- Adapter shipping -------------------------------------------------------
+
+TEST(AdapterWireTest, AdapterWeightsCrossBitExact) {
+  const ModelConfig config = TinyConfig();
+  Rng rng(0x10adu);
+  LoraAdapter adapter =
+      LoraAdapter::Random("wire-adapter", config.num_layers, config.d_model, /*rank=*/4, rng);
+  adapter.AddFusedDomain("medical");
+  adapter.AddFusedDomain("satellite");
+
+  const std::string payload = PayloadOf(EncodeAdapterFrame(adapter));
+  Result<Envelope> envelope = DecodeEnvelope(payload);
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_EQ(envelope.value().type, MessageType::kLoadAdapter);
+
+  WireReader reader(envelope.value().body);
+  Result<LoraAdapter> decoded = ParseAdapter(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(reader.Done());
+
+  EXPECT_EQ(decoded.value().name(), adapter.name());
+  EXPECT_EQ(decoded.value().num_layers(), adapter.num_layers());
+  EXPECT_EQ(decoded.value().d_model(), adapter.d_model());
+  EXPECT_EQ(decoded.value().rank(), adapter.rank());
+  EXPECT_EQ(decoded.value().scaling(), adapter.scaling());
+  EXPECT_EQ(decoded.value().fused_domains(), adapter.fused_domains());
+  EXPECT_EQ(decoded.value().task_head().has_value(), adapter.task_head().has_value());
+  ASSERT_EQ(decoded.value().targets(), adapter.targets());
+  for (LoraTarget target : adapter.targets()) {
+    for (int layer = 0; layer < adapter.num_layers(); ++layer) {
+      const LoraLayerWeights& a = adapter.layer(target, layer);
+      const LoraLayerWeights& b = decoded.value().layer(target, layer);
+      ASSERT_EQ(a.down.NumElements(), b.down.NumElements());
+      ASSERT_EQ(a.up.NumElements(), b.up.NumElements());
+      EXPECT_EQ(std::memcmp(a.down.data(), b.down.data(),
+                            static_cast<size_t>(a.down.NumElements()) * sizeof(float)),
+                0);
+      EXPECT_EQ(std::memcmp(a.up.data(), b.up.data(),
+                            static_cast<size_t>(a.up.NumElements()) * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(AdapterWireTest, ImplausibleDimensionsAreRejected) {
+  WireWriter writer;
+  writer.Str("evil");
+  writer.SignedVarint(1);    // layers
+  writer.SignedVarint(4);    // d_model
+  writer.SignedVarint(8);    // rank > d_model
+  writer.F32(1.0f);
+  writer.Varint(1);          // one target
+  WireReader reader(writer.data());
+  EXPECT_FALSE(ParseAdapter(reader).ok());
+
+  WireWriter negative;
+  negative.Str("evil");
+  negative.SignedVarint(-1);  // negative layer count
+  negative.SignedVarint(4);
+  negative.SignedVarint(2);
+  negative.F32(1.0f);
+  negative.Varint(1);
+  WireReader negative_reader(negative.data());
+  EXPECT_FALSE(ParseAdapter(negative_reader).ok());
+}
+
+// --- Channel over a real socketpair ----------------------------------------
+
+TEST(ChannelTest, MessagesCrossASocketPairBothWays) {
+  Result<std::pair<Fd, Fd>> pair = MakeSocketPair();
+  ASSERT_TRUE(pair.ok());
+  Channel master(std::move(pair.value().first));
+  Channel executor(std::move(pair.value().second));
+
+  HelloMessage hello;
+  hello.replica = 2;
+  hello.pid = 777;
+  ASSERT_TRUE(executor.SendMsg(hello).ok());
+  Result<HelloMessage> hello_out = master.RecvMsg<HelloMessage>();
+  ASSERT_TRUE(hello_out.ok());
+  EXPECT_EQ(hello_out.value().replica, 2);
+  EXPECT_EQ(hello_out.value().pid, 777);
+
+  // A large frame (an adapter) survives the kernel's chunked delivery.
+  const ModelConfig config = TinyConfig();
+  Rng rng(0xcafeu);
+  const LoraAdapter adapter =
+      LoraAdapter::Random("channel-adapter", config.num_layers, config.d_model, 4, rng);
+  WireWriter writer;
+  AppendAdapter(writer, adapter);
+  ASSERT_TRUE(master.Send(MessageType::kLoadAdapter, writer.Take()).ok());
+  Result<Envelope> envelope = executor.Recv();
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_EQ(envelope.value().type, MessageType::kLoadAdapter);
+  WireReader reader(envelope.value().body);
+  Result<LoraAdapter> decoded = ParseAdapter(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().name(), "channel-adapter");
+}
+
+TEST(ChannelTest, PeerCloseSurfacesAsUnavailable) {
+  Result<std::pair<Fd, Fd>> pair = MakeSocketPair();
+  ASSERT_TRUE(pair.ok());
+  Channel reader(std::move(pair.value().first));
+  {
+    const Fd peer = std::move(pair.value().second);
+    EXPECT_GE(peer.get(), 0);  // held, then closed on scope exit
+  }
+  Result<Envelope> envelope = reader.Recv();
+  EXPECT_FALSE(envelope.ok());
+  EXPECT_EQ(envelope.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ChannelTest, RecvTimeoutSurfacesAsDeadlineExceeded) {
+  Result<std::pair<Fd, Fd>> pair = MakeSocketPair();
+  ASSERT_TRUE(pair.ok());
+  Channel reader(std::move(pair.value().first));
+  Channel silent(std::move(pair.value().second));
+  ASSERT_TRUE(reader.SetRecvTimeoutMs(20.0).ok());
+  Result<Envelope> envelope = reader.Recv();
+  EXPECT_FALSE(envelope.ok());
+  EXPECT_EQ(envelope.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace vlora

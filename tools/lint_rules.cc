@@ -22,6 +22,7 @@ const char kMissingGuard[] = "missing-include-guard";
 const char kMutexLockTemporary[] = "mutexlock-temporary";
 const char kStatusSwitch[] = "status-switch-exhaustive";
 const char kTraceSpan[] = "trace-span-unclosed";
+const char kRawSocketFd[] = "raw-socket-fd";
 const char kIoError[] = "io-error";
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -34,6 +35,10 @@ bool IsSyncHeader(const std::string& path) {
 
 bool IsTestFile(const std::string& path) {
   return path.find("tests/") != std::string::npos;
+}
+
+bool IsNetFile(const std::string& path) {
+  return path.find("src/net/") != std::string::npos;
 }
 
 bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
@@ -143,6 +148,16 @@ const std::regex& MutexLockTempRe() {
   return re;
 }
 
+const std::regex& RawSocketRe() {
+  // A call of one of the descriptor-producing/destroying POSIX entry points.
+  // Member calls (`stream.close(`, `ptr->close(`) and longer identifiers
+  // (`fclose(`, `NewSoc` `ket(`) are excluded by the leading character class;
+  // `::` qualification still matches.
+  static const std::regex re("(^|[^_A-Za-z0-9.>~])"
+                             "(soc" "ket|soc" "ketpair|acc" "ept4?|clo" "se)\\s*\\(");
+  return re;
+}
+
 const std::regex& SwitchRe() {
   static const std::regex re("\\bswitch" "\\s*\\(");
   return re;
@@ -222,6 +237,13 @@ void CheckLine(const std::string& path, int line_no, const std::string& raw,
     findings->push_back({kMutexLockTemporary, path, line_no,
                          "Mutex" "Lock temporary unlocks at the end of this statement and "
                          "guards nothing; name it: Mutex" "Lock lock(&mu)"});
+  }
+  if (!IsNetFile(path) && std::regex_search(code, RawSocketRe()) &&
+      !Suppressed(raw, kRawSocketFd)) {
+    findings->push_back({kRawSocketFd, path, line_no,
+                         "raw POSIX soc" "ket/descriptor call outside src/net/; descriptors "
+                         "must be owned by the RAII net::Fd wrapper (src/net/fd.h) so no "
+                         "error path can leak a connection"});
   }
 }
 
@@ -407,7 +429,8 @@ void CheckIncludeGuard(const std::string& path, const std::vector<std::string>& 
 std::vector<std::string> RuleNames() {
   return {kRawMutex,      kStatusNodiscard,     kSleepInTest,
           kNakedNew,      kThreadDetach,        kMissingGuard,
-          kMutexLockTemporary, kStatusSwitch,   kTraceSpan};
+          kMutexLockTemporary, kStatusSwitch,   kTraceSpan,
+          kRawSocketFd};
 }
 
 std::vector<Finding> LintContent(const std::string& path, const std::string& content) {

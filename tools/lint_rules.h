@@ -30,6 +30,10 @@
 //                         scope — an early return would leak an open span and
 //                         corrupt the Chrome trace's B/E nesting (tests/
 //                         exempt; they assert on Begin events alone)
+//   raw-socket-fd         naked socket()/socketpair()/accept()/close() calls
+//                         outside src/net/ — descriptors must live in the
+//                         RAII net::Fd wrapper (src/net/fd.h) so no error
+//                         path can leak a connection
 //
 // A finding on line N is suppressed by appending the comment
 //   // vlora-lint: allow(<rule>)
