@@ -36,7 +36,7 @@ struct OperatorWorkload {
       ups.push_back(Tensor::Random(Shape(rank, kDModel), rng, 0.3f));
     }
     for (size_t i = 0; i < downs.size(); ++i) {
-      views.push_back(AdapterWeightsView{&downs[i], &ups[i], 1.0f});
+      views.push_back(AdapterWeightsView{.down = &downs[i], .up = &ups[i], .scaling = 1.0f});
     }
   }
 

@@ -3,10 +3,12 @@
 # `ctest -L e2e_process` pass over the forked-executor suites), the
 # static-analysis stage (vlora_lint, Clang thread-safety build,
 # clang-tidy), then the concurrency-labelled tests (cluster, fault
-# injection, thread pool) under both ThreadSanitizer and
-# AddressSanitizer+UBSan. The ASan tree also runs the e2e_process suites,
-# so real executor SIGKILL recovery is exercised under ASan; the TSan tree
-# deliberately does not (fork + threads is unsupported under TSan).
+# injection, thread pool, ATMM dispatch) and the kernels-labelled tests
+# (differential micro-kernel harness, quantization) under both
+# ThreadSanitizer and AddressSanitizer+UBSan. The ASan tree also runs the
+# e2e_process suites, so real executor SIGKILL recovery is exercised under
+# ASan; the TSan tree deliberately does not (fork + threads is unsupported
+# under TSan).
 #
 #   ./scripts/verify.sh              # everything
 #   SKIP_TSAN=1 ./scripts/verify.sh  # skip the TSan tree
@@ -19,10 +21,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test trace_test)
+CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test trace_test
+                     atmm_test kernel_dispatch_test)
 # e2e_process targets run under ASan but not TSan (fork + threads). The
 # process_cluster_test target pulls in vlora_executor via add_dependencies.
 E2E_PROCESS_TARGETS=(net_test process_cluster_test)
+# The kernels label: differential micro-kernel harness + quantization tests.
+# Run under both sanitizer trees — ASan/UBSan proves the packing and nibble
+# arithmetic stay in bounds, TSan re-checks GemmTiledParallel determinism.
+KERNEL_TARGETS=(kernel_diff_test quant_test)
 
 STAGE_NAMES=()
 STAGE_RESULTS=()
@@ -99,21 +106,22 @@ else
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
-  echo "=== ThreadSanitizer: concurrency tests ==="
+  echo "=== ThreadSanitizer: concurrency + kernel tests ==="
   cmake -B build-tsan -S . -DVLORA_SANITIZE=tsan
-  cmake --build build-tsan -j --target "${CONCURRENCY_TARGETS[@]}"
-  ctest --test-dir build-tsan --output-on-failure -L concurrency
-  record "TSan concurrency tests" "pass"
+  cmake --build build-tsan -j --target "${CONCURRENCY_TARGETS[@]}" "${KERNEL_TARGETS[@]}"
+  ctest --test-dir build-tsan --output-on-failure -L "concurrency|kernels"
+  record "TSan concurrency+kernel tests" "pass"
 else
   record "TSan concurrency tests" "skip (SKIP_TSAN=1)"
 fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "=== AddressSanitizer+UBSan: concurrency + e2e_process tests ==="
+  echo "=== AddressSanitizer+UBSan: concurrency + e2e_process + kernel tests ==="
   cmake -B build-asan -S . -DVLORA_SANITIZE=asan
-  cmake --build build-asan -j --target "${CONCURRENCY_TARGETS[@]}" "${E2E_PROCESS_TARGETS[@]}"
-  ctest --test-dir build-asan --output-on-failure -L "concurrency|e2e_process"
-  record "ASan+UBSan concurrency+e2e tests" "pass"
+  cmake --build build-asan -j --target "${CONCURRENCY_TARGETS[@]}" "${E2E_PROCESS_TARGETS[@]}" \
+    "${KERNEL_TARGETS[@]}"
+  ctest --test-dir build-asan --output-on-failure -L "concurrency|e2e_process|kernels"
+  record "ASan+UBSan conc+e2e+kernel tests" "pass"
 else
   record "ASan+UBSan concurrency+e2e tests" "skip (SKIP_ASAN=1)"
 fi

@@ -7,12 +7,22 @@
 namespace vlora {
 
 void AtmmDispatcher::Register(const ShapeKey& key, const TileConfig& config) {
+  Register(key, config, ActiveKernelVariant(), WeightFormat::kFp32);
+}
+
+void AtmmDispatcher::Register(const ShapeKey& key, const TileConfig& config,
+                              KernelVariant variant, WeightFormat format) {
   VLORA_CHECK(config.Valid());
   MutexLock lock(&mutex_);
-  table_[key] = config;
+  tables_[static_cast<size_t>(SlotIndex(variant, format))][key] = config;
 }
 
 TileConfig AtmmDispatcher::HeuristicConfig(int64_t m, int64_t n, int64_t k) {
+  return HeuristicConfig(m, n, k, KernelVariant::kScalar);
+}
+
+TileConfig AtmmDispatcher::HeuristicConfig(int64_t m, int64_t n, int64_t k,
+                                           KernelVariant variant) {
   // Shape-driven defaults: keep the packed panels inside ~256 KiB of cache,
   // avoid tiles wider/taller than the matrix, and use a larger micro-kernel
   // once there is enough work to amortise it.
@@ -25,6 +35,11 @@ TileConfig AtmmDispatcher::HeuristicConfig(int64_t m, int64_t n, int64_t k) {
     return r;
   };
   config.nr = n >= 8 ? 8 : 4;
+  if (variant == KernelVariant::kAvx2 && n >= 16) {
+    // The FMA kernel pays one scalar broadcast per A element; nr = 16 feeds
+    // two vector FMAs per broadcast instead of one.
+    config.nr = 16;
+  }
   config.mr = m >= 8 ? 8 : 4;
   config.nc = floor_pow2(n, config.nr, 128);
   config.mc = floor_pow2(m, config.mr, m >= 1024 ? 256 : 64);
@@ -36,36 +51,47 @@ TileConfig AtmmDispatcher::HeuristicConfig(int64_t m, int64_t n, int64_t k) {
   return config;
 }
 
-TileConfig AtmmDispatcher::Select(int64_t m, int64_t n, int64_t k) const {
-  MutexLock lock(&mutex_);
+TileConfig AtmmDispatcher::SelectLocked(int64_t m, int64_t n, int64_t k, int slot) const {
+  const ShapeTable& table = tables_[static_cast<size_t>(slot)];
   // Exact hit first.
-  auto it = table_.find(ShapeKey{m, n, k});
-  if (it != table_.end()) {
+  auto it = table.find(ShapeKey{m, n, k});
+  if (it != table.end()) {
     return it->second;
   }
   // Snap m to the profiling grid (round up, then down) with n/k exact: n and k
   // come from model dimensions and adapter ranks, which are fixed per model,
   // so only the token-count dimension varies continuously at runtime.
   const int64_t m_up = ((m + kMStep - 1) / kMStep) * kMStep;
-  it = table_.find(ShapeKey{m_up, n, k});
-  if (it != table_.end()) {
+  it = table.find(ShapeKey{m_up, n, k});
+  if (it != table.end()) {
     return it->second;
   }
   const int64_t m_down = std::max<int64_t>(kMStep, (m / kMStep) * kMStep);
-  it = table_.find(ShapeKey{m_down, n, k});
-  if (it != table_.end()) {
+  it = table.find(ShapeKey{m_down, n, k});
+  if (it != table.end()) {
     return it->second;
   }
-  return HeuristicConfig(m, n, k);
+  return HeuristicConfig(m, n, k, static_cast<KernelVariant>(slot / kNumWeightFormats));
+}
+
+TileConfig AtmmDispatcher::Select(int64_t m, int64_t n, int64_t k) const {
+  return Select(m, n, k, ActiveKernelVariant(), WeightFormat::kFp32);
+}
+
+TileConfig AtmmDispatcher::Select(int64_t m, int64_t n, int64_t k, KernelVariant variant,
+                                  WeightFormat format) const {
+  MutexLock lock(&mutex_);
+  return SelectLocked(m, n, k, SlotIndex(variant, format));
 }
 
 void AtmmDispatcher::Execute(const float* a, const float* b, float* c, int64_t m, int64_t n,
                              int64_t k) {
-  const TileConfig config = Select(m, n, k);
+  const KernelVariant variant = ActiveKernelVariant();
+  const TileConfig config = Select(m, n, k, variant, WeightFormat::kFp32);
   static Counter* const dispatches = MetricsRegistry::Global().counter("atmm.dispatches");
   dispatches->Increment();
   trace::EmitKernelDispatch(m, n, k, config.mc, config.nc, config.kc, config.mr, config.nr);
-  GemmTiled(a, b, c, m, n, k, config, workspace_);
+  GemmTiled(a, b, c, m, n, k, config, workspace_, variant);
 }
 
 void AtmmDispatcher::Execute(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -73,6 +99,56 @@ void AtmmDispatcher::Execute(const Tensor& a, const Tensor& b, Tensor& c) {
   VLORA_CHECK(a.shape().dim(1) == b.shape().dim(0));
   VLORA_CHECK(c.shape().dim(0) == a.shape().dim(0) && c.shape().dim(1) == b.shape().dim(1));
   Execute(a.data(), b.data(), c.data(), a.shape().dim(0), b.shape().dim(1), a.shape().dim(1));
+}
+
+void AtmmDispatcher::ExecuteQuantized(const float* a, const QuantizedMatrix& b, float* c,
+                                      int64_t m) {
+  VLORA_CHECK(!b.empty());
+  const int64_t k = b.rows();
+  const int64_t n = b.cols();
+  const KernelVariant variant = ActiveKernelVariant();
+  const TileConfig config = Select(m, n, k, variant, b.format());
+  static Counter* const dispatches = MetricsRegistry::Global().counter("atmm.dispatches");
+  dispatches->Increment();
+  trace::EmitKernelDispatch(m, n, k, config.mc, config.nc, config.kc, config.mr, config.nr);
+  GemmQuantized(a, b, c, m, n, k, config, workspace_, variant);
+}
+
+int64_t AtmmDispatcher::TableSize() const {
+  MutexLock lock(&mutex_);
+  int64_t total = 0;
+  for (const ShapeTable& table : tables_) {
+    total += static_cast<int64_t>(table.size());
+  }
+  return total;
+}
+
+int64_t AtmmDispatcher::TableSize(KernelVariant variant, WeightFormat format) const {
+  MutexLock lock(&mutex_);
+  return static_cast<int64_t>(tables_[static_cast<size_t>(SlotIndex(variant, format))].size());
+}
+
+std::vector<std::pair<ShapeKey, TileConfig>> AtmmDispatcher::Entries() const {
+  MutexLock lock(&mutex_);
+  const ShapeTable& table =
+      tables_[static_cast<size_t>(SlotIndex(ActiveKernelVariant(), WeightFormat::kFp32))];
+  std::vector<std::pair<ShapeKey, TileConfig>> entries(table.begin(), table.end());
+  return entries;
+}
+
+std::vector<AtmmTableEntry> AtmmDispatcher::AllEntries() const {
+  MutexLock lock(&mutex_);
+  std::vector<AtmmTableEntry> entries;
+  for (int v = 0; v < kNumKernelVariants; ++v) {
+    for (int f = 0; f < kNumWeightFormats; ++f) {
+      const auto variant = static_cast<KernelVariant>(v);
+      const auto format = static_cast<WeightFormat>(f);
+      for (const auto& [key, config] : tables_[static_cast<size_t>(SlotIndex(variant, format))]) {
+        entries.push_back({key, variant, format, config});
+      }
+    }
+  }
+  return entries;
 }
 
 }  // namespace vlora

@@ -1,20 +1,31 @@
 // ATMM: adaptive-tiling matrix multiplication (§4.3).
 //
-// AtmmDispatcher owns the hash table that maps input shapes to their optimal
+// AtmmDispatcher owns the hash tables that map input shapes to their optimal
 // tiling configuration (built offline by TilingSearch, §4.3.2 / Appendix B)
 // and executes GEMMs with the per-shape best configuration. Shapes between
 // profiled grid points snap to the nearest profiled bucket; shapes outside the
 // table fall back to a size-driven heuristic so ATMM never fails, it only
 // loses a little optimality.
+//
+// There is one table per (KernelVariant, WeightFormat) pair: the optimal tile
+// depends on the micro-kernel ISA (an 8-wide FMA kernel is memory-bound where
+// the scalar one is compute-bound) and on the weight format (dequantization
+// amortises over the packed panel, shifting the best kc). A configuration
+// profiled under one compute path is never served to another.
 
 #ifndef VLORA_SRC_KERNELS_ATMM_H_
 #define VLORA_SRC_KERNELS_ATMM_H_
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/sync.h"
 #include "src/kernels/gemm.h"
+#include "src/kernels/kernel_variant.h"
+#include "src/kernels/quant.h"
 #include "src/kernels/tile_config.h"
 #include "src/tensor/tensor.h"
 
@@ -45,9 +56,18 @@ struct ShapeKeyHash {
   }
 };
 
-// Thread-safety: the shape -> config table is guarded, so a tiling search may
-// Register entries concurrently (e.g. profiling shards on a ThreadPool) while
-// other threads Select. Execute is NOT concurrency-safe on a shared
+// One registered table entry, qualified by the compute path it was profiled
+// for. Persistence (SaveTilingTable / LoadTilingTable) round-trips these.
+struct AtmmTableEntry {
+  ShapeKey shape;
+  KernelVariant variant;
+  WeightFormat format;
+  TileConfig config;
+};
+
+// Thread-safety: the shape -> config tables are guarded, so a tiling search
+// may Register entries concurrently (e.g. profiling shards on a ThreadPool)
+// while other threads Select. Execute is NOT concurrency-safe on a shared
 // dispatcher — the packed-panel workspace is reused across calls — so each
 // execution thread (each replica engine) owns its own dispatcher.
 class AtmmDispatcher {
@@ -55,40 +75,65 @@ class AtmmDispatcher {
   AtmmDispatcher() = default;
 
   // Registers the optimal config for a profiled shape (called by the search).
+  // The two-argument form registers for the active variant's fp32 path.
   void Register(const ShapeKey& key, const TileConfig& config) VLORA_EXCLUDES(mutex_);
+  void Register(const ShapeKey& key, const TileConfig& config, KernelVariant variant,
+                WeightFormat format) VLORA_EXCLUDES(mutex_);
 
   // Picks the config for a runtime shape: exact hit, else nearest registered
   // bucket (snapping m to the profiling grid), else the heuristic fallback.
+  // Only the (variant, format) table is consulted — entries profiled for a
+  // different compute path are never served. The three-argument form reads
+  // the active variant's fp32 table.
   TileConfig Select(int64_t m, int64_t n, int64_t k) const VLORA_EXCLUDES(mutex_);
+  TileConfig Select(int64_t m, int64_t n, int64_t k, KernelVariant variant,
+                    WeightFormat format) const VLORA_EXCLUDES(mutex_);
 
-  // Shape-driven fallback used when the table has no suitable entry.
+  // Shape-driven fallback used when the table has no suitable entry. The
+  // variant-aware form biases the register tile for the kernel ISA (the AVX2
+  // FMA kernel amortises its scalar broadcast over a wider nr); the
+  // three-argument form is the portable scalar-kernel heuristic.
   static TileConfig HeuristicConfig(int64_t m, int64_t n, int64_t k);
+  static TileConfig HeuristicConfig(int64_t m, int64_t n, int64_t k, KernelVariant variant);
 
-  // C += A * B with the adaptively selected configuration. Calling thread
-  // must own this dispatcher's execution (see class comment).
+  // C += A * B with the adaptively selected configuration, on the active
+  // kernel variant. Calling thread must own this dispatcher's execution (see
+  // class comment).
   void Execute(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
   void Execute(const Tensor& a, const Tensor& b, Tensor& c);
 
-  // Number of registered shape -> config entries.
-  int64_t TableSize() const VLORA_EXCLUDES(mutex_) {
-    MutexLock lock(&mutex_);
-    return static_cast<int64_t>(table_.size());
-  }
+  // C += A * B with B block-quantized: selects from the (active variant,
+  // b.format()) table and runs the fused-dequant path. A is m x b.rows().
+  void ExecuteQuantized(const float* a, const QuantizedMatrix& b, float* c, int64_t m);
 
-  // Snapshot of the table for persistence (order unspecified).
-  std::vector<std::pair<ShapeKey, TileConfig>> Entries() const VLORA_EXCLUDES(mutex_) {
-    MutexLock lock(&mutex_);
-    std::vector<std::pair<ShapeKey, TileConfig>> entries(table_.begin(), table_.end());
-    return entries;
-  }
+  // Number of registered entries across every (variant, format) table, or in
+  // one specific table.
+  int64_t TableSize() const VLORA_EXCLUDES(mutex_);
+  int64_t TableSize(KernelVariant variant, WeightFormat format) const VLORA_EXCLUDES(mutex_);
+
+  // Snapshot of the active variant's fp32 table (order unspecified).
+  std::vector<std::pair<ShapeKey, TileConfig>> Entries() const VLORA_EXCLUDES(mutex_);
+
+  // Snapshot of every table, for persistence (order unspecified).
+  std::vector<AtmmTableEntry> AllEntries() const VLORA_EXCLUDES(mutex_);
 
   // Grid step used to bucket the m (token-count) dimension. Matches the step
   // the search profiles with; §4.3.2 uses 32 for the same reason.
   static constexpr int64_t kMStep = 32;
 
  private:
+  using ShapeTable = std::unordered_map<ShapeKey, TileConfig, ShapeKeyHash>;
+  static constexpr int kNumSlots = kNumKernelVariants * kNumWeightFormats;
+
+  static int SlotIndex(KernelVariant variant, WeightFormat format) {
+    return static_cast<int>(variant) * kNumWeightFormats + static_cast<int>(format);
+  }
+
+  TileConfig SelectLocked(int64_t m, int64_t n, int64_t k, int slot) const
+      VLORA_REQUIRES(mutex_);
+
   mutable Mutex mutex_{Rank::kLeaf, "AtmmDispatcher::mutex_"};
-  std::unordered_map<ShapeKey, TileConfig, ShapeKeyHash> table_ VLORA_GUARDED_BY(mutex_);
+  std::array<ShapeTable, kNumSlots> tables_ VLORA_GUARDED_BY(mutex_);
   GemmWorkspace workspace_;  // execution-thread-only; see class comment
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
+
+#include "src/kernels/microkernel.h"
 
 namespace vlora {
 
@@ -58,40 +61,57 @@ void MicroKernelEdge(int64_t kc, const float* a_panel, const float* b_panel, flo
   }
 }
 
-using MicroKernelFn = void (*)(int64_t, const float*, const float*, float*, int64_t);
-using MicroKernelEdgeFn = void (*)(int64_t, const float*, const float*, float*, int64_t, int, int);
+}  // namespace
 
-struct KernelEntry {
-  int mr;
-  int nr;
-  MicroKernelFn full;
-  MicroKernelEdgeFn edge;
-};
+// The pre-compiled scalar kernel set — the CPU analog of the executable CUDA
+// kernels ATMM compiles offline for each tiling configuration (§4.3.2). The
+// AVX2 table (microkernel_avx2.cc) mirrors this (mr, nr) set exactly.
+const std::vector<MicroKernelEntry>& ScalarMicroKernelTable() {
+  static const std::vector<MicroKernelEntry> table = {
+      {4, 4, KernelVariant::kScalar, MicroKernelFull<4, 4>, MicroKernelEdge<4, 4>},
+      {4, 8, KernelVariant::kScalar, MicroKernelFull<4, 8>, MicroKernelEdge<4, 8>},
+      {4, 16, KernelVariant::kScalar, MicroKernelFull<4, 16>, MicroKernelEdge<4, 16>},
+      {8, 4, KernelVariant::kScalar, MicroKernelFull<8, 4>, MicroKernelEdge<8, 4>},
+      {8, 8, KernelVariant::kScalar, MicroKernelFull<8, 8>, MicroKernelEdge<8, 8>},
+      {8, 16, KernelVariant::kScalar, MicroKernelFull<8, 16>, MicroKernelEdge<8, 16>},
+      {16, 8, KernelVariant::kScalar, MicroKernelFull<16, 8>, MicroKernelEdge<16, 8>},
+      {16, 16, KernelVariant::kScalar, MicroKernelFull<16, 16>, MicroKernelEdge<16, 16>},
+  };
+  return table;
+}
 
-// The pre-compiled kernel set — the CPU analog of the executable CUDA kernels
-// ATMM compiles offline for each tiling configuration (§4.3.2).
-constexpr KernelEntry kKernels[] = {
-    {4, 4, MicroKernelFull<4, 4>, MicroKernelEdge<4, 4>},
-    {4, 8, MicroKernelFull<4, 8>, MicroKernelEdge<4, 8>},
-    {8, 4, MicroKernelFull<8, 4>, MicroKernelEdge<8, 4>},
-    {8, 8, MicroKernelFull<8, 8>, MicroKernelEdge<8, 8>},
-    {8, 16, MicroKernelFull<8, 16>, MicroKernelEdge<8, 16>},
-    {16, 8, MicroKernelFull<16, 8>, MicroKernelEdge<16, 8>},
-    {16, 16, MicroKernelFull<16, 16>, MicroKernelEdge<16, 16>},
-};
+const std::vector<MicroKernelEntry>& MicroKernelTable(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+      return ScalarMicroKernelTable();
+    case KernelVariant::kAvx2:
+      return Avx2MicroKernelTable();
+  }
+  return ScalarMicroKernelTable();
+}
 
-const KernelEntry* FindKernel(int mr, int nr) {
-  for (const auto& entry : kKernels) {
+const MicroKernelEntry* FindMicroKernel(KernelVariant variant, int mr, int nr) {
+  for (const auto& entry : MicroKernelTable(variant)) {
     if (entry.mr == mr && entry.nr == nr) {
       return &entry;
     }
   }
+  if (variant != KernelVariant::kScalar) {
+    return FindMicroKernel(KernelVariant::kScalar, mr, nr);
+  }
   return nullptr;
 }
 
-// Packs a mc_eff x kc_eff block of A (row-major, lda) into micro-row panels:
-// panel layout [ir][p][i] with i < mr, zero-padded to full mr.
-void PackA(const float* a, int64_t lda, int64_t mc_eff, int64_t kc_eff, int mr, float* packed) {
+std::vector<std::pair<int, int>> MicroKernelShapes(KernelVariant variant) {
+  std::vector<std::pair<int, int>> shapes;
+  for (const auto& entry : MicroKernelTable(variant)) {
+    shapes.emplace_back(entry.mr, entry.nr);
+  }
+  return shapes;
+}
+
+void PackAPanels(const float* a, int64_t lda, int64_t mc_eff, int64_t kc_eff, int mr,
+                 float* packed) {
   for (int64_t ir = 0; ir < mc_eff; ir += mr) {
     const int rows = static_cast<int>(std::min<int64_t>(mr, mc_eff - ir));
     for (int64_t p = 0; p < kc_eff; ++p) {
@@ -106,9 +126,8 @@ void PackA(const float* a, int64_t lda, int64_t mc_eff, int64_t kc_eff, int mr, 
   }
 }
 
-// Packs a kc_eff x nc_eff block of B (row-major, ldb) into micro-col panels:
-// panel layout [jr][p][j] with j < nr, zero-padded to full nr.
-void PackB(const float* b, int64_t ldb, int64_t kc_eff, int64_t nc_eff, int nr, float* packed) {
+void PackBPanels(const float* b, int64_t ldb, int64_t kc_eff, int64_t nc_eff, int nr,
+                 float* packed) {
   for (int64_t jr = 0; jr < nc_eff; jr += nr) {
     const int cols = static_cast<int>(std::min<int64_t>(nr, nc_eff - jr));
     for (int64_t p = 0; p < kc_eff; ++p) {
@@ -124,8 +143,6 @@ void PackB(const float* b, int64_t ldb, int64_t kc_eff, int64_t nc_eff, int nr, 
   }
 }
 
-}  // namespace
-
 float* GemmWorkspace::Ensure(int64_t floats) {
   if (static_cast<int64_t>(buffer_.size()) < floats) {
     buffer_.resize(static_cast<size_t>(floats));
@@ -133,12 +150,23 @@ float* GemmWorkspace::Ensure(int64_t floats) {
   return buffer_.data();
 }
 
-bool HasMicroKernel(int mr, int nr) { return FindKernel(mr, nr) != nullptr; }
+bool HasMicroKernel(int mr, int nr) {
+  return FindMicroKernel(KernelVariant::kScalar, mr, nr) != nullptr;
+}
+
+bool HasMicroKernel(KernelVariant variant, int mr, int nr) {
+  for (const auto& entry : MicroKernelTable(variant)) {
+    if (entry.mr == mr && entry.nr == nr) {
+      return true;
+    }
+  }
+  return false;
+}
 
 void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-               const TileConfig& config, GemmWorkspace& workspace) {
+               const TileConfig& config, GemmWorkspace& workspace, KernelVariant variant) {
   VLORA_CHECK(config.Valid());
-  const KernelEntry* kernel = FindKernel(config.mr, config.nr);
+  const MicroKernelEntry* kernel = FindMicroKernel(variant, config.mr, config.nr);
   VLORA_CHECK(kernel != nullptr);
 
   const int64_t mc = config.mc;
@@ -154,10 +182,10 @@ void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, i
     const int64_t nc_eff = std::min(nc, n - jc);
     for (int64_t pc = 0; pc < k; pc += kc) {
       const int64_t kc_eff = std::min(kc, k - pc);
-      PackB(b + pc * n + jc, n, kc_eff, nc_eff, nr, pack_b);
+      PackBPanels(b + pc * n + jc, n, kc_eff, nc_eff, nr, pack_b);
       for (int64_t ic = 0; ic < m; ic += mc) {
         const int64_t mc_eff = std::min(mc, m - ic);
-        PackA(a + ic * k + pc, k, mc_eff, kc_eff, mr, pack_a);
+        PackAPanels(a + ic * k + pc, k, mc_eff, kc_eff, mr, pack_a);
         for (int64_t jr = 0; jr < nc_eff; jr += nr) {
           const int n_eff = static_cast<int>(std::min<int64_t>(nr, nc_eff - jr));
           const float* b_panel = pack_b + (jr / nr) * (kc_eff * nr);
@@ -177,6 +205,11 @@ void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, i
   }
 }
 
+void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+               const TileConfig& config, GemmWorkspace& workspace) {
+  GemmTiled(a, b, c, m, n, k, config, workspace, ActiveKernelVariant());
+}
+
 void GemmTiled(const Tensor& a, const Tensor& b, Tensor& c, const TileConfig& config,
                GemmWorkspace& workspace) {
   VLORA_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2 && c.shape().rank() == 2);
@@ -188,9 +221,10 @@ void GemmTiled(const Tensor& a, const Tensor& b, Tensor& c, const TileConfig& co
 }
 
 void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
-                       const TileConfig& config, GemmWorkspace& workspace, ThreadPool& pool) {
+                       const TileConfig& config, GemmWorkspace& workspace, ThreadPool& pool,
+                       KernelVariant variant) {
   VLORA_CHECK(config.Valid());
-  const KernelEntry* kernel = FindKernel(config.mr, config.nr);
+  const MicroKernelEntry* kernel = FindMicroKernel(variant, config.mr, config.nr);
   VLORA_CHECK(kernel != nullptr);
 
   const int64_t mc = config.mc;
@@ -208,12 +242,12 @@ void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int6
     const int64_t nc_eff = std::min(nc, n - jc);
     for (int64_t pc = 0; pc < k; pc += kc) {
       const int64_t kc_eff = std::min(kc, k - pc);
-      PackB(b + pc * n + jc, n, kc_eff, nc_eff, nr, pack_b);
+      PackBPanels(b + pc * n + jc, n, kc_eff, nc_eff, nr, pack_b);
       pool.ParallelFor(0, num_ic_blocks, [&](int64_t block) {
         const int64_t ic = block * mc;
         const int64_t mc_eff = std::min(mc, m - ic);
         float* pack_a = pack_a_all + block * mc * kc;
-        PackA(a + ic * k + pc, k, mc_eff, kc_eff, mr, pack_a);
+        PackAPanels(a + ic * k + pc, k, mc_eff, kc_eff, mr, pack_a);
         for (int64_t jr = 0; jr < nc_eff; jr += nr) {
           const int n_eff = static_cast<int>(std::min<int64_t>(nr, nc_eff - jr));
           const float* b_panel = pack_b + (jr / nr) * (kc_eff * nr);
@@ -231,6 +265,11 @@ void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int6
       });
     }
   }
+}
+
+void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+                       const TileConfig& config, GemmWorkspace& workspace, ThreadPool& pool) {
+  GemmTiledParallel(a, b, c, m, n, k, config, workspace, pool, ActiveKernelVariant());
 }
 
 void GemmNaive(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {

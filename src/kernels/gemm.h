@@ -5,7 +5,10 @@
 // panels sized for the cache hierarchy, then a register-blocked mr x nr
 // micro-kernel sweeps the packed panels. The micro-kernels are compiled ahead
 // of time as template instantiations — the CPU analog of ATMM's pre-compiled
-// CUTLASS kernels — and selected through a function-pointer table.
+// CUTLASS kernels — and selected through a per-variant function-pointer table
+// (microkernel.h): portable scalar always, AVX2+FMA when the host supports it.
+// Entry points without an explicit KernelVariant dispatch on
+// ActiveKernelVariant() (kernel_variant.h).
 
 #ifndef VLORA_SRC_KERNELS_GEMM_H_
 #define VLORA_SRC_KERNELS_GEMM_H_
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/kernels/kernel_variant.h"
 #include "src/kernels/tile_config.h"
 #include "src/tensor/tensor.h"
 
@@ -31,6 +35,10 @@ class GemmWorkspace {
 };
 
 // C += A * B. A is m x k, B is k x n, C is m x n, all row-major and dense.
+// The explicit-variant overload runs the given micro-kernel ISA (callers must
+// only pass kAvx2 when Avx2Available()); the others use ActiveKernelVariant().
+void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+               const TileConfig& config, GemmWorkspace& workspace, KernelVariant variant);
 void GemmTiled(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
                const TileConfig& config, GemmWorkspace& workspace);
 
@@ -40,10 +48,13 @@ void GemmTiled(const Tensor& a, const Tensor& b, Tensor& c, const TileConfig& co
 
 // Parallel variant: the A-side block tiles of each (jc, pc) round execute as
 // one task each on the pool — the CPU analog of thread blocks scheduling onto
-// SMs. Bitwise-identical to the serial variant (disjoint C tiles, same
-// per-tile arithmetic order). A configuration whose mc yields fewer block
-// tiles than pool threads under-utilises the machine, which is how the
-// "low SM utilisation" column of Table 1 manifests here.
+// SMs. Bitwise-identical to the serial variant for every KernelVariant
+// (disjoint C tiles, same per-tile arithmetic order). A configuration whose
+// mc yields fewer block tiles than pool threads under-utilises the machine,
+// which is how the "low SM utilisation" column of Table 1 manifests here.
+void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+                       const TileConfig& config, GemmWorkspace& workspace, ThreadPool& pool,
+                       KernelVariant variant);
 void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
                        const TileConfig& config, GemmWorkspace& workspace, ThreadPool& pool);
 
@@ -51,8 +62,10 @@ void GemmTiledParallel(const float* a, const float* b, float* c, int64_t m, int6
 // of the dLoRA/Einsum baseline operator and as a correctness reference.
 void GemmNaive(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
 
-// True if the (mr, nr) pair has a pre-compiled micro-kernel.
+// True if the (mr, nr) pair has a pre-compiled micro-kernel (in the scalar
+// table / in `variant`'s table).
 bool HasMicroKernel(int mr, int nr);
+bool HasMicroKernel(KernelVariant variant, int mr, int nr);
 
 }  // namespace vlora
 

@@ -1,0 +1,111 @@
+#include "src/kernels/kernel_variant.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+#include "src/kernels/microkernel.h"
+
+namespace vlora {
+
+namespace {
+
+bool CpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// -1 = not yet resolved; otherwise a KernelVariant value.
+std::atomic<int> g_active{-1};
+
+KernelVariant ResolveFromEnv() {
+  const char* env = std::getenv("VLORA_KERNEL_VARIANT");
+  if (env == nullptr || *env == '\0' || std::string(env) == "auto") {
+    return DetectBestKernelVariant();
+  }
+  KernelVariant requested;
+  if (!ParseKernelVariant(env, &requested)) {
+    VLORA_LOG(Warning) << "VLORA_KERNEL_VARIANT=" << env
+                       << " is not a variant (scalar, avx2, auto); using auto";
+    return DetectBestKernelVariant();
+  }
+  if (requested == KernelVariant::kAvx2 && !Avx2Available()) {
+    VLORA_LOG(Warning) << "VLORA_KERNEL_VARIANT=avx2 but the host cannot run it "
+                       << "(cpu avx2+fma: " << (CpuSupportsAvx2Fma() ? "yes" : "no")
+                       << ", compiled table: " << (Avx2MicroKernelTable().empty() ? "no" : "yes")
+                       << "); falling back to scalar";
+    return KernelVariant::kScalar;
+  }
+  return requested;
+}
+
+}  // namespace
+
+const char* KernelVariantName(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+const char* WeightFormatName(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kFp32:
+      return "fp32";
+    case WeightFormat::kQ8:
+      return "q8";
+    case WeightFormat::kQ4:
+      return "q4";
+  }
+  return "?";
+}
+
+bool ParseKernelVariant(const std::string& text, KernelVariant* out) {
+  if (text == "scalar") {
+    *out = KernelVariant::kScalar;
+    return true;
+  }
+  if (text == "avx2") {
+    *out = KernelVariant::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+bool Avx2Available() { return CpuSupportsAvx2Fma() && !Avx2MicroKernelTable().empty(); }
+
+KernelVariant DetectBestKernelVariant() {
+  return Avx2Available() ? KernelVariant::kAvx2 : KernelVariant::kScalar;
+}
+
+KernelVariant ActiveKernelVariant() {
+  int cached = g_active.load(std::memory_order_acquire);
+  if (cached < 0) {
+    const KernelVariant resolved = ResolveFromEnv();
+    // Last resolver wins on a race; both computed the same value anyway
+    // unless a test mutated the environment mid-race, which tests don't.
+    g_active.store(static_cast<int>(resolved), std::memory_order_release);
+    return resolved;
+  }
+  return static_cast<KernelVariant>(cached);
+}
+
+void RefreshKernelVariantFromEnv() {
+  g_active.store(static_cast<int>(ResolveFromEnv()), std::memory_order_release);
+}
+
+std::vector<KernelVariant> AvailableKernelVariants() {
+  std::vector<KernelVariant> variants{KernelVariant::kScalar};
+  if (Avx2Available()) {
+    variants.push_back(KernelVariant::kAvx2);
+  }
+  return variants;
+}
+
+}  // namespace vlora

@@ -1,0 +1,85 @@
+// Register micro-kernel tables, one per KernelVariant.
+//
+// A micro-kernel computes one mr x nr tile of C from packed panels:
+//   a_panel: kc values per micro-row group, laid out [p * mr + i]
+//   b_panel: kc values per micro-col group, laid out [p * nr + j]
+// Full kernels write the whole tile; edge kernels write only the valid
+// m_eff x n_eff corner (panels are zero-padded, so the arithmetic is shared).
+//
+// Both variants expose the SAME (mr, nr) instantiation set, so a tiling
+// configuration profiled for one variant is at least executable under the
+// other — ATMM's per-variant tables exist for speed, not for validity. The
+// AVX2 table lives in microkernel_avx2.cc, the only file in the tree compiled
+// with -mavx2 -mfma; on toolchains without those flags it compiles to an
+// empty table and dispatch degrades to scalar.
+
+#ifndef VLORA_SRC_KERNELS_MICROKERNEL_H_
+#define VLORA_SRC_KERNELS_MICROKERNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernels/kernel_variant.h"
+
+namespace vlora {
+
+using MicroKernelFn = void (*)(int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                               int64_t ldc);
+using MicroKernelEdgeFn = void (*)(int64_t kc, const float* a_panel, const float* b_panel,
+                                   float* c, int64_t ldc, int m_eff, int n_eff);
+
+struct MicroKernelEntry {
+  int mr = 0;
+  int nr = 0;
+  KernelVariant variant = KernelVariant::kScalar;
+  MicroKernelFn full = nullptr;
+  MicroKernelEdgeFn edge = nullptr;
+};
+
+// The scalar table: always present, the correctness reference.
+const std::vector<MicroKernelEntry>& ScalarMicroKernelTable();
+
+// The AVX2 table: empty when the file was compiled without AVX2 support.
+// Entries must only be executed when Avx2Available() (kernel_variant.h).
+const std::vector<MicroKernelEntry>& Avx2MicroKernelTable();
+
+// Table for a variant (does not fall back; may be empty).
+const std::vector<MicroKernelEntry>& MicroKernelTable(KernelVariant variant);
+
+// Exact lookup in `variant`'s table; falls back to the scalar entry when the
+// variant has no such (mr, nr) — dispatch degrades, it never fails. Returns
+// nullptr only if the scalar table misses too.
+const MicroKernelEntry* FindMicroKernel(KernelVariant variant, int mr, int nr);
+
+// The (mr, nr) instantiation set of a variant, for exhaustive test sweeps.
+std::vector<std::pair<int, int>> MicroKernelShapes(KernelVariant variant);
+
+// --- Panel packing (implemented in gemm.cc, shared with the quantized path) ---
+
+// Packs an mc_eff x kc_eff block of A (row-major, stride lda) into micro-row
+// panels: layout [ir][p][i] with i < mr, zero-padded to full mr.
+void PackAPanels(const float* a, int64_t lda, int64_t mc_eff, int64_t kc_eff, int mr,
+                 float* packed);
+
+// Packs a kc_eff x nc_eff block of B (row-major, stride ldb) into micro-col
+// panels: layout [jr][p][j] with j < nr, zero-padded to full nr.
+void PackBPanels(const float* b, int64_t ldb, int64_t kc_eff, int64_t nc_eff, int nr,
+                 float* packed);
+
+// --- Fused-dequant helpers implemented in microkernel_avx2.cc ---
+//
+// Operate on one row of QuantizedMatrix block storage (quant.h layout):
+// consecutive BlockQ8 / BlockQ4 structs covering kQuantBlockSize columns
+// each. `cols` is the logical (unpadded) column count.
+
+// y[0..cols) += x_p * dequant(row). Null when AVX2 is not compiled in.
+using QuantAxpyRowFn = void (*)(const uint8_t* row_blocks, int64_t cols, float x_p, float* y);
+QuantAxpyRowFn Avx2QuantAxpyRow(WeightFormat format);
+
+// dst[0..cols) = dequant(row). Null when AVX2 is not compiled in.
+using QuantDequantRowFn = void (*)(const uint8_t* row_blocks, int64_t cols, float* dst);
+QuantDequantRowFn Avx2QuantDequantRow(WeightFormat format);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_KERNELS_MICROKERNEL_H_

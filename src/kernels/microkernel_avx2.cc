@@ -1,0 +1,315 @@
+// AVX2+FMA micro-kernels. This is the ONLY translation unit in the tree
+// compiled with -mavx2 -mfma (per-file flags in src/kernels/CMakeLists.txt);
+// everything else stays at the baseline ISA so the binary runs on any host
+// and only routes here after the runtime probe (kernel_variant.cc). When the
+// toolchain cannot target AVX2 the file degrades to an empty table and null
+// helper pointers, and dispatch stays scalar.
+//
+// Layout contract matches the scalar kernels in gemm.cc exactly: packed
+// panels [p * mr + i] / [p * nr + j], accumulate-into-C semantics, identical
+// summation order over p — so the only numerical difference from scalar is
+// FMA's single rounding per multiply-add, which the differential harness
+// bounds in ULPs (tests/kernel_diff_test.cc).
+
+#include "src/kernels/microkernel.h"
+#include "src/kernels/quant.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace vlora {
+namespace {
+
+// --- mr x nr register tiles, nr a multiple of 8 (one __m256 per 8 cols) ---
+
+template <int MR, int NR>
+struct Avx2Tile {
+  static_assert(NR % 8 == 0, "NR must be a whole number of ymm lanes");
+  static constexpr int kLanes = NR / 8;
+
+  static inline void Compute(int64_t kc, const float* a_panel, const float* b_panel,
+                             __m256 (&acc)[MR][kLanes]) {
+    for (int i = 0; i < MR; ++i) {
+      for (int l = 0; l < kLanes; ++l) {
+        acc[i][l] = _mm256_setzero_ps();
+      }
+    }
+    // Unrolled by two reduction steps: the second step's b-panel loads issue
+    // while the first step's FMAs retire, hiding load latency behind the FMA
+    // chain (accumulator reuse distance doubles, so no added dependency).
+    int64_t p = 0;
+    for (; p + 2 <= kc; p += 2) {
+      const float* a = a_panel + p * MR;
+      const float* b = b_panel + p * NR;
+      __m256 bv0[kLanes];
+      __m256 bv1[kLanes];
+      for (int l = 0; l < kLanes; ++l) {
+        bv0[l] = _mm256_loadu_ps(b + 8 * l);
+        bv1[l] = _mm256_loadu_ps(b + NR + 8 * l);
+      }
+      for (int i = 0; i < MR; ++i) {
+        const __m256 av0 = _mm256_broadcast_ss(a + i);
+        const __m256 av1 = _mm256_broadcast_ss(a + MR + i);
+        for (int l = 0; l < kLanes; ++l) {
+          acc[i][l] = _mm256_fmadd_ps(av0, bv0[l], acc[i][l]);
+          acc[i][l] = _mm256_fmadd_ps(av1, bv1[l], acc[i][l]);
+        }
+      }
+    }
+    for (; p < kc; ++p) {
+      const float* a = a_panel + p * MR;
+      const float* b = b_panel + p * NR;
+      __m256 bv[kLanes];
+      for (int l = 0; l < kLanes; ++l) {
+        bv[l] = _mm256_loadu_ps(b + 8 * l);
+      }
+      for (int i = 0; i < MR; ++i) {
+        const __m256 av = _mm256_broadcast_ss(a + i);
+        for (int l = 0; l < kLanes; ++l) {
+          acc[i][l] = _mm256_fmadd_ps(av, bv[l], acc[i][l]);
+        }
+      }
+    }
+  }
+
+  static void Full(int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                   int64_t ldc) {
+    __m256 acc[MR][kLanes];
+    Compute(kc, a_panel, b_panel, acc);
+    for (int i = 0; i < MR; ++i) {
+      float* c_row = c + i * ldc;
+      for (int l = 0; l < kLanes; ++l) {
+        float* cp = c_row + 8 * l;
+        _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), acc[i][l]));
+      }
+    }
+  }
+
+  static void Edge(int64_t kc, const float* a_panel, const float* b_panel, float* c, int64_t ldc,
+                   int m_eff, int n_eff) {
+    __m256 acc[MR][kLanes];
+    Compute(kc, a_panel, b_panel, acc);
+    alignas(32) float tmp[MR][NR];
+    for (int i = 0; i < MR; ++i) {
+      for (int l = 0; l < kLanes; ++l) {
+        _mm256_store_ps(&tmp[i][8 * l], acc[i][l]);
+      }
+    }
+    for (int i = 0; i < m_eff; ++i) {
+      float* c_row = c + i * ldc;
+      for (int j = 0; j < n_eff; ++j) {
+        c_row[j] += tmp[i][j];
+      }
+    }
+  }
+};
+
+// --- mr x 4 register tiles (one xmm per row) ---
+
+template <int MR>
+struct Avx2Tile4 {
+  static inline void Compute(int64_t kc, const float* a_panel, const float* b_panel,
+                             __m128 (&acc)[MR]) {
+    for (int i = 0; i < MR; ++i) {
+      acc[i] = _mm_setzero_ps();
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* a = a_panel + p * MR;
+      const __m128 bv = _mm_loadu_ps(b_panel + p * 4);
+      for (int i = 0; i < MR; ++i) {
+        acc[i] = _mm_fmadd_ps(_mm_broadcast_ss(a + i), bv, acc[i]);
+      }
+    }
+  }
+
+  static void Full(int64_t kc, const float* a_panel, const float* b_panel, float* c,
+                   int64_t ldc) {
+    __m128 acc[MR];
+    Compute(kc, a_panel, b_panel, acc);
+    for (int i = 0; i < MR; ++i) {
+      float* c_row = c + i * ldc;
+      _mm_storeu_ps(c_row, _mm_add_ps(_mm_loadu_ps(c_row), acc[i]));
+    }
+  }
+
+  static void Edge(int64_t kc, const float* a_panel, const float* b_panel, float* c, int64_t ldc,
+                   int m_eff, int n_eff) {
+    __m128 acc[MR];
+    Compute(kc, a_panel, b_panel, acc);
+    alignas(16) float tmp[MR][4];
+    for (int i = 0; i < MR; ++i) {
+      _mm_store_ps(tmp[i], acc[i]);
+    }
+    for (int i = 0; i < m_eff; ++i) {
+      float* c_row = c + i * ldc;
+      for (int j = 0; j < n_eff; ++j) {
+        c_row[j] += tmp[i][j];
+      }
+    }
+  }
+};
+
+// --- fused-dequant row helpers (quant.h block layout) ---
+
+// 8 int8 values (lowest 8 bytes of `q`) -> 8 floats.
+inline __m256 CvtInt8x8(__m128i q) { return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q)); }
+
+// Unpacks one BlockQ4 payload into 32 biased-removed int8 quants in natural
+// column order: byte i holds quants 2i (low nibble) and 2i+1 (high nibble).
+inline void UnpackQ4(const uint8_t* packed, __m128i* q_lo16, __m128i* q_hi16) {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  const __m128i bias = _mm_set1_epi8(8);
+  const __m128i lo = _mm_and_si128(raw, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(raw, 4), mask);
+  *q_lo16 = _mm_sub_epi8(_mm_unpacklo_epi8(lo, hi), bias);  // quants 0..15
+  *q_hi16 = _mm_sub_epi8(_mm_unpackhi_epi8(lo, hi), bias);  // quants 16..31
+}
+
+void AxpyRowQ8(const uint8_t* row_blocks, int64_t cols, float x_p, float* y) {
+  const BlockQ8* block = reinterpret_cast<const BlockQ8*>(row_blocks);
+  const __m256 xv = _mm256_set1_ps(x_p);
+  int64_t col = 0;
+  for (; col + kQuantBlockSize <= cols; col += kQuantBlockSize, ++block) {
+    const __m256 s = _mm256_mul_ps(xv, _mm256_set1_ps(block->scale));
+    for (int g = 0; g < 4; ++g) {
+      const __m128i q8 =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(block->q + 8 * g));
+      float* yp = y + col + 8 * g;
+      _mm256_storeu_ps(yp, _mm256_fmadd_ps(s, CvtInt8x8(q8), _mm256_loadu_ps(yp)));
+    }
+  }
+  if (col < cols) {  // partial trailing block: scalar, bounded by logical cols
+    const float s = x_p * block->scale;
+    for (int64_t j = col; j < cols; ++j) {
+      y[j] += s * static_cast<float>(block->q[j - col]);
+    }
+  }
+}
+
+void AxpyRowQ4(const uint8_t* row_blocks, int64_t cols, float x_p, float* y) {
+  const BlockQ4* block = reinterpret_cast<const BlockQ4*>(row_blocks);
+  const __m256 xv = _mm256_set1_ps(x_p);
+  int64_t col = 0;
+  for (; col + kQuantBlockSize <= cols; col += kQuantBlockSize, ++block) {
+    const __m256 s = _mm256_mul_ps(xv, _mm256_set1_ps(block->scale));
+    __m128i q_lo, q_hi;
+    UnpackQ4(block->q, &q_lo, &q_hi);
+    const __m128i groups[4] = {q_lo, _mm_srli_si128(q_lo, 8), q_hi, _mm_srli_si128(q_hi, 8)};
+    for (int g = 0; g < 4; ++g) {
+      float* yp = y + col + 8 * g;
+      _mm256_storeu_ps(yp, _mm256_fmadd_ps(s, CvtInt8x8(groups[g]), _mm256_loadu_ps(yp)));
+    }
+  }
+  if (col < cols) {
+    const float s = x_p * block->scale;
+    for (int64_t j = col; j < cols; ++j) {
+      const int64_t idx = j - col;
+      const uint8_t byte = block->q[idx / 2];
+      const int q = static_cast<int>((idx % 2 == 0) ? (byte & 0x0F) : (byte >> 4)) - 8;
+      y[j] += s * static_cast<float>(q);
+    }
+  }
+}
+
+void DequantRowQ8(const uint8_t* row_blocks, int64_t cols, float* dst) {
+  const BlockQ8* block = reinterpret_cast<const BlockQ8*>(row_blocks);
+  int64_t col = 0;
+  for (; col + kQuantBlockSize <= cols; col += kQuantBlockSize, ++block) {
+    const __m256 s = _mm256_set1_ps(block->scale);
+    for (int g = 0; g < 4; ++g) {
+      const __m128i q8 =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(block->q + 8 * g));
+      _mm256_storeu_ps(dst + col + 8 * g, _mm256_mul_ps(s, CvtInt8x8(q8)));
+    }
+  }
+  if (col < cols) {
+    for (int64_t j = col; j < cols; ++j) {
+      dst[j] = block->scale * static_cast<float>(block->q[j - col]);
+    }
+  }
+}
+
+void DequantRowQ4(const uint8_t* row_blocks, int64_t cols, float* dst) {
+  const BlockQ4* block = reinterpret_cast<const BlockQ4*>(row_blocks);
+  int64_t col = 0;
+  for (; col + kQuantBlockSize <= cols; col += kQuantBlockSize, ++block) {
+    const __m256 s = _mm256_set1_ps(block->scale);
+    __m128i q_lo, q_hi;
+    UnpackQ4(block->q, &q_lo, &q_hi);
+    const __m128i groups[4] = {q_lo, _mm_srli_si128(q_lo, 8), q_hi, _mm_srli_si128(q_hi, 8)};
+    for (int g = 0; g < 4; ++g) {
+      _mm256_storeu_ps(dst + col + 8 * g, _mm256_mul_ps(s, CvtInt8x8(groups[g])));
+    }
+  }
+  if (col < cols) {
+    for (int64_t j = col; j < cols; ++j) {
+      const int64_t idx = j - col;
+      const uint8_t byte = block->q[idx / 2];
+      const int q = static_cast<int>((idx % 2 == 0) ? (byte & 0x0F) : (byte >> 4)) - 8;
+      dst[j] = block->scale * static_cast<float>(q);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<MicroKernelEntry>& Avx2MicroKernelTable() {
+  // Same (mr, nr) set as the scalar table in gemm.cc — keep in sync; the
+  // differential harness sweeps both tables and fails on drift.
+  static const std::vector<MicroKernelEntry> table = {
+      {4, 4, KernelVariant::kAvx2, Avx2Tile4<4>::Full, Avx2Tile4<4>::Edge},
+      {4, 8, KernelVariant::kAvx2, Avx2Tile<4, 8>::Full, Avx2Tile<4, 8>::Edge},
+      {4, 16, KernelVariant::kAvx2, Avx2Tile<4, 16>::Full, Avx2Tile<4, 16>::Edge},
+      {8, 4, KernelVariant::kAvx2, Avx2Tile4<8>::Full, Avx2Tile4<8>::Edge},
+      {8, 8, KernelVariant::kAvx2, Avx2Tile<8, 8>::Full, Avx2Tile<8, 8>::Edge},
+      {8, 16, KernelVariant::kAvx2, Avx2Tile<8, 16>::Full, Avx2Tile<8, 16>::Edge},
+      {16, 8, KernelVariant::kAvx2, Avx2Tile<16, 8>::Full, Avx2Tile<16, 8>::Edge},
+      {16, 16, KernelVariant::kAvx2, Avx2Tile<16, 16>::Full, Avx2Tile<16, 16>::Edge},
+  };
+  return table;
+}
+
+QuantAxpyRowFn Avx2QuantAxpyRow(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kQ8:
+      return AxpyRowQ8;
+    case WeightFormat::kQ4:
+      return AxpyRowQ4;
+    case WeightFormat::kFp32:
+      break;
+  }
+  return nullptr;
+}
+
+QuantDequantRowFn Avx2QuantDequantRow(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kQ8:
+      return DequantRowQ8;
+    case WeightFormat::kQ4:
+      return DequantRowQ4;
+    case WeightFormat::kFp32:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace vlora
+
+#else  // !(__AVX2__ && __FMA__): baseline-ISA build of this file
+
+namespace vlora {
+
+const std::vector<MicroKernelEntry>& Avx2MicroKernelTable() {
+  static const std::vector<MicroKernelEntry> empty;
+  return empty;
+}
+
+QuantAxpyRowFn Avx2QuantAxpyRow(WeightFormat) { return nullptr; }
+
+QuantDequantRowFn Avx2QuantDequantRow(WeightFormat) { return nullptr; }
+
+}  // namespace vlora
+
+#endif

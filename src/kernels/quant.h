@@ -1,0 +1,132 @@
+// Block-quantized weight storage with fused dequantization.
+//
+// Weights are stored row-major as fixed-size blocks of kQuantBlockSize
+// consecutive row elements, each block carrying an fp32 scale and symmetric
+// integer quants (the layout family of ggml's q4/q8 formats):
+//
+//   BlockQ8: fp32 scale + 32 x int8   -> 36 B per 32 floats  (3.6x smaller)
+//   BlockQ4: fp32 scale + 16 x packed -> 20 B per 32 floats  (6.4x smaller)
+//            nibbles (two quants per byte, bias +8)
+//
+// value = scale * q, with scale = block_max_abs / qmax and q = round(v/scale)
+// clamped to [-qmax, qmax] (qmax: 127 for Q8, 7 for Q4). The worst-case
+// round-trip error is scale/2 per element — MaxAbsErrorBound() is the bound
+// the differential tests assert against.
+//
+// Dequantization is fused into the kernels, never materialised as a full
+// fp32 matrix:
+//   * GemmQuantized dequantizes each (kc x nc) B panel straight into the
+//     packed-panel workspace — one dequant pass per GEMM, cache-resident,
+//     after which the regular per-variant register micro-kernels run.
+//   * GemvQuantized (the m = 1 decode shape) dequantizes block-by-block in
+//     registers inside the AXPY loop — quants load, expand and FMA without
+//     ever touching a float row buffer (AVX2 variant; scalar fallback).
+//
+// The last row block may be partial: storage pads it to a full block with
+// zero quants, so kernels always read whole blocks while logical `cols`
+// bounds every write.
+
+#ifndef VLORA_SRC_KERNELS_QUANT_H_
+#define VLORA_SRC_KERNELS_QUANT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/kernels/kernel_variant.h"
+#include "src/kernels/tile_config.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+
+class GemmWorkspace;
+
+inline constexpr int kQuantBlockSize = 32;
+// Block rows start at this alignment so SIMD loads of the quant payload stay
+// within one cache line pair; tests assert it.
+inline constexpr size_t kQuantAlignment = 32;
+
+struct BlockQ8 {
+  float scale;
+  int8_t q[kQuantBlockSize];
+};
+
+struct BlockQ4 {
+  float scale;
+  // Two quants per byte: quant 2i in the low nibble, 2i+1 in the high
+  // nibble, each biased by +8 into [1, 15] (q range is [-7, 7]).
+  uint8_t q[kQuantBlockSize / 2];
+};
+
+static_assert(sizeof(BlockQ8) == 36, "BlockQ8 layout is part of the format");
+static_assert(sizeof(BlockQ4) == 20, "BlockQ4 layout is part of the format");
+
+// Bytes of one block of `format`. kFp32 is not a block format; callers must
+// not pass it (aborts).
+size_t QuantBlockBytes(WeightFormat format);
+
+// Largest representable quant magnitude of `format` (127 or 7).
+int QuantMaxLevel(WeightFormat format);
+
+// Worst-case |v - dequant(quant(v))| for a block whose max-abs value is
+// `block_max_abs`: half a quantization step.
+float MaxAbsErrorBound(WeightFormat format, float block_max_abs);
+
+// A rows x cols row-major matrix stored as quant blocks. Immutable after
+// construction; copies share storage (weights are read-only at serving time).
+class QuantizedMatrix {
+ public:
+  QuantizedMatrix() = default;
+
+  // Quantizes a dense row-major rows x cols matrix. format must be a block
+  // format (kQ8 / kQ4). Deterministic: same input, same bytes.
+  static QuantizedMatrix Quantize(const float* src, int64_t rows, int64_t cols,
+                                  WeightFormat format);
+  static QuantizedMatrix Quantize(const Tensor& src, WeightFormat format);
+
+  bool empty() const { return data_ == nullptr; }
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  WeightFormat format() const { return format_; }
+
+  int64_t BlocksPerRow() const { return blocks_per_row_; }
+  size_t RowStrideBytes() const { return row_stride_bytes_; }
+  int64_t SizeBytes() const { return rows_ * static_cast<int64_t>(row_stride_bytes_); }
+
+  const uint8_t* RowBlocks(int64_t row) const {
+    return data_.get() + static_cast<size_t>(row) * row_stride_bytes_;
+  }
+
+  // dst[0 .. col_end-col_begin) = dequantized row elements [col_begin,
+  // col_end). Arbitrary ranges; full interior blocks take the `variant` fast
+  // path when available.
+  void DequantizeRowRange(int64_t row, int64_t col_begin, int64_t col_end, float* dst,
+                          KernelVariant variant) const;
+
+ private:
+  WeightFormat format_ = WeightFormat::kQ8;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t blocks_per_row_ = 0;
+  size_t row_stride_bytes_ = 0;
+  std::shared_ptr<uint8_t[]> data_;  // kQuantAlignment-aligned
+};
+
+// C += A * B with B block-quantized. Same tiling/packing loop nest as
+// GemmTiled (gemm.h); the only difference is that the B panel is dequantized
+// directly into the packed workspace. m == 1 delegates to GemvQuantized, the
+// register-fused decode path. a is m x k, b is k x n (b.rows() == k,
+// b.cols() == n), c is m x n.
+void GemmQuantized(const float* a, const QuantizedMatrix& b, float* c, int64_t m, int64_t n,
+                   int64_t k, const TileConfig& config, GemmWorkspace& workspace,
+                   KernelVariant variant);
+// Implicit-dispatch overload: ActiveKernelVariant().
+void GemmQuantized(const float* a, const QuantizedMatrix& b, float* c, int64_t m, int64_t n,
+                   int64_t k, const TileConfig& config, GemmWorkspace& workspace);
+
+// y += x * B for a single row x (length b.rows()), y length b.cols().
+// Dequantization happens inside the AXPY micro-kernel.
+void GemvQuantized(const float* x, const QuantizedMatrix& b, float* y, KernelVariant variant);
+
+}  // namespace vlora
+
+#endif  // VLORA_SRC_KERNELS_QUANT_H_

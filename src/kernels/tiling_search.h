@@ -6,6 +6,12 @@
 // is pruned with the paper's expert knowledge: tile dimensions are powers of
 // two bounded by the cache hierarchy, shapes step at the model-dimension
 // granularity, and the m (token) dimension steps at kMStep.
+//
+// The search runs once per requested (KernelVariant, WeightFormat) compute
+// path and registers each winner into that path's table — the best tile under
+// an 8-wide FMA kernel or a dequant-fused panel is not the best tile under the
+// scalar fp32 kernel, and serving a config across paths would re-introduce the
+// mistuned-kernel regression the table exists to avoid.
 
 #ifndef VLORA_SRC_KERNELS_TILING_SEARCH_H_
 #define VLORA_SRC_KERNELS_TILING_SEARCH_H_
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "src/kernels/atmm.h"
+#include "src/kernels/kernel_variant.h"
 #include "src/kernels/tile_config.h"
 
 namespace vlora {
@@ -35,20 +42,30 @@ struct TilingSearchOptions {
   std::vector<TileConfig> candidates;
   // Cap on packed-panel workspace, mimicking shared-memory capacity limits.
   int64_t max_workspace_floats = 1 << 20;
+  // Kernel variants to profile; empty means {ActiveKernelVariant()}. Variants
+  // the host cannot execute are skipped with a warning, never profiled blind.
+  std::vector<KernelVariant> variants;
+  // Weight formats to profile; empty means {kFp32}.
+  std::vector<WeightFormat> weight_formats;
 };
 
 struct TilingSearchResult {
+  // Grid shapes profiled, summed over every (variant, format) pass.
   int64_t shapes_profiled = 0;
   int64_t configs_tried = 0;
+  int64_t variants_profiled = 0;
   double elapsed_seconds = 0.0;
 };
 
-// Runs the search and populates `dispatcher`'s hash table.
+// Runs the search and populates `dispatcher`'s hash tables.
 TilingSearchResult RunTilingSearch(const TilingSearchOptions& options,
                                    AtmmDispatcher& dispatcher);
 
-// Times one (shape, config) pair: median-of-repetitions milliseconds.
+// Times one (shape, config) pair: best-of-repetitions milliseconds. The
+// five-argument form profiles the active variant's fp32 path.
 double ProfileConfig(int64_t m, int64_t n, int64_t k, const TileConfig& config, int repetitions);
+double ProfileConfig(int64_t m, int64_t n, int64_t k, const TileConfig& config, int repetitions,
+                     KernelVariant variant, WeightFormat format);
 
 }  // namespace vlora
 

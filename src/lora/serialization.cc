@@ -12,6 +12,9 @@ namespace {
 constexpr uint32_t kAdapterMagic = 0x41524C56;  // "VLRA"
 constexpr uint32_t kTableMagic = 0x54544C56;    // "VLTT"
 constexpr uint32_t kVersion = 1;
+// Table format v2 qualifies each entry with the (kernel variant, weight
+// format) compute path it was profiled for; v1 predates per-variant tables.
+constexpr uint32_t kTableVersion = 2;
 
 class Writer {
  public:
@@ -219,19 +222,21 @@ Status SaveTilingTable(const AtmmDispatcher& dispatcher, const std::string& path
   if (!w.ok()) {
     return Status::InvalidArgument("cannot open for write: " + path);
   }
-  const auto entries = dispatcher.Entries();
+  const auto entries = dispatcher.AllEntries();
   w.U32(kTableMagic);
-  w.U32(kVersion);
+  w.U32(kTableVersion);
   w.U64(entries.size());
-  for (const auto& [key, config] : entries) {
-    w.I64(key.m);
-    w.I64(key.n);
-    w.I64(key.k);
-    w.U32(static_cast<uint32_t>(config.mc));
-    w.U32(static_cast<uint32_t>(config.nc));
-    w.U32(static_cast<uint32_t>(config.kc));
-    w.U32(static_cast<uint32_t>(config.mr));
-    w.U32(static_cast<uint32_t>(config.nr));
+  for (const auto& entry : entries) {
+    w.I64(entry.shape.m);
+    w.I64(entry.shape.n);
+    w.I64(entry.shape.k);
+    w.U32(static_cast<uint32_t>(entry.variant));
+    w.U32(static_cast<uint32_t>(entry.format));
+    w.U32(static_cast<uint32_t>(entry.config.mc));
+    w.U32(static_cast<uint32_t>(entry.config.nc));
+    w.U32(static_cast<uint32_t>(entry.config.kc));
+    w.U32(static_cast<uint32_t>(entry.config.mr));
+    w.U32(static_cast<uint32_t>(entry.config.nr));
   }
   if (!w.ok()) {
     return Status::Internal("write failed: " + path);
@@ -250,7 +255,7 @@ Status LoadTilingTable(const std::string& path, AtmmDispatcher& dispatcher) {
   if (!r.U32(magic) || magic != kTableMagic) {
     return Status::InvalidArgument("bad table magic: " + path);
   }
-  if (!r.U32(version) || version != kVersion) {
+  if (!r.U32(version) || (version != 1 && version != kTableVersion)) {
     return Status::InvalidArgument("unsupported table version");
   }
   if (!r.U64(count) || count > (1u << 24)) {
@@ -258,13 +263,22 @@ Status LoadTilingTable(const std::string& path, AtmmDispatcher& dispatcher) {
   }
   for (uint64_t i = 0; i < count; ++i) {
     ShapeKey key{};
+    uint32_t variant_code = 0;
+    uint32_t format_code = 0;
     uint32_t mc = 0;
     uint32_t nc = 0;
     uint32_t kc = 0;
     uint32_t mr = 0;
     uint32_t nr = 0;
-    if (!r.I64(key.m) || !r.I64(key.n) || !r.I64(key.k) || !r.U32(mc) || !r.U32(nc) ||
-        !r.U32(kc) || !r.U32(mr) || !r.U32(nr)) {
+    if (!r.I64(key.m) || !r.I64(key.n) || !r.I64(key.k)) {
+      return Status::InvalidArgument("truncated table entry");
+    }
+    if (version >= kTableVersion &&
+        (!r.U32(variant_code) || variant_code >= kNumKernelVariants || !r.U32(format_code) ||
+         format_code >= kNumWeightFormats)) {
+      return Status::InvalidArgument("bad compute-path code in table entry");
+    }
+    if (!r.U32(mc) || !r.U32(nc) || !r.U32(kc) || !r.U32(mr) || !r.U32(nr)) {
       return Status::InvalidArgument("truncated table entry");
     }
     TileConfig config{static_cast<int>(mc), static_cast<int>(nc), static_cast<int>(kc),
@@ -272,7 +286,15 @@ Status LoadTilingTable(const std::string& path, AtmmDispatcher& dispatcher) {
     if (!config.Valid()) {
       return Status::InvalidArgument("invalid tiling config in table");
     }
-    dispatcher.Register(key, config);
+    if (version >= kTableVersion) {
+      dispatcher.Register(key, config, static_cast<KernelVariant>(variant_code),
+                          static_cast<WeightFormat>(format_code));
+    } else {
+      // v1 entries predate the variant axis: the profiling ISA is unknown, so
+      // serve them to the fp32 path of every variant rather than guessing.
+      dispatcher.Register(key, config, KernelVariant::kScalar, WeightFormat::kFp32);
+      dispatcher.Register(key, config, KernelVariant::kAvx2, WeightFormat::kFp32);
+    }
   }
   return Status::Ok();
 }

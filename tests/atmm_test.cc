@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/common/thread_pool.h"
 #include "src/kernels/atmm.h"
+#include "src/kernels/quant.h"
 #include "src/kernels/tiling_search.h"
 #include "src/tensor/tensor.h"
 
@@ -47,6 +51,10 @@ TEST(AtmmDispatcherTest, HeuristicAlwaysValid) {
         const TileConfig config = AtmmDispatcher::HeuristicConfig(m, n, k);
         EXPECT_TRUE(config.Valid()) << m << "x" << n << "x" << k << " -> " << config.ToString();
         EXPECT_TRUE(HasMicroKernel(config.mr, config.nr)) << config.ToString();
+        const TileConfig avx2 =
+            AtmmDispatcher::HeuristicConfig(m, n, k, KernelVariant::kAvx2);
+        EXPECT_TRUE(avx2.Valid()) << m << "x" << n << "x" << k << " -> " << avx2.ToString();
+        EXPECT_TRUE(HasMicroKernel(avx2.mr, avx2.nr)) << avx2.ToString();
       }
     }
   }
@@ -105,6 +113,183 @@ TEST(TilingSearchTest, RegisteredConfigIsUsedAtRuntime) {
   Tensor c = Tensor::Zeros(Shape(64, 32));
   dispatcher.Execute(a, b, c);
   EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b)), 1e-3f);
+}
+
+// The per-(variant, format) tables are isolated: an entry registered for one
+// compute path is never served to another, in either direction.
+TEST(AtmmDispatcherTest, PerVariantFormatTablesAreIsolated) {
+  AtmmDispatcher dispatcher;
+  const ShapeKey key{128, 64, 256};
+  const TileConfig scalar_cfg{16, 16, 32, 4, 4};
+  const TileConfig avx2_cfg{32, 64, 64, 16, 16};
+  const TileConfig q8_cfg{128, 32, 256, 8, 8};
+  dispatcher.Register(key, scalar_cfg, KernelVariant::kScalar, WeightFormat::kFp32);
+  dispatcher.Register(key, avx2_cfg, KernelVariant::kAvx2, WeightFormat::kFp32);
+  dispatcher.Register(key, q8_cfg, KernelVariant::kScalar, WeightFormat::kQ8);
+
+  // Each compute path sees exactly its own entry.
+  EXPECT_EQ(dispatcher.Select(128, 64, 256, KernelVariant::kScalar, WeightFormat::kFp32),
+            scalar_cfg);
+  EXPECT_EQ(dispatcher.Select(128, 64, 256, KernelVariant::kAvx2, WeightFormat::kFp32),
+            avx2_cfg);
+  EXPECT_EQ(dispatcher.Select(128, 64, 256, KernelVariant::kScalar, WeightFormat::kQ8), q8_cfg);
+
+  // A path with no entry for the shape gets the heuristic, never a
+  // neighbouring path's profiled config.
+  const TileConfig heuristic =
+      AtmmDispatcher::HeuristicConfig(128, 64, 256, KernelVariant::kAvx2);
+  const TileConfig q4 = dispatcher.Select(128, 64, 256, KernelVariant::kAvx2, WeightFormat::kQ4);
+  EXPECT_EQ(q4, heuristic);
+  EXPECT_FALSE(q4 == scalar_cfg);
+  EXPECT_FALSE(q4 == avx2_cfg);
+
+  EXPECT_EQ(dispatcher.TableSize(), 3);
+  EXPECT_EQ(dispatcher.TableSize(KernelVariant::kScalar, WeightFormat::kFp32), 1);
+  EXPECT_EQ(dispatcher.TableSize(KernelVariant::kAvx2, WeightFormat::kFp32), 1);
+  EXPECT_EQ(dispatcher.TableSize(KernelVariant::kScalar, WeightFormat::kQ8), 1);
+  EXPECT_EQ(dispatcher.TableSize(KernelVariant::kAvx2, WeightFormat::kQ4), 0);
+
+  const std::vector<AtmmTableEntry> all = dispatcher.AllEntries();
+  ASSERT_EQ(all.size(), 3u);
+  for (const AtmmTableEntry& entry : all) {
+    EXPECT_TRUE(entry.shape == key);
+    if (entry.variant == KernelVariant::kScalar && entry.format == WeightFormat::kFp32) {
+      EXPECT_EQ(entry.config, scalar_cfg);
+    } else if (entry.variant == KernelVariant::kAvx2) {
+      EXPECT_EQ(entry.format, WeightFormat::kFp32);
+      EXPECT_EQ(entry.config, avx2_cfg);
+    } else {
+      EXPECT_EQ(entry.format, WeightFormat::kQ8);
+      EXPECT_EQ(entry.config, q8_cfg);
+    }
+  }
+}
+
+// Scalar-profiled configs are never served to AVX2 selections and vice versa,
+// even when only one side of the table is populated.
+TEST(AtmmDispatcherTest, ScalarEntriesNeverLeakToAvx2) {
+  AtmmDispatcher dispatcher;
+  const TileConfig scalar_only{16, 16, 32, 4, 4};
+  for (int64_t m = 32; m <= 256; m += 32) {
+    dispatcher.Register(ShapeKey{m, 64, 256}, scalar_only, KernelVariant::kScalar,
+                        WeightFormat::kFp32);
+  }
+  // Exact hits and grid-snapped lookups on the AVX2 side miss everything and
+  // fall through to the (variant-aware) heuristic.
+  for (int64_t m : {32, 50, 128, 256}) {
+    EXPECT_EQ(dispatcher.Select(m, 64, 256, KernelVariant::kAvx2, WeightFormat::kFp32),
+              AtmmDispatcher::HeuristicConfig(m, 64, 256, KernelVariant::kAvx2))
+        << "m=" << m;
+  }
+  // And the mirror image: an AVX2-only entry is invisible to scalar.
+  AtmmDispatcher mirror;
+  const TileConfig avx2_only{64, 64, 128, 16, 16};
+  mirror.Register(ShapeKey{64, 64, 256}, avx2_only, KernelVariant::kAvx2, WeightFormat::kFp32);
+  EXPECT_EQ(mirror.Select(64, 64, 256, KernelVariant::kScalar, WeightFormat::kFp32),
+            AtmmDispatcher::HeuristicConfig(64, 64, 256));
+}
+
+// ExecuteQuantized selects from the (variant, format) table and computes the
+// same product as the dense reference over the dequantized weights.
+TEST(AtmmDispatcherTest, ExecuteQuantizedMatchesReference) {
+  AtmmDispatcher dispatcher;
+  Rng rng(47);
+  for (WeightFormat format : {WeightFormat::kQ8, WeightFormat::kQ4}) {
+    for (auto [m, n, k] : {std::tuple<int64_t, int64_t, int64_t>{5, 7, 45},
+                           {64, 32, 128},
+                           {1, 64, 64}}) {
+      Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+      Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+      const QuantizedMatrix b_q = QuantizedMatrix::Quantize(b, format);
+      Tensor b_deq(Shape(k, n));
+      for (int64_t row = 0; row < k; ++row) {
+        b_q.DequantizeRowRange(row, 0, n, b_deq.data() + row * n, KernelVariant::kScalar);
+      }
+      Tensor c = Tensor::Zeros(Shape(m, n));
+      dispatcher.ExecuteQuantized(a.data(), b_q, c.data(), m);
+      EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b_deq)), 1e-3f)
+          << WeightFormatName(format) << " " << m << "x" << n << "x" << k;
+    }
+  }
+}
+
+// Concurrent Register (profiling shards) and Select (serving threads) on a
+// shared dispatcher must be race-free — this is the TSan-labelled test.
+TEST(AtmmDispatcherTest, ConcurrentRegisterAndSelect) {
+  AtmmDispatcher dispatcher;
+  ThreadPool pool(4);
+  const TileConfig config{32, 32, 64, 8, 8};
+  constexpr int64_t kIterations = 256;
+  pool.ParallelFor(0, kIterations, [&](int64_t i) {
+    const KernelVariant variant =
+        (i % 4 < 2) ? KernelVariant::kScalar : KernelVariant::kAvx2;
+    const WeightFormat format = (i % 2 == 0) ? WeightFormat::kFp32 : WeightFormat::kQ8;
+    if (i % 3 == 0) {
+      dispatcher.Register(ShapeKey{32 * (i / 3 + 1), 64, 256}, config, variant, format);
+    } else {
+      const TileConfig selected = dispatcher.Select(32 * (i % 16 + 1), 64, 256, variant, format);
+      ASSERT_TRUE(selected.Valid());
+    }
+  });
+  // Every registration landed in some slot.
+  int64_t per_slot_total = 0;
+  for (int v = 0; v < kNumKernelVariants; ++v) {
+    for (int f = 0; f < kNumWeightFormats; ++f) {
+      per_slot_total += dispatcher.TableSize(static_cast<KernelVariant>(v),
+                                             static_cast<WeightFormat>(f));
+    }
+  }
+  EXPECT_EQ(per_slot_total, dispatcher.TableSize());
+  EXPECT_GT(dispatcher.TableSize(), 0);
+}
+
+// Searching multiple variants/formats populates separate slots, one winner
+// per (shape, variant, format).
+TEST(TilingSearchTest, PerVariantSearchPopulatesSeparateSlots) {
+  AtmmDispatcher dispatcher;
+  TilingSearchOptions options;
+  options.nk_pairs = {{32, 128}};
+  options.m_min = 64;
+  options.m_max = 64;
+  options.m_stride_multiplier = 1;
+  options.repetitions = 1;
+  options.candidates = {TileConfig{16, 16, 32, 4, 4}, TileConfig{64, 32, 64, 8, 8}};
+  options.variants = AvailableKernelVariants();
+  options.weight_formats = {WeightFormat::kFp32, WeightFormat::kQ8};
+  const TilingSearchResult result = RunTilingSearch(options, dispatcher);
+
+  const int64_t variants = static_cast<int64_t>(AvailableKernelVariants().size());
+  EXPECT_EQ(result.variants_profiled, variants);
+  // 1 shape x 2 formats per variant pass.
+  EXPECT_EQ(dispatcher.TableSize(), variants * 2);
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    EXPECT_EQ(dispatcher.TableSize(variant, WeightFormat::kFp32), 1)
+        << KernelVariantName(variant);
+    EXPECT_EQ(dispatcher.TableSize(variant, WeightFormat::kQ8), 1)
+        << KernelVariantName(variant);
+    EXPECT_EQ(dispatcher.TableSize(variant, WeightFormat::kQ4), 0)
+        << KernelVariantName(variant);
+  }
+}
+
+// Requesting AVX2 on a host that cannot run it is skipped with a warning —
+// the table never contains entries for a variant the host cannot execute.
+TEST(TilingSearchTest, SkipsUnavailableVariants) {
+  if (Avx2Available()) {
+    GTEST_SKIP() << "host executes AVX2; the skip path is unreachable";
+  }
+  AtmmDispatcher dispatcher;
+  TilingSearchOptions options;
+  options.nk_pairs = {{32, 64}};
+  options.m_min = 32;
+  options.m_max = 32;
+  options.m_stride_multiplier = 1;
+  options.repetitions = 1;
+  options.candidates = {TileConfig{16, 16, 32, 4, 4}};
+  options.variants = {KernelVariant::kScalar, KernelVariant::kAvx2};
+  RunTilingSearch(options, dispatcher);
+  EXPECT_EQ(dispatcher.TableSize(KernelVariant::kAvx2, WeightFormat::kFp32), 0);
+  EXPECT_EQ(dispatcher.TableSize(KernelVariant::kScalar, WeightFormat::kFp32), 1);
 }
 
 TEST(TilingSearchTest, PrunesOversizedWorkspace) {

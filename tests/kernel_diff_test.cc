@@ -1,0 +1,318 @@
+// Differential kernel-test harness (the proof obligation for the SIMD and
+// block-quantized compute paths).
+//
+// Every compiled micro-kernel instantiation of every variant is swept over a
+// shape grid that exercises full tiles, non-multiple-of-tile edges in each
+// dimension, the m = 1 decode shape and rank-sized LoRA shapes. Results are
+// compared against a double-precision reference with a hybrid bound — an
+// absolute accumulation-error term of k * 3 * eps plus a ULP term — because
+// the AVX2 kernels use FMA (one rounding per multiply-add) while the scalar
+// kernels round twice, so bitwise equality across variants is not the
+// contract. Quantized paths are compared both against the dequantized-weight
+// GEMM (tight, same fp bound) and against the original weights (analytic
+// per-format bound from MaxAbsErrorBound). Everything is seeded; every path
+// is run twice and must be bitwise identical to itself.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kernels/gemm.h"
+#include "src/kernels/kernel_variant.h"
+#include "src/kernels/microkernel.h"
+#include "src/kernels/quant.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+constexpr float kEps = 1.1920929e-7f;  // FLT_EPSILON
+
+// C = A * B accumulated in double; the reference every variant is judged by.
+std::vector<double> RefGemmDouble(const float* a, const float* b, int64_t m, int64_t n,
+                                  int64_t k) {
+  std::vector<double> c(static_cast<size_t>(m * n), 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const double aip = static_cast<double>(a[i * k + p]);
+      for (int64_t j = 0; j < n; ++j) {
+        c[static_cast<size_t>(i * n + j)] += aip * static_cast<double>(b[p * n + j]);
+      }
+    }
+  }
+  return c;
+}
+
+// Distance in units-in-the-last-place between two floats (sign-magnitude
+// integer ordering, the usual ULP metric).
+int64_t UlpDistance(float x, float y) {
+  if (x == y) {
+    return 0;
+  }
+  int32_t ix;
+  int32_t iy;
+  std::memcpy(&ix, &x, sizeof(ix));
+  std::memcpy(&iy, &y, sizeof(iy));
+  auto key = [](int32_t i) -> int64_t {
+    return i < 0 ? static_cast<int64_t>(INT32_MIN) - i : static_cast<int64_t>(i);
+  };
+  return std::abs(key(ix) - key(iy));
+}
+
+// Hybrid accumulation bound: absolute term covering k rounded multiply-adds
+// of |a|,|b| <= scale operands, with a small ULP floor for large magnitudes.
+void ExpectCloseToReference(const float* actual, const std::vector<double>& ref, int64_t count,
+                            int64_t k, float operand_scale, const char* what) {
+  const double abs_tol =
+      3.0 * static_cast<double>(k) * static_cast<double>(kEps) * operand_scale * operand_scale;
+  for (int64_t i = 0; i < count; ++i) {
+    const double r = ref[static_cast<size_t>(i)];
+    const double err = std::fabs(static_cast<double>(actual[i]) - r);
+    const double ulp_tol = 64.0 * static_cast<double>(kEps) * std::fabs(r);
+    ASSERT_LE(err, std::max(abs_tol, ulp_tol))
+        << what << " element " << i << ": " << actual[i] << " vs " << r;
+  }
+}
+
+struct DiffShape {
+  int64_t m;
+  int64_t n;
+  int64_t k;
+};
+
+// Shape grid: full-tile, edge in each dimension, decode, LoRA-rank shapes.
+std::vector<DiffShape> SweepShapes(int mr, int nr) {
+  return {
+      {mr, nr, 32},                          // exactly one micro-tile
+      {3 * mr + 1, 3 * nr + 1, 33},          // edges in m, n and k at once
+      {mr - 1, nr - 1, 7},                   // smaller than one tile
+      {1, 64, 96},                           // m = 1 decode row
+      {1, 16, 512},                          // decode through a down-projection
+      {37, 16, 192},                         // prefill x (d -> rank), rank 16
+      {37, 192, 16},                         // prefill x (rank -> d)
+      {64, 48, 80},                          // none of m/n/k tile-aligned
+  };
+}
+
+// A tiling config that legally wraps (mr, nr): block sizes are the smallest
+// powers of two >= 2x the register tile, so every sweep shape produces both
+// interior and edge micro-tiles.
+TileConfig WrapConfig(int mr, int nr) {
+  TileConfig config;
+  config.mr = mr;
+  config.nr = nr;
+  config.mc = 2 * mr;
+  config.nc = 2 * nr;
+  config.kc = 32;
+  return config;
+}
+
+TEST(KernelTableTest, VariantsExposeTheSameInstantiationSet) {
+  const auto scalar = MicroKernelShapes(KernelVariant::kScalar);
+  EXPECT_FALSE(scalar.empty());
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    EXPECT_EQ(MicroKernelShapes(variant), scalar) << KernelVariantName(variant);
+  }
+  // Every entry carries its own variant tag and non-null kernels.
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    for (const MicroKernelEntry& entry : MicroKernelTable(variant)) {
+      EXPECT_EQ(entry.variant, variant);
+      EXPECT_NE(entry.full, nullptr);
+      EXPECT_NE(entry.edge, nullptr);
+    }
+  }
+}
+
+// The core differential sweep: every variant x every compiled (mr, nr)
+// instantiation x every shape, against the double reference.
+TEST(KernelDiffTest, EveryMicroKernelMatchesDoubleReference) {
+  std::set<std::tuple<std::string, int, int>> covered;
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    for (const auto& [mr, nr] : MicroKernelShapes(variant)) {
+      covered.insert({KernelVariantName(variant), mr, nr});
+      const TileConfig config = WrapConfig(mr, nr);
+      ASSERT_TRUE(config.Valid()) << config.ToString();
+      for (const DiffShape& shape : SweepShapes(mr, nr)) {
+        Rng rng(0xD1FFull ^ static_cast<uint64_t>(shape.m * 73 + shape.n * 31 + shape.k));
+        Tensor a = Tensor::Random(Shape(shape.m, shape.k), rng, 1.0f);
+        Tensor b = Tensor::Random(Shape(shape.k, shape.n), rng, 1.0f);
+        Tensor c = Tensor::Zeros(Shape(shape.m, shape.n));
+        GemmWorkspace workspace;
+        GemmTiled(a.data(), b.data(), c.data(), shape.m, shape.n, shape.k, config, workspace,
+                  variant);
+        const auto ref = RefGemmDouble(a.data(), b.data(), shape.m, shape.n, shape.k);
+        ExpectCloseToReference(c.data(), ref, shape.m * shape.n, shape.k, 1.0f,
+                               KernelVariantName(variant));
+      }
+    }
+  }
+  // The sweep really covered every compiled instantiation of every variant.
+  size_t expected = 0;
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    expected += MicroKernelTable(variant).size();
+  }
+  EXPECT_EQ(covered.size(), expected);
+}
+
+// AVX2 against scalar directly: same config, same inputs, ULP-bounded (FMA
+// contracts one rounding per term, so k * eps absolute + ULP floor).
+TEST(KernelDiffTest, Avx2MatchesScalarWithinUlps) {
+  if (!Avx2Available()) {
+    GTEST_SKIP() << "host has no AVX2 kernels";
+  }
+  for (const auto& [mr, nr] : MicroKernelShapes(KernelVariant::kAvx2)) {
+    const TileConfig config = WrapConfig(mr, nr);
+    for (const DiffShape& shape : SweepShapes(mr, nr)) {
+      Rng rng(0xFACEull + static_cast<uint64_t>(mr * 100 + nr));
+      Tensor a = Tensor::Random(Shape(shape.m, shape.k), rng, 1.0f);
+      Tensor b = Tensor::Random(Shape(shape.k, shape.n), rng, 1.0f);
+      Tensor c_scalar = Tensor::Zeros(Shape(shape.m, shape.n));
+      Tensor c_avx2 = Tensor::Zeros(Shape(shape.m, shape.n));
+      GemmWorkspace workspace;
+      GemmTiled(a.data(), b.data(), c_scalar.data(), shape.m, shape.n, shape.k, config,
+                workspace, KernelVariant::kScalar);
+      GemmTiled(a.data(), b.data(), c_avx2.data(), shape.m, shape.n, shape.k, config, workspace,
+                KernelVariant::kAvx2);
+      const double abs_tol = 3.0 * static_cast<double>(shape.k) * static_cast<double>(kEps);
+      for (int64_t i = 0; i < shape.m * shape.n; ++i) {
+        const double err =
+            std::fabs(static_cast<double>(c_scalar.data()[i]) - c_avx2.data()[i]);
+        const bool ok = err <= abs_tol || UlpDistance(c_scalar.data()[i], c_avx2.data()[i]) <= 64;
+        ASSERT_TRUE(ok) << mr << "x" << nr << " element " << i << ": scalar "
+                        << c_scalar.data()[i] << " avx2 " << c_avx2.data()[i];
+      }
+    }
+  }
+}
+
+// Quantized GEMM vs the dense GEMM over the dequantized weights: this isolates
+// the fused-dequant plumbing from the quantization error itself, so the bound
+// is the same floating-point bound as the fp32 differential.
+TEST(KernelDiffTest, QuantizedGemmMatchesDequantizedReference) {
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    for (WeightFormat format : {WeightFormat::kQ8, WeightFormat::kQ4}) {
+      for (const DiffShape& shape : {DiffShape{37, 48, 80}, DiffShape{8, 16, 32},
+                                     DiffShape{2, 7, 45}, DiffShape{16, 64, 256}}) {
+        Rng rng(0x9A4Dull ^ static_cast<uint64_t>(shape.m + shape.n + shape.k));
+        Tensor a = Tensor::Random(Shape(shape.m, shape.k), rng, 1.0f);
+        Tensor b = Tensor::Random(Shape(shape.k, shape.n), rng, 1.0f);
+        const QuantizedMatrix b_q = QuantizedMatrix::Quantize(b, format);
+
+        // Dense reference over the dequantized weights, in double.
+        Tensor b_deq(Shape(shape.k, shape.n));
+        for (int64_t row = 0; row < shape.k; ++row) {
+          b_q.DequantizeRowRange(row, 0, shape.n, b_deq.data() + row * shape.n,
+                                 KernelVariant::kScalar);
+        }
+        const auto ref = RefGemmDouble(a.data(), b_deq.data(), shape.m, shape.n, shape.k);
+
+        Tensor c = Tensor::Zeros(Shape(shape.m, shape.n));
+        GemmWorkspace workspace;
+        GemmQuantized(a.data(), b_q, c.data(), shape.m, shape.n, shape.k, TileConfig{}, workspace,
+                      variant);
+        ExpectCloseToReference(c.data(), ref, shape.m * shape.n, shape.k, 1.0f,
+                               WeightFormatName(format));
+      }
+    }
+  }
+}
+
+// Quantized GEMM vs the ORIGINAL weights: bounded by the analytic per-format
+// error (sum over k of |a| times half a quantization step) plus fp slack.
+TEST(KernelDiffTest, QuantizedGemmWithinAnalyticFormatBound) {
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    for (WeightFormat format : {WeightFormat::kQ8, WeightFormat::kQ4}) {
+      const int64_t m = 16;
+      const int64_t n = 48;
+      const int64_t k = 160;
+      Rng rng(0xB0DEull + static_cast<uint64_t>(format));
+      Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+      Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+      const QuantizedMatrix b_q = QuantizedMatrix::Quantize(b, format);
+      const auto ref = RefGemmDouble(a.data(), b.data(), m, n, k);
+
+      Tensor c = Tensor::Zeros(Shape(m, n));
+      GemmWorkspace workspace;
+      GemmQuantized(a.data(), b_q, c.data(), m, n, k, TileConfig{}, workspace, variant);
+
+      // |a| <= 1 and every block's max-abs <= 1, so per-element quantization
+      // error is at most k * MaxAbsErrorBound(format, 1).
+      const double bound = static_cast<double>(k) *
+                               static_cast<double>(MaxAbsErrorBound(format, 1.0f)) +
+                           3.0 * static_cast<double>(k) * static_cast<double>(kEps);
+      for (int64_t i = 0; i < m * n; ++i) {
+        ASSERT_LE(std::fabs(static_cast<double>(c.data()[i]) - ref[static_cast<size_t>(i)]),
+                  bound)
+            << WeightFormatName(format) << " element " << i;
+      }
+    }
+  }
+}
+
+// m = 1 must take the register-fused GEMV path and agree with it exactly.
+TEST(KernelDiffTest, DecodeRowDelegatesToFusedGemv) {
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    for (WeightFormat format : {WeightFormat::kQ8, WeightFormat::kQ4}) {
+      const int64_t k = 192;
+      const int64_t n = 70;  // partial trailing block
+      Rng rng(0xDECull);
+      Tensor x = Tensor::Random(Shape(1, k), rng, 1.0f);
+      Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+      const QuantizedMatrix b_q = QuantizedMatrix::Quantize(b, format);
+
+      Tensor y_gemm = Tensor::Zeros(Shape(1, n));
+      Tensor y_gemv = Tensor::Zeros(Shape(1, n));
+      GemmWorkspace workspace;
+      GemmQuantized(x.data(), b_q, y_gemm.data(), 1, n, k, TileConfig{}, workspace, variant);
+      GemvQuantized(x.data(), b_q, y_gemv.data(), variant);
+      EXPECT_EQ(0, std::memcmp(y_gemm.data(), y_gemv.data(),
+                               static_cast<size_t>(n) * sizeof(float)));
+      // And the GEMV itself is within the fp bound of the dequant reference.
+      Tensor b_deq(Shape(k, n));
+      for (int64_t row = 0; row < k; ++row) {
+        b_q.DequantizeRowRange(row, 0, n, b_deq.data() + row * n, KernelVariant::kScalar);
+      }
+      const auto ref = RefGemmDouble(x.data(), b_deq.data(), 1, n, k);
+      ExpectCloseToReference(y_gemv.data(), ref, n, k, 1.0f, "gemv");
+    }
+  }
+}
+
+// Seeded and deterministic: the same call twice is bitwise identical, for
+// every variant and every storage format.
+TEST(KernelDiffTest, RunTwiceIsBitwiseIdentical) {
+  const int64_t m = 33;
+  const int64_t n = 49;
+  const int64_t k = 97;
+  Rng rng(0x5EEDull);
+  Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+  const size_t c_bytes = static_cast<size_t>(m * n) * sizeof(float);
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    Tensor c1 = Tensor::Zeros(Shape(m, n));
+    Tensor c2 = Tensor::Zeros(Shape(m, n));
+    GemmWorkspace workspace;
+    GemmTiled(a.data(), b.data(), c1.data(), m, n, k, TileConfig{}, workspace, variant);
+    GemmTiled(a.data(), b.data(), c2.data(), m, n, k, TileConfig{}, workspace, variant);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c_bytes)) << KernelVariantName(variant);
+    for (WeightFormat format : {WeightFormat::kQ8, WeightFormat::kQ4}) {
+      const QuantizedMatrix b_q = QuantizedMatrix::Quantize(b, format);
+      Tensor q1 = Tensor::Zeros(Shape(m, n));
+      Tensor q2 = Tensor::Zeros(Shape(m, n));
+      GemmQuantized(a.data(), b_q, q1.data(), m, n, k, TileConfig{}, workspace, variant);
+      GemmQuantized(a.data(), b_q, q2.data(), m, n, k, TileConfig{}, workspace, variant);
+      EXPECT_EQ(0, std::memcmp(q1.data(), q2.data(), c_bytes))
+          << KernelVariantName(variant) << "/" << WeightFormatName(format);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlora

@@ -1,0 +1,186 @@
+// Runtime kernel dispatch: VLORA_KERNEL_VARIANT forcing, function-pointer
+// table consistency, and serial-vs-parallel bitwise identity per variant.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/kernels/gemm.h"
+#include "src/kernels/kernel_variant.h"
+#include "src/kernels/microkernel.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+// Forces VLORA_KERNEL_VARIANT for the current scope and restores the previous
+// value (or unsets) on destruction, refreshing the cached dispatch both ways.
+class ScopedKernelVariantEnv {
+ public:
+  explicit ScopedKernelVariantEnv(const char* value) {
+    const char* old = std::getenv("VLORA_KERNEL_VARIANT");
+    had_old_ = old != nullptr;
+    if (had_old_) {
+      old_ = old;
+    }
+    if (value == nullptr) {
+      unsetenv("VLORA_KERNEL_VARIANT");
+    } else {
+      setenv("VLORA_KERNEL_VARIANT", value, /*overwrite=*/1);
+    }
+    RefreshKernelVariantFromEnv();
+  }
+
+  ~ScopedKernelVariantEnv() {
+    if (had_old_) {
+      setenv("VLORA_KERNEL_VARIANT", old_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("VLORA_KERNEL_VARIANT");
+    }
+    RefreshKernelVariantFromEnv();
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(KernelVariantTest, ParseAcceptsExactNamesOnly) {
+  KernelVariant variant;
+  EXPECT_TRUE(ParseKernelVariant("scalar", &variant));
+  EXPECT_EQ(variant, KernelVariant::kScalar);
+  EXPECT_TRUE(ParseKernelVariant("avx2", &variant));
+  EXPECT_EQ(variant, KernelVariant::kAvx2);
+  EXPECT_FALSE(ParseKernelVariant("auto", &variant));
+  EXPECT_FALSE(ParseKernelVariant("AVX2", &variant));
+  EXPECT_FALSE(ParseKernelVariant("", &variant));
+  EXPECT_FALSE(ParseKernelVariant("turbo", &variant));
+}
+
+TEST(KernelVariantTest, AvailabilityIsConsistent) {
+  // Scalar is always available; AVX2 availability must match its table.
+  const auto available = AvailableKernelVariants();
+  ASSERT_FALSE(available.empty());
+  EXPECT_EQ(available.front(), KernelVariant::kScalar);
+  EXPECT_EQ(Avx2Available(), !Avx2MicroKernelTable().empty() && available.size() == 2);
+  // The detected best variant is one of the available ones.
+  const KernelVariant best = DetectBestKernelVariant();
+  EXPECT_EQ(best, Avx2Available() ? KernelVariant::kAvx2 : KernelVariant::kScalar);
+}
+
+// Forcing each variant through the env override must be reflected by the
+// active variant AND by the function-pointer table actually dispatched to.
+TEST(KernelVariantTest, EnvOverrideForcesEachVariant) {
+  {
+    ScopedKernelVariantEnv env("scalar");
+    EXPECT_EQ(ActiveKernelVariant(), KernelVariant::kScalar);
+    for (const MicroKernelEntry& entry : MicroKernelTable(ActiveKernelVariant())) {
+      EXPECT_EQ(entry.variant, KernelVariant::kScalar);
+    }
+  }
+  {
+    ScopedKernelVariantEnv env("avx2");
+    if (Avx2Available()) {
+      EXPECT_EQ(ActiveKernelVariant(), KernelVariant::kAvx2);
+      for (const MicroKernelEntry& entry : MicroKernelTable(ActiveKernelVariant())) {
+        EXPECT_EQ(entry.variant, KernelVariant::kAvx2);
+        EXPECT_NE(entry.full, nullptr);
+        EXPECT_NE(entry.edge, nullptr);
+      }
+    } else {
+      // Graceful degradation on hosts without AVX2: warn and serve scalar.
+      EXPECT_EQ(ActiveKernelVariant(), KernelVariant::kScalar);
+    }
+  }
+}
+
+TEST(KernelVariantTest, UnparsableEnvFallsBackToAuto) {
+  ScopedKernelVariantEnv env("turbo-encabulator");
+  EXPECT_EQ(ActiveKernelVariant(), DetectBestKernelVariant());
+}
+
+TEST(KernelVariantTest, EmptyAndAutoSelectBest) {
+  {
+    ScopedKernelVariantEnv env("auto");
+    EXPECT_EQ(ActiveKernelVariant(), DetectBestKernelVariant());
+  }
+  {
+    ScopedKernelVariantEnv env(nullptr);
+    EXPECT_EQ(ActiveKernelVariant(), DetectBestKernelVariant());
+  }
+}
+
+// The implicit-dispatch GemmTiled overload must produce bitwise-identical
+// output to the explicit-variant overload for whatever variant is forced.
+TEST(KernelDispatchTest, ImplicitOverloadHonoursForcedVariant) {
+  const int64_t m = 37;
+  const int64_t n = 53;
+  const int64_t k = 71;
+  Rng rng(0xD15Cull);
+  Tensor a = Tensor::Random(Shape(m, k), rng, 1.0f);
+  Tensor b = Tensor::Random(Shape(k, n), rng, 1.0f);
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    ScopedKernelVariantEnv env(KernelVariantName(variant));
+    Tensor c_implicit = Tensor::Zeros(Shape(m, n));
+    Tensor c_explicit = Tensor::Zeros(Shape(m, n));
+    GemmWorkspace workspace;
+    GemmTiled(a.data(), b.data(), c_implicit.data(), m, n, k, TileConfig{}, workspace);
+    GemmTiled(a.data(), b.data(), c_explicit.data(), m, n, k, TileConfig{}, workspace, variant);
+    EXPECT_EQ(0, std::memcmp(c_implicit.data(), c_explicit.data(),
+                             static_cast<size_t>(m * n) * sizeof(float)))
+        << KernelVariantName(variant);
+  }
+}
+
+// GemmTiledParallel must be bitwise identical to serial GemmTiled for EVERY
+// variant: disjoint C tiles and identical per-tile arithmetic order make the
+// parallel decomposition exact, not merely close.
+TEST(KernelDispatchTest, ParallelIsBitwiseIdenticalToSerialForEveryVariant) {
+  ThreadPool pool(4);
+  const struct {
+    int64_t m;
+    int64_t n;
+    int64_t k;
+  } shapes[] = {{128, 96, 64}, {33, 49, 97}, {1, 64, 128}, {200, 16, 512}};
+  for (KernelVariant variant : AvailableKernelVariants()) {
+    for (const auto& shape : shapes) {
+      Rng rng(0xBEEFull ^ static_cast<uint64_t>(shape.m));
+      Tensor a = Tensor::Random(Shape(shape.m, shape.k), rng, 1.0f);
+      Tensor b = Tensor::Random(Shape(shape.k, shape.n), rng, 1.0f);
+      Tensor c_serial = Tensor::Zeros(Shape(shape.m, shape.n));
+      Tensor c_parallel = Tensor::Zeros(Shape(shape.m, shape.n));
+      GemmWorkspace ws_serial;
+      GemmWorkspace ws_parallel;
+      const TileConfig config{32, 32, 64, 8, 8};  // several block tiles in m
+      GemmTiled(a.data(), b.data(), c_serial.data(), shape.m, shape.n, shape.k, config,
+                ws_serial, variant);
+      GemmTiledParallel(a.data(), b.data(), c_parallel.data(), shape.m, shape.n, shape.k, config,
+                        ws_parallel, pool, variant);
+      EXPECT_EQ(0, std::memcmp(c_serial.data(), c_parallel.data(),
+                               static_cast<size_t>(shape.m * shape.n) * sizeof(float)))
+          << KernelVariantName(variant) << " " << shape.m << "x" << shape.n << "x" << shape.k;
+    }
+  }
+}
+
+// FindMicroKernel degrades to scalar rather than failing when a variant lacks
+// an instantiation (it never does today, but the fallback is the contract).
+TEST(KernelDispatchTest, LookupFallsBackToScalar) {
+  EXPECT_EQ(FindMicroKernel(KernelVariant::kScalar, 5, 5), nullptr);
+  const MicroKernelEntry* entry = FindMicroKernel(KernelVariant::kAvx2, 8, 8);
+  ASSERT_NE(entry, nullptr);
+  if (Avx2Available()) {
+    EXPECT_EQ(entry->variant, KernelVariant::kAvx2);
+  } else {
+    EXPECT_EQ(entry->variant, KernelVariant::kScalar);
+  }
+  EXPECT_TRUE(HasMicroKernel(8, 8));
+  EXPECT_FALSE(HasMicroKernel(KernelVariant::kAvx2, 5, 5));
+}
+
+}  // namespace
+}  // namespace vlora

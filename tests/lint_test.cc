@@ -307,15 +307,57 @@ TEST(LintRulesTest, RawSocketFdIgnoresMembersCommentsAndSuppression) {
   EXPECT_FALSE(HasRule(LintContent("src/cluster/foo.cc", suppressed), "raw-socket-fd"));
 }
 
+TEST(LintRulesTest, RawSimdIntrinsicFiresOutsideKernelDirectory) {
+  const std::string bad = std::string("#include <imm" "intrin.h>\n") +
+                          "void F(const float* a, const float* b, float* c) {\n" +
+                          "  __m256 av = _mm" "256_loadu_ps(a);\n" +
+                          "  __m256 cv = _mm" "256_fmadd_ps(av, _mm" "256_loadu_ps(b),\n" +
+                          "                             _mm" "256_setzero_ps());\n" +
+                          "  _mm" "256_storeu_ps(c, cv);\n" +
+                          "  __m128 low = _mm" "_loadu_ps(a);\n" +
+                          "  __m512 wide = _mm" "512_loadu_ps(a);\n" +
+                          "}\n";
+  const std::vector<Finding> findings = LintContent("src/engine/fast_path.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 1), std::vector<std::string>{"raw-simd-intrinsic"});
+  EXPECT_EQ(RulesAt(findings, 3), std::vector<std::string>{"raw-simd-intrinsic"});
+  EXPECT_EQ(RulesAt(findings, 4), std::vector<std::string>{"raw-simd-intrinsic"});
+  EXPECT_EQ(RulesAt(findings, 5), std::vector<std::string>{"raw-simd-intrinsic"});
+  EXPECT_EQ(RulesAt(findings, 6), std::vector<std::string>{"raw-simd-intrinsic"});
+  EXPECT_EQ(RulesAt(findings, 7), std::vector<std::string>{"raw-simd-intrinsic"});
+  EXPECT_EQ(RulesAt(findings, 8), std::vector<std::string>{"raw-simd-intrinsic"});
+  // The identical text inside src/kernels/ IS the micro-kernel layer: exempt.
+  EXPECT_FALSE(
+      HasRule(LintContent("src/kernels/microkernel_avx2.cc", bad), "raw-simd-intrinsic"));
+}
+
+TEST(LintRulesTest, RawSimdIntrinsicGoodTwinsStayQuiet) {
+  // The portable way to go fast outside src/kernels/: call the dispatched
+  // kernels. Identifiers merely containing the prefix and comments are quiet.
+  const std::string good = std::string("#include \"src/kernels/gemm.h\"\n") +
+                           "void F(const Tensor& a, const Tensor& b, Tensor& c,\n" +
+                           "       GemmWorkspace& ws) {\n" +
+                           "  GemmTiled(a, b, c, TileConfig{}, ws);\n" +
+                           "  int custom_mm" "256_count = 0;\n" +
+                           "  // _mm" "256_fmadd_ps lives in src/kernels/ only\n" +
+                           "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/engine/fast_path.cc", good), "raw-simd-intrinsic"));
+  const std::string suppressed =
+      std::string("  __m256 v = _mm" "256_setzero_ps();  ") +
+      "// vlora-lint: allow(raw-simd-intrinsic)\n";
+  EXPECT_FALSE(
+      HasRule(LintContent("src/engine/fast_path.cc", suppressed), "raw-simd-intrinsic"));
+}
+
 TEST(LintRulesTest, RuleNamesAreStable) {
   const std::vector<std::string> names = RuleNames();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "mutexlock-temporary"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "status-switch-exhaustive"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-unclosed"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-socket-fd"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "raw-simd-intrinsic"), names.end());
 }
 
 TEST(LintRulesTest, FormatFindingIsFileLineRuleMessage) {

@@ -34,7 +34,7 @@ struct Fixture {
           Shape(ranks[static_cast<size_t>(i) % ranks.size()], d), rng, 0.3f));
     }
     for (size_t i = 0; i < downs.size(); ++i) {
-      views.push_back(AdapterWeightsView{&downs[i], &ups[i], 1.0f});
+      views.push_back(AdapterWeightsView{.down = &downs[i], .up = &ups[i], .scaling = 1.0f});
     }
   }
 

@@ -1,0 +1,248 @@
+// Block-quantization storage tests: round-trip error bounds, exactness on the
+// quantization grid, partial trailing blocks (k not a multiple of 32), packed
+// buffer alignment, and byte-level determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kernels/quant.h"
+#include "src/tensor/tensor.h"
+
+namespace vlora {
+namespace {
+
+constexpr WeightFormat kBlockFormats[] = {WeightFormat::kQ8, WeightFormat::kQ4};
+
+float BlockMaxAbs(const float* row, int64_t cols, int64_t block) {
+  const int64_t begin = block * kQuantBlockSize;
+  const int64_t end = std::min(begin + kQuantBlockSize, cols);
+  float max_abs = 0.0f;
+  for (int64_t i = begin; i < end; ++i) {
+    max_abs = std::max(max_abs, std::fabs(row[i]));
+  }
+  return max_abs;
+}
+
+TEST(QuantFormatTest, BlockMetadata) {
+  EXPECT_EQ(QuantBlockBytes(WeightFormat::kQ8), sizeof(BlockQ8));
+  EXPECT_EQ(QuantBlockBytes(WeightFormat::kQ4), sizeof(BlockQ4));
+  EXPECT_EQ(QuantMaxLevel(WeightFormat::kQ8), 127);
+  EXPECT_EQ(QuantMaxLevel(WeightFormat::kQ4), 7);
+  // Half a quantization step, and monotone in the block maximum.
+  EXPECT_GT(MaxAbsErrorBound(WeightFormat::kQ4, 1.0f),
+            MaxAbsErrorBound(WeightFormat::kQ8, 1.0f));
+  EXPECT_GE(MaxAbsErrorBound(WeightFormat::kQ8, 1.0f),
+            0.5f * 1.0f / 127.0f);
+}
+
+// Round-trip error of every element is within the per-block analytic bound.
+TEST(QuantRoundTripTest, WithinBoundPerBlock) {
+  const int64_t rows = 7;
+  const int64_t cols = 96;
+  Rng rng(0xCAFEull);
+  Tensor src = Tensor::Random(Shape(rows, cols), rng, 2.5f);
+  for (WeightFormat format : kBlockFormats) {
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src, format);
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.rows(), rows);
+    EXPECT_EQ(q.cols(), cols);
+    EXPECT_EQ(q.format(), format);
+    std::vector<float> deq(static_cast<size_t>(cols));
+    for (int64_t row = 0; row < rows; ++row) {
+      q.DequantizeRowRange(row, 0, cols, deq.data(), KernelVariant::kScalar);
+      const float* src_row = src.data() + row * cols;
+      for (int64_t i = 0; i < cols; ++i) {
+        const float bound =
+            MaxAbsErrorBound(format, BlockMaxAbs(src_row, cols, i / kQuantBlockSize));
+        EXPECT_LE(std::fabs(deq[static_cast<size_t>(i)] - src_row[i]), bound)
+            << WeightFormatName(format) << " row " << row << " col " << i;
+      }
+    }
+  }
+}
+
+// Values that already sit on the quantization grid survive the round trip
+// exactly: v = s * q with a power-of-two s and the block max at the top level.
+TEST(QuantRoundTripTest, ExactOnQuantizationGrid) {
+  for (WeightFormat format : kBlockFormats) {
+    const int qmax = QuantMaxLevel(format);
+    const float s = 0.015625f;  // 2^-6: scale arithmetic stays exact
+    const int64_t cols = 2 * kQuantBlockSize;
+    std::vector<float> src(static_cast<size_t>(cols));
+    Rng rng(0x641Dull);
+    for (int64_t i = 0; i < cols; ++i) {
+      // Pin the first element of each block to +-qmax so the computed scale
+      // is exactly s; the rest are arbitrary grid points.
+      const int64_t in_block = i % kQuantBlockSize;
+      const int level = in_block == 0 ? qmax : rng.NextInt(-qmax, qmax);
+      src[static_cast<size_t>(i)] = s * static_cast<float>(level);
+    }
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src.data(), 1, cols, format);
+    std::vector<float> deq(static_cast<size_t>(cols));
+    q.DequantizeRowRange(0, 0, cols, deq.data(), KernelVariant::kScalar);
+    for (int64_t i = 0; i < cols; ++i) {
+      EXPECT_EQ(deq[static_cast<size_t>(i)], src[static_cast<size_t>(i)])
+          << WeightFormatName(format) << " col " << i;
+    }
+  }
+}
+
+// An all-zero block must produce scale 0 and dequantize to exact zeros (the
+// inv_scale guard; a naive 0/0 would produce NaNs).
+TEST(QuantRoundTripTest, ZeroBlockIsExact) {
+  for (WeightFormat format : kBlockFormats) {
+    std::vector<float> src(kQuantBlockSize, 0.0f);
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src.data(), 1, kQuantBlockSize, format);
+    std::vector<float> deq(kQuantBlockSize, -1.0f);
+    q.DequantizeRowRange(0, 0, kQuantBlockSize, deq.data(), KernelVariant::kScalar);
+    for (float v : deq) {
+      EXPECT_EQ(v, 0.0f);
+    }
+  }
+}
+
+// cols not a multiple of the block size: the trailing partial block must
+// round-trip within bound, and dequantizing a row must write exactly
+// [col_begin, col_end) — the padding quants never leak into dst.
+TEST(QuantBlockEdgeTest, PartialTrailingBlock) {
+  const int64_t rows = 3;
+  const int64_t cols = 45;  // 1 full block + 13 trailing elements
+  Rng rng(0xED6Eull);
+  Tensor src = Tensor::Random(Shape(rows, cols), rng, 1.0f);
+  for (WeightFormat format : kBlockFormats) {
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src, format);
+    EXPECT_EQ(q.BlocksPerRow(), 2);
+    constexpr float kCanary = 1234.5f;
+    std::vector<float> deq(static_cast<size_t>(cols) + 8, kCanary);
+    for (int64_t row = 0; row < rows; ++row) {
+      q.DequantizeRowRange(row, 0, cols, deq.data(), KernelVariant::kScalar);
+      const float* src_row = src.data() + row * cols;
+      for (int64_t i = 0; i < cols; ++i) {
+        const float bound =
+            MaxAbsErrorBound(format, BlockMaxAbs(src_row, cols, i / kQuantBlockSize));
+        EXPECT_LE(std::fabs(deq[static_cast<size_t>(i)] - src_row[i]), bound);
+      }
+      // Nothing written past the logical column count.
+      for (size_t i = static_cast<size_t>(cols); i < deq.size(); ++i) {
+        ASSERT_EQ(deq[i], kCanary) << "write past col_end at offset " << i;
+      }
+    }
+  }
+}
+
+// Sub-range dequantization agrees with the corresponding slice of the full
+// row, for ranges that start/end mid-block.
+TEST(QuantBlockEdgeTest, ArbitrarySubRanges) {
+  const int64_t cols = 100;
+  Rng rng(0x5ABEull);
+  Tensor src = Tensor::Random(Shape(1, cols), rng, 1.0f);
+  for (WeightFormat format : kBlockFormats) {
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src, format);
+    std::vector<float> full(static_cast<size_t>(cols));
+    q.DequantizeRowRange(0, 0, cols, full.data(), KernelVariant::kScalar);
+    const struct {
+      int64_t begin;
+      int64_t end;
+    } ranges[] = {{0, 1}, {5, 27}, {30, 34}, {17, 83}, {95, 100}, {32, 64}};
+    for (const auto& range : ranges) {
+      std::vector<float> part(static_cast<size_t>(range.end - range.begin));
+      q.DequantizeRowRange(0, range.begin, range.end, part.data(), KernelVariant::kScalar);
+      for (int64_t i = 0; i < range.end - range.begin; ++i) {
+        ASSERT_EQ(part[static_cast<size_t>(i)], full[static_cast<size_t>(range.begin + i)])
+            << WeightFormatName(format) << " range [" << range.begin << ", " << range.end << ")";
+      }
+    }
+  }
+}
+
+// The AVX2 row helpers (when compiled in) must agree with the scalar
+// dequantization bit-for-bit on full interior blocks.
+TEST(QuantBlockEdgeTest, Avx2RowDequantMatchesScalar) {
+  if (!Avx2Available()) {
+    GTEST_SKIP() << "host has no AVX2 kernels";
+  }
+  const int64_t cols = 77;  // full blocks + partial tail
+  Rng rng(0xA2B2ull);
+  Tensor src = Tensor::Random(Shape(1, cols), rng, 1.0f);
+  for (WeightFormat format : kBlockFormats) {
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src, format);
+    std::vector<float> scalar(static_cast<size_t>(cols));
+    std::vector<float> avx2(static_cast<size_t>(cols));
+    q.DequantizeRowRange(0, 0, cols, scalar.data(), KernelVariant::kScalar);
+    q.DequantizeRowRange(0, 0, cols, avx2.data(), KernelVariant::kAvx2);
+    EXPECT_EQ(0, std::memcmp(scalar.data(), avx2.data(), avx2.size() * sizeof(float)))
+        << WeightFormatName(format);
+  }
+}
+
+// Packed-buffer contract: every row's block storage starts kQuantAlignment-
+// aligned, the row stride is a multiple of the alignment, and the compression
+// ratio versus dense fp32 is what the format promises.
+TEST(QuantStorageTest, AlignmentAndCompression) {
+  const int64_t rows = 5;
+  const int64_t cols = 4096;
+  Rng rng(0xA116ull);
+  Tensor src = Tensor::Random(Shape(rows, cols), rng, 1.0f);
+  const int64_t dense_bytes = rows * cols * static_cast<int64_t>(sizeof(float));
+  for (WeightFormat format : kBlockFormats) {
+    const QuantizedMatrix q = QuantizedMatrix::Quantize(src, format);
+    EXPECT_EQ(q.RowStrideBytes() % kQuantAlignment, 0u);
+    for (int64_t row = 0; row < rows; ++row) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(q.RowBlocks(row)) % kQuantAlignment, 0u)
+          << "row " << row;
+    }
+    const double ratio = static_cast<double>(dense_bytes) / static_cast<double>(q.SizeBytes());
+    if (format == WeightFormat::kQ8) {
+      EXPECT_GE(ratio, 3.4) << "Q8 should shrink ~3.6x";
+    } else {
+      EXPECT_GE(ratio, 6.0) << "Q4 should shrink ~6.4x";
+    }
+  }
+}
+
+// Q4 nibble layout is part of the serialized format: quant 2i in the low
+// nibble, 2i+1 in the high nibble, biased by +8.
+TEST(QuantStorageTest, Q4NibbleLayout) {
+  std::vector<float> src(kQuantBlockSize);
+  for (int i = 0; i < kQuantBlockSize; ++i) {
+    // Levels cycle through [-7, 7] with the max hit first so scale == 1/7*7.
+    src[static_cast<size_t>(i)] = static_cast<float>((i % 15) - 7);
+  }
+  src[0] = 7.0f;  // block max 7 -> scale exactly 1
+  const QuantizedMatrix q = QuantizedMatrix::Quantize(src.data(), 1, kQuantBlockSize,
+                                                      WeightFormat::kQ4);
+  BlockQ4 block;
+  std::memcpy(&block, q.RowBlocks(0), sizeof(block));
+  EXPECT_EQ(block.scale, 1.0f);
+  for (int i = 0; i < kQuantBlockSize / 2; ++i) {
+    const int lo = static_cast<int>(block.q[i] & 0x0F) - 8;
+    const int hi = static_cast<int>(block.q[i] >> 4) - 8;
+    EXPECT_EQ(static_cast<float>(lo), src[static_cast<size_t>(2 * i)]) << "low nibble " << i;
+    EXPECT_EQ(static_cast<float>(hi), src[static_cast<size_t>(2 * i + 1)]) << "high nibble " << i;
+  }
+}
+
+// Quantization is deterministic down to the byte, including alignment padding
+// (which is zero-initialised, so whole-buffer memcmp is well-defined).
+TEST(QuantStorageTest, DeterministicBytes) {
+  const int64_t rows = 4;
+  const int64_t cols = 45;
+  Rng rng(0xDE7Eull);
+  Tensor src = Tensor::Random(Shape(rows, cols), rng, 1.0f);
+  for (WeightFormat format : kBlockFormats) {
+    const QuantizedMatrix q1 = QuantizedMatrix::Quantize(src, format);
+    const QuantizedMatrix q2 = QuantizedMatrix::Quantize(src, format);
+    ASSERT_EQ(q1.SizeBytes(), q2.SizeBytes());
+    EXPECT_EQ(0, std::memcmp(q1.RowBlocks(0), q2.RowBlocks(0),
+                             static_cast<size_t>(q1.SizeBytes())))
+        << WeightFormatName(format);
+  }
+}
+
+}  // namespace
+}  // namespace vlora

@@ -37,7 +37,7 @@ struct MappingFixture {
       ups.push_back(Tensor::Random(Shape(rank, 48), rng, 0.3f));
     }
     for (size_t i = 0; i < downs.size(); ++i) {
-      views.push_back(AdapterWeightsView{&downs[i], &ups[i], 1.0f});
+      views.push_back(AdapterWeightsView{.down = &downs[i], .up = &ups[i], .scaling = 1.0f});
     }
   }
   Rng rng;

@@ -169,6 +169,36 @@ TEST(TilingTableSerializationTest, SearchThenPersistThenServe) {
   EXPECT_LT(Tensor::MaxAbsDiff(c, MatMulReference(a, b)), 1e-3f);
 }
 
+// The v2 format round-trips the (variant, format) qualification of every
+// entry — a scalar-profiled config must come back in the scalar slot, not
+// bleed into the AVX2 or quantized tables.
+TEST(TilingTableSerializationTest, RoundTripPreservesComputePath) {
+  AtmmDispatcher original;
+  const TileConfig scalar_cfg{16, 16, 32, 4, 4};
+  const TileConfig avx2_cfg{64, 64, 128, 8, 16};
+  const TileConfig q4_cfg{128, 32, 256, 8, 8};
+  original.Register(ShapeKey{64, 32, 1024}, scalar_cfg, KernelVariant::kScalar,
+                    WeightFormat::kFp32);
+  original.Register(ShapeKey{64, 32, 1024}, avx2_cfg, KernelVariant::kAvx2,
+                    WeightFormat::kFp32);
+  original.Register(ShapeKey{256, 16, 512}, q4_cfg, KernelVariant::kAvx2, WeightFormat::kQ4);
+  const std::string path = TempPath("table_v2.vltt");
+  ASSERT_TRUE(SaveTilingTable(original, path).ok());
+
+  AtmmDispatcher loaded;
+  ASSERT_TRUE(LoadTilingTable(path, loaded).ok());
+  EXPECT_EQ(loaded.TableSize(), 3);
+  EXPECT_EQ(loaded.Select(64, 32, 1024, KernelVariant::kScalar, WeightFormat::kFp32),
+            scalar_cfg);
+  EXPECT_EQ(loaded.Select(64, 32, 1024, KernelVariant::kAvx2, WeightFormat::kFp32), avx2_cfg);
+  EXPECT_EQ(loaded.Select(256, 16, 512, KernelVariant::kAvx2, WeightFormat::kQ4), q4_cfg);
+  // No cross-slot contamination.
+  EXPECT_EQ(loaded.TableSize(KernelVariant::kScalar, WeightFormat::kQ4), 0);
+  EXPECT_EQ(loaded.TableSize(KernelVariant::kScalar, WeightFormat::kFp32), 1);
+  EXPECT_EQ(loaded.TableSize(KernelVariant::kAvx2, WeightFormat::kFp32), 1);
+  EXPECT_EQ(loaded.TableSize(KernelVariant::kAvx2, WeightFormat::kQ4), 1);
+}
+
 TEST(TilingTableSerializationTest, CorruptTableRejected) {
   const std::string path = TempPath("corrupt.vltt");
   std::ofstream out(path, std::ios::binary);

@@ -23,6 +23,7 @@ const char kMutexLockTemporary[] = "mutexlock-temporary";
 const char kStatusSwitch[] = "status-switch-exhaustive";
 const char kTraceSpan[] = "trace-span-unclosed";
 const char kRawSocketFd[] = "raw-socket-fd";
+const char kRawSimd[] = "raw-simd-intrinsic";
 const char kIoError[] = "io-error";
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -39,6 +40,10 @@ bool IsTestFile(const std::string& path) {
 
 bool IsNetFile(const std::string& path) {
   return path.find("src/net/") != std::string::npos;
+}
+
+bool IsKernelFile(const std::string& path) {
+  return path.find("src/kernels/") != std::string::npos;
 }
 
 bool IsHeader(const std::string& path) { return EndsWith(path, ".h"); }
@@ -158,6 +163,16 @@ const std::regex& RawSocketRe() {
   return re;
 }
 
+const std::regex& RawSimdRe() {
+  // A call of an x86 vector intrinsic (`_mm_...(`, `_mm256_...(`,
+  // `_mm512_...(`) or an include of the intrinsic headers. The leading
+  // character class keeps longer identifiers (`foo_mm256_bar`) from matching.
+  static const std::regex re("((^|[^_A-Za-z0-9])_mm" "(256|512)?_[a-z0-9_]+\\s*\\()"
+                             "|(#\\s*include\\s*<(imm" "intrin|x86" "intrin|avx" "intrin|"
+                             "avx2" "intrin|emm" "intrin|xmm" "intrin)\\.h>)");
+  return re;
+}
+
 const std::regex& SwitchRe() {
   static const std::regex re("\\bswitch" "\\s*\\(");
   return re;
@@ -244,6 +259,13 @@ void CheckLine(const std::string& path, int line_no, const std::string& raw,
                          "raw POSIX soc" "ket/descriptor call outside src/net/; descriptors "
                          "must be owned by the RAII net::Fd wrapper (src/net/fd.h) so no "
                          "error path can leak a connection"});
+  }
+  if (!IsKernelFile(path) && std::regex_search(code, RawSimdRe()) &&
+      !Suppressed(raw, kRawSimd)) {
+    findings->push_back({kRawSimd, path, line_no,
+                         "raw SIMD intrinsic outside src/kernels/; add a micro-kernel to the "
+                         "variant tables (src/kernels/microkernel.h) instead so dispatch, the "
+                         "scalar fallback, and the differential tests keep covering it"});
   }
 }
 
@@ -430,7 +452,7 @@ std::vector<std::string> RuleNames() {
   return {kRawMutex,      kStatusNodiscard,     kSleepInTest,
           kNakedNew,      kThreadDetach,        kMissingGuard,
           kMutexLockTemporary, kStatusSwitch,   kTraceSpan,
-          kRawSocketFd};
+          kRawSocketFd,   kRawSimd};
 }
 
 std::vector<Finding> LintContent(const std::string& path, const std::string& content) {

@@ -34,6 +34,11 @@
 //                         outside src/net/ — descriptors must live in the
 //                         RAII net::Fd wrapper (src/net/fd.h) so no error
 //                         path can leak a connection
+//   raw-simd-intrinsic    _mm*/_mm256*/_mm512* intrinsic calls or
+//                         <immintrin.h> includes outside src/kernels/ — SIMD
+//                         lives behind the micro-kernel tables so every other
+//                         layer stays portable and the scalar fallback stays
+//                         the single source of truth for semantics
 //
 // A finding on line N is suppressed by appending the comment
 //   // vlora-lint: allow(<rule>)
