@@ -60,6 +60,14 @@ if [[ "${SKIP_STATIC:-0}" != "1" ]]; then
   ./build/tools/vlora_lint --lock-order tools/lock_hierarchy.toml src
   record "lock-order pass" "pass"
 
+  echo "=== static-analysis: hot-path purity pass ==="
+  ./build/tools/vlora_lint --hot-path tools/hot_paths.toml src
+  record "hot-path pass" "pass"
+
+  echo "=== static-analysis: codec-symmetry pass ==="
+  ./build/tools/vlora_lint --codec-symmetry src/net/messages.cc
+  record "codec-symmetry pass" "pass"
+
   if command -v clang-format >/dev/null 2>&1; then
     echo "=== static-analysis: clang-format (advisory) ==="
     # Report-only: formatting drift prints but never fails verification

@@ -103,7 +103,7 @@ double ClusterServer::BackoffMs(int attempts) const {
 
 bool ClusterServer::Submit(EngineRequest request) {
   if (options_.admission == AdmissionPolicy::kBlock) {
-    VLORA_BLOCKING_REGION(nullptr, "ClusterServer::Submit(kBlock)");
+    VLORA_BLOCKING_REGION(nullptr, "ClusterServer::Submit(kBlock)");  // vlora-lint: allow(hot-path-blocking) kBlock admission is backpressure by design
   }
   const int64_t id = request.id;
   {
@@ -114,7 +114,8 @@ bool ClusterServer::Submit(EngineRequest request) {
     pending.deadline_ms = options_.recovery.request_deadline_ms > 0.0
                               ? clock_.ElapsedMillis() + options_.recovery.request_deadline_ms
                               : std::numeric_limits<double>::infinity();
-    const bool inserted = pending_.emplace(id, std::move(pending)).second;
+    const bool inserted =
+        pending_.emplace(id, std::move(pending)).second;  // vlora-lint: allow(hot-path-alloc) recovery map bounded by in-flight budget; arena planned with ROADMAP item 5
     VLORA_CHECK(inserted);  // recovery tracking needs unique request ids
   }
   trace::EmitRequestAdmitted(id, request.adapter_id);

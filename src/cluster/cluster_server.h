@@ -146,7 +146,7 @@ class ClusterServer {
   // under kBlock admission while the chosen target is full. Starts the
   // worker threads and the supervisor on first use. EngineRequest::id must
   // be unique across the cluster's lifetime.
-  [[nodiscard]] bool Submit(EngineRequest request) VLORA_EXCLUDES(mutex_);
+  [[nodiscard]] bool Submit(EngineRequest request) VLORA_EXCLUDES(mutex_) VLORA_HOT;
 
   // Waits until every accepted request has completed or definitively failed;
   // returns the results accumulated since the previous Drain, in completion

@@ -38,7 +38,7 @@ bool Executable(const std::string& path) {
 }  // namespace
 
 std::string ProcessReplica::DefaultExecutorPath() {
-  const char* env = ::getenv("VLORA_EXECUTOR");
+  const char* env = ::getenv("VLORA_EXECUTOR");  // vlora-lint: allow(getenv-outside-init) runs once, at replica spawn; the name describes the probe, not the phase
   if (env != nullptr && Executable(env)) {
     return env;
   }

@@ -212,7 +212,7 @@ class ThreadReplica : public Replica {
     double enqueue_ms;
   };
 
-  void WorkerLoop() VLORA_EXCLUDES(mutex_, step_mutex_);
+  void WorkerLoop() VLORA_EXCLUDES(mutex_, step_mutex_) VLORA_HOT;
   // Injected-kill path: fails over everything held (worker thread only).
   void Die() VLORA_EXCLUDES(mutex_);
   void FailRequest(int64_t request_id, const Status& status) VLORA_EXCLUDES(mutex_);

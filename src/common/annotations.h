@@ -63,4 +63,13 @@
 #define VLORA_NO_THREAD_SAFETY_ANALYSIS \
   VLORA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 
+// Marks a serving fast-path entry point. Purely a marker for vlora_lint's
+// --hot-path pass (it expands to nothing under every compiler): the pass
+// computes everything reachable from VLORA_HOT roots and flags heap
+// allocation, blocking operations, file/socket I/O, getenv, and throws.
+// Every VLORA_HOT function must also be listed in tools/hot_paths.toml
+// [roots]; the pass cross-checks both directions. Trailing position, after
+// the thread-safety annotations:  void Submit(...) VLORA_EXCLUDES(mu_) VLORA_HOT;
+#define VLORA_HOT
+
 #endif  // VLORA_SRC_COMMON_ANNOTATIONS_H_

@@ -8,7 +8,9 @@
 
 namespace vlora {
 
-void SampleStats::Add(double value) { samples_.push_back(value); }
+void SampleStats::Add(double value) {
+  samples_.push_back(value);  // vlora-lint: allow(hot-path-alloc) exact-percentile reservoir is unbounded by design
+}
 
 void SampleStats::Clear() { samples_.clear(); }
 

@@ -59,10 +59,11 @@ Tracer::ThreadBuffer* Tracer::GetThreadBuffer() {
   // Collect.
   thread_local std::shared_ptr<ThreadBuffer> t_buffer;
   if (t_buffer == nullptr) {
-    auto fresh = std::make_shared<ThreadBuffer>(ring_capacity_.load(std::memory_order_relaxed));
+    auto fresh = std::make_shared<ThreadBuffer>(  // vlora-lint: allow(hot-path-alloc) one-time per-thread ring registration
+        ring_capacity_.load(std::memory_order_relaxed));
     {
       MutexLock lock(&mutex_);
-      buffers_.push_back(fresh);
+      buffers_.push_back(fresh);  // vlora-lint: allow(hot-path-alloc) one-time per-thread ring registration
     }
     t_buffer = std::move(fresh);
   }
@@ -81,7 +82,7 @@ void Tracer::Emit(TraceEvent event) {
     // the buffer until the epoch store below publishes them.
     const auto capacity = static_cast<size_t>(ring_capacity_.load(std::memory_order_relaxed));
     if (buffer->ring.size() != capacity) {
-      buffer->ring.assign(capacity, TraceEvent{});
+      buffer->ring.assign(capacity, TraceEvent{});  // vlora-lint: allow(hot-path-alloc) once per thread per trace session (epoch adoption)
     }
     buffer->head.store(0, std::memory_order_relaxed);
     buffer->epoch.store(epoch, std::memory_order_release);

@@ -133,7 +133,7 @@ class Tracer {
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   // Hot path. Fills event.when_ms; no-op when disabled.
-  void Emit(TraceEvent event);
+  void Emit(TraceEvent event) VLORA_HOT;
 
   // Snapshot of every buffer from the current epoch, sorted by timestamp.
   // See the header comment for the quiescence contract.

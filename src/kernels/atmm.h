@@ -99,12 +99,14 @@ class AtmmDispatcher {
   // C += A * B with the adaptively selected configuration, on the active
   // kernel variant. Calling thread must own this dispatcher's execution (see
   // class comment).
-  void Execute(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
+  void Execute(const float* a, const float* b, float* c, int64_t m, int64_t n,
+               int64_t k) VLORA_HOT;
   void Execute(const Tensor& a, const Tensor& b, Tensor& c);
 
   // C += A * B with B block-quantized: selects from the (active variant,
   // b.format()) table and runs the fused-dequant path. A is m x b.rows().
-  void ExecuteQuantized(const float* a, const QuantizedMatrix& b, float* c, int64_t m);
+  void ExecuteQuantized(const float* a, const QuantizedMatrix& b, float* c,
+                        int64_t m) VLORA_HOT;
 
   // Number of registered entries across every (variant, format) table, or in
   // one specific table.

@@ -145,7 +145,7 @@ void PackBPanels(const float* b, int64_t ldb, int64_t kc_eff, int64_t nc_eff, in
 
 float* GemmWorkspace::Ensure(int64_t floats) {
   if (static_cast<int64_t>(buffer_.size()) < floats) {
-    buffer_.resize(static_cast<size_t>(floats));
+    buffer_.resize(static_cast<size_t>(floats));  // vlora-lint: allow(hot-path-alloc) high-water mark; steady-state calls never grow
   }
   return buffer_.data();
 }

@@ -84,16 +84,27 @@ KernelVariant DetectBestKernelVariant() {
   return Avx2Available() ? KernelVariant::kAvx2 : KernelVariant::kScalar;
 }
 
+namespace {
+
+// The environment is read exactly once, at static-init time, so the dispatch
+// fast path below never touches getenv or builds strings. Tests that mutate
+// the environment call RefreshKernelVariantFromEnv explicitly.
+[[maybe_unused]] const bool g_variant_resolved = [] {
+  RefreshKernelVariantFromEnv();
+  return true;
+}();
+
+}  // namespace
+
 KernelVariant ActiveKernelVariant() {
-  int cached = g_active.load(std::memory_order_acquire);
-  if (cached < 0) {
-    const KernelVariant resolved = ResolveFromEnv();
-    // Last resolver wins on a race; both computed the same value anyway
-    // unless a test mutated the environment mid-race, which tests don't.
-    g_active.store(static_cast<int>(resolved), std::memory_order_release);
-    return resolved;
+  const int cached = g_active.load(std::memory_order_acquire);
+  if (cached >= 0) {
+    return static_cast<KernelVariant>(cached);
   }
-  return static_cast<KernelVariant>(cached);
+  // Only reachable from another TU's static initializer running before this
+  // TU's (unsequenced static-init order): fall back to pure CPU detection
+  // without consulting the environment.
+  return DetectBestKernelVariant();
 }
 
 void RefreshKernelVariantFromEnv() {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/annotations.h"
 #include "src/kernels/kernel_variant.h"
 
 namespace vlora {
@@ -49,7 +50,7 @@ const std::vector<MicroKernelEntry>& MicroKernelTable(KernelVariant variant);
 // Exact lookup in `variant`'s table; falls back to the scalar entry when the
 // variant has no such (mr, nr) — dispatch degrades, it never fails. Returns
 // nullptr only if the scalar table misses too.
-const MicroKernelEntry* FindMicroKernel(KernelVariant variant, int mr, int nr);
+const MicroKernelEntry* FindMicroKernel(KernelVariant variant, int mr, int nr) VLORA_HOT;
 
 // The (mr, nr) instantiation set of a variant, for exhaustive test sweeps.
 std::vector<std::pair<int, int>> MicroKernelShapes(KernelVariant variant);

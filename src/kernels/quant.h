@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/common/annotations.h"
 #include "src/kernels/kernel_variant.h"
 #include "src/kernels/tile_config.h"
 #include "src/tensor/tensor.h"
@@ -125,7 +126,8 @@ void GemmQuantized(const float* a, const QuantizedMatrix& b, float* c, int64_t m
 
 // y += x * B for a single row x (length b.rows()), y length b.cols().
 // Dequantization happens inside the AXPY micro-kernel.
-void GemvQuantized(const float* x, const QuantizedMatrix& b, float* y, KernelVariant variant);
+void GemvQuantized(const float* x, const QuantizedMatrix& b, float* y,
+                   KernelVariant variant) VLORA_HOT;
 
 }  // namespace vlora
 

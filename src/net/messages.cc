@@ -77,6 +77,9 @@ bool ParseModelConfig(WireReader& r, ModelConfig* model) {
 
 }  // namespace
 
+// The frame header writer and reader deliberately differ in shape: the
+// encoder frames a finished body, the decoder validates and strips.
+// vlora-codec: pair(EncodeFrame, DecodeEnvelope)
 std::string EncodeFrame(MessageType type, const std::string& body) {
   WireWriter header;
   header.U16(kWireMagic);
@@ -463,6 +466,10 @@ Result<LoraAdapter> ParseAdapter(WireReader& r) {
   return adapter;
 }
 
+// Convenience wrapper over AppendAdapter + EncodeFrame, both checked above;
+// there is deliberately no DecodeAdapterFrame (the executor splits framing
+// from body parsing).
+// vlora-codec: wrapper(EncodeAdapterFrame)
 std::string EncodeAdapterFrame(const LoraAdapter& adapter) {
   WireWriter writer;
   AppendAdapter(writer, adapter);

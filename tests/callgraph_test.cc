@@ -1,0 +1,271 @@
+// Unit tests for the shared call-graph framework (tools/callgraph.h): text
+// utilities, the code index, call-edge resolution under both the narrow
+// (lock-order) and widened (hot-path) ScanOptions postures, lambda handling,
+// the graph helpers, and the shared TOML subset. Snippet text is assembled
+// from adjacent string literals so the whole-tree per-line scan does not trip
+// on this file's own test data.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/callgraph.h"
+
+namespace vlora {
+namespace lint {
+namespace {
+
+// Records every resolved call edge, keyed by the calling function.
+class CallRecorder : public BodyClient {
+ public:
+  void OnCall(const BodyWalker& walker, const std::string& callee, const std::string& raw,
+              int line_no) override {
+    (void)raw;
+    (void)line_no;
+    edges_[walker.fn_qual()].insert(callee);
+  }
+
+  const std::map<std::string, std::set<std::string>>& edges() const { return edges_; }
+  std::set<std::string> CalleesOf(const std::string& fn) const {
+    auto it = edges_.find(fn);
+    return it == edges_.end() ? std::set<std::string>{} : it->second;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+};
+
+std::map<std::string, std::set<std::string>> ScanEdges(const std::vector<SourceFile>& files,
+                                                       const ScanOptions& options) {
+  CodeIndex index;
+  BuildCodeIndex(files, options, &index, nullptr);
+  for (const SourceFile& file : files) {
+    if (PathEndsWith(file.path, ".cc")) {
+      IndexDefinitions(file, options, &index);
+    }
+  }
+  CallRecorder recorder;
+  for (const SourceFile& file : files) {
+    if (PathEndsWith(file.path, ".cc")) {
+      BodyWalker walker(&index, &options, &recorder);
+      walker.ScanFile(file);
+    }
+  }
+  return recorder.edges();
+}
+
+std::set<std::string> EdgesOf(const std::map<std::string, std::set<std::string>>& edges,
+                              const std::string& fn) {
+  auto it = edges.find(fn);
+  return it == edges.end() ? std::set<std::string>{} : it->second;
+}
+
+TEST(TextUtilTest, BlankStringsKeepsQuotesAndLength) {
+  EXPECT_EQ(BlankStrings("Lock(\"a{b\")"), "Lock(\"   \")");
+  EXPECT_EQ(BlankStrings("x = 'c';"), "x = ' ';");
+}
+
+TEST(TextUtilTest, TrimAndLastClassIdent) {
+  EXPECT_EQ(TrimText("  x \t"), "x");
+  EXPECT_EQ(LastClassIdent("std::vector<std::unique_ptr<Replica>>"), "Replica");
+  EXPECT_EQ(LastClassIdent("int"), "");
+}
+
+TEST(TextUtilTest, SuppressionMarkerMatchesExactRule) {
+  EXPECT_TRUE(IsSuppressed("x();  // vlora-lint: allow(hot-path-alloc) reason", "hot-path-alloc"));
+  EXPECT_FALSE(IsSuppressed("x();  // vlora-lint: allow(hot-path-alloc)", "hot-path-io"));
+}
+
+// --- The code index -------------------------------------------------------
+
+std::string TwoClassHeader() {
+  return std::string("#ifndef CG_H_\n#define CG_H_\n") +
+         "class Inner {\n public:\n  void Touch();\n};\n" +
+         "class Outer {\n public:\n  void Run() VLORA_HOT;\n" +
+         "  void Helper() VLORA_REQUIRES(mu_) VLORA_HOT;\n" +
+         " private:\n  Inner inner_;\n};\n#endif\n";
+}
+
+TEST(CodeIndexTest, IndexesMembersMethodsAndAnnotations) {
+  ScanOptions options;
+  CodeIndex index;
+  BuildCodeIndex({{"src/x/cg.h", TwoClassHeader()}}, options, &index, nullptr);
+  EXPECT_EQ(index.member_types.at("Outer::inner_"), "Inner");
+  // method_classes tracks annotated declarations (plain ones join via
+  // IndexDefinitions when their out-of-class definition is scanned).
+  EXPECT_TRUE(index.method_classes.at("Run").count("Outer"));
+  EXPECT_FALSE(index.method_classes.count("Touch"));
+  // Parenthesis-free marker annotations index with empty args; annotated
+  // declarations land in known_funcs.
+  ASSERT_TRUE(index.annotations.count("Outer::Run"));
+  EXPECT_EQ(index.annotations.at("Outer::Run")[0].kind, "HOT");
+  EXPECT_EQ(index.annotations.at("Outer::Run")[0].args, "");
+  // Stacked annotations all index, in order.
+  ASSERT_EQ(index.annotations.at("Outer::Helper").size(), 2u);
+  EXPECT_EQ(index.annotations.at("Outer::Helper")[0].kind, "REQUIRES");
+  EXPECT_EQ(index.annotations.at("Outer::Helper")[0].args, "mu_");
+  EXPECT_EQ(index.annotations.at("Outer::Helper")[1].kind, "HOT");
+  EXPECT_TRUE(index.known_funcs.count("Outer::Run"));
+}
+
+TEST(CodeIndexTest, FreeFunctionsIndexOnlyWhenRequested) {
+  const std::string cc = std::string("#include \"cg.h\"\n") +
+                         "void EmitThing(int x) {\n  (void)x;\n}\n";
+  ScanOptions narrow;
+  CodeIndex index;
+  IndexDefinitions({"src/x/cg.cc", cc}, narrow, &index);
+  EXPECT_FALSE(index.free_funcs.count("EmitThing"));
+
+  ScanOptions wide;
+  wide.index_free_functions = true;
+  CodeIndex wide_index;
+  IndexDefinitions({"src/x/cg.cc", cc}, wide, &wide_index);
+  EXPECT_TRUE(wide_index.free_funcs.count("EmitThing"));
+  EXPECT_TRUE(wide_index.known_funcs.count("EmitThing"));
+}
+
+// --- Call-edge resolution -------------------------------------------------
+
+TEST(BodyWalkerTest, ResolvesTypedReceiversAndSameClassCalls) {
+  const std::string cc = std::string("#include \"cg.h\"\n") +
+                         "void Inner::Touch() {}\n" +
+                         "void Outer::Helper() {}\n" +
+                         "void Outer::Run() {\n" +
+                         "  Helper();\n" +          // same-class bare call
+                         "  inner_.Touch();\n" +    // typed member receiver
+                         "  Inner local;\n" +
+                         "  local.Touch();\n" +     // typed local receiver
+                         "}\n";
+  const auto edges = ScanEdges({{"src/x/cg.h", TwoClassHeader()}, {"src/x/cg.cc", cc}},
+                               ScanOptions{});
+  const std::set<std::string> expected{"Outer::Helper", "Inner::Touch"};
+  EXPECT_EQ(EdgesOf(edges, "Outer::Run"), expected);
+}
+
+TEST(BodyWalkerTest, UnresolvedReceiverFallsBackOnlyWhenMethodNameIsUnique) {
+  // `obj` is never declared, so its class cannot resolve. Touch is defined by
+  // exactly one class, so the narrow posture still resolves the call; Poke is
+  // defined by two classes and produces no edge without over-approximation.
+  const std::string header = std::string("#ifndef AM_H_\n#define AM_H_\n") +
+                             "class A {\n public:\n  void Poke();\n};\n" +
+                             "class B {\n public:\n  void Poke();\n};\n" +
+                             "class C {\n public:\n  void Touch();\n};\n#endif\n";
+  const std::string cc = std::string("#include \"am.h\"\n") +
+                         "void A::Poke() {}\n" +
+                         "void B::Poke() {}\n" +
+                         "void C::Touch() {}\n" +
+                         "void Driver(int k) {\n" +
+                         "  (void)k;\n" +
+                         "  obj.Touch();\n" +
+                         "  obj.Poke();\n" +
+                         "}\n";
+  ScanOptions narrow;
+  narrow.index_free_functions = true;  // so Driver itself is walked
+  const auto edges = ScanEdges({{"src/x/am.h", header}, {"src/x/am.cc", cc}}, narrow);
+  EXPECT_EQ(EdgesOf(edges, "Driver"), std::set<std::string>{"C::Touch"});
+
+  ScanOptions wide = narrow;
+  wide.over_approximate_unresolved = true;
+  const auto wide_edges = ScanEdges({{"src/x/am.h", header}, {"src/x/am.cc", cc}}, wide);
+  const std::set<std::string> fan{"A::Poke", "B::Poke", "C::Touch"};
+  EXPECT_EQ(EdgesOf(wide_edges, "Driver"), fan);
+}
+
+TEST(BodyWalkerTest, ChainedSingletonCallsResolveByMethodName) {
+  const std::string header = std::string("#ifndef SG_H_\n#define SG_H_\n") +
+                             "class Registry {\n public:\n" +
+                             "  static Registry& Global();\n  int counter(int k);\n};\n#endif\n";
+  const std::string cc = std::string("#include \"sg.h\"\n") +
+                         "int Registry::counter(int k) { return k; }\n" +
+                         "void Driver() {\n" +
+                         "  Registry::Global().counter(1);\n" +
+                         "}\n";
+  ScanOptions narrow;
+  narrow.index_free_functions = true;
+  const auto edges = ScanEdges({{"src/x/sg.h", header}, {"src/x/sg.cc", cc}}, narrow);
+  EXPECT_FALSE(EdgesOf(edges, "Driver").count("Registry::counter"));
+
+  ScanOptions wide = narrow;
+  wide.chained_calls = true;
+  const auto wide_edges = ScanEdges({{"src/x/sg.h", header}, {"src/x/sg.cc", cc}}, wide);
+  EXPECT_TRUE(EdgesOf(wide_edges, "Driver").count("Registry::counter"));
+}
+
+TEST(BodyWalkerTest, LambdaBodiesAreIsolatedUnlessInlined) {
+  // The lock-order posture treats a lambda as a separate context (it may run
+  // on another thread); the hot-path posture inlines it into the enclosing
+  // function (it runs on the calling thread).
+  const std::string cc = std::string("#include \"cg.h\"\n") +
+                         "void Inner::Touch() {}\n" +
+                         "void Outer::Helper() {}\n" +
+                         "void Outer::Run() {\n" +
+                         "  auto cb = [this] {\n" +
+                         "    inner_.Touch();\n" +
+                         "  };\n" +
+                         "  cb();\n" +
+                         "  Helper();\n" +
+                         "}\n";
+  const std::vector<SourceFile> tree{{"src/x/cg.h", TwoClassHeader()}, {"src/x/cg.cc", cc}};
+  const auto narrow_edges = ScanEdges(tree, ScanOptions{});
+  EXPECT_EQ(EdgesOf(narrow_edges, "Outer::Run"), std::set<std::string>{"Outer::Helper"});
+
+  ScanOptions wide;
+  wide.inline_lambdas = true;
+  const auto wide_edges = ScanEdges(tree, wide);
+  const std::set<std::string> both{"Outer::Helper", "Inner::Touch"};
+  EXPECT_EQ(EdgesOf(wide_edges, "Outer::Run"), both);
+}
+
+// --- Graph helpers --------------------------------------------------------
+
+TEST(GraphTest, PropagateTransitiveReachesFixpoint) {
+  const std::map<std::string, std::set<std::string>> callees{
+      {"A", {"B"}}, {"B", {"C"}}, {"C", {}}};
+  std::map<std::string, std::set<std::string>> attrs{{"C", {"x"}}};
+  PropagateTransitive(callees, &attrs);
+  EXPECT_TRUE(attrs["A"].count("x"));
+  EXPECT_TRUE(attrs["B"].count("x"));
+}
+
+TEST(GraphTest, ReachabilityStopsAtBoundariesAndReportsChains) {
+  const std::map<std::string, std::set<std::string>> callees{
+      {"Root", {"Mid", "Cold"}}, {"Mid", {"Leaf"}}, {"Cold", {"Deep"}}};
+  const Reachability reach = ComputeReachable({"Root"}, callees, {"Cold"});
+  EXPECT_TRUE(reach.Contains("Leaf"));
+  EXPECT_FALSE(reach.Contains("Cold"));
+  EXPECT_FALSE(reach.Contains("Deep"));
+  const std::vector<std::string> chain{"Root", "Mid", "Leaf"};
+  EXPECT_EQ(reach.ChainTo("Leaf"), chain);
+}
+
+// --- The shared TOML subset ----------------------------------------------
+
+TEST(TomlTest, ParsesSectionsWithLineNumbers) {
+  const std::string toml = "# comment\n[roots]\n\"A::B\" = \"desc\"\n\n[boundaries]\nC = why\n";
+  std::vector<TomlEntry> entries;
+  std::string error;
+  ASSERT_TRUE(ParseTomlTables(toml, {"roots", "boundaries"}, &entries, &error)) << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].section, "roots");
+  EXPECT_EQ(entries[0].key, "A::B");
+  EXPECT_EQ(entries[0].value, "desc");
+  EXPECT_EQ(entries[0].line, 3);
+  EXPECT_EQ(entries[1].section, "boundaries");
+  EXPECT_EQ(entries[1].line, 6);
+}
+
+TEST(TomlTest, RejectsUnknownSectionsAndStrayLines) {
+  std::vector<TomlEntry> entries;
+  std::string error;
+  EXPECT_FALSE(ParseTomlTables("[oops]\nk = v\n", {"roots"}, &entries, &error));
+  EXPECT_NE(error.find("unknown section"), std::string::npos);
+  EXPECT_FALSE(ParseTomlTables("k = v\n", {"roots"}, &entries, &error));
+  EXPECT_NE(error.find("inside a section"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vlora

@@ -348,9 +348,53 @@ TEST(LintRulesTest, RawSimdIntrinsicGoodTwinsStayQuiet) {
       HasRule(LintContent("src/engine/fast_path.cc", suppressed), "raw-simd-intrinsic"));
 }
 
+TEST(LintRulesTest, GetenvOutsideInitFiresInNonInitFunctions) {
+  const std::string bad = std::string("#include <cstdlib>\n") +
+                          "const char* ServeOne() {\n" +
+                          "  return std::get" "env(\"VLORA_MODE\");\n" +
+                          "}\n" +
+                          "void HandleRequest() {\n" +
+                          "  const char* raw = ::get" "env(\"VLORA_TUNING\");\n" +
+                          "  (void)raw;\n" +
+                          "}\n";
+  const std::vector<Finding> findings = LintContent("src/engine/serve.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 3), std::vector<std::string>{"get" "env-outside-init"});
+  EXPECT_EQ(RulesAt(findings, 6), std::vector<std::string>{"get" "env-outside-init"});
+  // The identical text outside src/ (tools, tests) is exempt.
+  EXPECT_FALSE(HasRule(LintContent("tools/bench_driver.cc", bad), "get" "env-outside-init"));
+}
+
+TEST(LintRulesTest, GetenvGoodTwinsStayQuiet) {
+  // Init-named functions are the sanctioned place to read the environment.
+  const std::string good = std::string("#include <cstdlib>\n") +
+                           "KernelVariant ResolveFromEnv() {\n" +
+                           "  return Parse(std::get" "env(\"VLORA_KERNEL_VARIANT\"));\n" +
+                           "}\n" +
+                           "void InitRuntime() {\n" +
+                           "  cache = ::get" "env(\"VLORA_CACHE_DIR\");\n" +
+                           "}\n" +
+                           "int main(int argc, char** argv) {\n" +
+                           "  const char* seed = std::get" "env(\"VLORA_SEED\");\n" +
+                           "  (void)seed;\n" +
+                           "  return 0;\n" +
+                           "}\n" +
+                           "void Hot() {\n" +
+                           "  // get" "env(\"COMMENTED_OUT\") never fires\n" +
+                           "  int environment = 0;  // identifier containing the word\n" +
+                           "  (void)environment;\n" +
+                           "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/engine/serve.cc", good), "get" "env-outside-init"));
+  const std::string suppressed =
+      std::string("std::string Probe() {\n") +
+      "  return std::get" "env(\"X\");  // vlora-lint: allow(get" "env-outside-init) one-shot\n" +
+      "}\n";
+  EXPECT_FALSE(HasRule(LintContent("src/engine/serve.cc", suppressed),
+                       "get" "env-outside-init"));
+}
+
 TEST(LintRulesTest, RuleNamesAreStable) {
   const std::vector<std::string> names = RuleNames();
-  EXPECT_EQ(names.size(), 11u);
+  EXPECT_EQ(names.size(), 12u);
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "mutexlock-temporary"), names.end());
@@ -358,6 +402,7 @@ TEST(LintRulesTest, RuleNamesAreStable) {
   EXPECT_NE(std::find(names.begin(), names.end(), "trace-span-unclosed"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-socket-fd"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-simd-intrinsic"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "get" "env-outside-init"), names.end());
 }
 
 TEST(LintRulesTest, FormatFindingIsFileLineRuleMessage) {

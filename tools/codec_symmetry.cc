@@ -1,0 +1,378 @@
+#include "tools/codec_symmetry.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace vlora {
+namespace lint {
+namespace {
+
+// Rule names assembled from adjacent literals so the whole-tree per-line
+// scan never trips over this file's own pattern text.
+const char kAsymmetry[] = "codec-asymmetry";
+const char kUnpaired[] = "codec-unpaired";
+
+const std::regex& WireOpRe() {
+  static const std::regex re(
+      "(?:\\.|->)\\s*(U8|U16|U32|U64|F32|F64|Varint|SignedVarint|Str|I32Array|F32Array)"
+      "\\s*\\(");
+  return re;
+}
+
+const std::regex& PairDirectiveRe() {
+  static const std::regex re("vlora-codec:\\s*pair\\(\\s*([\\w:]+)\\s*,\\s*([\\w:]+)\\s*\\)");
+  return re;
+}
+
+const std::regex& WrapperDirectiveRe() {
+  static const std::regex re("vlora-codec:\\s*wrapper\\(\\s*([\\w:]+)\\s*\\)");
+  return re;
+}
+
+// One step of a codec function: a wire primitive, or a call to another
+// function whose flattened sequence splices in at this position.
+struct CodecItem {
+  bool is_call = false;
+  std::string name;  // primitive name or callee qualified name
+};
+
+struct CodecFunc {
+  std::vector<CodecItem> items;
+  std::string file;
+  int first_line = 0;
+  bool suppress_asymmetry = false;
+  bool suppress_unpaired = false;
+};
+
+class CodecBodyClient : public BodyClient {
+ public:
+  // Wire ops (seen in OnBodyText) and helper calls (seen in OnCall) can share
+  // one physical line — `!Parse(r, out) || !r.Str(&s)` — and the hook order
+  // would put all ops before all calls. Each line is therefore buffered with
+  // source columns and flushed in column order, so spliced helper sequences
+  // land at their true position.
+  void OnBodyText(const BodyWalker& walker, const std::string& text, const std::string& raw,
+                  int line_no, int depth_at_start) override {
+    (void)depth_at_start;
+    FlushLine();
+    line_text_ = text;
+    for (std::sregex_iterator it(text.begin(), text.end(), WireOpRe()), end; it != end; ++it) {
+      pending_.push_back({Touch(walker, line_no), static_cast<size_t>(it->position(0)),
+                          {false, (*it)[1].str()}});
+    }
+    if (raw.find("vlora-lint: allow(codec-asymmetry)") != std::string::npos) {
+      Touch(walker, line_no)->suppress_asymmetry = true;
+    }
+    if (raw.find("vlora-lint: allow(codec-unpaired)") != std::string::npos) {
+      Touch(walker, line_no)->suppress_unpaired = true;
+    }
+  }
+
+  void OnCall(const BodyWalker& walker, const std::string& callee, const std::string& raw,
+              int line_no) override {
+    (void)raw;
+    const size_t sep = callee.rfind("::");
+    const std::string base = sep == std::string::npos ? callee : callee.substr(sep + 2);
+    std::smatch m;
+    size_t col = line_text_.size();  // unlocatable names sort after the line's ops
+    if (std::regex_search(line_text_, m, std::regex("\\b" + base + "\\s*\\("))) {
+      col = static_cast<size_t>(m.position(0));
+    }
+    pending_.push_back({Touch(walker, line_no), col, {true, callee}});
+  }
+
+  void OnLineEnd(const BodyWalker& walker, int depth_after) override {
+    (void)walker;
+    (void)depth_after;
+    FlushLine();
+  }
+
+  std::map<std::string, CodecFunc>& funcs() {
+    FlushLine();
+    return funcs_;
+  }
+
+ private:
+  struct PendingItem {
+    CodecFunc* fn;
+    size_t col;
+    CodecItem item;
+  };
+
+  void FlushLine() {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingItem& x, const PendingItem& y) { return x.col < y.col; });
+    for (PendingItem& p : pending_) {
+      p.fn->items.push_back(std::move(p.item));
+    }
+    pending_.clear();
+    line_text_.clear();
+  }
+
+  CodecFunc* Touch(const BodyWalker& walker, int line_no) {
+    CodecFunc& fn = funcs_[walker.fn_qual()];
+    if (fn.file.empty()) {
+      fn.file = walker.path();
+      fn.first_line = line_no;
+    }
+    return &fn;
+  }
+
+  std::map<std::string, CodecFunc> funcs_;
+  std::vector<PendingItem> pending_;
+  std::string line_text_;
+};
+
+// Recursively inlines helper calls into a flat primitive sequence.
+// Cycle-safe: a function already on the expansion stack contributes nothing.
+const std::vector<std::string>& Flatten(const std::string& qual,
+                                        const std::map<std::string, CodecFunc>& funcs,
+                                        std::map<std::string, std::vector<std::string>>* memo,
+                                        std::set<std::string>* in_progress) {
+  auto cached = memo->find(qual);
+  if (cached != memo->end()) {
+    return cached->second;
+  }
+  std::vector<std::string>& out = (*memo)[qual];
+  auto fn = funcs.find(qual);
+  if (fn == funcs.end() || !in_progress->insert(qual).second) {
+    return out;
+  }
+  for (const CodecItem& item : fn->second.items) {
+    if (!item.is_call) {
+      out.push_back(item.name);
+      continue;
+    }
+    // memo can rehash while the recursive call fills other entries, so
+    // re-resolve through the returned reference's value copy.
+    const std::vector<std::string> spliced = Flatten(item.name, funcs, memo, in_progress);
+    out.insert(out.end(), spliced.begin(), spliced.end());
+  }
+  in_progress->erase(qual);
+  return (*memo)[qual];
+}
+
+// +1 encoder, -1 decoder, 0 unknown, by naming convention.
+int DirectionOf(const std::string& qual) {
+  const size_t sep = qual.rfind("::");
+  const std::string base = sep == std::string::npos ? qual : qual.substr(sep + 2);
+  if (base.rfind("Append", 0) == 0 || base.rfind("Encode", 0) == 0 ||
+      base.rfind("Write", 0) == 0) {
+    return 1;
+  }
+  if (base.rfind("Parse", 0) == 0 || base.rfind("Decode", 0) == 0 ||
+      base.rfind("Read", 0) == 0) {
+    return -1;
+  }
+  return 0;
+}
+
+// The conventionally named counterpart, or "" when the name fits no
+// convention. C::AppendTo <-> C::Parse; AppendX <-> ParseX; EncodeX <->
+// DecodeX; WriteX <-> ReadX.
+std::string CounterpartOf(const std::string& qual) {
+  const size_t sep = qual.rfind("::");
+  const std::string cls = sep == std::string::npos ? "" : qual.substr(0, sep + 2);
+  const std::string base = sep == std::string::npos ? qual : qual.substr(sep + 2);
+  if (base == "AppendTo") {
+    return cls + "Parse";
+  }
+  if (base == "Parse" && !cls.empty()) {
+    return cls + "AppendTo";
+  }
+  static const std::vector<std::pair<std::string, std::string>> kSwaps = {
+      {"Append", "Parse"}, {"Encode", "Decode"}, {"Write", "Read"}};
+  for (const auto& [enc, dec] : kSwaps) {
+    if (base.rfind(enc, 0) == 0) {
+      return cls + dec + base.substr(enc.size());
+    }
+    if (base.rfind(dec, 0) == 0) {
+      return cls + enc + base.substr(dec.size());
+    }
+  }
+  return "";
+}
+
+std::string JoinSeq(const std::vector<std::string>& seq, size_t around) {
+  // A short window around the divergence keeps messages readable.
+  const size_t begin = around >= 2 ? around - 2 : 0;
+  const size_t end = std::min(seq.size(), around + 3);
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += (i == around ? "[" + seq[i] + "]" : seq[i]);
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+struct Directives {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::set<std::string> wrappers;
+};
+
+void ScanDirectives(const SourceFile& file, Directives* out) {
+  for (const std::string& raw : SplitLines(file.content)) {
+    std::smatch m;
+    if (std::regex_search(raw, m, PairDirectiveRe())) {
+      out->pairs.emplace_back(m[1].str(), m[2].str());
+    }
+    if (std::regex_search(raw, m, WrapperDirectiveRe())) {
+      out->wrappers.insert(m[1].str());
+    }
+  }
+}
+
+void ComparePair(const std::string& enc, const std::string& dec,
+                 const std::map<std::string, CodecFunc>& funcs,
+                 std::map<std::string, std::vector<std::string>>* memo,
+                 std::vector<Finding>* findings) {
+  std::set<std::string> in_progress;
+  const std::vector<std::string> enc_seq = Flatten(enc, funcs, memo, &in_progress);
+  const std::vector<std::string> dec_seq = Flatten(dec, funcs, memo, &in_progress);
+  auto enc_fn = funcs.find(enc);
+  auto dec_fn = funcs.find(dec);
+  const bool suppressed =
+      (enc_fn != funcs.end() && enc_fn->second.suppress_asymmetry) ||
+      (dec_fn != funcs.end() && dec_fn->second.suppress_asymmetry);
+  if (suppressed || enc_seq == dec_seq) {
+    return;
+  }
+  std::string file = enc_fn != funcs.end() ? enc_fn->second.file : dec_fn->second.file;
+  int line = enc_fn != funcs.end() ? enc_fn->second.first_line : dec_fn->second.first_line;
+  size_t diverge = 0;
+  while (diverge < enc_seq.size() && diverge < dec_seq.size() &&
+         enc_seq[diverge] == dec_seq[diverge]) {
+    ++diverge;
+  }
+  std::string msg = "encoder '" + enc + "' (" + std::to_string(enc_seq.size()) +
+                    " primitives) and decoder '" + dec + "' (" +
+                    std::to_string(dec_seq.size()) + " primitives) diverge at position " +
+                    std::to_string(diverge) + ": encoder ... " + JoinSeq(enc_seq, diverge) +
+                    " ... vs decoder ... " + JoinSeq(dec_seq, diverge) + " ...";
+  findings->push_back({kAsymmetry, file, line, msg});
+}
+
+}  // namespace
+
+std::vector<Finding> CheckCodecSymmetry(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+
+  ScanOptions options;
+  options.index_free_functions = true;
+  options.inline_lambdas = true;
+
+  CodeIndex index;
+  BuildCodeIndex(files, options, &index, nullptr);
+  for (const SourceFile& file : files) {
+    if (PathEndsWith(file.path, ".cc") || PathEndsWith(file.path, ".cpp")) {
+      IndexDefinitions(file, options, &index);
+    }
+  }
+
+  CodecBodyClient client;
+  Directives directives;
+  for (const SourceFile& file : files) {
+    ScanDirectives(file, &directives);
+    if (PathEndsWith(file.path, ".cc") || PathEndsWith(file.path, ".cpp")) {
+      BodyWalker walker(&index, &options, &client);
+      walker.ScanFile(file);
+    }
+  }
+
+  const std::map<std::string, CodecFunc>& funcs = client.funcs();
+  std::map<std::string, std::vector<std::string>> memo;
+
+  // Functions spliced into another codec are checked there, not as
+  // top-level pairs.
+  std::set<std::string> helper_used;
+  for (const auto& [qual, fn] : funcs) {
+    (void)qual;
+    for (const CodecItem& item : fn.items) {
+      if (item.is_call) {
+        helper_used.insert(item.name);
+      }
+    }
+  }
+  std::set<std::string> in_directive_pair;
+  for (const auto& [enc, dec] : directives.pairs) {
+    in_directive_pair.insert(enc);
+    in_directive_pair.insert(dec);
+  }
+
+  // Explicitly directed pairs first.
+  for (const auto& [enc, dec] : directives.pairs) {
+    ComparePair(enc, dec, funcs, &memo, &findings);
+  }
+
+  // Convention-named pairs, walked from the encoder side so each pair is
+  // compared once.
+  std::set<std::string> paired;
+  for (const auto& [qual, fn] : funcs) {
+    (void)fn;
+    if (DirectionOf(qual) != 1 || in_directive_pair.count(qual) ||
+        directives.wrappers.count(qual)) {
+      continue;
+    }
+    const std::string counterpart = CounterpartOf(qual);
+    if (!counterpart.empty() && funcs.count(counterpart)) {
+      paired.insert(qual);
+      paired.insert(counterpart);
+      ComparePair(qual, counterpart, funcs, &memo, &findings);
+    }
+  }
+
+  // Unpaired codecs: a function with wire primitives in its flattened
+  // sequence, no counterpart, and no exemption (helper, wrapper, directive).
+  for (const auto& [qual, fn] : funcs) {
+    if (paired.count(qual) || in_directive_pair.count(qual) ||
+        directives.wrappers.count(qual) || helper_used.count(qual) ||
+        fn.suppress_unpaired) {
+      continue;
+    }
+    std::set<std::string> in_progress;
+    if (Flatten(qual, funcs, &memo, &in_progress).empty()) {
+      continue;
+    }
+    const int dir = DirectionOf(qual);
+    if (dir == 0) {
+      findings.push_back({kUnpaired, fn.file, fn.first_line,
+                          "'" + qual + "' touches wire primitives but its name fits no "
+                          "encoder/decoder convention; rename it or add a "
+                          "vlora-codec: pair(...) / wrapper(...) directive"});
+      continue;
+    }
+    const std::string counterpart = CounterpartOf(qual);
+    findings.push_back({kUnpaired, fn.file, fn.first_line,
+                        std::string(dir == 1 ? "encoder '" : "decoder '") + qual +
+                            "' has no counterpart" +
+                            (counterpart.empty() ? "" : " (expected '" + counterpart + "')") +
+                            "; every codec needs both directions or a vlora-codec directive"});
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& x, const Finding& y) {
+    if (x.file != y.file) {
+      return x.file < y.file;
+    }
+    if (x.line != y.line) {
+      return x.line < y.line;
+    }
+    return x.rule < y.rule;
+  });
+  return findings;
+}
+
+std::vector<Finding> CheckCodecSymmetryOverTree(const std::vector<std::string>& paths) {
+  std::vector<Finding> findings;
+  const std::vector<SourceFile> files = LoadSourceTree(paths, &findings);
+  std::vector<Finding> analysis = CheckCodecSymmetry(files);
+  findings.insert(findings.end(), analysis.begin(), analysis.end());
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace vlora

@@ -24,6 +24,7 @@ const char kStatusSwitch[] = "status-switch-exhaustive";
 const char kTraceSpan[] = "trace-span-unclosed";
 const char kRawSocketFd[] = "raw-socket-fd";
 const char kRawSimd[] = "raw-simd-intrinsic";
+const char kGetenvOutsideInit[] = "get" "env-outside-init";
 const char kIoError[] = "io-error";
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -173,6 +174,53 @@ const std::regex& RawSimdRe() {
   return re;
 }
 
+const std::regex& GetenvRe() {
+  // A call of getenv in any spelling (bare, ::, std::, secure_). Member
+  // calls (`config.get` `env(`) are excluded by the leading character class.
+  static const std::regex re("(^|[^_A-Za-z0-9.>])((std\\s*)?::\\s*)?(secure_)?"
+                             "get" "env\\s*\\(");
+  return re;
+}
+
+const std::regex& InitNameRe() {
+  // Function names that declare themselves init-time: Init / Initialize
+  // anywhere, a FromEnv suffix idiom, or main itself.
+  static const std::regex re("Init|FromEnv|^main$");
+  return re;
+}
+
+// The name of the function a line most plausibly lives in: the identifier
+// before the first '(' of the nearest preceding column-0 line that starts an
+// identifier. Definitions in this tree start at column 0 (`KernelVariant
+// ResolveFromEnv() {`, `std::string ProcessReplica::DefaultExecutorPath() {`),
+// so the scan never has to parse bodies.
+std::string EnclosingFunctionName(const std::vector<std::string>& code_lines, size_t from) {
+  for (size_t j = from + 1; j-- > 0;) {
+    const std::string& code = code_lines[j];
+    if (code.empty() ||
+        (!isalpha(static_cast<unsigned char>(code[0])) && code[0] != '_')) {
+      continue;
+    }
+    const size_t paren = code.find('(');
+    if (paren == std::string::npos) {
+      continue;
+    }
+    size_t end = paren;
+    while (end > 0 && isspace(static_cast<unsigned char>(code[end - 1]))) {
+      --end;
+    }
+    size_t begin = end;
+    while (begin > 0 && (isalnum(static_cast<unsigned char>(code[begin - 1])) ||
+                         code[begin - 1] == '_')) {
+      --begin;
+    }
+    if (begin < end) {
+      return code.substr(begin, end - begin);
+    }
+  }
+  return "";
+}
+
 const std::regex& SwitchRe() {
   static const std::regex re("\\bswitch" "\\s*\\(");
   return re;
@@ -266,6 +314,33 @@ void CheckLine(const std::string& path, int line_no, const std::string& raw,
                          "raw SIMD intrinsic outside src/kernels/; add a micro-kernel to the "
                          "variant tables (src/kernels/microkernel.h) instead so dispatch, the "
                          "scalar fallback, and the differential tests keep covering it"});
+  }
+}
+
+// Flags environment reads under src/ outside init-named functions. The
+// environment is a startup-time input: reading it per call costs a libc walk
+// of environ and lets a long-lived process observe mutations that the rest of
+// the system resolved once. Cold init code states the idiom in its name
+// (Init*, *FromEnv, main); anything else caches a startup snapshot instead.
+void CheckGetenv(const std::string& path, const std::vector<std::string>& raw_lines,
+                 const std::vector<std::string>& code_lines,
+                 std::vector<Finding>* findings) {
+  if (path.find("src/") == std::string::npos) {
+    return;
+  }
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (!std::regex_search(code_lines[i], GetenvRe()) ||
+        Suppressed(raw_lines[i], kGetenvOutsideInit)) {
+      continue;
+    }
+    const std::string enclosing = EnclosingFunctionName(code_lines, i);
+    if (std::regex_search(enclosing, InitNameRe())) {
+      continue;
+    }
+    findings->push_back({kGetenvOutsideInit, path, static_cast<int>(i) + 1,
+                         "get" "env in '" + (enclosing.empty() ? "?" : enclosing) +
+                             "', which is not an init-time function (Init*, *FromEnv, main); "
+                             "read the environment once at startup and cache the result"});
   }
 }
 
@@ -452,7 +527,7 @@ std::vector<std::string> RuleNames() {
   return {kRawMutex,      kStatusNodiscard,     kSleepInTest,
           kNakedNew,      kThreadDetach,        kMissingGuard,
           kMutexLockTemporary, kStatusSwitch,   kTraceSpan,
-          kRawSocketFd,   kRawSimd};
+          kRawSocketFd,   kRawSimd,             kGetenvOutsideInit};
 }
 
 std::vector<Finding> LintContent(const std::string& path, const std::string& content) {
@@ -474,6 +549,7 @@ std::vector<Finding> LintContent(const std::string& path, const std::string& con
   for (size_t i = 0; i < raw_lines.size(); ++i) {
     CheckLine(path, static_cast<int>(i) + 1, raw_lines[i], code_lines[i], &findings);
   }
+  CheckGetenv(path, raw_lines, code_lines, &findings);
   CheckStatusSwitches(path, raw_lines, code_lines, &findings);
   CheckTraceSpans(path, raw_lines, code_lines, &findings);
   CheckIncludeGuard(path, raw_lines, &findings);

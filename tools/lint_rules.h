@@ -39,6 +39,13 @@
 //                         lives behind the micro-kernel tables so every other
 //                         layer stays portable and the scalar fallback stays
 //                         the single source of truth for semantics
+//   getenv-outside-init   getenv under src/ in a function whose name does not
+//                         say init-time (Init* / *FromEnv / main) — the
+//                         environment is configuration, read once at startup
+//                         and cached; reading it on a serving path costs a
+//                         libc call per hit and diverges from the startup
+//                         snapshot (enclosing function found heuristically:
+//                         nearest preceding column-0 definition)
 //
 // A finding on line N is suppressed by appending the comment
 //   // vlora-lint: allow(<rule>)

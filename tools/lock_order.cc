@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <deque>
-#include <filesystem>
 #include <fstream>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "tools/callgraph.h"
 
 namespace vlora {
 namespace lint {
@@ -20,77 +21,12 @@ const char kUnranked[] = "lock-unranked";
 const char kEnumDrift[] = "rank-enum-drift";
 const char kIoError[] = "io-error";
 
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 bool IsSyncHeader(const std::string& path) {
-  return EndsWith(path, "src/common/sync.h") || path == "sync.h";
+  return PathEndsWith(path, "src/common/sync.h") || path == "sync.h";
 }
 
 bool IsUnderSrc(const std::string& path) {
   return path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
-}
-
-std::string Trim(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) {
-    return "";
-  }
-  size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
-
-// Blanks out the contents of string and char literals (quotes stay, so token
-// boundaries survive). Run after StripComments; keeps brace counting and the
-// regex scans from reading literal text like lock names as code.
-std::string BlankStrings(const std::string& code) {
-  std::string out = code;
-  bool in_string = false;
-  char quote = '"';
-  for (size_t i = 0; i < out.size(); ++i) {
-    if (in_string) {
-      if (out[i] == '\\') {
-        out[i] = ' ';
-        if (i + 1 < out.size()) {
-          out[i + 1] = ' ';
-          ++i;
-        }
-        continue;
-      }
-      if (out[i] == quote) {
-        in_string = false;
-        continue;
-      }
-      out[i] = ' ';
-    } else if (out[i] == '"' || out[i] == '\'') {
-      in_string = true;
-      quote = out[i];
-    }
-  }
-  return out;
-}
-
-int CountChar(const std::string& s, char c) {
-  return static_cast<int>(std::count(s.begin(), s.end(), c));
-}
-
-bool Suppressed(const std::string& raw_line, const char* rule) {
-  const std::string marker = std::string("vlora-lint: allow(") + rule + ")";
-  return raw_line.find(marker) != std::string::npos;
-}
-
-// Last CamelCase identifier in a declaration's type text — unwraps smart
-// pointers and containers ("std::vector<std::unique_ptr<Replica>>" -> Replica).
-std::string LastClassIdent(const std::string& type_text) {
-  static const std::regex ident_re("\\b([A-Z]\\w*)\\b");
-  std::string last;
-  for (std::sregex_iterator it(type_text.begin(), type_text.end(), ident_re), end; it != end;
-       ++it) {
-    last = (*it)[1].str();
-  }
-  return last;
 }
 
 struct LockDecl {
@@ -125,23 +61,15 @@ struct CallEvent {
 };
 
 struct Analysis {
-  std::map<std::string, LockDecl> decls;              // "Class::mu_" or global name
-  std::map<std::string, int> rank_enum;               // from sync.h
+  std::map<std::string, LockDecl> decls;  // "Class::mu_" or global name
+  std::map<std::string, int> rank_enum;   // from sync.h
   bool saw_rank_enum = false;
   std::string sync_path;
-  std::map<std::string, std::string> member_types;    // "Class::member_" -> type class
-  std::set<std::string> known_funcs;                  // "Class::Method"
-  std::map<std::string, std::set<std::string>> method_classes;  // method -> classes
-  std::map<std::string, FuncFacts> facts;             // "Class::Method"
+  std::map<std::string, FuncFacts> facts;  // "Class::Method"
   std::vector<AcqEvent> acq_events;
   std::vector<CallEvent> call_events;
   std::vector<Finding> findings;
 };
-
-const std::regex& ClassStartRe() {
-  static const std::regex re("\\b(class|struct)\\s+(?:\\[\\[\\w+\\]\\]\\s+)?([A-Za-z_]\\w*)");
-  return re;
-}
 
 const std::regex& RankedMutexRe() {
   // `Mutex name VLORA_...(...) {Rank::kX, ...}` — the annotation macro between
@@ -156,76 +84,13 @@ const std::regex& AnyMutexDeclRe() {
   return re;
 }
 
-const std::regex& MemberDeclRe() {
-  static const std::regex re(
-      "^\\s*(?:mutable\\s+)?([A-Za-z_][\\w:]*(?:\\s*<[^;]*>)?[\\s*&]+)(\\w+_)\\s*(?:[;={]|VLORA_)");
-  return re;
-}
-
-const std::regex& AnnotatedSigRe() {
-  // `Name(params) const VLORA_X(...) VLORA_Y(...) {` or `...;` — one level of
-  // nested parens inside the parameter list is enough for this tree.
-  static const std::regex re(
-      "([A-Za-z_]\\w*)\\s*\\(((?:[^()]|\\([^()]*\\))*)\\)\\s*(?:const\\b\\s*)?"
-      "((?:VLORA_\\w+\\s*\\([^()]*\\)\\s*)+)[;{]");
-  return re;
-}
-
-const std::regex& AnnotationRe() {
-  static const std::regex re("VLORA_(\\w+)\\s*\\(([^()]*)\\)");
-  return re;
-}
-
-const std::regex& DefStartRe() {
-  static const std::regex re("\\b([A-Z]\\w*)::(~?\\w+)\\s*\\(");
-  return re;
-}
-
 const std::regex& MutexLockUseRe() {
   static const std::regex re("\\bMutex" "Lock\\s+\\w+\\s*\\(\\s*&\\s*([^()]+)\\)");
   return re;
 }
 
-const std::regex& MemberCallRe() {
-  static const std::regex re(
-      "\\b([A-Za-z_]\\w*)\\s*((?:\\[[^\\]]*\\])*)\\s*(?:\\.|->)\\s*([A-Za-z_]\\w*)\\s*\\(");
-  return re;
-}
-
-const std::regex& BareCallRe() {
-  static const std::regex re("(?:^|[^.\\w:>])([A-Za-z_]\\w*)\\s*\\(");
-  return re;
-}
-
-const std::regex& LambdaOpenRe() {
-  static const std::regex re(
-      "\\[[^\\]]*\\]\\s*(?:\\((?:[^()]|\\([^()]*\\))*\\))?\\s*(?:mutable\\s*)?"
-      "(?:->\\s*[\\w:<>]+\\s*)?\\{");
-  return re;
-}
-
-const std::regex& TypedLocalRe() {
-  static const std::regex re("(?:^|[(\\s])(?:const\\s+)?([A-Z]\\w*)\\s*[*&]\\s*(\\w+)\\s*[=:]");
-  return re;
-}
-
-const std::regex& AutoRangeForRe() {
-  static const std::regex re("for\\s*\\(\\s*(?:const\\s+)?auto[*&]?\\s+(\\w+)\\s*:\\s*(\\w+)");
-  return re;
-}
-
-std::vector<std::string> SplitLines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::istringstream stream(content);
-  std::string line;
-  while (std::getline(stream, line)) {
-    lines.push_back(line);
-  }
-  return lines;
-}
-
 // ---------------------------------------------------------------------------
-// Pass 1: declarations, annotations, member types (all files).
+// Pass 1: declarations (via the callgraph framework) + the rank enum.
 // ---------------------------------------------------------------------------
 
 void ScanRankEnum(const SourceFile& file, Analysis* a) {
@@ -255,199 +120,138 @@ void ScanRankEnum(const SourceFile& file, Analysis* a) {
   }
 }
 
-void ScanDeclarations(const SourceFile& file, Analysis* a) {
-  if (IsSyncHeader(file.path)) {
-    ScanRankEnum(file, a);
-    return;  // sync.h defines the primitives themselves; nothing to index
-  }
-  struct ClassFrame {
-    std::string name;
-    int depth;
-  };
-  std::vector<ClassFrame> stack;
-  int depth = 0;
-  bool in_block = false;
-  std::string pending_class;
-  std::string decl_buf;
-  const std::vector<std::string> raw_lines = SplitLines(file.content);
-  for (size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string& raw = raw_lines[i];
-    const std::string code = BlankStrings(StripComments(raw, &in_block));
-    const int line_no = static_cast<int>(i) + 1;
-    const std::string current_class = stack.empty() ? "" : stack.back().name;
-
-    // Class/struct tracking (enum class is not a class scope).
-    std::smatch cm;
-    if (code.find("enum") == std::string::npos && std::regex_search(code, cm, ClassStartRe())) {
-      const size_t after = static_cast<size_t>(cm.position(0) + cm.length(0));
-      const size_t brace = code.find('{', after);
-      const size_t semi = code.find(';', after);
-      if (brace != std::string::npos && (semi == std::string::npos || brace < semi)) {
-        stack.push_back({cm[2].str(), depth});
-      } else if (semi == std::string::npos) {
-        pending_class = cm[2].str();
-      }
-    } else if (!pending_class.empty()) {
-      const size_t brace = code.find('{');
-      const size_t semi = code.find(';');
-      if (brace != std::string::npos && (semi == std::string::npos || brace < semi)) {
-        stack.push_back({pending_class, depth});
-        pending_class.clear();
-      } else if (semi != std::string::npos) {
-        pending_class.clear();
-      }
-    }
-
-    // Mutex declarations.
-    std::smatch mm;
-    if (std::regex_search(code, mm, RankedMutexRe())) {
+// The per-line declaration hook: ranked / unranked Mutex members.
+void ScanMutexDeclLine(Analysis* a, const std::string& current_class, const std::string& code,
+                       const std::string& raw, const std::string& path, int line_no) {
+  std::smatch mm;
+  if (std::regex_search(code, mm, RankedMutexRe())) {
+    const std::string qual =
+        current_class.empty() ? mm[1].str() : current_class + "::" + mm[1].str();
+    a->decls[qual] = LockDecl{mm[2].str(), path, line_no};
+  } else if (std::regex_search(code, mm, AnyMutexDeclRe())) {
+    if (IsUnderSrc(path) && !IsSuppressed(raw, kUnranked)) {
       const std::string qual =
           current_class.empty() ? mm[1].str() : current_class + "::" + mm[1].str();
-      a->decls[qual] = LockDecl{mm[2].str(), file.path, line_no};
-    } else if (std::regex_search(code, mm, AnyMutexDeclRe())) {
-      if (IsUnderSrc(file.path) && !Suppressed(raw, kUnranked)) {
-        const std::string qual =
-            current_class.empty() ? mm[1].str() : current_class + "::" + mm[1].str();
-        a->findings.push_back(
-            {kUnranked, file.path, line_no,
-             "Mutex '" + qual + "' declared without a Rank; every mutex under src/ must "
-             "carry one (see tools/lock_hierarchy.toml)"});
-      }
+      a->findings.push_back(
+          {kUnranked, path, line_no,
+           "Mutex '" + qual + "' declared without a Rank; every mutex under src/ must "
+           "carry one (see tools/lock_hierarchy.toml)"});
     }
+  }
+}
 
-    // Member types for call-receiver resolution.
-    if (!current_class.empty()) {
-      std::smatch tm;
-      if (std::regex_search(code, tm, MemberDeclRe())) {
-        const std::string type = LastClassIdent(tm[1].str());
-        if (!type.empty()) {
-          a->member_types[current_class + "::" + tm[2].str()] = type;
+// Lock annotations (REQUIRES / ACQUIRE / EXCLUDES) out of the framework's
+// generic annotation index, lock names qualified by the declaring class.
+void BuildFuncFacts(const CodeIndex& index, Analysis* a) {
+  for (const auto& [qual, annos] : index.annotations) {
+    const size_t sep = qual.rfind("::");
+    const std::string cls = sep == std::string::npos ? "" : qual.substr(0, sep);
+    FuncFacts& facts = a->facts[qual];
+    for (const SigAnnotation& anno : annos) {
+      if (anno.kind != "REQUIRES" && anno.kind != "ACQUIRE" && anno.kind != "EXCLUDES") {
+        continue;
+      }
+      std::istringstream args(anno.args);
+      std::string arg;
+      while (std::getline(args, arg, ',')) {
+        arg = TrimText(arg);
+        while (!arg.empty() && (arg[0] == '&' || arg[0] == '*')) {
+          arg = TrimText(arg.substr(1));
+        }
+        if (arg.rfind("this->", 0) == 0) {
+          arg = arg.substr(6);
+        }
+        if (arg.empty()) {
+          continue;
+        }
+        const std::string lock = cls.empty() ? arg : cls + "::" + arg;
+        if (anno.kind == "REQUIRES") {
+          facts.requires_locks.insert(lock);
+        } else {
+          // EXCLUDES is this codebase's idiom for "I lock this inside":
+          // treat it like ACQUIRE for edge discovery.
+          facts.acquires.insert(lock);
         }
       }
-    }
-
-    // Annotated function declarations (logical-line buffered).
-    decl_buf += code;
-    decl_buf += ' ';
-    if (code.find(';') != std::string::npos || code.find('{') != std::string::npos) {
-      std::smatch sm;
-      if (std::regex_search(decl_buf, sm, AnnotatedSigRe())) {
-        const std::string fname = sm[1].str();
-        const std::string qual =
-            current_class.empty() ? fname : current_class + "::" + fname;
-        FuncFacts& facts = a->facts[qual];
-        if (!current_class.empty()) {
-          a->method_classes[fname].insert(current_class);
-          a->known_funcs.insert(qual);
-        }
-        const std::string annos = sm[3].str();
-        std::smatch am;
-        std::string rest = annos;
-        while (std::regex_search(rest, am, AnnotationRe())) {
-          const std::string kind = am[1].str();
-          if (kind == "REQUIRES" || kind == "ACQUIRE" || kind == "EXCLUDES") {
-            std::istringstream args(am[2].str());
-            std::string arg;
-            while (std::getline(args, arg, ',')) {
-              arg = Trim(arg);
-              while (!arg.empty() && (arg[0] == '&' || arg[0] == '*')) {
-                arg = Trim(arg.substr(1));
-              }
-              if (arg.rfind("this->", 0) == 0) {
-                arg = arg.substr(6);
-              }
-              if (arg.empty()) {
-                continue;
-              }
-              const std::string lock =
-                  current_class.empty() ? arg : current_class + "::" + arg;
-              if (kind == "REQUIRES") {
-                facts.requires_locks.insert(lock);
-              } else {
-                // EXCLUDES is this codebase's idiom for "I lock this inside":
-                // treat it like ACQUIRE for edge discovery.
-                facts.acquires.insert(lock);
-              }
-            }
-          }
-          rest = am.suffix().str();
-        }
-      }
-      decl_buf.clear();
-    }
-
-    depth += CountChar(code, '{') - CountChar(code, '}');
-    while (!stack.empty() && depth <= stack.back().depth) {
-      stack.pop_back();
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Pass 2: function bodies in .cc files.
+// Pass 2: function bodies, as a BodyClient holding the held-lock stack.
 // ---------------------------------------------------------------------------
 
-void IndexDefinitions(const SourceFile& file, Analysis* a) {
-  bool in_block = false;
-  for (const std::string& raw : SplitLines(file.content)) {
-    const std::string code = BlankStrings(StripComments(raw, &in_block));
+class LockBodyClient : public BodyClient {
+ public:
+  LockBodyClient(Analysis* a, const CodeIndex* index) : a_(a), index_(index) {}
+
+  void ResetFile() { held_.clear(); }
+
+  void OnFunctionEnter(const BodyWalker& walker, const std::string& signature,
+                       int body_depth) override {
+    (void)signature;
+    held_.clear();
+    auto facts = a_->facts.find(walker.fn_qual());
+    if (facts != a_->facts.end()) {
+      for (const std::string& lock : facts->second.requires_locks) {
+        held_.push_back({lock, body_depth});
+      }
+    }
+  }
+
+  void OnBodyText(const BodyWalker& walker, const std::string& text, const std::string& raw,
+                  int line_no, int depth_at_start) override {
+    const bool suppressed_line = IsSuppressed(raw, kLockOrder);
     std::smatch m;
-    std::string rest = code;
-    while (std::regex_search(rest, m, DefStartRe())) {
-      a->known_funcs.insert(m[1].str() + "::" + m[2].str());
-      a->method_classes[m[2].str()].insert(m[1].str());
+    std::string rest = text;
+    while (std::regex_search(rest, m, MutexLockUseRe())) {
+      const std::string lock = ResolveLockExpr(walker, m[1].str());
+      if (!lock.empty()) {
+        a_->acq_events.push_back({lock, HeldSnapshot(), {walker.path(), line_no},
+                                  suppressed_line});
+        a_->facts[walker.fn_qual()].acquires.insert(lock);
+        held_.push_back({lock, depth_at_start});
+      }
       rest = m.suffix().str();
     }
   }
-}
 
-struct BodyWalker {
-  Analysis* a;
-  std::string path;
-  int depth = 0;
-  bool in_block = false;
-  bool in_func = false;
-  bool collecting_sig = false;
-  std::string sig_buf;
-  std::string fn_class;
-  std::string fn_qual;
-  int fn_close_depth = 0;
-  int lambda_suppress_depth = -1;  // active when >= 0
+  void OnCall(const BodyWalker& walker, const std::string& callee, const std::string& raw,
+              int line_no) override {
+    a_->call_events.push_back({walker.fn_qual(), callee, HeldSnapshot(),
+                               {walker.path(), line_no}, IsSuppressed(raw, kLockOrder)});
+  }
+
+  void OnLineEnd(const BodyWalker& walker, int depth_after) override {
+    (void)walker;
+    while (!held_.empty() && held_.back().entry_depth > depth_after) {
+      held_.pop_back();
+    }
+  }
+
+  void OnFunctionExit(const BodyWalker& walker) override {
+    (void)walker;
+    held_.clear();
+  }
+
+ private:
   struct HeldLock {
     std::string lock;
     int entry_depth;
   };
-  std::vector<HeldLock> held;
-  std::map<std::string, std::string> locals;  // var -> type class
 
   std::vector<std::string> HeldSnapshot() const {
     std::vector<std::string> out;
-    out.reserve(held.size());
-    for (const HeldLock& h : held) {
+    out.reserve(held_.size());
+    for (const HeldLock& h : held_) {
       out.push_back(h.lock);
     }
     return out;
   }
 
-  // Resolves the class a call receiver refers to; empty when unknown.
-  std::string ReceiverClass(const std::string& receiver) const {
-    if (receiver == "this") {
-      return fn_class;
-    }
-    auto local = locals.find(receiver);
-    if (local != locals.end()) {
-      return local->second;
-    }
-    auto member = a->member_types.find(fn_class + "::" + receiver);
-    if (member != a->member_types.end()) {
-      return member->second;
-    }
-    return "";
-  }
-
   // Resolves `expr` from `MutexLock lock(&expr)` to a declared lock name.
-  std::string ResolveLockExpr(const std::string& expr_in) const {
-    const std::string expr = Trim(expr_in);
+  std::string ResolveLockExpr(const BodyWalker& walker, const std::string& expr_in) const {
+    const std::string expr = TrimText(expr_in);
     static const std::regex last_ident("(\\w+)\\s*$");
     std::smatch m;
     if (!std::regex_search(expr, m, last_ident)) {
@@ -459,232 +263,25 @@ struct BodyWalker {
     const bool has_receiver =
         expr.find('.') != std::string::npos || expr.find("->") != std::string::npos;
     if (has_receiver && std::regex_search(expr, f, first_ident) && f[1].str() != member) {
-      const std::string cls = ReceiverClass(f[1].str());
-      if (!cls.empty() && a->decls.count(cls + "::" + member)) {
+      const std::string cls = walker.ReceiverClass(f[1].str());
+      if (!cls.empty() && a_->decls.count(cls + "::" + member)) {
         return cls + "::" + member;
       }
       return "";
     }
-    if (a->decls.count(fn_class + "::" + member)) {
-      return fn_class + "::" + member;
+    if (a_->decls.count(walker.fn_class() + "::" + member)) {
+      return walker.fn_class() + "::" + member;
     }
-    if (a->decls.count(member)) {
+    if (a_->decls.count(member)) {
       return member;  // namespace-scope lock, e.g. g_emit_mutex
     }
     return "";
   }
 
-  void EnterFunction(const std::string& sig, int close_depth) {
-    std::smatch m;
-    if (!std::regex_search(sig, m, DefStartRe())) {
-      in_func = false;
-      return;
-    }
-    fn_class = m[1].str();
-    fn_qual = fn_class + "::" + m[2].str();
-    fn_close_depth = close_depth;
-    in_func = true;
-    held.clear();
-    locals.clear();
-    // Parameters typed `Class* p` / `Class& p`.
-    std::smatch pm;
-    std::string rest = sig;
-    static const std::regex param_re("([A-Z]\\w*)\\s*[*&]\\s*(\\w+)\\s*[,)]");
-    while (std::regex_search(rest, pm, param_re)) {
-      locals[pm[2].str()] = pm[1].str();
-      rest = pm.suffix().str();
-    }
-    auto facts = a->facts.find(fn_qual);
-    if (facts != a->facts.end()) {
-      for (const std::string& lock : facts->second.requires_locks) {
-        held.push_back({lock, close_depth + 1});
-      }
-    }
-  }
-
-  void ScanBodyText(std::string text, const std::string& raw, int line_no, int depth_at_start) {
-    // Excise lambdas that open and close within this line; multi-line lambdas
-    // suppress scanning until their closing brace (they run on other threads,
-    // with no locks inherited from here).
-    std::smatch lm;
-    while (std::regex_search(text, lm, LambdaOpenRe())) {
-      const size_t open = static_cast<size_t>(lm.position(0) + lm.length(0)) - 1;
-      int bal = 0;
-      size_t close = std::string::npos;
-      for (size_t i = open; i < text.size(); ++i) {
-        if (text[i] == '{') {
-          ++bal;
-        } else if (text[i] == '}') {
-          if (--bal == 0) {
-            close = i;
-            break;
-          }
-        }
-      }
-      if (close == std::string::npos) {
-        int lead = 0;
-        for (size_t i = 0; i < static_cast<size_t>(lm.position(0)); ++i) {
-          if (text[i] == '{') {
-            ++lead;
-          } else if (text[i] == '}') {
-            --lead;
-          }
-        }
-        lambda_suppress_depth = depth_at_start + lead;
-        text = text.substr(0, static_cast<size_t>(lm.position(0)));
-        break;
-      }
-      text.erase(static_cast<size_t>(lm.position(0)), close - static_cast<size_t>(lm.position(0)) + 1);
-    }
-
-    // Local typings.
-    std::smatch m;
-    std::string rest = text;
-    while (std::regex_search(rest, m, TypedLocalRe())) {
-      locals[m[2].str()] = m[1].str();
-      rest = m.suffix().str();
-    }
-    if (std::regex_search(text, m, AutoRangeForRe())) {
-      auto member = a->member_types.find(fn_class + "::" + m[2].str());
-      if (member != a->member_types.end()) {
-        locals[m[1].str()] = member->second;
-      }
-    }
-
-    const bool suppressed_line = Suppressed(raw, kLockOrder);
-
-    // Lock acquisitions.
-    rest = text;
-    while (std::regex_search(rest, m, MutexLockUseRe())) {
-      const std::string lock = ResolveLockExpr(m[1].str());
-      if (!lock.empty()) {
-        a->acq_events.push_back({lock, HeldSnapshot(), {path, line_no}, suppressed_line});
-        a->facts[fn_qual].acquires.insert(lock);
-        held.push_back({lock, depth_at_start});
-      }
-      rest = m.suffix().str();
-    }
-
-    // Member calls.
-    rest = text;
-    while (std::regex_search(rest, m, MemberCallRe())) {
-      const std::string receiver = m[1].str();
-      const std::string method = m[3].str();
-      std::string cls = ReceiverClass(receiver);
-      if (cls.empty()) {
-        auto by_name = a->method_classes.find(method);
-        if (by_name != a->method_classes.end() && by_name->second.size() == 1) {
-          cls = *by_name->second.begin();
-        }
-      }
-      if (!cls.empty() && a->known_funcs.count(cls + "::" + method)) {
-        a->call_events.push_back(
-            {fn_qual, cls + "::" + method, HeldSnapshot(), {path, line_no}, suppressed_line});
-      }
-      rest = m.suffix().str();
-    }
-
-    // Bare calls (same class, or a uniquely named method).
-    rest = text;
-    while (std::regex_search(rest, m, BareCallRe())) {
-      const std::string method = m[1].str();
-      std::string callee;
-      if (a->known_funcs.count(fn_class + "::" + method)) {
-        callee = fn_class + "::" + method;
-      } else {
-        auto by_name = a->method_classes.find(method);
-        if (by_name != a->method_classes.end() && by_name->second.size() == 1 &&
-            a->known_funcs.count(*by_name->second.begin() + "::" + method)) {
-          callee = *by_name->second.begin() + "::" + method;
-        }
-      }
-      if (!callee.empty() && callee != fn_qual) {
-        a->call_events.push_back({fn_qual, callee, HeldSnapshot(), {path, line_no},
-                                  suppressed_line});
-      }
-      rest = m.suffix().str();
-    }
-  }
-
-  void ProcessLine(const std::string& raw, int line_no) {
-    const std::string code = BlankStrings(StripComments(raw, &in_block));
-    const int depth_before = depth;
-    std::string body_text;
-
-    if (lambda_suppress_depth >= 0) {
-      depth += CountChar(code, '{') - CountChar(code, '}');
-      if (depth <= lambda_suppress_depth) {
-        lambda_suppress_depth = -1;
-      }
-      PopScopes();
-      return;
-    }
-
-    if (!in_func) {
-      if (!collecting_sig && std::regex_search(code, DefStartRe())) {
-        collecting_sig = true;
-        sig_buf.clear();
-      }
-      if (collecting_sig) {
-        sig_buf += code;
-        sig_buf += ' ';
-        const size_t brace = sig_buf.find('{');
-        const size_t semi = sig_buf.find(';');
-        if (brace != std::string::npos && (semi == std::string::npos || brace < semi)) {
-          EnterFunction(sig_buf.substr(0, brace), depth_before);
-          collecting_sig = false;
-          // Anything after the body-open brace on this line is body text
-          // (one-line definitions like `A::~A() { Stop(); }`).
-          const size_t line_brace = code.find('{');
-          if (in_func && line_brace != std::string::npos && line_brace + 1 < code.size()) {
-            body_text = code.substr(line_brace + 1);
-          }
-          sig_buf.clear();
-        } else if (semi != std::string::npos) {
-          collecting_sig = false;
-          sig_buf.clear();
-        }
-        if (!in_func || body_text.empty()) {
-          depth += CountChar(code, '{') - CountChar(code, '}');
-          PopScopes();
-          return;
-        }
-        // Fall through to scan the same-line body remainder.
-        ScanBodyText(body_text, raw, line_no, depth_before + 1);
-        depth += CountChar(code, '{') - CountChar(code, '}');
-        PopScopes();
-        return;
-      }
-      depth += CountChar(code, '{') - CountChar(code, '}');
-      return;
-    }
-
-    ScanBodyText(code, raw, line_no, depth_before);
-    depth += CountChar(code, '{') - CountChar(code, '}');
-    PopScopes();
-  }
-
-  void PopScopes() {
-    while (!held.empty() && held.back().entry_depth > depth) {
-      held.pop_back();
-    }
-    if (in_func && depth <= fn_close_depth) {
-      in_func = false;
-      held.clear();
-      locals.clear();
-    }
-  }
+  Analysis* a_;
+  const CodeIndex* index_;
+  std::vector<HeldLock> held_;
 };
-
-void ScanBodies(const SourceFile& file, Analysis* a) {
-  BodyWalker walker;
-  walker.a = a;
-  walker.path = file.path;
-  const std::vector<std::string> raw_lines = SplitLines(file.content);
-  for (size_t i = 0; i < raw_lines.size(); ++i) {
-    walker.ProcessLine(raw_lines[i], static_cast<int>(i) + 1);
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Edge construction and checks.
@@ -780,21 +377,7 @@ void CheckEdges(const LockHierarchy& h, Analysis* a) {
   for (const CallEvent& call : a->call_events) {
     callees[call.caller].insert(call.callee);
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (auto& [fn, fns] : callees) {
-      std::set<std::string>& mine = may_acquire[fn];
-      const size_t before = mine.size();
-      for (const std::string& callee : fns) {
-        auto theirs = may_acquire.find(callee);
-        if (theirs != may_acquire.end()) {
-          mine.insert(theirs->second.begin(), theirs->second.end());
-        }
-      }
-      changed = changed || mine.size() != before;
-    }
-  }
+  PropagateTransitive(callees, &may_acquire);
 
   std::vector<Edge> edges;
   for (const AcqEvent& acq : a->acq_events) {
@@ -899,60 +482,26 @@ void CheckEdges(const LockHierarchy& h, Analysis* a) {
 bool ParseLockHierarchy(const std::string& content, LockHierarchy* out, std::string* error) {
   out->ranks.clear();
   out->locks.clear();
-  std::string section;
-  int line_no = 0;
-  for (const std::string& raw : SplitLines(content)) {
-    ++line_no;
-    std::string line = raw;
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) {
-      line = line.substr(0, hash);
-    }
-    line = Trim(line);
-    if (line.empty()) {
-      continue;
-    }
-    if (line.front() == '[' && line.back() == ']') {
-      section = Trim(line.substr(1, line.size() - 2));
-      if (section != "ranks" && section != "locks") {
-        *error = "line " + std::to_string(line_no) + ": unknown section [" + section + "]";
-        return false;
-      }
-      continue;
-    }
-    const size_t eq = line.find('=');
-    if (eq == std::string::npos || section.empty()) {
-      *error = "line " + std::to_string(line_no) + ": expected `key = value` inside a section";
-      return false;
-    }
-    auto unquote = [](std::string s) {
-      s = Trim(s);
-      if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
-        s = s.substr(1, s.size() - 2);
-      }
-      return s;
-    };
-    const std::string key = unquote(line.substr(0, eq));
-    const std::string value = unquote(line.substr(eq + 1));
-    if (key.empty() || value.empty()) {
-      *error = "line " + std::to_string(line_no) + ": empty key or value";
-      return false;
-    }
-    if (section == "ranks") {
+  std::vector<TomlEntry> entries;
+  if (!ParseTomlTables(content, {"ranks", "locks"}, &entries, error)) {
+    return false;
+  }
+  for (const TomlEntry& entry : entries) {
+    if (entry.section == "ranks") {
       try {
         size_t used = 0;
-        const int parsed = std::stoi(value, &used);
-        if (used != value.size()) {
-          throw std::invalid_argument(value);
+        const int parsed = std::stoi(entry.value, &used);
+        if (used != entry.value.size()) {
+          throw std::invalid_argument(entry.value);
         }
-        out->ranks[key] = parsed;
+        out->ranks[entry.key] = parsed;
       } catch (const std::exception&) {
-        *error = "line " + std::to_string(line_no) + ": rank value for " + key +
+        *error = "line " + std::to_string(entry.line) + ": rank value for " + entry.key +
                  " is not an integer";
         return false;
       }
     } else {
-      out->locks[key] = value;
+      out->locks[entry.key] = entry.value;
     }
   }
   for (const auto& [lock, rank] : out->locks) {
@@ -967,17 +516,35 @@ bool ParseLockHierarchy(const std::string& content, LockHierarchy* out, std::str
 std::vector<Finding> CheckLockOrder(const LockHierarchy& hierarchy,
                                     const std::vector<SourceFile>& files) {
   Analysis a;
+  // The lock-order pass keeps the original narrow posture: lambdas are
+  // separate contexts, unresolved calls are skipped, free functions are not
+  // tracked. sync.h defines the lock primitives themselves, so only its rank
+  // enum is read.
+  ScanOptions options;
+  options.index_file = [](const std::string& path) { return !IsSyncHeader(path); };
   for (const SourceFile& file : files) {
-    ScanDeclarations(file, &a);
-  }
-  for (const SourceFile& file : files) {
-    if (EndsWith(file.path, ".cc") || EndsWith(file.path, ".cpp")) {
-      IndexDefinitions(file, &a);
+    if (IsSyncHeader(file.path)) {
+      ScanRankEnum(file, &a);
     }
   }
+  CodeIndex index;
+  BuildCodeIndex(files, options, &index,
+                 [&a](const std::string& current_class, const std::string& code,
+                      const std::string& raw, const std::string& path, int line_no) {
+                   ScanMutexDeclLine(&a, current_class, code, raw, path, line_no);
+                 });
+  BuildFuncFacts(index, &a);
   for (const SourceFile& file : files) {
-    if (EndsWith(file.path, ".cc") || EndsWith(file.path, ".cpp")) {
-      ScanBodies(file, &a);
+    if (PathEndsWith(file.path, ".cc") || PathEndsWith(file.path, ".cpp")) {
+      IndexDefinitions(file, options, &index);
+    }
+  }
+  LockBodyClient client(&a, &index);
+  for (const SourceFile& file : files) {
+    if (PathEndsWith(file.path, ".cc") || PathEndsWith(file.path, ".cpp")) {
+      client.ResetFile();
+      BodyWalker walker(&index, &options, &client);
+      walker.ScanFile(file);
     }
   }
   CheckDeclarations(hierarchy, &a);
@@ -1008,44 +575,7 @@ std::vector<Finding> CheckLockOrderOverTree(const std::string& toml_path,
     return {{kIoError, toml_path, 0, "malformed lock hierarchy: " + error}};
   }
   std::vector<Finding> findings;
-  std::vector<std::string> paths;
-  for (const std::string& root : roots) {
-    std::error_code ec;
-    if (std::filesystem::is_regular_file(root, ec)) {
-      paths.push_back(root);
-      continue;
-    }
-    std::filesystem::recursive_directory_iterator it(root, ec), end;
-    if (ec) {
-      findings.push_back({kIoError, root, 0, "cannot walk directory: " + ec.message()});
-      continue;
-    }
-    for (; it != end; it.increment(ec)) {
-      if (ec) {
-        break;
-      }
-      if (!it->is_regular_file()) {
-        continue;
-      }
-      const std::string path = it->path().generic_string();
-      if (EndsWith(path, ".h") || EndsWith(path, ".cc") || EndsWith(path, ".cpp")) {
-        paths.push_back(path);
-      }
-    }
-  }
-  std::sort(paths.begin(), paths.end());
-  std::vector<SourceFile> files;
-  files.reserve(paths.size());
-  for (const std::string& path : paths) {
-    std::ifstream stream(path);
-    if (!stream) {
-      findings.push_back({kIoError, path, 0, "cannot open file"});
-      continue;
-    }
-    std::ostringstream buffer;
-    buffer << stream.rdbuf();
-    files.push_back({path, buffer.str()});
-  }
+  const std::vector<SourceFile> files = LoadSourceTree(roots, &findings);
   std::vector<Finding> analysis = CheckLockOrder(hierarchy, files);
   findings.insert(findings.end(), analysis.begin(), analysis.end());
   return findings;

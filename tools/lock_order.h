@@ -27,7 +27,9 @@
 // set (they run on other threads), and call edges are only created when the
 // callee resolves confidently (same class, a typed member / local receiver,
 // or a method name defined by exactly one class). Unresolved calls are
-// skipped, trading recall for zero false positives.
+// skipped, trading recall for zero false positives. The shared machinery
+// (declaration index, body walker, fixpoint) lives in tools/callgraph.h; this
+// pass keeps only the lock-specific syntax and checks.
 
 #ifndef VLORA_TOOLS_LOCK_ORDER_H_
 #define VLORA_TOOLS_LOCK_ORDER_H_
@@ -36,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/callgraph.h"
 #include "tools/lint_rules.h"
 
 namespace vlora {
@@ -54,14 +57,8 @@ struct LockHierarchy {
 // on malformed input or on a lock referencing an undeclared rank.
 bool ParseLockHierarchy(const std::string& content, LockHierarchy* out, std::string* error);
 
-// A source file handed to the analysis; `path` decides applicability the same
-// way LintContent does, so tests can feed synthetic trees.
-struct SourceFile {
-  std::string path;
-  std::string content;
-};
-
 // Runs the lock-order analysis over the given files against the hierarchy.
+// (SourceFile is the framework type from tools/callgraph.h.)
 std::vector<Finding> CheckLockOrder(const LockHierarchy& hierarchy,
                                     const std::vector<SourceFile>& files);
 

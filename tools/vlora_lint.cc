@@ -2,11 +2,15 @@
 //
 // Usage: vlora_lint <file-or-dir>...
 //        vlora_lint --lock-order <hierarchy.toml> <file-or-dir>...
+//        vlora_lint --hot-path <hot_paths.toml> <file-or-dir>...
+//        vlora_lint --codec-symmetry <file-or-dir>...
 //
-// The first form runs the per-line rules (tools/lint_rules.h). The second
-// runs the whole-tree lock-order pass (tools/lock_order.h) against the
-// canonical hierarchy in tools/lock_hierarchy.toml. Directories are walked
-// recursively for .h/.cc/.cpp sources; every finding prints as
+// The first form runs the per-line rules (tools/lint_rules.h). The others
+// run the whole-tree file-graph passes built on tools/callgraph.h: the
+// lock-order pass (tools/lock_order.h) against tools/lock_hierarchy.toml,
+// the hot-path purity pass (tools/hot_path.h) against tools/hot_paths.toml,
+// and the wire-codec symmetry pass (tools/codec_symmetry.h). Directories are
+// walked recursively for .h/.cc/.cpp sources; every finding prints as
 // "file:line: [rule] message" and a non-empty report exits 1, so the binary
 // slots straight into ctest / CI.
 
@@ -16,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "tools/codec_symmetry.h"
+#include "tools/hot_path.h"
 #include "tools/lint_rules.h"
 #include "tools/lock_order.h"
 
@@ -44,33 +50,53 @@ void Collect(const fs::path& root, std::vector<std::string>* files) {
   }
 }
 
+// Prints a pass's findings and returns its exit code.
+int ReportPass(const char* pass_name, const std::vector<vlora::lint::Finding>& findings) {
+  for (const vlora::lint::Finding& finding : findings) {
+    std::printf("%s\n", vlora::lint::FormatFinding(finding).c_str());
+  }
+  std::printf("vlora_lint: %s: %zu finding(s)\n", pass_name, findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <file-or-dir>...\n"
-                 "       %s --lock-order <hierarchy.toml> <file-or-dir>...\n",
-                 argv[0], argv[0]);
+                 "       %s --lock-order <hierarchy.toml> <file-or-dir>...\n"
+                 "       %s --hot-path <hot_paths.toml> <file-or-dir>...\n"
+                 "       %s --codec-symmetry <file-or-dir>...\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
-  if (std::string(argv[1]) == "--lock-order") {
+  const std::string mode = argv[1];
+  if (mode == "--lock-order" || mode == "--hot-path") {
     if (argc < 4) {
-      std::fprintf(stderr, "usage: %s --lock-order <hierarchy.toml> <file-or-dir>...\n",
-                   argv[0]);
+      std::fprintf(stderr, "usage: %s %s <config.toml> <file-or-dir>...\n", argv[0],
+                   mode.c_str());
       return 2;
     }
     std::vector<std::string> roots;
     for (int i = 3; i < argc; ++i) {
       roots.push_back(argv[i]);
     }
-    const std::vector<vlora::lint::Finding> findings =
-        vlora::lint::CheckLockOrderOverTree(argv[2], roots);
-    for (const vlora::lint::Finding& finding : findings) {
-      std::printf("%s\n", vlora::lint::FormatFinding(finding).c_str());
+    if (mode == "--lock-order") {
+      return ReportPass("lock-order", vlora::lint::CheckLockOrderOverTree(argv[2], roots));
     }
-    std::printf("vlora_lint: lock-order: %zu finding(s)\n", findings.size());
-    return findings.empty() ? 0 : 1;
+    return ReportPass("hot-path", vlora::lint::CheckHotPathsOverTree(argv[2], roots));
+  }
+  if (mode == "--codec-symmetry") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --codec-symmetry <file-or-dir>...\n", argv[0]);
+      return 2;
+    }
+    std::vector<std::string> roots;
+    for (int i = 2; i < argc; ++i) {
+      roots.push_back(argv[i]);
+    }
+    return ReportPass("codec-symmetry", vlora::lint::CheckCodecSymmetryOverTree(roots));
   }
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
