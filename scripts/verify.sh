@@ -64,6 +64,10 @@ if [[ "${SKIP_STATIC:-0}" != "1" ]]; then
   ./build/tools/vlora_lint --hot-path tools/hot_paths.toml src
   record "hot-path pass" "pass"
 
+  echo "=== static-analysis: atomics-discipline pass ==="
+  ./build/tools/vlora_lint --atomics tools/atomics.toml src
+  record "atomics pass" "pass"
+
   echo "=== static-analysis: codec-symmetry pass ==="
   ./build/tools/vlora_lint --codec-symmetry src/net/messages.cc
   record "codec-symmetry pass" "pass"

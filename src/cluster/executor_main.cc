@@ -90,7 +90,7 @@ int ExecutorMain(int argc, char** argv) {
   options.admission = AdmissionPolicy::kBlock;
   ThreadReplica replica(replica_index, config.value().model, options);
 
-  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> completed{0};  // `counter` protocol (tools/atomics.toml)
   replica.SetHandlers(
       [&](int /*replica*/, int64_t /*request_id*/) {
         // Results accumulate in the replica between handler invocations;
@@ -160,7 +160,7 @@ int ExecutorMain(int argc, char** argv) {
   // Forward the worker's liveness stamp every period; when the worker stalls
   // or the engine wedges, worker_ms freezes and the master's stall detector
   // fires exactly as it would in-process.
-  std::atomic<bool> heartbeat_stop{false};
+  std::atomic<bool> heartbeat_stop{false};  // `flag` protocol (tools/atomics.toml)
   std::thread heartbeat([&] {
     const auto period =
         std::chrono::duration<double, std::milli>(config.value().heartbeat_period_ms);

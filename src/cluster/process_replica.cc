@@ -17,6 +17,7 @@ namespace {
 
 // Distinguishes the unix socket files of replicas created back-to-back (a
 // destroyed replica's path may not be unlinked yet when its successor binds).
+// `counter` protocol (tools/atomics.toml): only uniqueness matters.
 std::atomic<int64_t> g_socket_sequence{0};
 
 std::string ExeDirectory() {
@@ -87,7 +88,9 @@ void ProcessReplica::SpawnAndHandshake(const ModelConfig& config) {
   if (options_.transport == net::Transport::kUnix) {
     socket_path_ = "/tmp/vlora-exec-" + std::to_string(::getpid()) + "-" +
                    std::to_string(index_) + "-" +
-                   std::to_string(g_socket_sequence.fetch_add(1)) + ".sock";
+                   std::to_string(g_socket_sequence.fetch_add(
+                       1, std::memory_order_relaxed)) +
+                   ".sock";
     address = net::SocketAddress::Unix(socket_path_);
   } else {
     address = net::SocketAddress::Tcp("127.0.0.1", 0);

@@ -178,6 +178,9 @@ class ProcessReplica : public Replica {
   std::vector<EngineResult> results_ VLORA_GUARDED_BY(mutex_);
   LatencyRecorder latency_ VLORA_GUARDED_BY(mutex_);
 
+  // tools/atomics.toml: depth_/heartbeat_ms_ are `counter`s; dead_ and
+  // reader_done_ are `flag`s whose release stores publish the reader
+  // thread's final drain before the master joins it.
   std::atomic<int64_t> depth_{0};
   std::atomic<bool> dead_{false};
   std::atomic<double> heartbeat_ms_{0.0};

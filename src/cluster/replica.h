@@ -255,6 +255,9 @@ class ThreadReplica : public Replica {
   Mutex step_mutex_ VLORA_ACQUIRED_BEFORE(mutex_){Rank::kReplicaStep,
                                                   "ThreadReplica::step_mutex_"};
 
+  // tools/atomics.toml: depth_/heartbeat_ms_ are `counter`s (monitoring
+  // reads, nothing ordered through them); dead_ is a `flag` — the release
+  // store in the worker publishes its final stats before the master acts.
   std::atomic<int64_t> depth_{0};
   std::atomic<bool> dead_{false};
   std::atomic<double> heartbeat_ms_{0.0};

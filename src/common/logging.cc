@@ -9,7 +9,7 @@
 namespace vlora {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};  // `counter` protocol
 // Serialises stderr writes so lines never interleave. kLogging ranks below
 // everything: any thread may log while holding any lock.
 Mutex g_emit_mutex{Rank::kLogging, "g_emit_mutex"};
@@ -34,9 +34,15 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+// g_level only filters; no other data is ordered through it (the `counter`
+// protocol in tools/atomics.toml), so every access is explicitly relaxed.
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 namespace internal {
 
@@ -45,7 +51,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < g_level.load()) {
+  if (static_cast<int>(level_) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
   MutexLock lock(&g_emit_mutex);

@@ -122,7 +122,8 @@ inline thread_local HeldStack g_held;
 
 // Blocking while holding any OTHER lock with rank > this aborts. Default: a
 // thread must hold nothing but the waited mutex (and at most the logging
-// leaf) when it blocks.
+// leaf) when it blocks. `counter` protocol (tools/atomics.toml): the value
+// only tunes a debug check, it publishes nothing.
 inline std::atomic<int> g_max_blocking_held_rank{static_cast<int>(Rank::kLogging)};
 
 inline Rank SetMaxBlockingHeldRank(Rank rank) {

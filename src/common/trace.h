@@ -143,6 +143,9 @@ class Tracer {
   int64_t dropped_events() const VLORA_EXCLUDES(mutex_);
 
  private:
+  // Both atomics follow the `epoch-seqlock` protocol in tools/atomics.toml:
+  // the owning thread mutates them relaxed, publishes with release, and
+  // Collect reads with acquire.
   struct ThreadBuffer {
     explicit ThreadBuffer(int64_t capacity) : ring(static_cast<size_t>(capacity)) {}
     std::vector<TraceEvent> ring;
@@ -153,6 +156,10 @@ class Tracer {
   Tracer() = default;
   ThreadBuffer* GetThreadBuffer() VLORA_EXCLUDES(mutex_);
 
+  // Memory-ordering protocols are registered in tools/atomics.toml and
+  // checked by `vlora_lint --atomics`: enabled_ is a `flag`, epoch_ is a
+  // `published-value` (Start publishes capacity/origin before bumping it),
+  // and the two plain parameters below are `counter`s.
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t> ring_capacity_{1 << 14};
@@ -267,6 +274,9 @@ AsciiTable RequestSpanTable(const std::vector<RequestSpan>& spans, size_t max_ro
 // handles are stable for the registry's lifetime — look them up once and
 // cache the pointer; Add/Set are single relaxed atomic operations.
 
+// Counter/Gauge values are pure `counter`-protocol atomics (tools/atomics.toml):
+// every operation is explicitly relaxed — they order nothing and publish
+// nothing, so readers of Snap() see recent-but-not-synchronised values.
 class Counter {
  public:
   void Increment() { Add(1); }

@@ -107,7 +107,7 @@ class VloraServer {
   std::vector<std::unique_ptr<LoraAdapter>> adapters_;
   Mutex submit_mutex_{Rank::kServerStage, "VloraServer::submit_mutex_"};
   std::vector<EngineRequest> staged_ VLORA_GUARDED_BY(submit_mutex_);
-  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<int64_t> queue_depth_{0};  // `counter` protocol (tools/atomics.toml)
   std::unordered_map<int64_t, double> submit_ms_;        // id -> logical enqueue time
   std::unordered_map<int64_t, double> last_service_ms_;  // id -> last scheduled time
   double logical_clock_ms_ = 0.0;

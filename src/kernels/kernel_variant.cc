@@ -18,7 +18,10 @@ bool CpuSupportsAvx2Fma() {
 #endif
 }
 
-// -1 = not yet resolved; otherwise a KernelVariant value.
+// -1 = not yet resolved; otherwise a KernelVariant value. `published-value`
+// protocol (tools/atomics.toml): RefreshKernelVariantFromEnv release-stores
+// it, ActiveKernelVariant acquire-loads — readers must see the resolved
+// variant, not a torn in-progress pick.
 std::atomic<int> g_active{-1};
 
 KernelVariant ResolveFromEnv() {

@@ -1,0 +1,429 @@
+// Unit tests for the atomics-discipline pass (tools/atomics.h): every
+// violation class fires on its synthetic bad twin and stays silent on the
+// good twin, registry drift is caught in both directions, and the per-line
+// allow() suppression works on every rule. Snippet text stays clear of the
+// per-line rules so the whole-tree scan does not trip on this file.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/atomics.h"
+
+namespace vlora {
+namespace lint {
+namespace {
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    n += f.rule == rule ? 1 : 0;
+  }
+  return n;
+}
+
+std::string MessagesFor(const std::vector<Finding>& findings, const std::string& rule) {
+  std::string out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      out += FormatFinding(f) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string AllMessages(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += FormatFinding(f) + "\n";
+  }
+  return out;
+}
+
+AtomicsConfig Registry(const std::string& toml) {
+  AtomicsConfig config;
+  std::string error;
+  EXPECT_TRUE(ParseAtomicsRegistry(toml, &config, &error)) << error;
+  return config;
+}
+
+// --- Registry parsing -----------------------------------------------------
+
+TEST(AtomicsRegistryTest, ParsesProtocolsSidesAndOptions) {
+  const std::string toml = std::string("[atomics]\n") +
+                           "\"Worker::stop_\" = \"flag\"\n" +
+                           "\"g_mode\" = \"published-value publish=Refresh "
+                           "consume=CurrentMode,ReadMode\"\n" +
+                           "\"Stats::hits_\" = \"counter stray-token\"\n" +
+                           "[options]\n" +
+                           "hot_paths = \"hot_paths.toml\"\n";
+  const AtomicsConfig config = Registry(toml);
+  ASSERT_EQ(config.atomics.size(), 3u);
+  EXPECT_EQ(config.atomics.at("Worker::stop_").protocol, "flag");
+  const AtomicProtocolSpec& published = config.atomics.at("g_mode");
+  EXPECT_EQ(published.protocol, "published-value");
+  EXPECT_EQ(published.publishers, std::vector<std::string>{"Refresh"});
+  EXPECT_EQ(published.consumers, (std::vector<std::string>{"CurrentMode", "ReadMode"}));
+  EXPECT_EQ(config.atomics.at("Stats::hits_").bad_tokens,
+            std::vector<std::string>{"stray-token"});
+  EXPECT_EQ(config.hot_paths, "hot_paths.toml");
+}
+
+TEST(AtomicsRegistryTest, RejectsMalformedTomlAndUnknownOptions) {
+  AtomicsConfig config;
+  std::string error;
+  EXPECT_FALSE(ParseAtomicsRegistry("[atomics]\nnot a toml line\n", &config, &error));
+  EXPECT_FALSE(ParseAtomicsRegistry("[options]\nbogus = \"x\"\n", &config, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+// --- A good tree covering all five protocols ------------------------------
+
+// Header: one class per protocol family, members declared and partly
+// accessed through in-class inline methods.
+std::string GoodHeader() {
+  return std::string("#ifndef AT_H_\n#define AT_H_\n") +
+         "class Stats {\n public:\n" +
+         "  void Hit() { hits_.fetch_add(1, std::memory_order_relaxed); }\n" +
+         "  long hits() const { return hits_.load(std::memory_order_relaxed); }\n" +
+         " private:\n" +
+         "  std::atomic<long> hits_{0};\n" +
+         "};\n" +
+         "class Worker {\n public:\n" +
+         "  void Stop();\n  bool Running() const;\n" +
+         " private:\n" +
+         "  std::atomic<bool> stop_{false};\n" +
+         "};\n" +
+         "class Ring {\n public:\n" +
+         "  void Push(long v);\n  long Snapshot() const;\n" +
+         " private:\n" +
+         "  std::atomic<long> head{0};\n" +
+         "  long slots[8];\n" +
+         "};\n#endif\n";
+}
+
+// Implementation: flag pairing, published-value sides, the seqlock idiom,
+// and an init-once global.
+std::string GoodImpl() {
+  return std::string("#include \"at.h\"\n") +
+         "std::atomic<int> g_mode{0};\n" +
+         "std::atomic<bool> g_ready{false};\n" +
+         "void Worker::Stop() { stop_.store(true, std::memory_order_release); }\n" +
+         "bool Worker::Running() const {\n" +
+         "  return !stop_.load(std::memory_order_acquire);\n" +
+         "}\n" +
+         "void RefreshMode(int mode) {\n" +
+         "  g_mode.store(mode, std::memory_order_release);\n" +
+         "}\n" +
+         "int CurrentMode() { return g_mode.load(std::memory_order_acquire); }\n" +
+         "void Ring::Push(long v) {\n" +
+         "  const long at = head.load(std::memory_order_relaxed);\n" +
+         "  slots[at & 7] = v;\n" +
+         "  head.store(at + 1, std::memory_order_release);\n" +
+         "}\n" +
+         "long Ring::Snapshot() const { return head.load(std::memory_order_acquire); }\n" +
+         "void InitRuntime() { g_ready.store(true, std::memory_order_release); }\n" +
+         "bool IsReady() { return g_ready.load(std::memory_order_acquire); }\n";
+}
+
+std::string GoodRegistry() {
+  return std::string("[atomics]\n") +
+         "\"Stats::hits_\" = \"counter\"\n" +
+         "\"Worker::stop_\" = \"flag\"\n" +
+         "\"g_mode\" = \"published-value publish=RefreshMode consume=CurrentMode\"\n" +
+         "\"Ring::head\" = \"epoch-seqlock\"\n" +
+         "\"g_ready\" = \"init-once\"\n";
+}
+
+std::vector<SourceFile> GoodTree() {
+  return {{"src/x/at.h", GoodHeader()}, {"src/x/at.cc", GoodImpl()}};
+}
+
+TEST(AtomicsTest, GoodTreeCoveringAllProtocolsIsQuiet) {
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(GoodRegistry()), HotPathConfig(), GoodTree());
+  EXPECT_TRUE(findings.empty()) << AllMessages(findings);
+}
+
+// --- Registry drift -------------------------------------------------------
+
+TEST(AtomicsTest, UnregisteredAtomicFiresAndSuppressionSilences) {
+  std::vector<SourceFile> tree = GoodTree();
+  tree.push_back({"src/x/extra.cc",
+                  std::string("std::atomic<int> g_orphan{0};\n") +
+                      "std::atomic<int> g_known{0};  "
+                      "// vlora-lint: allow(atomic-unregistered) migration\n"});
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(GoodRegistry()), HotPathConfig(), tree);
+  EXPECT_EQ(CountRule(findings, "atomic-unregistered"), 1)
+      << MessagesFor(findings, "atomic-unregistered");
+  EXPECT_NE(MessagesFor(findings, "atomic-unregistered").find("g_orphan"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, StaleRegistryEntryFires) {
+  const std::string registry = GoodRegistry() + "\"Gone::away_\" = \"counter\"\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(registry), HotPathConfig(), GoodTree());
+  EXPECT_EQ(CountRule(findings, "atomic-stale-entry"), 1)
+      << MessagesFor(findings, "atomic-stale-entry");
+  EXPECT_NE(MessagesFor(findings, "atomic-stale-entry").find("Gone::away_"),
+            std::string::npos);
+}
+
+TEST(AtomicsTest, BadProtocolEntriesFire) {
+  const std::string registry =
+      GoodRegistry() +
+      "\"Bad::unknown_\" = \"fancy-lock\"\n" +
+      "\"Bad::oneside_\" = \"published-value publish=RefreshMode\"\n" +
+      "\"Bad::sides_\" = \"flag publish=RefreshMode\"\n" +
+      "\"Bad::ghostfn_\" = \"published-value publish=NoSuchFn consume=CurrentMode\"\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(registry), HotPathConfig(), GoodTree());
+  const std::string messages = MessagesFor(findings, "atomic-bad-protocol");
+  EXPECT_EQ(CountRule(findings, "atomic-bad-protocol"), 4) << messages;
+  EXPECT_NE(messages.find("fancy-lock"), std::string::npos);
+  EXPECT_NE(messages.find("Bad::oneside_"), std::string::npos);
+  EXPECT_NE(messages.find("Bad::sides_"), std::string::npos);
+  EXPECT_NE(messages.find("NoSuchFn"), std::string::npos);
+}
+
+// --- Protocol/order mismatches --------------------------------------------
+
+TEST(AtomicsTest, CounterOpsMustBeExplicitlyRelaxed) {
+  const std::string cc = std::string("#include \"at.h\"\n") +
+                         "void Tick(Stats* s) {\n" +
+                         "  s->hits_.fetch_add(1);\n" +
+                         "  (void)s->hits_.load(std::memory_order_acquire);\n" +
+                         "}\n";
+  std::vector<SourceFile> tree = GoodTree();
+  tree.push_back({"src/x/tick.cc", cc});
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(GoodRegistry()), HotPathConfig(), tree);
+  EXPECT_EQ(CountRule(findings, "atomic-protocol-mismatch"), 2)
+      << MessagesFor(findings, "atomic-protocol-mismatch");
+}
+
+TEST(AtomicsTest, DefaultOrderOnSynchronizingAtomicFires) {
+  const std::string cc = std::string("#include \"at.h\"\n") +
+                         "void Worker::Stop() { stop_.store(true); }\n" +
+                         "bool Worker::Running() const {\n" +
+                         "  return !stop_.load(std::memory_order_acquire);\n" +
+                         "}\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"Worker::stop_\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/at.h", GoodHeader()}, {"src/x/w.cc", cc}});
+  EXPECT_TRUE(HasRule(findings, "atomic-protocol-mismatch")) << AllMessages(findings);
+}
+
+TEST(AtomicsTest, RelaxedStoreOrLoadOnFlagFires) {
+  const std::string cc = std::string("#include \"at.h\"\n") +
+                         "void Worker::Stop() { stop_.store(true, std::memory_order_relaxed); }\n" +
+                         "bool Worker::Running() const {\n" +
+                         "  return !stop_.load(std::memory_order_relaxed);\n" +
+                         "}\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"Worker::stop_\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/at.h", GoodHeader()}, {"src/x/w.cc", cc}});
+  EXPECT_EQ(CountRule(findings, "atomic-protocol-mismatch"), 2)
+      << MessagesFor(findings, "atomic-protocol-mismatch");
+}
+
+TEST(AtomicsTest, RelaxedRmwOnSynchronizingAtomicFires) {
+  const std::string cc =
+      std::string("std::atomic<int> g_gate{0};\n") +
+      "void Open() { g_gate.fetch_add(1, std::memory_order_relaxed); }\n" +
+      "void Publish() { g_gate.store(1, std::memory_order_release); }\n" +
+      "int See() { return g_gate.load(std::memory_order_acquire); }\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"g_gate\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/g.cc", cc}});
+  EXPECT_EQ(CountRule(findings, "atomic-relaxed-sync"), 1)
+      << MessagesFor(findings, "atomic-relaxed-sync");
+}
+
+TEST(AtomicsTest, SeqCstOnEpochSeqlockFires) {
+  const std::string cc = std::string("#include \"at.h\"\n") +
+                         "void Ring::Push(long v) {\n" +
+                         "  const long at = head.load(std::memory_order_seq_cst);\n" +
+                         "  slots[at & 7] = v;\n" +
+                         "  head.store(at + 1, std::memory_order_release);\n" +
+                         "}\n" +
+                         "long Ring::Snapshot() const {\n" +
+                         "  return head.load(std::memory_order_acquire);\n" +
+                         "}\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"Ring::head\" = \"epoch-seqlock\"\n")),
+                   HotPathConfig(), {{"src/x/at.h", GoodHeader()}, {"src/x/r.cc", cc}});
+  EXPECT_EQ(CountRule(findings, "atomic-protocol-mismatch"), 1)
+      << MessagesFor(findings, "atomic-protocol-mismatch");
+}
+
+TEST(AtomicsTest, PublishedValueOutsideDeclaredSidesFires) {
+  const std::string cc =
+      std::string("std::atomic<int> g_mode{0};\n") +
+      "void RefreshMode(int m) { g_mode.store(m, std::memory_order_release); }\n" +
+      "int CurrentMode() { return g_mode.load(std::memory_order_acquire); }\n" +
+      "void Rogue() { g_mode.store(7, std::memory_order_release); }\n" +
+      "int Peek() { return g_mode.load(std::memory_order_acquire); }\n";
+  const std::vector<Finding> findings = CheckAtomics(
+      Registry(std::string("[atomics]\n\"g_mode\" = \"published-value "
+                           "publish=RefreshMode consume=CurrentMode\"\n")),
+      HotPathConfig(), {{"src/x/m.cc", cc}});
+  const std::string messages = MessagesFor(findings, "atomic-protocol-mismatch");
+  EXPECT_EQ(CountRule(findings, "atomic-protocol-mismatch"), 2) << messages;
+  EXPECT_NE(messages.find("Rogue"), std::string::npos);
+  EXPECT_NE(messages.find("Peek"), std::string::npos);
+}
+
+// --- Pairing over the whole tree ------------------------------------------
+
+TEST(AtomicsTest, UnpairedReleaseStoreFires) {
+  const std::string cc =
+      std::string("std::atomic<bool> g_done{false};\n") +
+      "void Finish() { g_done.store(true, std::memory_order_release); }\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"g_done\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/d.cc", cc}});
+  EXPECT_EQ(CountRule(findings, "atomic-unpaired-release"), 1)
+      << MessagesFor(findings, "atomic-unpaired-release");
+}
+
+TEST(AtomicsTest, UnpairedAcquireLoadFires) {
+  const std::string cc =
+      std::string("std::atomic<bool> g_done{false};\n") +
+      "bool Done() { return g_done.load(std::memory_order_acquire); }\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"g_done\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/d.cc", cc}});
+  EXPECT_EQ(CountRule(findings, "atomic-unpaired-acquire"), 1)
+      << MessagesFor(findings, "atomic-unpaired-acquire");
+}
+
+// --- seq_cst on the hot path ----------------------------------------------
+
+std::string HotImpl(const std::string& store_order, const std::string& suffix = "") {
+  return std::string("std::atomic<bool> g_flag{false};\n") +
+         "void HotRoot() {\n" +
+         "  Step();\n" +
+         "}\n" +
+         "void Step() {\n" +
+         "  g_flag.store(true, std::memory_order_" + store_order + ");" + suffix + "\n" +
+         "}\n" +
+         "bool ColdConsume() { return g_flag.load(std::memory_order_acquire); }\n";
+}
+
+HotPathConfig HotRootConfig() {
+  HotPathConfig config;
+  config.roots["HotRoot"] = "test root";
+  return config;
+}
+
+TEST(AtomicsTest, SeqCstReachableFromHotRootFiresWithCallChain) {
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"g_flag\" = \"flag\"\n")),
+                   HotRootConfig(), {{"src/x/hp.cc", HotImpl("seq_cst")}});
+  const std::string messages = MessagesFor(findings, "atomic-seqcst-hot");
+  EXPECT_EQ(CountRule(findings, "atomic-seqcst-hot"), 1) << AllMessages(findings);
+  EXPECT_NE(messages.find("HotRoot -> Step"), std::string::npos) << messages;
+  EXPECT_FALSE(HasRule(findings, "atomic-protocol-mismatch")) << AllMessages(findings);
+}
+
+TEST(AtomicsTest, ReleaseOnHotPathAndSuppressedSeqCstAreQuiet) {
+  const std::vector<Finding> release_findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"g_flag\" = \"flag\"\n")),
+                   HotRootConfig(), {{"src/x/hp.cc", HotImpl("release")}});
+  EXPECT_FALSE(HasRule(release_findings, "atomic-seqcst-hot"))
+      << AllMessages(release_findings);
+  const std::vector<Finding> suppressed = CheckAtomics(
+      Registry(std::string("[atomics]\n\"g_flag\" = \"flag\"\n")), HotRootConfig(),
+      {{"src/x/hp.cc",
+        HotImpl("seq_cst", "  // vlora-lint: allow(atomic-seqcst-hot) fence")}});
+  EXPECT_FALSE(HasRule(suppressed, "atomic-seqcst-hot")) << AllMessages(suppressed);
+}
+
+TEST(AtomicsTest, SeqCstOffTheHotPathIsQuiet) {
+  // Same seq_cst store, but the root does not reach Step.
+  const std::string cc =
+      std::string("std::atomic<bool> g_flag{false};\n") +
+      "void HotRoot() {\n" +
+      "  (void)0;\n" +
+      "}\n" +
+      "void Step() {\n" +
+      "  g_flag.store(true, std::memory_order_seq_cst);\n" +
+      "}\n" +
+      "bool ColdConsume() { return g_flag.load(std::memory_order_acquire); }\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"g_flag\" = \"flag\"\n")),
+                   HotRootConfig(), {{"src/x/hp.cc", cc}});
+  EXPECT_FALSE(HasRule(findings, "atomic-seqcst-hot")) << AllMessages(findings);
+}
+
+// --- Mixed atomic / operator-form access ----------------------------------
+
+TEST(AtomicsTest, OperatorFormAccessFiresAndSuppressionSilences) {
+  const std::string cc = std::string("#include \"at.h\"\n") +
+                         "void Worker::Stop() { stop_ = true; }\n" +
+                         "bool Worker::Running() const {\n" +
+                         "  return !stop_.load(std::memory_order_acquire);\n" +
+                         "}\n" +
+                         "void Worker::Reset() {\n" +
+                         "  stop_ = false;  // vlora-lint: allow(atomic-mixed-access) init\n" +
+                         "}\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"Worker::stop_\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/at.h", GoodHeader()}, {"src/x/w.cc", cc}});
+  EXPECT_EQ(CountRule(findings, "atomic-mixed-access"), 1)
+      << MessagesFor(findings, "atomic-mixed-access");
+}
+
+TEST(AtomicsTest, UnrelatedIdentifierSharingALeafNameIsQuiet) {
+  // Another class's plain `stop_` member and a local both share the leaf
+  // name; neither resolves to the registered Worker::stop_.
+  const std::string cc = std::string("#include \"at.h\"\n") +
+                         "void Worker::Stop() { stop_.store(true, std::memory_order_release); }\n" +
+                         "bool Worker::Running() const {\n" +
+                         "  return !stop_.load(std::memory_order_acquire);\n" +
+                         "}\n" +
+                         "void Other::Run() {\n" +
+                         "  stop_ = true;\n" +
+                         "  bool stop_local = stop_;\n" +
+                         "  (void)stop_local;\n" +
+                         "}\n";
+  const std::vector<Finding> findings =
+      CheckAtomics(Registry(std::string("[atomics]\n\"Worker::stop_\" = \"flag\"\n")),
+                   HotPathConfig(), {{"src/x/at.h", GoodHeader()}, {"src/x/w.cc", cc}});
+  EXPECT_FALSE(HasRule(findings, "atomic-mixed-access")) << AllMessages(findings);
+}
+
+// --- Function-local atomics -----------------------------------------------
+
+TEST(AtomicsTest, FunctionLocalAtomicsKeyByEnclosingFunction) {
+  const std::string cc =
+      std::string("int RunLoop() {\n") +
+      "  std::atomic<long> completed{0};\n" +
+      "  completed.fetch_add(1, std::memory_order_relaxed);\n" +
+      "  return static_cast<int>(completed.load(std::memory_order_relaxed));\n" +
+      "}\n";
+  const std::vector<Finding> registered =
+      CheckAtomics(Registry(std::string("[atomics]\n\"RunLoop::completed\" = \"counter\"\n")),
+                   HotPathConfig(), {{"src/x/loop.cc", cc}});
+  EXPECT_TRUE(registered.empty()) << AllMessages(registered);
+  const std::vector<Finding> unregistered =
+      CheckAtomics(Registry("[atomics]\n"), HotPathConfig(), {{"src/x/loop.cc", cc}});
+  EXPECT_EQ(CountRule(unregistered, "atomic-unregistered"), 1)
+      << AllMessages(unregistered);
+  EXPECT_NE(MessagesFor(unregistered, "atomic-unregistered").find("RunLoop::completed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace vlora

@@ -392,9 +392,38 @@ TEST(LintRulesTest, GetenvGoodTwinsStayQuiet) {
                        "get" "env-outside-init"));
 }
 
+TEST(LintRulesTest, VolatileThreadingFiresUnderSrc) {
+  const std::string bad = std::string("class Worker {\n") +
+                          "  vola" "tile bool stop_ = false;\n" +
+                          "};\n" +
+                          "vola" "tile int g_ticks = 0;\n" +
+                          "int Read(vola" "tile int* p) { return *p; }\n";
+  const std::vector<Finding> findings = LintContent("src/cluster/foo.cc", bad);
+  EXPECT_EQ(RulesAt(findings, 2), std::vector<std::string>{"vola" "tile-threading"});
+  EXPECT_EQ(RulesAt(findings, 4), std::vector<std::string>{"vola" "tile-threading"});
+  EXPECT_EQ(RulesAt(findings, 5), std::vector<std::string>{"vola" "tile-threading"});
+  // The identical text outside src/ (tools, tests, bench) is exempt.
+  EXPECT_FALSE(HasRule(LintContent("tools/probe.cc", bad), "vola" "tile-threading"));
+}
+
+TEST(LintRulesTest, VolatileThreadingGoodTwinsStayQuiet) {
+  const std::string good = std::string("#include <atomic>\n") +
+                           "std::atomic<bool> stop_{false};\n" +
+                           "// vola" "tile is banned; this comment does not fire\n" +
+                           "int vola" "tileness = 0;  // longer identifier, no match\n" +
+                           "(void)vola" "tileness;\n";
+  EXPECT_FALSE(HasRule(LintContent("src/cluster/foo.cc", good), "vola" "tile-threading"));
+  const std::string suppressed =
+      std::string("vola" "tile uint32_t* mmio = MapDevice();  "
+                  "// vlora-lint: allow(vola" "tile-threading) device register\n");
+  EXPECT_FALSE(HasRule(LintContent("src/cluster/foo.cc", suppressed),
+                       "vola" "tile-threading"));
+}
+
 TEST(LintRulesTest, RuleNamesAreStable) {
   const std::vector<std::string> names = RuleNames();
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "vola" "tile-threading"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "raw-mutex"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "missing-include-guard"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "mutexlock-temporary"), names.end());

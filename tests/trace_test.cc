@@ -112,6 +112,62 @@ TEST(TraceTest, ConcurrentEmissionFromManyThreads) {
   }
 }
 
+// The adversarial twin of the test above, for the race detector: a toggler
+// thread bumps the epoch with Start/Stop while emitter threads run the Emit
+// fast path and hammer MetricsRegistry counters. This is exactly the
+// epoch-seqlock + counter protocol surface registered in tools/atomics.toml;
+// TSan (ctest label "concurrency" under scripts/verify.sh) keeps the
+// weakened orderings honest. Ring capacity stays constant across Starts so
+// per-thread rings are allocated once and only epochs race.
+TEST(TraceTest, ConcurrentEpochBumpsRacingEmittersAndMetrics) {
+  constexpr int kEmitters = 4;
+  constexpr int kPerThread = 2000;
+  constexpr int kToggles = 200;
+  constexpr int64_t kCapacity = 1 << 12;
+  trace::Tracer& tracer = trace::Tracer::Global();
+  Counter* const stress = MetricsRegistry::Global().counter("test.trace.stress");
+  Gauge* const depth = MetricsRegistry::Global().gauge("test.trace.stress_depth");
+  const int64_t stress_before = stress->value();
+
+  tracer.Start(kCapacity);
+  std::vector<std::thread> threads;
+  threads.reserve(kEmitters + 1);
+  threads.emplace_back([&tracer] {
+    for (int i = 0; i < kToggles; ++i) {
+      tracer.Stop();
+      std::this_thread::yield();
+      tracer.Start(kCapacity);
+    }
+  });
+  for (int t = 0; t < kEmitters; ++t) {
+    threads.emplace_back([t, stress, depth] {
+      for (int i = 0; i < kPerThread; ++i) {
+        trace::EmitEnqueued(/*request_id=*/int64_t{t} * kPerThread + i, /*adapter=*/t,
+                            /*replica=*/t);
+        stress->Increment();
+        depth->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  tracer.Stop();
+
+  // Counters are exact regardless of the racing epochs (relaxed RMW is still
+  // one atomic add per call); the trace keeps a subset — whatever landed in
+  // the final epoch — and every kept event is well-formed.
+  EXPECT_EQ(stress->value() - stress_before, int64_t{kEmitters} * kPerThread);
+  const std::vector<TraceEvent> events = tracer.Collect();
+  EXPECT_LE(events.size(), static_cast<size_t>(kEmitters) * kPerThread);
+  EXPECT_GE(tracer.dropped_events(), 0);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.kind, TraceEventKind::kEnqueued);
+    EXPECT_GE(event.replica, 0);
+    EXPECT_LT(event.replica, kEmitters);
+  }
+}
+
 TEST(TraceTest, ChromeJsonExportRoundTrips) {
   TraceSession session;
   trace::EmitRequestAdmitted(7, /*adapter=*/1);

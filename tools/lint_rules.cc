@@ -25,6 +25,7 @@ const char kTraceSpan[] = "trace-span-unclosed";
 const char kRawSocketFd[] = "raw-socket-fd";
 const char kRawSimd[] = "raw-simd-intrinsic";
 const char kGetenvOutsideInit[] = "get" "env-outside-init";
+const char kVolatileThreading[] = "vola" "tile-threading";
 const char kIoError[] = "io-error";
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -182,6 +183,14 @@ const std::regex& GetenvRe() {
   return re;
 }
 
+const std::regex& VolatileRe() {
+  // The volatile keyword in any position (qualifier, member, cast). Longer
+  // identifiers do not match; asm-adjacent spellings do not occur in this
+  // tree.
+  static const std::regex re("(^|[^_A-Za-z0-9])vola" "tile\\b");
+  return re;
+}
+
 const std::regex& InitNameRe() {
   // Function names that declare themselves init-time: Init / Initialize
   // anywhere, a FromEnv suffix idiom, or main itself.
@@ -314,6 +323,13 @@ void CheckLine(const std::string& path, int line_no, const std::string& raw,
                          "raw SIMD intrinsic outside src/kernels/; add a micro-kernel to the "
                          "variant tables (src/kernels/microkernel.h) instead so dispatch, the "
                          "scalar fallback, and the differential tests keep covering it"});
+  }
+  if (path.find("src/") != std::string::npos && std::regex_search(code, VolatileRe()) &&
+      !Suppressed(raw, kVolatileThreading)) {
+    findings->push_back({kVolatileThreading, path, line_no,
+                         std::string("vola") + "tile under src/: it does not order or "
+                         "publish anything between threads; use std::atomic with an "
+                         "explicit memory order, registered in tools/atomics.toml"});
   }
 }
 
@@ -527,7 +543,8 @@ std::vector<std::string> RuleNames() {
   return {kRawMutex,      kStatusNodiscard,     kSleepInTest,
           kNakedNew,      kThreadDetach,        kMissingGuard,
           kMutexLockTemporary, kStatusSwitch,   kTraceSpan,
-          kRawSocketFd,   kRawSimd,             kGetenvOutsideInit};
+          kRawSocketFd,   kRawSimd,             kGetenvOutsideInit,
+          kVolatileThreading};
 }
 
 std::vector<Finding> LintContent(const std::string& path, const std::string& content) {

@@ -39,6 +39,10 @@
 //                         lives behind the micro-kernel tables so every other
 //                         layer stays portable and the scalar fallback stays
 //                         the single source of truth for semantics
+//   volatile-threading    the volatile keyword under src/ — volatile neither
+//                         orders nor publishes anything between threads; the
+//                         sanctioned idiom is std::atomic with an explicit
+//                         memory order, registered in tools/atomics.toml
 //   getenv-outside-init   getenv under src/ in a function whose name does not
 //                         say init-time (Init* / *FromEnv / main) — the
 //                         environment is configuration, read once at startup

@@ -3,12 +3,14 @@
 // Usage: vlora_lint <file-or-dir>...
 //        vlora_lint --lock-order <hierarchy.toml> <file-or-dir>...
 //        vlora_lint --hot-path <hot_paths.toml> <file-or-dir>...
+//        vlora_lint --atomics <atomics.toml> <file-or-dir>...
 //        vlora_lint --codec-symmetry <file-or-dir>...
 //
 // The first form runs the per-line rules (tools/lint_rules.h). The others
 // run the whole-tree file-graph passes built on tools/callgraph.h: the
 // lock-order pass (tools/lock_order.h) against tools/lock_hierarchy.toml,
 // the hot-path purity pass (tools/hot_path.h) against tools/hot_paths.toml,
+// the atomics-discipline pass (tools/atomics.h) against tools/atomics.toml,
 // and the wire-codec symmetry pass (tools/codec_symmetry.h). Directories are
 // walked recursively for .h/.cc/.cpp sources; every finding prints as
 // "file:line: [rule] message" and a non-empty report exits 1, so the binary
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/atomics.h"
 #include "tools/codec_symmetry.h"
 #include "tools/hot_path.h"
 #include "tools/lint_rules.h"
@@ -67,12 +70,13 @@ int main(int argc, char** argv) {
                  "usage: %s <file-or-dir>...\n"
                  "       %s --lock-order <hierarchy.toml> <file-or-dir>...\n"
                  "       %s --hot-path <hot_paths.toml> <file-or-dir>...\n"
+                 "       %s --atomics <atomics.toml> <file-or-dir>...\n"
                  "       %s --codec-symmetry <file-or-dir>...\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string mode = argv[1];
-  if (mode == "--lock-order" || mode == "--hot-path") {
+  if (mode == "--lock-order" || mode == "--hot-path" || mode == "--atomics") {
     if (argc < 4) {
       std::fprintf(stderr, "usage: %s %s <config.toml> <file-or-dir>...\n", argv[0],
                    mode.c_str());
@@ -84,6 +88,9 @@ int main(int argc, char** argv) {
     }
     if (mode == "--lock-order") {
       return ReportPass("lock-order", vlora::lint::CheckLockOrderOverTree(argv[2], roots));
+    }
+    if (mode == "--atomics") {
+      return ReportPass("atomics", vlora::lint::CheckAtomicsOverTree(argv[2], roots));
     }
     return ReportPass("hot-path", vlora::lint::CheckHotPathsOverTree(argv[2], roots));
   }
