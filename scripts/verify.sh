@@ -21,8 +21,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CONCURRENCY_TARGETS=(cluster_test fault_injection_test thread_pool_test trace_test
-                     atmm_test kernel_dispatch_test)
+CONCURRENCY_TARGETS=(cluster_test disaggregated_test fault_injection_test thread_pool_test
+                     trace_test atmm_test kernel_dispatch_test)
 # e2e_process targets run under ASan but not TSan (fork + threads). The
 # process_cluster_test target pulls in vlora_executor via add_dependencies.
 E2E_PROCESS_TARGETS=(net_test process_cluster_test)
@@ -46,6 +46,12 @@ echo "=== e2e: process cluster over the wire (forked executors) ==="
 # the e2e_process label (and the SIGKILL-recovery coverage) stays present.
 ctest --test-dir build --output-on-failure -L e2e_process
 record "e2e_process tests" "pass"
+
+echo "=== disagg: prefill/decode split lifecycle proofs ==="
+# Also part of the full ctest above; the explicit label pass guarantees the
+# disagg label (two-stage lifecycle, handoff faults, SLO routing) stays wired.
+ctest --test-dir build --output-on-failure -L disagg
+record "disagg tests" "pass"
 
 echo "=== trace-overhead guard (fails above 5%) ==="
 ./build/bench/bench_trace_overhead

@@ -15,29 +15,48 @@ ClusterServer::ClusterServer(const ModelConfig& config, const ClusterOptions& op
     : options_(options) {
   VLORA_CHECK(options_.num_replicas >= 1);
   VLORA_CHECK(options_.recovery.max_attempts >= 1);
+  if (options_.disagg.enabled) {
+    // Both pools need at least one replica.
+    VLORA_CHECK(options_.disagg.num_prefill >= 1);
+    VLORA_CHECK(options_.disagg.num_prefill < options_.num_replicas);
+  }
   if (options_.overload_spill_depth <= 0) {
     options_.overload_spill_depth = std::max<int64_t>(1, options_.replica_queue_capacity / 2);
   }
+  // TPOT batching: a decode step over B sequences costs ~B * est_decode_step_ms
+  // of per-token latency for everyone in the batch, so the SLO bounds B.
+  ServerOptions decode_server = options_.server;
+  if (options_.disagg.enabled && options_.disagg.tpot_slo_ms > 0.0) {
+    const int cap = static_cast<int>(options_.disagg.tpot_slo_ms /
+                                     std::max(1e-9, options_.disagg.est_decode_step_ms));
+    decode_server.max_batch_size = std::clamp(cap, 1, decode_server.max_batch_size);
+  }
+  const auto is_prefill = [this](int i) {
+    return options_.disagg.enabled && i < options_.disagg.num_prefill;
+  };
+  const auto server_for = [&](int i) -> const ServerOptions& {
+    return options_.disagg.enabled && !is_prefill(i) ? decode_server : options_.server;
+  };
   replicas_.reserve(static_cast<size_t>(options_.num_replicas));
   if (options_.backend == ReplicaBackend::kProcess) {
     // The cluster-level knobs win over whatever the caller left in the
     // process sub-options; only transport/window/timing tuning comes from
     // options_.process.
     ProcessReplicaOptions process_options = options_.process;
-    process_options.server = options_.server;
     process_options.queue_capacity = options_.replica_queue_capacity;
     process_options.admission = options_.admission;
     process_options.fault = options_.fault;
     for (int i = 0; i < options_.num_replicas; ++i) {
+      process_options.server = server_for(i);
       replicas_.push_back(std::make_unique<ProcessReplica>(i, config, process_options));
     }
   } else {
     ReplicaOptions replica_options;
-    replica_options.server = options_.server;
     replica_options.queue_capacity = options_.replica_queue_capacity;
     replica_options.admission = options_.admission;
     replica_options.fault = options_.fault;
     for (int i = 0; i < options_.num_replicas; ++i) {
+      replica_options.server = server_for(i);
       replicas_.push_back(std::make_unique<ThreadReplica>(i, config, replica_options));
     }
   }
@@ -48,8 +67,29 @@ ClusterServer::ClusterServer(const ModelConfig& config, const ClusterOptions& op
           OnReplicaFailure(index, request_id, status);
         });
   }
+  all_members_.resize(static_cast<size_t>(options_.num_replicas));
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    all_members_[static_cast<size_t>(i)] = i;
+  }
   router_ = std::make_unique<Router>(options_.policy, &placement_, options_.num_replicas,
                                      options_.overload_spill_depth);
+  if (options_.disagg.enabled) {
+    const int num_prefill = options_.disagg.num_prefill;
+    const int num_decode = options_.num_replicas - num_prefill;
+    for (int i = 0; i < options_.num_replicas; ++i) {
+      (is_prefill(i) ? prefill_members_ : decode_members_).push_back(i);
+    }
+    prefill_router_ = std::make_unique<Router>(options_.policy, &prefill_placement_, num_prefill,
+                                               options_.overload_spill_depth);
+    decode_router_ = std::make_unique<Router>(options_.policy, &decode_placement_, num_decode,
+                                              options_.overload_spill_depth);
+    // Decode replicas never produce prefill_only results, so wiring the
+    // handler everywhere is harmless and keeps the replica contract uniform.
+    for (auto& replica : replicas_) {
+      replica->SetHandoffHandler(
+          [this](int index, EngineResult result) { OnReplicaHandoff(index, std::move(result)); });
+    }
+  }
   health_.assign(static_cast<size_t>(options_.num_replicas), HealthState{});
 }
 
@@ -69,6 +109,20 @@ int ClusterServer::AddAdapter(const LoraAdapter& adapter) {
 void ClusterServer::PlaceAdapters(const std::vector<double>& shares) {
   VLORA_CHECK(!started_);
   placement_ = AdapterPlacement::Compute(shares, num_replicas(), options_.placement);
+  if (options_.disagg.enabled) {
+    // Each pool gets an independent placement over its own (pool-local)
+    // replica indices: every adapter keeps >= 1 live home in *both* pools.
+    const int num_prefill = options_.disagg.num_prefill;
+    prefill_placement_ = AdapterPlacement::Compute(shares, num_prefill, options_.placement);
+    decode_placement_ =
+        AdapterPlacement::Compute(shares, num_replicas() - num_prefill, options_.placement);
+    for (int r = 0; r < num_replicas(); ++r) {
+      const bool prefill = r < num_prefill;
+      const AdapterPlacement& pool = prefill ? prefill_placement_ : decode_placement_;
+      replicas_[static_cast<size_t>(r)]->Prewarm(pool.AdaptersOf(prefill ? r : r - num_prefill));
+    }
+    return;
+  }
   for (auto& replica : replicas_) {
     replica->Prewarm(placement_.AdaptersOf(replica->index()));
   }
@@ -109,8 +163,31 @@ bool ClusterServer::Submit(EngineRequest request) {
   {
     MutexLock lock(&mutex_);
     EnsureStartedLocked();
+    if (options_.disagg.enabled && options_.disagg.ttft_slo_ms > 0.0) {
+      // TTFT admission: a request admitted behind `threshold` queued prefills
+      // on its best-case replica cannot start inside the SLO, so shed it now
+      // rather than let it rot in a prefill queue.
+      const int64_t threshold = std::max<int64_t>(
+          1, static_cast<int64_t>(options_.disagg.ttft_slo_ms /
+                                  std::max(1e-9, options_.disagg.est_prefill_ms)));
+      int64_t min_depth = std::numeric_limits<int64_t>::max();
+      for (size_t l = 0; l < prefill_members_.size(); ++l) {
+        if (!prefill_router_->IsReplicaAlive(static_cast<int>(l))) {
+          continue;
+        }
+        min_depth = std::min(
+            min_depth, replicas_[static_cast<size_t>(prefill_members_[l])]->Depth());
+      }
+      if (min_depth >= threshold) {  // also covers "no live prefill replica"
+        ++rejected_;
+        return false;
+      }
+    }
     Pending pending;
     pending.request = request;
+    if (options_.disagg.enabled) {
+      pending.stage = Stage::kPrefill;
+    }
     pending.deadline_ms = options_.recovery.request_deadline_ms > 0.0
                               ? clock_.ElapsedMillis() + options_.recovery.request_deadline_ms
                               : std::numeric_limits<double>::infinity();
@@ -121,6 +198,9 @@ bool ClusterServer::Submit(EngineRequest request) {
   trace::EmitRequestAdmitted(id, request.adapter_id);
   static Counter* const submitted = MetricsRegistry::Global().counter("cluster.submitted");
   submitted->Increment();
+  if (options_.disagg.enabled) {
+    request.prefill_only = true;  // stage 1 of the two-stage lifecycle
+  }
   const RouteOutcome outcome =
       RouteAndEnqueue(std::move(request), /*blocking=*/true, /*count_affinity=*/true);
   if (outcome == RouteOutcome::kAccepted) {
@@ -152,20 +232,34 @@ bool ClusterServer::Submit(EngineRequest request) {
 
 ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request, bool blocking,
                                                            bool count_affinity) {
-  std::vector<char> tried(static_cast<size_t>(num_replicas()), 0);
-  for (int round = 0; round < num_replicas(); ++round) {
-    int target = -1;
+  // The request's stage flags pick the pool: prefill_only routes into the
+  // prefill pool, resume_handle into the decode pool, neither (unified mode)
+  // over the whole fleet — all_members_ is the identity mapping, so unified
+  // routing is byte-for-byte the historical behavior. Indices in `tried`,
+  // router decisions and depth vectors are pool-local; members[] maps them to
+  // global replica indices.
+  const bool prefill_stage = options_.disagg.enabled && request.prefill_only;
+  const bool decode_stage = options_.disagg.enabled && request.resume_handle != nullptr;
+  const std::vector<int>& members =
+      prefill_stage ? prefill_members_ : (decode_stage ? decode_members_ : all_members_);
+  const int pool_size = static_cast<int>(members.size());
+  std::vector<char> tried(static_cast<size_t>(pool_size), 0);
+  for (int round = 0; round < pool_size; ++round) {
+    int local = -1;
     bool affinity_hit = false;
     bool spilled = false;
     {
       MutexLock lock(&mutex_);
-      std::vector<int64_t> depths(static_cast<size_t>(num_replicas()));
-      for (int i = 0; i < num_replicas(); ++i) {
-        depths[static_cast<size_t>(i)] = replicas_[static_cast<size_t>(i)]->Depth();
+      Router& router =
+          prefill_stage ? *prefill_router_ : (decode_stage ? *decode_router_ : *router_);
+      std::vector<int64_t> depths(static_cast<size_t>(pool_size));
+      for (int i = 0; i < pool_size; ++i) {
+        depths[static_cast<size_t>(i)] =
+            replicas_[static_cast<size_t>(members[static_cast<size_t>(i)])]->Depth();
       }
-      const RouteDecision decision = router_->Pick(request.adapter_id, depths);
+      const RouteDecision decision = router.Pick(request.adapter_id, depths);
       if (decision.replica >= 0 && !tried[static_cast<size_t>(decision.replica)]) {
-        target = decision.replica;
+        local = decision.replica;
         affinity_hit = decision.affinity_hit;
         spilled = decision.spilled;
         if (count_affinity && round == 0) {
@@ -180,30 +274,37 @@ ClusterServer::RouteOutcome ClusterServer::RouteAndEnqueue(EngineRequest request
         // The router repeated a pick that already refused us (it learns of a
         // death only at the next health tick): probe the least-loaded live
         // replica we have not tried yet.
-        for (int i = 0; i < num_replicas(); ++i) {
-          if (tried[static_cast<size_t>(i)] || !router_->IsReplicaAlive(i)) {
+        for (int i = 0; i < pool_size; ++i) {
+          if (tried[static_cast<size_t>(i)] || !router.IsReplicaAlive(i)) {
             continue;
           }
-          if (target < 0 ||
-              depths[static_cast<size_t>(i)] < depths[static_cast<size_t>(target)]) {
-            target = i;
+          if (local < 0 ||
+              depths[static_cast<size_t>(i)] < depths[static_cast<size_t>(local)]) {
+            local = i;
           }
         }
       }
     }
-    if (target < 0) {
+    if (local < 0) {
       return RouteOutcome::kUnavailable;
     }
-    trace::EmitRouted(request.id, request.adapter_id, target, affinity_hit, spilled);
+    const int target = members[static_cast<size_t>(local)];
+    if (decode_stage) {
+      trace::EmitDecodeRouted(request.id, request.adapter_id, target, affinity_hit, spilled);
+    } else {
+      trace::EmitRouted(request.id, request.adapter_id, target, affinity_hit, spilled);
+    }
     const EnqueueResult result =
         replicas_[static_cast<size_t>(target)]->Enqueue(request, /*never_block=*/!blocking);
     if (result == EnqueueResult::kAccepted) {
+      // kDecodeEnqueued is emitted by the replica itself, ordered before the
+      // worker can observe the request (kCompleted must not precede it).
       return RouteOutcome::kAccepted;
     }
     if (result == EnqueueResult::kFull) {
       return RouteOutcome::kFull;  // admission verdict, not a liveness one
     }
-    tried[static_cast<size_t>(target)] = 1;  // refused: dead or stopping
+    tried[static_cast<size_t>(local)] = 1;  // refused: dead or stopping
   }
   return RouteOutcome::kUnavailable;
 }
@@ -280,7 +381,7 @@ void ClusterServer::SupervisorLoop() {
           static Counter* const retries = MetricsRegistry::Global().counter("cluster.retries");
           retries->Increment();
           trace::EmitRetry(entry.first, pending.request.adapter_id, pending.attempts);
-          to_dispatch.push_back(pending.request);
+          to_dispatch.push_back(BuildDispatchRequestLocked(pending));
         }
       }
       std::sort(to_dispatch.begin(), to_dispatch.end(),
@@ -311,6 +412,30 @@ void ClusterServer::HealthCheck(double now_ms) {
         health.last_heartbeat = heartbeat;
         health.last_change_ms = now_ms;
       }
+      // An idle worker parks without beating, so its heartbeat is
+      // legitimately frozen. The stall clock therefore arms when work
+      // arrives (depth 0 -> N), never from the stale idle timestamp —
+      // otherwise a long-idle replica is convicted (and its queue stolen)
+      // the instant it is handed its first request, before its worker has
+      // had a single chance to run.
+      if (depth > 0 && health.last_depth == 0) {
+        health.last_change_ms = now_ms;
+      }
+      health.last_depth = depth;
+      // Disaggregated mode mirrors every liveness flip into the pool router
+      // (and a death into the pool placement) under the replica's pool-local
+      // index, so stage routing and per-pool adapter homes stay correct.
+      const auto set_pool_alive = [this, r](bool alive) VLORA_REQUIRES(mutex_) {
+        if (!options_.disagg.enabled) {
+          return;
+        }
+        const int num_prefill = options_.disagg.num_prefill;
+        if (r < num_prefill) {
+          prefill_router_->SetReplicaAlive(r, alive);
+        } else {
+          decode_router_->SetReplicaAlive(r - num_prefill, alive);
+        }
+      };
       if (is_dead) {
         if (!health.death_handled) {
           // The replica failed over its own queue when it died; here we stop
@@ -321,6 +446,15 @@ void ClusterServer::HealthCheck(double now_ms) {
           health_event = true;
           router_->SetReplicaAlive(r, false);
           placement_.Rebalance(r);
+          set_pool_alive(false);
+          if (options_.disagg.enabled) {
+            const int num_prefill = options_.disagg.num_prefill;
+            if (r < num_prefill) {
+              prefill_placement_.Rebalance(r);
+            } else {
+              decode_placement_.Rebalance(r - num_prefill);
+            }
+          }
         }
       } else if (!health.quarantined) {
         if (options_.recovery.stall_quarantine_ms > 0.0 && depth > 0 &&
@@ -334,6 +468,7 @@ void ClusterServer::HealthCheck(double now_ms) {
           quarantines->Increment();
           trace::EmitQuarantine(r);
           router_->SetReplicaAlive(r, false);
+          set_pool_alive(false);
           steal = true;
         }
       } else if (heartbeat != health.heartbeat_at_quarantine) {
@@ -344,6 +479,7 @@ void ClusterServer::HealthCheck(double now_ms) {
         health_event = true;
         trace::EmitReadmit(r);
         router_->SetReplicaAlive(r, true);
+        set_pool_alive(true);
       }
     }
     if (health_event) {
@@ -371,7 +507,13 @@ void ClusterServer::OnReplicaComplete(int replica, int64_t request_id) {
   std::function<void(int64_t, double)> observer;
   {
     MutexLock lock(&mutex_);
-    pending_.erase(request_id);
+    auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      if (it->second.handle != nullptr) {
+        ++handles_released_;  // decode finished; the KV pages die with the entry
+      }
+      pending_.erase(it);
+    }
     drained = pending_.empty();
     now = clock_.ElapsedMillis();
     observer = completion_observer_;
@@ -419,12 +561,63 @@ void ClusterServer::OnReplicaFailure(int replica, int64_t request_id, const Stat
   }
 }
 
+EngineRequest ClusterServer::BuildDispatchRequestLocked(const Pending& pending) const {
+  // pending.request is the clean replay copy; the stage flags are re-attached
+  // at dispatch time so a retried prefill re-runs prefill and a retried
+  // decode re-routes the same handle.
+  EngineRequest request = pending.request;
+  switch (pending.stage) {
+    case Stage::kUnified:
+      break;
+    case Stage::kPrefill:
+      request.prefill_only = true;
+      break;
+    case Stage::kDecode:
+      request.resume_handle = pending.handle;
+      break;
+  }
+  return request;
+}
+
+void ClusterServer::OnReplicaHandoff(int replica, EngineResult result) {
+  std::shared_ptr<KvHandle> handle = std::move(result.handle);
+  VLORA_CHECK(handle != nullptr);  // only handle-carrying results are diverted
+  EngineRequest to_dispatch;
+  {
+    MutexLock lock(&mutex_);
+    auto it = pending_.find(result.request_id);
+    if (it == pending_.end()) {
+      return;  // finalised while the prefill ran (deadline/shutdown); drop the handle
+    }
+    Pending& pending = it->second;
+    if (pending.stage == Stage::kDecode) {
+      // Duplicate: a stalled/replayed prefill completed after its request was
+      // already handed off. The first handle won; drop this one uncounted.
+      return;
+    }
+    trace::EmitKvHandoff(result.request_id, pending.request.adapter_id, replica,
+                         static_cast<int64_t>(handle->pages.size()), handle->TotalFloats());
+    ++handoffs_;
+    ++handles_created_;
+    pending.stage = Stage::kDecode;
+    pending.handle = std::move(handle);
+    pending.state = PendingState::kEnqueued;
+    to_dispatch = BuildDispatchRequestLocked(pending);
+  }
+  // Same non-blocking dispatch as a retry: a refusal schedules a backoff
+  // round instead of blocking the prefill replica's worker thread.
+  DispatchPending(std::move(to_dispatch));
+}
+
 bool ClusterServer::FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::iterator it,
                                           const Status& status, bool deadline) {
   VLORA_CHECK(it != pending_.end());
   // Terminal failure: the successful path emits its kCompleted{kOk} from the
   // finishing replica's worker, so the two never double-report.
   trace::EmitCompleted(it->first, it->second.request.adapter_id, /*replica=*/-1, status.code());
+  if (it->second.handle != nullptr) {
+    ++handles_released_;  // give up the KV pages along with the request
+  }
   failures_.push_back(FailedRequest{it->first, status, it->second.attempts});
   if (status.code() == StatusCode::kCancelled) {
     ++cancelled_;
@@ -560,6 +753,9 @@ ClusterStats ClusterServer::Stats() {
   stats.replica_deaths = replica_deaths_;
   stats.quarantines = quarantines_;
   stats.readmissions = readmissions_;
+  stats.handoffs = handoffs_;
+  stats.handles_created = handles_created_;
+  stats.handles_released = handles_released_;
   const double wall_ms = wall_ms_ > 0.0 ? wall_ms_ : (wall_started_ ? wall_.ElapsedMillis() : 0.0);
   stats.wall_ms = wall_ms;
   if (wall_ms > 0.0) {

@@ -58,6 +58,27 @@ struct RecoveryOptions {
   double stall_quarantine_ms = 250.0;
 };
 
+// Disaggregated prefill/decode serving (DESIGN.md §15). When enabled the
+// replica fleet is split into two pools: replicas [0, num_prefill) run only
+// prefill chunks (prefill_only requests) and hand their paged KV state to the
+// master, which re-routes each request into the decode pool
+// [num_prefill, num_replicas) with the KvHandle attached. Adapters are homed
+// per pool (independent AdapterPlacements), and the two SLO knobs act on
+// their natural pool: ttft_slo_ms bounds admission by prefill-pool depth,
+// tpot_slo_ms caps the decode replicas' batch size.
+struct DisaggOptions {
+  bool enabled = false;
+  int num_prefill = 1;  // prefill pool size; decode pool gets the rest
+  // TTFT admission: reject a Submit when every live prefill replica already
+  // queues >= max(1, ttft_slo_ms / est_prefill_ms) requests. 0 disables.
+  double ttft_slo_ms = 0.0;
+  double est_prefill_ms = 5.0;
+  // TPOT batching: cap decode replicas' max_batch_size at
+  // clamp(tpot_slo_ms / est_decode_step_ms, 1, configured). 0 disables.
+  double tpot_slo_ms = 0.0;
+  double est_decode_step_ms = 1.0;
+};
+
 struct ClusterOptions {
   int num_replicas = 2;
   ServerOptions server;  // applied to every replica
@@ -78,6 +99,7 @@ struct ClusterOptions {
   int64_t overload_spill_depth = 0;
   PlacementOptions placement;
   RecoveryOptions recovery;
+  DisaggOptions disagg;
   FaultInjector* fault = nullptr;  // not owned; must outlive the cluster
 };
 
@@ -110,6 +132,10 @@ struct ClusterStats {
   int64_t replica_deaths = 0;
   int64_t quarantines = 0;
   int64_t readmissions = 0;
+  // Disaggregated mode (zero in unified mode).
+  int64_t handoffs = 0;          // prefill results diverted to the handoff path
+  int64_t handles_created = 0;   // KvHandles the master took ownership of
+  int64_t handles_released = 0;  // ... and released (completion or final failure)
 };
 
 class ClusterServer {
@@ -133,6 +159,11 @@ class ClusterServer {
   // to least-loaded.
   void PlaceAdapters(const std::vector<double>& shares);
   const AdapterPlacement& placement() const { return placement_; }
+  // Pool-local placements (disaggregated mode; empty otherwise). Local
+  // replica index l maps to global index l (prefill) / num_prefill + l
+  // (decode). Same setup-phase/quiescent contract as placement().
+  const AdapterPlacement& prefill_placement() const { return prefill_placement_; }
+  const AdapterPlacement& decode_placement() const { return decode_placement_; }
 
   // Invoked (from a replica worker thread) whenever a request completes, with
   // the cluster-clock completion time; benches use it to build recovery
@@ -187,9 +218,21 @@ class ClusterServer {
     kEnqueued,      // on some replica's queue or inside its engine
     kWaitingRetry,  // failed; waiting out the backoff before re-dispatch
   };
+  // Lifecycle stage of a pending request. Unified mode stays kUnified for a
+  // request's whole life; disaggregated requests go kPrefill -> kDecode at
+  // the handoff.
+  enum class Stage {
+    kUnified,
+    kPrefill,
+    kDecode,
+  };
   struct Pending {
-    EngineRequest request;  // replay copy for retries
+    EngineRequest request;  // replay copy for retries (no stage flags attached)
     PendingState state = PendingState::kEnqueued;
+    Stage stage = Stage::kUnified;
+    // kDecode only: the KvHandle the prefill pool produced. Retries re-route
+    // the same handle; released (counted) when the pending entry dies.
+    std::shared_ptr<KvHandle> handle;
     int attempts = 1;
     double deadline_ms = 0.0;   // cluster clock; +inf when disabled
     double retry_due_ms = 0.0;  // kWaitingRetry only
@@ -198,6 +241,7 @@ class ClusterServer {
     double last_heartbeat = -1.0;
     double last_change_ms = 0.0;          // cluster clock of last heartbeat change
     double heartbeat_at_quarantine = 0.0;
+    int64_t last_depth = 0;               // depth at the previous health tick
     bool quarantined = false;
     bool death_handled = false;
   };
@@ -221,6 +265,15 @@ class ClusterServer {
   void OnReplicaComplete(int replica, int64_t request_id) VLORA_EXCLUDES(mutex_);
   void OnReplicaFailure(int replica, int64_t request_id, const Status& status)
       VLORA_EXCLUDES(mutex_);
+  // Handoff callback (disaggregated mode): takes ownership of the KvHandle,
+  // moves the pending entry to Stage::kDecode and dispatches it into the
+  // decode pool. Duplicate handoffs (a stalled prefill replica completing
+  // after its request was already re-run) are dropped.
+  void OnReplicaHandoff(int replica, EngineResult result) VLORA_EXCLUDES(mutex_);
+  // The request to put on the wire for `pending`'s current stage: a replay
+  // copy with prefill_only / resume_handle attached as the stage demands.
+  EngineRequest BuildDispatchRequestLocked(const Pending& pending) const
+      VLORA_REQUIRES(mutex_);
   // Returns true when the pending table drained; caller notifies drained_cv_.
   bool FinalizeFailureLocked(std::unordered_map<int64_t, Pending>::iterator it,
                              const Status& status, bool deadline) VLORA_REQUIRES(mutex_);
@@ -231,8 +284,19 @@ class ClusterServer {
   // (Rebalance, SetReplicaAlive). The const placement() accessor is
   // setup-phase / quiescent-only by contract and deliberately unchecked.
   AdapterPlacement placement_;
+  // Disaggregated mode: pool-local placements over pool-local replica
+  // indices; empty (and the pool routers null) in unified mode.
+  AdapterPlacement prefill_placement_;
+  AdapterPlacement decode_placement_;
+  // Pool membership as global replica indices; all_members_ is the identity
+  // list every unified route uses. Const after the ctor.
+  std::vector<int> all_members_;
+  std::vector<int> prefill_members_;
+  std::vector<int> decode_members_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::unique_ptr<Router> router_ VLORA_PT_GUARDED_BY(mutex_);  // set once in ctor
+  std::unique_ptr<Router> prefill_router_ VLORA_PT_GUARDED_BY(mutex_);  // disagg only
+  std::unique_ptr<Router> decode_router_ VLORA_PT_GUARDED_BY(mutex_);   // disagg only
   std::unique_ptr<ThreadPool> pool_;  // after replicas_: destroyed (joined) first
   Stopwatch clock_;  // deadlines, backoff and health tracking; read-only after ctor
 
@@ -267,6 +331,9 @@ class ClusterServer {
   int64_t replica_deaths_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t quarantines_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t readmissions_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t handoffs_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t handles_created_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t handles_released_ VLORA_GUARDED_BY(mutex_) = 0;
 };
 
 // Maps a synthetic workload request onto the mini engine: a deterministic

@@ -22,6 +22,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -96,6 +98,11 @@ int ExecutorMain(int argc, char** argv) {
         // Results accumulate in the replica between handler invocations;
         // flush whatever is there. Channel::Send keeps frames atomic.
         for (EngineResult& result : replica.TakeResults()) {
+          if (result.handle != nullptr) {
+            // Prefill-only export: the handle's frames must precede the
+            // Result frame that references them (Channel sends are FIFO).
+            (void)net::SendKvHandle(channel, *result.handle);
+          }
           net::ResultMessage message;
           message.result = std::move(result);
           (void)channel.SendMsg(message);
@@ -174,6 +181,14 @@ int ExecutorMain(int argc, char** argv) {
     }
   });
 
+  // Disagg KvHandle assembly for incoming resume requests, keyed by request
+  // id — the mirror of the master reader's map (see ProcessReplica).
+  struct Assembly {
+    std::shared_ptr<KvHandle> handle;
+    int64_t remaining = 0;  // pages still missing
+  };
+  std::map<int64_t, Assembly> assembling;
+
   int exit_code = 0;
   for (;;) {
     Result<net::Envelope> envelope = channel.Recv();
@@ -190,6 +205,38 @@ int ExecutorMain(int argc, char** argv) {
       (void)channel.SendMsg(goodbye);
       break;
     }
+    if (envelope.value().type == net::MessageType::kKvHandleMeta) {
+      Result<net::KvHandleMetaMessage> msg =
+          net::DecodeAs<net::KvHandleMetaMessage>(envelope.value());
+      if (!msg.ok()) {
+        exit_code = 1;
+        break;
+      }
+      Assembly assembly;
+      assembly.handle = std::make_shared<KvHandle>();
+      msg.value().ToHandle(assembly.handle.get());
+      assembly.remaining = msg.value().num_pages;
+      assembling[msg.value().request_id] = std::move(assembly);
+      continue;
+    }
+    if (envelope.value().type == net::MessageType::kKvPage) {
+      Result<net::KvPageMessage> msg = net::DecodeAs<net::KvPageMessage>(envelope.value());
+      if (!msg.ok()) {
+        exit_code = 1;
+        break;
+      }
+      net::KvPageMessage& page = msg.value();
+      auto it = assembling.find(page.request_id);
+      if (it == assembling.end() ||
+          page.page_index >= static_cast<int64_t>(it->second.handle->pages.size()) ||
+          !it->second.handle->pages[static_cast<size_t>(page.page_index)].data.empty()) {
+        exit_code = 1;  // page without meta, out of range, or a duplicate
+        break;
+      }
+      it->second.handle->pages[static_cast<size_t>(page.page_index)].data = std::move(page.data);
+      --it->second.remaining;
+      continue;
+    }
     if (envelope.value().type == net::MessageType::kRequest) {
       Result<net::RequestMessage> msg = net::DecodeAs<net::RequestMessage>(envelope.value());
       if (!msg.ok()) {
@@ -197,6 +244,17 @@ int ExecutorMain(int argc, char** argv) {
         break;
       }
       const int64_t id = msg.value().request.id;
+      if (msg.value().has_resume) {
+        auto it = assembling.find(id);
+        if (it == assembling.end() || it->second.remaining != 0) {
+          // A resume whose handle never fully arrived is a protocol error:
+          // dying loudly routes the request into the master's retry path.
+          exit_code = 1;
+          break;
+        }
+        msg.value().request.resume_handle = std::move(it->second.handle);
+        assembling.erase(it);
+      }
       if (replica.Enqueue(std::move(msg.value().request), /*never_block=*/false) !=
           EnqueueResult::kAccepted) {
         net::FailureMessage failure;

@@ -28,6 +28,7 @@ int MasterMain(int argc, char** argv) {
   int replicas = 2;
   int requests = 32;
   int adapters = 4;
+  int prefill = 0;  // 0 = unified; N>0 splits N prefill / rest decode
   ReplicaBackend backend = ReplicaBackend::kThread;
   net::Transport transport = net::Transport::kUnix;
   std::string executor;
@@ -39,6 +40,8 @@ int MasterMain(int argc, char** argv) {
       requests = std::atoi(arg.c_str() + 11);
     } else if (arg.rfind("--adapters=", 0) == 0) {
       adapters = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--prefill=", 0) == 0) {
+      prefill = std::atoi(arg.c_str() + 10);
     } else if (arg == "--backend=thread") {
       backend = ReplicaBackend::kThread;
     } else if (arg == "--backend=process") {
@@ -52,8 +55,10 @@ int MasterMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: vlora_master [--backend=thread|process] [--replicas=N]\n"
-                   "                    [--requests=N] [--adapters=N]\n"
-                   "                    [--transport=unix|tcp] [--executor=PATH]\n");
+                   "                    [--requests=N] [--adapters=N] [--prefill=N]\n"
+                   "                    [--transport=unix|tcp] [--executor=PATH]\n"
+                   "--prefill=N enables disaggregated serving: N prefill replicas,\n"
+                   "the rest decode resumed KV handles (0 < N < replicas)\n");
       return 2;
     }
   }
@@ -69,6 +74,14 @@ int MasterMain(int argc, char** argv) {
   ClusterOptions options;
   options.num_replicas = replicas;
   options.backend = backend;
+  if (prefill > 0) {
+    if (prefill >= replicas) {
+      std::fprintf(stderr, "vlora_master: --prefill must leave at least one decode replica\n");
+      return 2;
+    }
+    options.disagg.enabled = true;
+    options.disagg.num_prefill = prefill;
+  }
   options.process.transport = transport;
   options.process.executor_path = executor;
   ClusterServer cluster(config, options);
@@ -99,6 +112,13 @@ int MasterMain(int argc, char** argv) {
   std::printf("backend=%s replicas=%d requests=%d completed=%zu wall_ms=%.1f rps=%.1f\n",
               ReplicaBackendName(backend), replicas, requests, results.size(), stats.wall_ms,
               stats.throughput_rps);
+  if (prefill > 0) {
+    std::printf("disaggregated: %d prefill / %d decode, handoffs=%lld "
+                "(handles created=%lld released=%lld)\n",
+                prefill, replicas - prefill, static_cast<long long>(stats.handoffs),
+                static_cast<long long>(stats.handles_created),
+                static_cast<long long>(stats.handles_released));
+  }
   std::printf("%-8s %-8s %-10s %-10s %-8s %-10s\n", "replica", "backend", "submitted",
               "completed", "failed", "p50_ms");
   for (const ReplicaSnapshot& snapshot : stats.replicas) {

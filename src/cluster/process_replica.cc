@@ -190,6 +190,14 @@ void ProcessReplica::SetHandlers(CompletionHandler on_complete, FailureHandler o
   on_failure_ = std::move(on_failure);
 }
 
+void ProcessReplica::SetHandoffHandler(HandoffHandler on_handoff) {
+  {
+    MutexLock lock(&mutex_);
+    VLORA_CHECK(!running_);
+  }
+  on_handoff_ = std::move(on_handoff);
+}
+
 void ProcessReplica::Start(ThreadPool* pool) {
   VLORA_CHECK(pool != nullptr);
   {
@@ -209,6 +217,7 @@ EnqueueResult ProcessReplica::Enqueue(EngineRequest request, bool never_block) {
   }
   const int64_t request_id = request.id;
   const int adapter_id = request.adapter_id;
+  const bool decode_stage = request.resume_handle != nullptr;
   {
     MutexLock lock(&mutex_);
     if (stop_requested_ || lost_ || dead_.load(std::memory_order_acquire)) {
@@ -237,6 +246,9 @@ EnqueueResult ProcessReplica::Enqueue(EngineRequest request, bool never_block) {
     depth_.store(new_depth, std::memory_order_relaxed);
   }
   trace::EmitEnqueued(request_id, adapter_id, index_);
+  if (decode_stage) {
+    trace::EmitDecodeEnqueued(request_id, adapter_id, index_);
+  }
   Pump();
   return EnqueueResult::kAccepted;
 }
@@ -256,6 +268,12 @@ void ProcessReplica::Pump() {
     }
   }
   for (EngineRequest& request : to_send) {
+    if (request.resume_handle != nullptr) {
+      // Decode-stage resume: the KvHandle's frames must precede the Request
+      // frame that references them; Channel sends are whole-frame FIFO, so
+      // the executor finishes assembly before it sees the request.
+      (void)net::SendKvHandle(*channel_, *request.resume_handle);
+    }
     net::RequestMessage message;
     message.request = std::move(request);
     // A send failure is deliberately ignored: the reader sees the same
@@ -267,6 +285,14 @@ void ProcessReplica::Pump() {
 
 void ProcessReplica::ReaderLoop() {
   trace::SetCurrentReplica(index_);
+  // Disagg KvHandle assembly, keyed by request id: a KvHandleMeta frame
+  // opens an entry, KvPage frames fill it, the Result frame that expects it
+  // closes it. Recv is single-consumer, so the map is reader-thread-local.
+  struct Assembly {
+    std::shared_ptr<KvHandle> handle;
+    int64_t remaining = 0;  // pages still missing
+  };
+  std::map<int64_t, Assembly> assembling;
   for (;;) {
     Result<net::Envelope> envelope = channel_->Recv();
     if (!envelope.ok()) {
@@ -295,12 +321,51 @@ void ProcessReplica::ReaderLoop() {
         heartbeat_ms_.store(clock_.ElapsedMillis(), std::memory_order_relaxed);
         continue;
       }
+      case net::MessageType::kKvHandleMeta: {
+        Result<net::KvHandleMetaMessage> msg =
+            net::DecodeAs<net::KvHandleMetaMessage>(envelope.value());
+        if (!msg.ok()) {
+          break;
+        }
+        Assembly assembly;
+        assembly.handle = std::make_shared<KvHandle>();
+        msg.value().ToHandle(assembly.handle.get());
+        assembly.remaining = msg.value().num_pages;
+        assembling[msg.value().request_id] = std::move(assembly);
+        continue;
+      }
+      case net::MessageType::kKvPage: {
+        Result<net::KvPageMessage> msg = net::DecodeAs<net::KvPageMessage>(envelope.value());
+        if (!msg.ok()) {
+          break;
+        }
+        net::KvPageMessage& page = msg.value();
+        auto it = assembling.find(page.request_id);
+        if (it == assembling.end() ||
+            page.page_index >= static_cast<int64_t>(it->second.handle->pages.size()) ||
+            !it->second.handle->pages[static_cast<size_t>(page.page_index)].data.empty()) {
+          break;  // page without meta, out of range, or a duplicate: protocol error
+        }
+        it->second.handle->pages[static_cast<size_t>(page.page_index)].data =
+            std::move(page.data);
+        --it->second.remaining;
+        continue;
+      }
       case net::MessageType::kResult: {
         Result<net::ResultMessage> msg = net::DecodeAs<net::ResultMessage>(envelope.value());
         if (!msg.ok()) {
           break;
         }
-        OnResult(std::move(msg.value().result));
+        EngineResult result = std::move(msg.value().result);
+        if (msg.value().expects_handle) {
+          auto it = assembling.find(result.request_id);
+          if (it == assembling.end() || it->second.remaining != 0) {
+            break;  // result references a handle we never fully received
+          }
+          result.handle = std::move(it->second.handle);
+          assembling.erase(it);
+        }
+        OnResult(std::move(result));
         continue;
       }
       case net::MessageType::kFailure: {
@@ -339,6 +404,10 @@ void ProcessReplica::OnResult(EngineResult result) {
   static Counter* const completions = MetricsRegistry::Global().counter("replica.completions");
   const int64_t id = result.request_id;
   const double now_ms = clock_.ElapsedMillis();
+  // Without a handoff handler wired, handle-carrying results take the
+  // ordinary completion path (the Replica contract; the executor itself
+  // relies on this when it hosts a prefill-only ThreadReplica).
+  const bool handoff = result.handle != nullptr && on_handoff_ != nullptr;
   int64_t completed_now = 0;
   {
     MutexLock lock(&mutex_);
@@ -348,19 +417,32 @@ void ProcessReplica::OnResult(EngineResult result) {
     }
     latency_.Record(now_ms - it->second);
     inflight_.erase(it);
-    ++completed_;
-    completed_now = completed_;
-    results_.push_back(std::move(result));
+    if (handoff) {
+      ++handoffs_;
+    } else {
+      ++completed_;
+      results_.push_back(std::move(result));
+    }
+    // Fault keying counts both outcomes so kill-after-N schedules hit
+    // prefill replicas (whose requests only ever hand off) too.
+    completed_now = completed_ + handoffs_;
     depth_.store(DepthLocked(), std::memory_order_relaxed);
     if (ingress_.empty() && inflight_.empty()) {
       drained_cv_.NotifyAll();
     }
   }
   completions->Add(1);
-  trace::EmitCompleted(id, /*adapter=*/-1, index_, StatusCode::kOk);
   space_cv_.NotifyAll();
-  if (on_complete_) {
-    on_complete_(index_, id);
+  if (handoff) {
+    // The executor's engine emitted kPrefillDone in the child process;
+    // republish it here so the master's tracer sees the whole lifecycle.
+    trace::EmitPrefillDone(id, /*adapter=*/-1, result.prefill_tokens, result.reused_tokens);
+    on_handoff_(index_, std::move(result));
+  } else {
+    trace::EmitCompleted(id, /*adapter=*/-1, index_, StatusCode::kOk);
+    if (on_complete_) {
+      on_complete_(index_, id);
+    }
   }
   if (fault_ != nullptr && fault_->ShouldKillProcess(index_, completed_now)) {
     // A real SIGKILL, not a simulated death: the executor vanishes and the
@@ -549,6 +631,7 @@ ReplicaSnapshot ProcessReplica::Snapshot() {
   snapshot.cancelled = cancelled_;
   snapshot.failed = failed_;
   snapshot.stolen = stolen_;
+  snapshot.handoffs = handoffs_;
   snapshot.peak_depth = peak_depth_;
   snapshot.latency = latency_;
   // snapshot.server stays default: the engine's logical-clock stats live in

@@ -87,6 +87,7 @@ class ProcessReplica : public Replica {
   void Prewarm(const std::vector<int>& adapter_ids) override VLORA_EXCLUDES(mutex_);
   void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) override
       VLORA_EXCLUDES(mutex_);
+  void SetHandoffHandler(HandoffHandler on_handoff) override VLORA_EXCLUDES(mutex_);
   void Start(ThreadPool* pool) override VLORA_EXCLUDES(mutex_);
   [[nodiscard]] EnqueueResult Enqueue(EngineRequest request, bool never_block) override
       VLORA_EXCLUDES(mutex_);
@@ -145,6 +146,7 @@ class ProcessReplica : public Replica {
   Stopwatch clock_;
   CompletionHandler on_complete_;
   FailureHandler on_failure_;
+  HandoffHandler on_handoff_;
   bool reader_started_ = false;  // set in Start, read in the destructor
 
   std::string socket_path_;  // unix transport: unlinked on destruction
@@ -174,6 +176,7 @@ class ProcessReplica : public Replica {
   int64_t cancelled_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t failed_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t stolen_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t handoffs_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t peak_depth_ VLORA_GUARDED_BY(mutex_) = 0;
   std::vector<EngineResult> results_ VLORA_GUARDED_BY(mutex_);
   LatencyRecorder latency_ VLORA_GUARDED_BY(mutex_);

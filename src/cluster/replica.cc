@@ -52,6 +52,14 @@ void ThreadReplica::SetHandlers(CompletionHandler on_complete, FailureHandler on
   on_failure_ = std::move(on_failure);
 }
 
+void ThreadReplica::SetHandoffHandler(HandoffHandler on_handoff) {
+  {
+    MutexLock lock(&mutex_);
+    VLORA_CHECK(!running_);
+  }
+  on_handoff_ = std::move(on_handoff);
+}
+
 void ThreadReplica::Start(ThreadPool* pool) {
   VLORA_CHECK(pool != nullptr);
   {
@@ -70,6 +78,7 @@ EnqueueResult ThreadReplica::Enqueue(EngineRequest request, bool never_block) {
   }
   const int64_t request_id = request.id;
   const int adapter_id = request.adapter_id;
+  const bool decode_stage = request.resume_handle != nullptr;
   {
     MutexLock lock(&mutex_);
     if (stop_requested_ || dead_.load(std::memory_order_acquire)) {
@@ -98,7 +107,12 @@ EnqueueResult ThreadReplica::Enqueue(EngineRequest request, bool never_block) {
     peak_depth_ = std::max(peak_depth_, new_depth);
     depth_.store(new_depth, std::memory_order_relaxed);
   }
+  // Both enqueue events fire before the worker is woken for this request, so
+  // a decode-stage completion can never precede its kDecodeEnqueued.
   trace::EmitEnqueued(request_id, adapter_id, index_);
+  if (decode_stage) {
+    trace::EmitDecodeEnqueued(request_id, adapter_id, index_);
+  }
   ingress_cv_.NotifyOne();
   return EnqueueResult::kAccepted;
 }
@@ -151,12 +165,14 @@ void ThreadReplica::WorkerLoop() {
   std::vector<Ingress> to_cancel;
   std::vector<Ingress> to_fail;
   std::vector<EngineResult> finished;
+  std::vector<EngineResult> diverted;
   std::vector<int64_t> finished_ids;
   for (;;) {
     batch.clear();
     to_cancel.clear();
     to_fail.clear();
     finished.clear();
+    diverted.clear();
     finished_ids.clear();
     if (fault_ != nullptr) {
       fault_->WaitWhileGated();
@@ -231,10 +247,27 @@ void ThreadReplica::WorkerLoop() {
       MutexLock step_lock(&step_mutex_);
       finished = server_.StepOnce();
     }
+    // Prefill-only results carrying a KvHandle divert to the handoff handler:
+    // they are not terminal completions here (no kCompleted, no results_),
+    // the request's life continues on a decode replica.
+    if (on_handoff_ && !finished.empty()) {
+      size_t keep = 0;
+      for (size_t i = 0; i < finished.size(); ++i) {
+        if (finished[i].handle != nullptr) {
+          diverted.push_back(std::move(finished[i]));  // vlora-lint: allow(hot-path-alloc) amortized: scratch capacity hoisted out of the loop
+        } else {
+          if (keep != i) {  // guard the self-move: it would empty the vectors
+            finished[keep] = std::move(finished[i]);
+          }
+          ++keep;
+        }
+      }
+      finished.resize(keep);  // vlora-lint: allow(hot-path-alloc) shrink within capacity, never grows
+    }
     const double now_ms = clock_.ElapsedMillis();
     {
       MutexLock lock(&mutex_);
-      in_server_ -= static_cast<int64_t>(finished.size());
+      in_server_ -= static_cast<int64_t>(finished.size() + diverted.size());
       for (EngineResult& result : finished) {
         auto it = enqueue_ms_.find(result.request_id);
         VLORA_CHECK(it != enqueue_ms_.end());
@@ -244,12 +277,19 @@ void ThreadReplica::WorkerLoop() {
         finished_ids.push_back(result.request_id);  // vlora-lint: allow(hot-path-alloc) amortized: scratch capacity hoisted out of the loop
         results_.push_back(std::move(result));  // vlora-lint: allow(hot-path-alloc) completion accumulator drained by TakeResults; bounded by in-flight budget
       }
+      for (const EngineResult& result : diverted) {
+        auto it = enqueue_ms_.find(result.request_id);
+        VLORA_CHECK(it != enqueue_ms_.end());
+        latency_.Record(now_ms - it->second);  // prefill-stage latency
+        enqueue_ms_.erase(it);
+        ++handoffs_;
+      }
       depth_.store(DepthLocked(), std::memory_order_relaxed);
       if (ingress_.empty() && in_server_ == 0) {
         drained_cv_.NotifyAll();
       }
     }
-    completed_local += static_cast<int64_t>(finished_ids.size());
+    completed_local += static_cast<int64_t>(finished_ids.size() + diverted.size());
     heartbeat_ms_.store(clock_.ElapsedMillis(), std::memory_order_relaxed);
     if (!finished_ids.empty()) {
       completions->Add(static_cast<int64_t>(finished_ids.size()));
@@ -261,6 +301,12 @@ void ThreadReplica::WorkerLoop() {
         for (int64_t id : finished_ids) {
           on_complete_(index_, id);
         }
+      }
+    }
+    if (!diverted.empty()) {
+      space_cv_.NotifyAll();
+      for (EngineResult& result : diverted) {
+        on_handoff_(index_, std::move(result));
       }
     }
   }
@@ -332,6 +378,7 @@ ReplicaSnapshot ThreadReplica::Snapshot() {
   snapshot.failed = failed_;
   snapshot.stolen = stolen_;
   snapshot.stalls = stalls_;
+  snapshot.handoffs = handoffs_;
   snapshot.peak_depth = peak_depth_;
   snapshot.latency = latency_;
   return snapshot;

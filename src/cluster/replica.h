@@ -104,6 +104,7 @@ struct ReplicaSnapshot {
   int64_t failed = 0;     // injected request failures + failed over on death
   int64_t stolen = 0;     // queued requests reclaimed by the health checker
   int64_t stalls = 0;     // injected worker stalls served
+  int64_t handoffs = 0;   // prefill-only results diverted to the handoff handler
   int64_t peak_depth = 0;
   ServerStats server;        // logical-clock serving stats (thread backend only)
   LatencyRecorder latency;   // wall-clock enqueue -> completion
@@ -118,6 +119,10 @@ class Replica {
  public:
   using CompletionHandler = std::function<void(int replica, int64_t request_id)>;
   using FailureHandler = std::function<void(int replica, int64_t request_id, const Status&)>;
+  // Receives prefill-only results carrying a KvHandle (disaggregated mode).
+  // Invoked from the replica's service thread with no replica lock held; the
+  // result does NOT flow through TakeResults or the completion handler.
+  using HandoffHandler = std::function<void(int replica, EngineResult result)>;
 
   explicit Replica(int index) : index_(index) {}
   virtual ~Replica() = default;
@@ -137,6 +142,11 @@ class Replica {
   // handlers must be set before Start and be safe to invoke from the
   // replica's service thread.
   virtual void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) = 0;
+
+  // Optional, disaggregated mode only; set before Start. When unset,
+  // handle-carrying results take the ordinary completion path (the executor
+  // relies on this to ship handles back over the wire).
+  virtual void SetHandoffHandler(HandoffHandler on_handoff) = 0;
 
   // Posts the replica's service loop; the pool must dedicate a thread to it.
   virtual void Start(ThreadPool* pool) = 0;
@@ -191,6 +201,7 @@ class ThreadReplica : public Replica {
   void Prewarm(const std::vector<int>& adapter_ids) override VLORA_EXCLUDES(mutex_);
   void SetHandlers(CompletionHandler on_complete, FailureHandler on_failure) override
       VLORA_EXCLUDES(mutex_);
+  void SetHandoffHandler(HandoffHandler on_handoff) override VLORA_EXCLUDES(mutex_);
   void Start(ThreadPool* pool) override VLORA_EXCLUDES(mutex_);
   [[nodiscard]] EnqueueResult Enqueue(EngineRequest request, bool never_block) override
       VLORA_EXCLUDES(mutex_);
@@ -229,6 +240,7 @@ class ThreadReplica : public Replica {
   Stopwatch clock_;
   CompletionHandler on_complete_;
   FailureHandler on_failure_;
+  HandoffHandler on_handoff_;
 
   Mutex mutex_{Rank::kReplicaIngress, "ThreadReplica::mutex_"};
   CondVar ingress_cv_;  // wakes the worker
@@ -245,6 +257,7 @@ class ThreadReplica : public Replica {
   int64_t failed_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t stolen_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t stalls_ VLORA_GUARDED_BY(mutex_) = 0;
+  int64_t handoffs_ VLORA_GUARDED_BY(mutex_) = 0;
   int64_t peak_depth_ VLORA_GUARDED_BY(mutex_) = 0;
   std::vector<EngineResult> results_ VLORA_GUARDED_BY(mutex_);
   LatencyRecorder latency_ VLORA_GUARDED_BY(mutex_);

@@ -237,6 +237,50 @@ void EmitCompleted(int64_t request_id, int adapter, int replica, StatusCode stat
   Tracer::Global().Emit(event);
 }
 
+void EmitPrefillDone(int64_t request_id, int adapter, int64_t prefill_tokens,
+                     int64_t reused_tokens) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kPrefillDone;
+  event.request_id = request_id;
+  event.adapter = adapter;
+  event.replica = t_current_replica;
+  event.m = prefill_tokens;
+  event.n = reused_tokens;
+  Tracer::Global().Emit(event);
+}
+
+void EmitKvHandoff(int64_t request_id, int adapter, int replica, int64_t pages, int64_t floats) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kKvHandoff;
+  event.request_id = request_id;
+  event.adapter = adapter;
+  event.replica = replica;
+  event.m = pages;
+  event.n = floats;
+  Tracer::Global().Emit(event);
+}
+
+void EmitDecodeRouted(int64_t request_id, int adapter, int replica, bool affinity_hit,
+                      bool spilled) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kDecodeRouted;
+  event.request_id = request_id;
+  event.adapter = adapter;
+  event.replica = replica;
+  event.n = affinity_hit ? 1 : 0;
+  event.k = spilled ? 1 : 0;
+  Tracer::Global().Emit(event);
+}
+
+void EmitDecodeEnqueued(int64_t request_id, int adapter, int replica) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kDecodeEnqueued;
+  event.request_id = request_id;
+  event.adapter = adapter;
+  event.replica = replica;
+  Tracer::Global().Emit(event);
+}
+
 void SetCurrentReplica(int replica) { t_current_replica = replica; }
 
 int CurrentReplica() { return t_current_replica; }
@@ -329,14 +373,24 @@ void AppendChromeEvent(const TraceEvent& event, std::string* out) {
       arg("attempt", std::to_string(event.attempt()), /*quoted=*/false);
       break;
     case TraceEventKind::kRouted:
+    case TraceEventKind::kDecodeRouted:
       arg("affinity_hit", event.affinity_hit() ? "true" : "false", /*quoted=*/false);
       arg("spilled", event.spilled() ? "true" : "false", /*quoted=*/false);
       break;
     case TraceEventKind::kCompleted:
       arg("status", StatusCodeName(event.status), /*quoted=*/true);
       break;
+    case TraceEventKind::kPrefillDone:
+      arg("prefill_tokens", std::to_string(event.prefill_tokens()), /*quoted=*/false);
+      arg("reused_tokens", std::to_string(event.reused_tokens()), /*quoted=*/false);
+      break;
+    case TraceEventKind::kKvHandoff:
+      arg("pages", std::to_string(event.handoff_pages()), /*quoted=*/false);
+      arg("floats", std::to_string(event.handoff_floats()), /*quoted=*/false);
+      break;
     case TraceEventKind::kRequestAdmitted:
     case TraceEventKind::kEnqueued:
+    case TraceEventKind::kDecodeEnqueued:
     case TraceEventKind::kQuarantine:
     case TraceEventKind::kReadmit:
       break;
@@ -582,6 +636,7 @@ std::vector<RequestSpan> BuildRequestSpans(const std::vector<TraceEvent>& events
         span.admitted_ms = event.when_ms;
         break;
       case TraceEventKind::kEnqueued:
+      case TraceEventKind::kDecodeEnqueued:
         if (span.enqueued_ms < 0.0) {
           span.enqueued_ms = event.when_ms;
         }
@@ -599,9 +654,12 @@ std::vector<RequestSpan> BuildRequestSpans(const std::vector<TraceEvent>& events
         }
         break;
       case TraceEventKind::kRouted:
+      case TraceEventKind::kDecodeRouted:
       case TraceEventKind::kBatchStepBegin:  // vlora-lint: allow(trace-span-unclosed)
       case TraceEventKind::kBatchStepEnd:
       case TraceEventKind::kKernelDispatch:
+      case TraceEventKind::kPrefillDone:
+      case TraceEventKind::kKvHandoff:
       case TraceEventKind::kQuarantine:
       case TraceEventKind::kReadmit:
         break;

@@ -54,6 +54,13 @@ enum class TraceEventKind : uint8_t {
   kQuarantine,           // health checker quarantined a stalled replica
   kReadmit,              // ... and readmitted it
   kCompleted,            // request reached a terminal status
+  // Disaggregated prefill/decode lifecycle (DESIGN.md §15). Unified mode
+  // emits kPrefillDone too (the engine stamps every prefill completion); the
+  // other three only appear when ClusterOptions::disagg is enabled.
+  kPrefillDone,          // engine finished a sequence's prefill chunk
+  kKvHandoff,            // master accepted a prefill replica's KvHandle
+  kDecodeRouted,         // decode-pool router picked a target replica
+  kDecodeEnqueued,       // decode replica's ingress accepted the request
 };
 
 constexpr const char* TraceEventKindName(TraceEventKind kind) {
@@ -78,6 +85,14 @@ constexpr const char* TraceEventKindName(TraceEventKind kind) {
       return "Readmit";
     case TraceEventKind::kCompleted:
       return "Completed";
+    case TraceEventKind::kPrefillDone:
+      return "PrefillDone";
+    case TraceEventKind::kKvHandoff:
+      return "KvHandoff";
+    case TraceEventKind::kDecodeRouted:
+      return "DecodeRouted";
+    case TraceEventKind::kDecodeEnqueued:
+      return "DecodeEnqueued";
   }
   return "Unknown";
 }
@@ -113,9 +128,15 @@ struct TraceEvent {
   int64_t batch_size() const { return m; }
   // kBatchStepEnd: requests that finished in this step.
   int64_t completed_count() const { return m; }
-  // kRouted: affinity_hit / spilled flags from the route decision.
+  // kRouted / kDecodeRouted: affinity_hit / spilled flags from the decision.
   bool affinity_hit() const { return n != 0; }
   bool spilled() const { return k != 0; }
+  // kPrefillDone: freshly prefilled vs prefix-reused prompt tokens.
+  int64_t prefill_tokens() const { return m; }
+  int64_t reused_tokens() const { return n; }
+  // kKvHandoff: transferred page count and total floats.
+  int64_t handoff_pages() const { return m; }
+  int64_t handoff_floats() const { return n; }
 
   std::string TileString() const;  // "(mc,nc,kc,mr,nr)"
 };
@@ -205,6 +226,14 @@ void EmitRetry(int64_t request_id, int adapter, int attempt);
 void EmitQuarantine(int replica);
 void EmitReadmit(int replica);
 void EmitCompleted(int64_t request_id, int adapter, int replica, StatusCode status);
+// Emitted by the engine on the thread that ran the prefill chunk; the replica
+// comes from the thread-local attribution below.
+void EmitPrefillDone(int64_t request_id, int adapter, int64_t prefill_tokens,
+                     int64_t reused_tokens);
+void EmitKvHandoff(int64_t request_id, int adapter, int replica, int64_t pages, int64_t floats);
+void EmitDecodeRouted(int64_t request_id, int adapter, int replica, bool affinity_hit,
+                      bool spilled);
+void EmitDecodeEnqueued(int64_t request_id, int adapter, int replica);
 
 // Thread-local replica attribution: a replica worker declares itself once and
 // every event emitted from that thread without an explicit replica (engine

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace vlora {
 
@@ -109,6 +110,7 @@ void InferenceEngine::SetMode(InferMode mode, int merged_adapter) {
 void InferenceEngine::Submit(EngineRequest request) {
   VLORA_CHECK(!request.prompt_tokens.empty());
   VLORA_CHECK(request.adapter_id >= -1 && request.adapter_id < num_adapters());
+  VLORA_CHECK(!(request.prefill_only && request.resume_handle != nullptr));
   if (request.use_task_head) {
     VLORA_CHECK(request.adapter_id >= 0);
     VLORA_CHECK(adapters_[static_cast<size_t>(request.adapter_id)]->task_head().has_value());
@@ -168,6 +170,69 @@ void InferenceEngine::TryPrefixReuse(Sequence& seq) {
   seq.computed = pos;
   seq.reused = pos;
   seq.cache.length = pos;
+}
+
+bool InferenceEngine::RestoreFromHandle(Sequence& seq,
+                                        const std::vector<Sequence*>& protected_set) {
+  const KvHandle& handle = *seq.request.resume_handle;
+  const int64_t block = kv_->block_size();
+  VLORA_CHECK(handle.block_size == block);
+  VLORA_CHECK(handle.computed > 0 && handle.generated > 0);
+  VLORA_CHECK(static_cast<int64_t>(handle.pages.size()) == (handle.computed + block - 1) / block);
+  VLORA_CHECK(static_cast<int64_t>(handle.tokens.size()) == handle.computed + handle.generated);
+  if (!EnsureCapacity(seq, handle.computed, protected_set)) {
+    return false;
+  }
+  const int64_t floats = kv_->FloatsPerBlock();
+  for (const KvPage& page : handle.pages) {
+    VLORA_CHECK(page.index >= 0 &&
+                page.index < static_cast<int64_t>(seq.cache.blocks.size()));
+    VLORA_CHECK(static_cast<int64_t>(page.data.size()) == floats);
+    std::memcpy(kv_->BlockData(seq.cache.blocks[static_cast<size_t>(page.index)]),
+                page.data.data(), static_cast<size_t>(floats) * sizeof(float));
+  }
+  seq.tokens = handle.tokens;
+  seq.computed = handle.computed;
+  seq.reused = handle.reused;
+  seq.generated = handle.generated;
+  seq.captured_hidden = handle.captured_hidden;
+  seq.cache.length = handle.computed;
+  seq.prefilled = true;
+  // Consumed: a later recompute-preemption of this sequence falls back to
+  // the ordinary full re-prefill path, which is bitwise-equivalent.
+  seq.request.resume_handle = nullptr;
+  return true;
+}
+
+EngineResult InferenceEngine::ExportHandoff(Sequence& seq) {
+  const int64_t block = kv_->block_size();
+  const int64_t prompt_len = static_cast<int64_t>(seq.request.prompt_tokens.size());
+  EngineResult result;
+  result.request_id = seq.request.id;
+  result.prefill_tokens = prompt_len - seq.reused;
+  result.reused_tokens = seq.reused;
+  result.decode_steps = seq.generated;
+  auto handle = std::make_shared<KvHandle>();
+  handle->request_id = seq.request.id;
+  handle->tokens = seq.tokens;
+  handle->computed = seq.computed;
+  handle->reused = seq.reused;
+  handle->generated = seq.generated;
+  handle->block_size = block;
+  handle->captured_hidden = seq.captured_hidden;
+  const int64_t floats = kv_->FloatsPerBlock();
+  const int64_t num_pages = (seq.computed + block - 1) / block;
+  handle->pages.reserve(static_cast<size_t>(num_pages));
+  for (int64_t p = 0; p < num_pages; ++p) {
+    KvPage page;
+    page.index = p;
+    const float* src = kv_->BlockData(seq.cache.blocks[static_cast<size_t>(p)]);
+    page.data.assign(src, src + floats);
+    handle->pages.push_back(std::move(page));
+  }
+  result.handle = std::move(handle);
+  ReleaseSequence(seq);
+  return result;
 }
 
 bool InferenceEngine::PreemptOne(const Sequence& requester,
@@ -564,6 +629,11 @@ std::vector<EngineResult> InferenceEngine::StepImpl(const std::vector<int64_t>* 
             request_ids->end()) {
       continue;
     }
+    if (!seq.prefilled && seq.request.resume_handle != nullptr) {
+      if (!RestoreFromHandle(seq, batch)) {
+        continue;  // waits for blocks to free
+      }
+    }
     if (!seq.prefilled && seq.cache.blocks.empty() && seq.computed == 0) {
       TryPrefixReuse(seq);
     }
@@ -606,6 +676,8 @@ std::vector<EngineResult> InferenceEngine::StepImpl(const std::vector<int64_t>* 
         chain = KvBlockManager::ChainHash(chain, seq.request.prompt_tokens.data() + pos, block);
         kv_->RegisterPrefixBlock(chain, seq.cache.blocks[static_cast<size_t>(pos / block)]);
       }
+      trace::EmitPrefillDone(seq.request.id, seq.request.adapter_id, prompt_len - seq.reused,
+                             seq.reused);
     }
 
     if (seq.request.use_task_head && was_prefill) {
@@ -619,6 +691,15 @@ std::vector<EngineResult> InferenceEngine::StepImpl(const std::vector<int64_t>* 
       if (next == seq.request.eos_token || seq.generated >= seq.request.max_new_tokens) {
         seq.finished = true;
       }
+    }
+
+    // Prefill-only requests that still have decode work stop here and hand
+    // their paged KV state off. Requests that already finished at prefill
+    // (eos / max_new_tokens == 1 / task head) return a normal result below.
+    if (seq.request.prefill_only && was_prefill && !seq.finished) {
+      finished.push_back(ExportHandoff(seq));
+      seq.finished = true;
+      continue;
     }
 
     if (seq.finished) {

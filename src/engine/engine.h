@@ -26,6 +26,7 @@
 
 #include "src/common/infer_mode.h"
 #include "src/engine/kv_cache.h"
+#include "src/engine/kv_handle.h"
 #include "src/engine/model.h"
 #include "src/engine/model_config.h"
 #include "src/kernels/lora_ops.h"
@@ -67,6 +68,12 @@ struct EngineRequest {
   bool capture_final_hidden = false;
   // Non-overlapping, within the prompt; see InjectedEmbeddings.
   std::vector<InjectedEmbeddings> injected;
+  // Disaggregated serving (src/cluster disagg mode). prefill_only stops the
+  // sequence after its prefill step and returns a KvHandle instead of
+  // decoding; resume_handle restores that state into a fresh engine, which
+  // then decodes as if it had run the prefill itself. Mutually exclusive.
+  bool prefill_only = false;
+  std::shared_ptr<KvHandle> resume_handle;
 };
 
 struct EngineResult {
@@ -77,6 +84,9 @@ struct EngineResult {
   int64_t reused_tokens = 0;   // prompt tokens satisfied from shared KV blocks
   int64_t decode_steps = 0;
   std::vector<float> final_hidden;  // only if capture_final_hidden
+  // Set only for prefill_only requests that ran their prefill step: the
+  // exported KV state the decode pool resumes from. Null on normal results.
+  std::shared_ptr<KvHandle> handle;
 };
 
 struct EngineOptions {
@@ -178,6 +188,15 @@ class InferenceEngine {
 
   // Attempts block-aligned prefix reuse for a freshly admitted sequence.
   void TryPrefixReuse(Sequence& seq);
+  // Restores a decode-stage sequence from its request's resume_handle:
+  // allocates private blocks, copies the pages in, and rebuilds the token /
+  // prefill bookkeeping so the next Forward chunk is the first decode token.
+  // Returns false when block capacity is unavailable this round.
+  bool RestoreFromHandle(Sequence& seq, const std::vector<Sequence*>& protected_set);
+  // Builds the handoff result for a prefill_only sequence that just finished
+  // its prefill step (whole-block page copies + bookkeeping) and releases the
+  // sequence's cache.
+  EngineResult ExportHandoff(Sequence& seq);
   // Ensures the sequence has cache capacity for `needed` total tokens,
   // preempting other sequences (youngest-first, recompute on resume) if the
   // block pool runs dry. Sequences in `protected_set` are never preempted.

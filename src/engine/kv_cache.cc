@@ -99,6 +99,15 @@ const float* KvBlockManager::VPtr(int64_t block_id, int layer) const {
   return const_cast<KvBlockManager*>(this)->VPtr(block_id, layer);
 }
 
+float* KvBlockManager::BlockData(int64_t block_id) {
+  VLORA_CHECK(block_id >= 0 && block_id < num_blocks_);
+  return storage_.data() + block_id * FloatsPerBlock();
+}
+
+const float* KvBlockManager::BlockData(int64_t block_id) const {
+  return const_cast<KvBlockManager*>(this)->BlockData(block_id);
+}
+
 uint64_t KvBlockManager::ChainHash(uint64_t prev_hash, const int32_t* tokens, int64_t count) {
   // FNV-1a over the previous hash and the token ids.
   uint64_t h = 0xCBF29CE484222325ull;

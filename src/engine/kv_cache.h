@@ -55,6 +55,11 @@ class KvBlockManager {
   const float* KPtr(int64_t block_id, int layer) const;
   const float* VPtr(int64_t block_id, int layer) const;
 
+  // The whole block as one flat region of FloatsPerBlock() floats, for
+  // paged-KV export/import (KvHandle page copies).
+  float* BlockData(int64_t block_id);
+  const float* BlockData(int64_t block_id) const;
+
   // --- Prefix reuse -------------------------------------------------------
   // Chain hash of a full block of tokens given the previous chain hash.
   static uint64_t ChainHash(uint64_t prev_hash, const int32_t* tokens, int64_t count);

@@ -9,6 +9,18 @@ Status Channel::Send(MessageType type, const std::string& body) {
   return SendAll(fd_, frame.data(), frame.size());
 }
 
+Status SendKvHandle(Channel& channel, const KvHandle& handle) {
+  VLORA_RETURN_IF_ERROR(channel.SendMsg(KvHandleMetaMessage::FromHandle(handle)));
+  for (size_t i = 0; i < handle.pages.size(); ++i) {
+    KvPageMessage page;
+    page.request_id = handle.request_id;
+    page.page_index = static_cast<int64_t>(i);
+    page.data = handle.pages[i].data;
+    VLORA_RETURN_IF_ERROR(channel.SendMsg(page));
+  }
+  return Status::Ok();
+}
+
 Result<Envelope> Channel::Recv() {
   std::string payload;
   char chunk[16 * 1024];

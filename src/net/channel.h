@@ -72,6 +72,14 @@ class Channel {
   FrameAssembler assembler_;  // reader-thread-only
 };
 
+// Ships a KvHandle as its KvHandleMeta + KvPage frame sequence — the sender
+// half of the disagg handoff, shared by the master (resume requests) and the
+// executor (exported prefill state). The frames go out back-to-back but not
+// as an atomic group; receivers key assembly by request_id, so frames from
+// concurrent senders (heartbeats, other requests) interleaving between them
+// are harmless. Returns the first send error.
+Status SendKvHandle(Channel& channel, const KvHandle& handle);
+
 }  // namespace net
 }  // namespace vlora
 

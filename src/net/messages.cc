@@ -16,6 +16,7 @@ namespace {
 constexpr uint64_t kMaxTokens = 1u << 20;
 constexpr uint64_t kMaxInjected = 1024;
 constexpr uint64_t kMaxEmbeddingFloats = 1u << 24;
+constexpr uint64_t kMaxKvPageFloats = 1u << 22;  // one whole KV block, 16 MiB of f32
 constexpr uint64_t kMaxAdapterFloats = 1u << 26;
 constexpr int64_t kMaxLayers = 1024;
 constexpr int64_t kMaxDim = 1 << 20;
@@ -105,7 +106,7 @@ Result<Envelope> DecodeEnvelope(const std::string& payload) {
     return Status::InvalidArgument("unsupported protocol version " + std::to_string(version));
   }
   if (type < static_cast<uint8_t>(MessageType::kHello) ||
-      type > static_cast<uint8_t>(MessageType::kGoodbye)) {
+      type > static_cast<uint8_t>(MessageType::kKvPage)) {
     return Status::InvalidArgument("unknown message type " + std::to_string(type));
   }
   Envelope envelope;
@@ -247,6 +248,8 @@ void RequestMessage::AppendTo(WireWriter& w) const {
     w.Varint(static_cast<uint64_t>(cols));
     w.F32Array(injected.embeddings.data(), static_cast<size_t>(rows * cols));
   }
+  w.U8(request.prefill_only ? 1 : 0);
+  w.U8(request.resume_handle != nullptr ? 1 : 0);
 }
 
 bool RequestMessage::Parse(WireReader& r, RequestMessage* out) {
@@ -289,6 +292,13 @@ bool RequestMessage::Parse(WireReader& r, RequestMessage* out) {
     }
     request.injected.push_back(std::move(injected));
   }
+  uint8_t prefill_only = 0;
+  uint8_t has_resume = 0;
+  if (!r.U8(&prefill_only) || !r.U8(&has_resume) || (prefill_only != 0 && has_resume != 0)) {
+    return false;  // the stages are mutually exclusive, on the wire too
+  }
+  request.prefill_only = prefill_only != 0;
+  out->has_resume = has_resume != 0;
   return true;
 }
 
@@ -300,18 +310,21 @@ void ResultMessage::AppendTo(WireWriter& w) const {
   w.SignedVarint(result.reused_tokens);
   w.SignedVarint(result.decode_steps);
   w.F32Array(result.final_hidden.data(), result.final_hidden.size());
+  w.U8(result.handle != nullptr ? 1 : 0);
 }
 
 bool ResultMessage::Parse(WireReader& r, ResultMessage* out) {
   EngineResult& result = out->result;
   int64_t head_option = 0;
+  uint8_t expects_handle = 0;
   if (!r.SignedVarint(&result.request_id) || !r.I32Array(&result.output_tokens, kMaxTokens) ||
       !r.SignedVarint(&head_option) || !r.SignedVarint(&result.prefill_tokens) ||
       !r.SignedVarint(&result.reused_tokens) || !r.SignedVarint(&result.decode_steps) ||
-      !r.F32Array(&result.final_hidden, kMaxTokens)) {
+      !r.F32Array(&result.final_hidden, kMaxTokens) || !r.U8(&expects_handle)) {
     return false;
   }
   result.head_option = static_cast<int>(head_option);
+  out->expects_handle = expects_handle != 0;
   return true;
 }
 
@@ -349,6 +362,83 @@ void GoodbyeMessage::AppendTo(WireWriter& w) const { w.SignedVarint(completed); 
 
 bool GoodbyeMessage::Parse(WireReader& r, GoodbyeMessage* out) {
   return r.SignedVarint(&out->completed);
+}
+
+KvHandleMetaMessage KvHandleMetaMessage::FromHandle(const KvHandle& handle) {
+  KvHandleMetaMessage meta;
+  meta.request_id = handle.request_id;
+  meta.computed = handle.computed;
+  meta.reused = handle.reused;
+  meta.generated = handle.generated;
+  meta.block_size = handle.block_size;
+  meta.num_pages = static_cast<int64_t>(handle.pages.size());
+  meta.tokens = handle.tokens;
+  meta.captured_hidden = handle.captured_hidden;
+  return meta;
+}
+
+void KvHandleMetaMessage::ToHandle(KvHandle* out) const {
+  out->request_id = request_id;
+  out->tokens = tokens;
+  out->computed = computed;
+  out->reused = reused;
+  out->generated = generated;
+  out->block_size = block_size;
+  out->captured_hidden = captured_hidden;
+  out->pages.clear();
+  out->pages.resize(static_cast<size_t>(num_pages));
+  for (size_t i = 0; i < out->pages.size(); ++i) {
+    out->pages[i].index = static_cast<int64_t>(i);
+  }
+}
+
+void KvHandleMetaMessage::AppendTo(WireWriter& w) const {
+  w.SignedVarint(request_id);
+  w.SignedVarint(computed);
+  w.SignedVarint(reused);
+  w.SignedVarint(generated);
+  w.SignedVarint(block_size);
+  w.SignedVarint(num_pages);
+  w.I32Array(tokens.data(), tokens.size());
+  w.F32Array(captured_hidden.data(), captured_hidden.size());
+}
+
+bool KvHandleMetaMessage::Parse(WireReader& r, KvHandleMetaMessage* out) {
+  if (!r.SignedVarint(&out->request_id) || !r.SignedVarint(&out->computed) ||
+      !r.SignedVarint(&out->reused) || !r.SignedVarint(&out->generated) ||
+      !r.SignedVarint(&out->block_size) || !r.SignedVarint(&out->num_pages) ||
+      !r.I32Array(&out->tokens, kMaxTokens) ||
+      !r.F32Array(&out->captured_hidden, kMaxEmbeddingFloats)) {
+    return false;
+  }
+  // Structural invariants of a well-formed handle (src/engine/kv_handle.h):
+  // whole-block pages covering exactly `computed` tokens, and a token buffer
+  // of prompt + sampled tokens. The engine re-checks on restore; rejecting
+  // here turns a corrupt peer into a clean protocol error.
+  if (out->computed <= 0 || out->computed > static_cast<int64_t>(kMaxTokens) ||
+      out->generated <= 0 || out->generated > static_cast<int64_t>(kMaxTokens) ||
+      out->reused < 0 || out->reused > out->computed || out->block_size <= 0 ||
+      out->block_size > static_cast<int64_t>(kMaxTokens)) {
+    return false;
+  }
+  const int64_t expected_pages = (out->computed + out->block_size - 1) / out->block_size;
+  if (out->num_pages != expected_pages ||
+      static_cast<int64_t>(out->tokens.size()) != out->computed + out->generated) {
+    return false;
+  }
+  return true;
+}
+
+void KvPageMessage::AppendTo(WireWriter& w) const {
+  w.SignedVarint(request_id);
+  w.SignedVarint(page_index);
+  w.F32Array(data.data(), data.size());
+}
+
+bool KvPageMessage::Parse(WireReader& r, KvPageMessage* out) {
+  return r.SignedVarint(&out->request_id) && r.SignedVarint(&out->page_index) &&
+         out->page_index >= 0 && out->page_index < static_cast<int64_t>(kMaxTokens) &&
+         r.F32Array(&out->data, kMaxKvPageFloats) && !out->data.empty();
 }
 
 void AppendAdapter(WireWriter& w, const LoraAdapter& adapter) {

@@ -10,6 +10,12 @@
 //   serving   -> Request          one EngineRequest, inside the send window
 //             <- Result | Failure terminal outcome per request
 //             <- Heartbeat        forwarded worker liveness, every period
+//   disagg    -> KvHandleMeta, -> KvPage*N, -> Request{has_resume}
+//                                 resume a handed-off request on a decode
+//                                 executor (pages precede the request; the
+//                                 channel is FIFO so assembly always wins)
+//             <- KvHandleMeta, <- KvPage*N, <- Result{has_handle}
+//                                 a prefill-only executor exporting KV state
 //   shutdown  -> Stop             cancel queued, finish in-engine work
 //             <- Goodbye          then EOF
 //
@@ -53,6 +59,8 @@ enum class MessageType : uint8_t {
   kHeartbeat = 10,
   kStop = 11,
   kGoodbye = 12,
+  kKvHandleMeta = 13,
+  kKvPage = 14,
 };
 
 constexpr const char* MessageTypeName(MessageType type) {
@@ -81,6 +89,10 @@ constexpr const char* MessageTypeName(MessageType type) {
       return "Stop";
     case MessageType::kGoodbye:
       return "Goodbye";
+    case MessageType::kKvHandleMeta:
+      return "KvHandleMeta";
+    case MessageType::kKvPage:
+      return "KvPage";
   }
   return "Unknown";
 }
@@ -159,6 +171,12 @@ struct StartMessage {
 struct RequestMessage {
   static constexpr MessageType kType = MessageType::kRequest;
   EngineRequest request;
+  // Decode side of the disagg handoff: true when the sender attached a
+  // resume handle, shipped as preceding KvHandleMeta/KvPage frames (the
+  // handle pointer itself never crosses the wire). The receiver must have
+  // the assembled handle for request.id on hand or the frame is a protocol
+  // error. AppendTo derives it from request.resume_handle.
+  bool has_resume = false;
 
   void AppendTo(WireWriter& w) const;
   static bool Parse(WireReader& r, RequestMessage* out);
@@ -167,6 +185,10 @@ struct RequestMessage {
 struct ResultMessage {
   static constexpr MessageType kType = MessageType::kResult;
   EngineResult result;
+  // Mirror of RequestMessage::has_resume for the executor -> master leg:
+  // true when this result's KvHandle was shipped as preceding frames.
+  // AppendTo derives it from result.handle.
+  bool expects_handle = false;
 
   void AppendTo(WireWriter& w) const;
   static bool Parse(WireReader& r, ResultMessage* out);
@@ -209,6 +231,42 @@ struct GoodbyeMessage {
 
   void AppendTo(WireWriter& w) const;
   static bool Parse(WireReader& r, GoodbyeMessage* out);
+};
+
+// Disaggregated KV handoff: a KvHandle crosses the wire as one KvHandleMeta
+// frame followed by exactly num_pages KvPage frames, all keyed by request_id
+// and sent before the Request/Result frame that references them. Channel
+// sends are whole-frame and FIFO, so the receiver always finishes assembling
+// the handle before the referencing frame arrives; a referencing frame with
+// no (or an incomplete) assembled handle is a protocol error.
+struct KvHandleMetaMessage {
+  static constexpr MessageType kType = MessageType::kKvHandleMeta;
+  int64_t request_id = 0;
+  int64_t computed = 0;
+  int64_t reused = 0;
+  int64_t generated = 0;
+  int64_t block_size = 0;
+  int64_t num_pages = 0;
+  std::vector<int32_t> tokens;
+  std::vector<float> captured_hidden;
+
+  static KvHandleMetaMessage FromHandle(const KvHandle& handle);
+  // Fills `out` from the (already Parse-validated) meta, with num_pages
+  // default-constructed pages for the KvPage frames to fill in.
+  void ToHandle(KvHandle* out) const;
+
+  void AppendTo(WireWriter& w) const;
+  static bool Parse(WireReader& r, KvHandleMetaMessage* out);
+};
+
+struct KvPageMessage {
+  static constexpr MessageType kType = MessageType::kKvPage;
+  int64_t request_id = 0;
+  int64_t page_index = 0;  // position in KvHandle::pages, 0-based
+  std::vector<float> data;
+
+  void AppendTo(WireWriter& w) const;
+  static bool Parse(WireReader& r, KvPageMessage* out);
 };
 
 // Full-weight adapter shipping (the wire twin of SaveAdapter/LoadAdapter).

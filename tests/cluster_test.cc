@@ -226,6 +226,55 @@ TEST_F(ClusterTest, ResultsIdenticalAcrossReplicaCounts) {
   }
 }
 
+// Satellite 1 (disaggregation): the prefill/decode split with paged-KV
+// handoff must be invisible in the results. Same trace, same seeds — the
+// unified fleet and the disaggregated pools must emit identical per-request
+// token streams, and every KvHandle the master takes ownership of must be
+// released by Drain.
+TEST_F(ClusterTest, DisaggregatedMatchesUnifiedResults) {
+  const std::vector<Request> trace = SkewedTrace(6, 0.6, 25.0, 2.0, 41);
+  ASSERT_GT(trace.size(), 10u);
+  std::map<int64_t, std::vector<int32_t>> reference;
+  for (const bool disagg : {false, true}) {
+    ClusterOptions options;
+    options.num_replicas = 3;
+    options.policy = RoutePolicy::kAdapterAffinity;
+    options.replica_queue_capacity = 256;
+    options.server.max_batch_size = 4;
+    options.disagg.enabled = disagg;
+    options.disagg.num_prefill = 1;
+    ClusterServer cluster(config_, options);
+    for (const LoraAdapter& adapter : MakeAdapters(config_, 6, 11)) {
+      cluster.AddAdapter(adapter);
+    }
+    cluster.PlaceAdapters(AdapterShares(trace, 6));
+    for (const Request& request : trace) {
+      ASSERT_TRUE(cluster.Submit(EngineRequestFromTrace(request, config_, SmallMap())));
+    }
+    const std::vector<EngineResult> results = cluster.Drain();
+    EXPECT_EQ(results.size(), trace.size());
+    const auto key = ResultKey(results);
+    if (!disagg) {
+      reference = key;
+    } else {
+      EXPECT_EQ(key, reference);
+    }
+    const ClusterStats stats = cluster.Stats();
+    EXPECT_EQ(stats.completed, static_cast<int64_t>(trace.size()));
+    EXPECT_EQ(stats.rejected, 0);
+    if (disagg) {
+      // Multi-token requests hand off; single-token ones finish in prefill.
+      EXPECT_GT(stats.handoffs, 0);
+      EXPECT_EQ(stats.handles_created, stats.handoffs);
+      EXPECT_EQ(stats.handles_released, stats.handles_created);
+    } else {
+      EXPECT_EQ(stats.handoffs, 0);
+      EXPECT_EQ(stats.handles_created, 0);
+      EXPECT_EQ(stats.handles_released, 0);
+    }
+  }
+}
+
 TEST_F(ClusterTest, RoundRobinSpreadsWorkAcrossReplicas) {
   const std::vector<Request> trace = SkewedTrace(6, 0.6, 25.0, 2.0, 17);
   TraceSession session;
@@ -409,3 +458,4 @@ TEST_F(ClusterTest, ServerStatsReportLatencyPercentiles) {
 
 }  // namespace
 }  // namespace vlora
+

@@ -483,5 +483,291 @@ TEST(FaultInjectionTest, DeadlineBoundsRecoveryBeforeRetriesBurnAttempts) {
   EXPECT_EQ(stats.retries, 0);
 }
 
+// --- Scenario 5: disaggregated pools under faults ----------------------------
+//
+// The two-stage lifecycle must survive losing either pool's replica: a dead
+// prefill replica re-runs the lost prefills on its pool sibling, a dead
+// decode replica has the already-computed KvHandle re-routed (prefill is NOT
+// recomputed), and a stalled prefill pool of one waits out its own
+// readmission. Each scenario is seeded and must repeat identically.
+
+std::unique_ptr<ClusterServer> MakeDisaggCluster(const ModelConfig& config, int replicas,
+                                                 int num_prefill,
+                                                 const std::vector<Request>& trace,
+                                                 FaultInjector* fault,
+                                                 RecoveryOptions recovery) {
+  ClusterOptions options;
+  options.num_replicas = replicas;
+  options.policy = RoutePolicy::kRoundRobin;  // fixed routing sequence
+  options.admission = AdmissionPolicy::kBlock;
+  options.replica_queue_capacity = 64;
+  options.server.max_batch_size = 4;
+  options.disagg.enabled = true;
+  options.disagg.num_prefill = num_prefill;
+  options.fault = fault;
+  options.recovery = recovery;
+  auto cluster = std::make_unique<ClusterServer>(config, options);
+  for (const LoraAdapter& adapter : MakeAdapters(config, 6, 11)) {
+    cluster->AddAdapter(adapter);
+  }
+  cluster->PlaceAdapters(AdapterShares(trace, 6));
+  return cluster;
+}
+
+struct DisaggFaultOutcome {
+  std::set<int64_t> completed_ids;
+  std::vector<FaultEvent> events;
+  std::vector<TraceEvent> trace_events;
+  size_t failures = 0;
+  int64_t replica_deaths = 0;
+  int64_t handoffs = 0;
+  int64_t handles_created = 0;
+  int64_t handles_released = 0;
+};
+
+DisaggFaultOutcome RunDisaggKillPrefill(const ModelConfig& config,
+                                        const std::vector<Request>& trace) {
+  TraceSession session;
+  FaultInjector fault(0x5eedu);
+  fault.GateWorkers();
+  // Prefill pool {0, 1}: replica 0 hands off its first batch, then dies
+  // holding the rest of its queue mid-stream.
+  fault.KillReplicaAfter(/*replica=*/0, /*completed=*/2);
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 0.0;
+  recovery.backoff_base_ms = 1.0;
+  recovery.health_period_ms = 2.0;
+  recovery.max_attempts = 8;
+  auto cluster =
+      MakeDisaggCluster(config, /*replicas=*/4, /*num_prefill=*/2, trace, &fault, recovery);
+  for (size_t i = 0; i < 24; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  fault.OpenGate();
+  const std::vector<EngineResult> results = cluster->Drain();
+  // Drain races the health tick that *records* the death: wait for the
+  // conviction before reading stats (see WaitForReplicaDeaths contract).
+  EXPECT_TRUE(cluster->WaitForReplicaDeaths(/*count=*/1, /*timeout_ms=*/10'000.0));
+  const ClusterStats stats = cluster->Stats();
+
+  DisaggFaultOutcome outcome;
+  for (const EngineResult& result : results) {
+    outcome.completed_ids.insert(result.request_id);
+  }
+  outcome.events = fault.Events();
+  outcome.failures = cluster->TakeFailures().size();
+  outcome.replica_deaths = stats.replica_deaths;
+  outcome.handoffs = stats.handoffs;
+  outcome.handles_created = stats.handles_created;
+  outcome.handles_released = stats.handles_released;
+  EXPECT_EQ(results.size(), 24u);
+  cluster.reset();
+  session.Stop();
+  outcome.trace_events = session.Collect();
+  EXPECT_EQ(session.dropped_events(), 0);
+  return outcome;
+}
+
+TEST(FaultInjectionTest, DisaggKilledPrefillReplicaRerunsLostPrefillsOnPoolSibling) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 59);
+  ASSERT_GE(trace.size(), 24u);
+
+  const DisaggFaultOutcome first = RunDisaggKillPrefill(config, trace);
+  EXPECT_EQ(first.completed_ids.size(), 24u);
+  EXPECT_EQ(first.failures, 0u);
+  EXPECT_EQ(first.replica_deaths, 1);
+  EXPECT_EQ(first.handles_released, first.handles_created);
+  ASSERT_EQ(first.events.size(), 1u);
+  EXPECT_EQ(first.events[0].kind, FaultKind::kKillReplica);
+  EXPECT_EQ(first.events[0].replica, 0);
+
+  TraceMatcher matcher(first.trace_events);
+  // The victim handed off work before dying, and after its death conviction
+  // (first fail-over retry) it never accepted another request.
+  EXPECT_GT(matcher.CountForReplica(TraceEventKind::kKvHandoff, 0), 0);
+  const double first_retry_ms = matcher.FirstTime({TraceEventKind::kRetry});
+  ASSERT_GE(first_retry_ms, 0.0);
+  EXPECT_EQ(matcher.CountAfter({TraceEventKind::kEnqueued, 0}, first_retry_ms), 0);
+  // Every request the death orphaned re-ran its prefill exactly once — on the
+  // surviving pool sibling — and then completed through the normal handoff
+  // lifecycle (or at prefill, for single-step requests).
+  std::set<int64_t> retried;
+  for (const TraceEvent& event : matcher.events()) {
+    if (event.kind == TraceEventKind::kRetry) {
+      retried.insert(event.request_id);
+    }
+  }
+  EXPECT_FALSE(retried.empty());
+  for (int64_t id : retried) {
+    EXPECT_TRUE(matcher.ExpectCompleted(id, StatusCode::kOk));
+    EXPECT_EQ(matcher.CountForRequest(TraceEventKind::kPrefillDone, id), 1);
+    EXPECT_TRUE(matcher.ExpectSequence(id, {TraceEventKind::kRetry, TraceEventKind::kEnqueued,
+                                            TraceEventKind::kPrefillDone,
+                                            TraceEventKind::kCompleted}));
+  }
+  for (size_t i = 0; i < 24; ++i) {
+    EXPECT_TRUE(matcher.ExpectCompleted(trace[i].id, StatusCode::kOk));
+  }
+
+  // Same script, same seed: identical completions and fault log.
+  const DisaggFaultOutcome second = RunDisaggKillPrefill(config, trace);
+  EXPECT_EQ(second.completed_ids, first.completed_ids);
+  EXPECT_EQ(second.events, first.events);
+  EXPECT_EQ(second.failures, first.failures);
+  EXPECT_EQ(second.replica_deaths, first.replica_deaths);
+  EXPECT_EQ(second.handles_released, second.handles_created);
+}
+
+DisaggFaultOutcome RunDisaggKillDecode(const ModelConfig& config,
+                                       const std::vector<Request>& trace) {
+  TraceSession session;
+  FaultInjector fault(0x5eedu);
+  fault.GateWorkers();
+  // Decode pool {1, 2}: replica 2 dies at its very first iteration, before
+  // stepping any resumed sequence — every handle routed toward it must be
+  // re-routed, not recomputed.
+  fault.KillReplicaAfter(/*replica=*/2, /*completed=*/0);
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 0.0;
+  recovery.backoff_base_ms = 1.0;
+  recovery.health_period_ms = 2.0;
+  recovery.max_attempts = 8;
+  auto cluster =
+      MakeDisaggCluster(config, /*replicas=*/3, /*num_prefill=*/1, trace, &fault, recovery);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  fault.OpenGate();
+  const std::vector<EngineResult> results = cluster->Drain();
+  // The whole run can drain through the survivor before the victim's worker
+  // thread is ever scheduled (one-CPU hosts): wait for the health tick to
+  // record the death instead of racing Drain against it.
+  EXPECT_TRUE(cluster->WaitForReplicaDeaths(/*count=*/1, /*timeout_ms=*/10'000.0));
+  const ClusterStats stats = cluster->Stats();
+
+  DisaggFaultOutcome outcome;
+  for (const EngineResult& result : results) {
+    outcome.completed_ids.insert(result.request_id);
+  }
+  outcome.events = fault.Events();
+  outcome.failures = cluster->TakeFailures().size();
+  outcome.replica_deaths = stats.replica_deaths;
+  outcome.handoffs = stats.handoffs;
+  outcome.handles_created = stats.handles_created;
+  outcome.handles_released = stats.handles_released;
+  EXPECT_EQ(results.size(), 20u);
+  cluster.reset();
+  session.Stop();
+  outcome.trace_events = session.Collect();
+  EXPECT_EQ(session.dropped_events(), 0);
+  return outcome;
+}
+
+TEST(FaultInjectionTest, DisaggKilledDecodeReplicaReroutesHandlesWithoutReprefill) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 83);
+  ASSERT_GE(trace.size(), 20u);
+
+  const DisaggFaultOutcome first = RunDisaggKillDecode(config, trace);
+  EXPECT_EQ(first.completed_ids.size(), 20u);
+  EXPECT_EQ(first.failures, 0u);
+  EXPECT_EQ(first.replica_deaths, 1);
+  EXPECT_GT(first.handoffs, 0);
+  EXPECT_EQ(first.handles_released, first.handles_created);
+
+  TraceMatcher matcher(first.trace_events);
+  // The victim died before its first step: it never retired a batch. A
+  // handoff can still race into its queue before its worker thread runs the
+  // kill check; any such request is failed over, and once the death is
+  // convicted (the first kRetry) the victim's queue accepts nothing more.
+  EXPECT_EQ(matcher.CountForReplica(TraceEventKind::kBatchStepEnd, 2), 0);
+  if (matcher.CountForReplica(TraceEventKind::kDecodeEnqueued, 2) > 0) {
+    const double first_retry_ms = matcher.FirstTime({TraceEventKind::kRetry});
+    ASSERT_GE(first_retry_ms, 0.0);
+    EXPECT_EQ(matcher.CountAfter({TraceEventKind::kDecodeEnqueued, 2}, first_retry_ms), 0);
+    EXPECT_EQ(matcher.CountAfter({TraceEventKind::kEnqueued, 2}, first_retry_ms), 0);
+  }
+  // Every handed-off request decoded on the survivor with exactly one
+  // prefill and one handoff — the handle moved, the prompt was not re-run.
+  std::set<int64_t> handed_off;
+  for (const TraceEvent& event : matcher.events()) {
+    if (event.kind == TraceEventKind::kKvHandoff) {
+      handed_off.insert(event.request_id);
+    }
+  }
+  EXPECT_FALSE(handed_off.empty());
+  for (int64_t id : handed_off) {
+    EXPECT_TRUE(matcher.ExpectCompleted(id, StatusCode::kOk));
+    EXPECT_EQ(matcher.CountForRequest(TraceEventKind::kPrefillDone, id), 1);
+    EXPECT_EQ(matcher.CountForRequest(TraceEventKind::kKvHandoff, id), 1);
+    EXPECT_EQ(matcher.CountMatching({TraceEventKind::kDecodeEnqueued, 1, id}), 1);
+  }
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(matcher.ExpectCompleted(trace[i].id, StatusCode::kOk));
+  }
+
+  const DisaggFaultOutcome second = RunDisaggKillDecode(config, trace);
+  EXPECT_EQ(second.completed_ids, first.completed_ids);
+  EXPECT_EQ(second.events, first.events);
+  EXPECT_EQ(second.failures, first.failures);
+  EXPECT_EQ(second.replica_deaths, first.replica_deaths);
+  EXPECT_EQ(second.handoffs, first.handoffs);
+  EXPECT_EQ(second.handles_released, second.handles_created);
+}
+
+TEST(FaultInjectionTest, DisaggStalledPrefillPoolRecoversThroughReadmission) {
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 40.0, 2.0, 89);
+  ASSERT_GE(trace.size(), 12u);
+
+  TraceSession session;
+  FaultInjector fault(0x5eedu);
+  fault.GateWorkers();
+  // The ONLY prefill replica stalls before ingesting anything. The health
+  // checker steals its queue, but re-dispatch finds no live prefill member:
+  // the retry budget has to outlast the stall until readmission.
+  fault.StallReplicaAfter(/*replica=*/0, /*completed=*/0, /*stall_ms=*/2000.0);
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 1000.0;
+  recovery.health_period_ms = 10.0;
+  // 12 attempts at exponential backoff give a ~100s retry window: the budget
+  // must outlast not just the 2s stall but the sanitizer-stretched readmission
+  // path (TSan runs this at ~10x), and every request burns attempts while the
+  // pool is empty. Readmission lands near attempt 6 in normal builds.
+  recovery.max_attempts = 12;
+  recovery.backoff_base_ms = 50.0;
+  auto cluster =
+      MakeDisaggCluster(config, /*replicas=*/2, /*num_prefill=*/1, trace, &fault, recovery);
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(trace[i], config, SmallMap())));
+  }
+  fault.OpenGate();
+  const std::vector<EngineResult> results = cluster->Drain();
+  EXPECT_EQ(results.size(), 12u);
+  EXPECT_TRUE(cluster->TakeFailures().empty());
+  ASSERT_TRUE(cluster->WaitForReadmissions(/*count=*/1, /*timeout_ms=*/10'000.0));
+
+  const ClusterStats stats = cluster->Stats();
+  EXPECT_GE(stats.quarantines, 1);
+  EXPECT_GE(stats.readmissions, 1);
+  EXPECT_EQ(stats.replica_deaths, 0);
+  EXPECT_EQ(stats.handles_released, stats.handles_created);
+
+  cluster.reset();
+  session.Stop();
+  TraceMatcher matcher(session.Collect());
+  EXPECT_EQ(session.dropped_events(), 0);
+  EXPECT_GE(matcher.CountForReplica(TraceEventKind::kQuarantine, 0), 1);
+  EXPECT_TRUE(matcher.ExpectAllBefore({TraceEventKind::kQuarantine, 0},
+                                      {TraceEventKind::kReadmit, 0}));
+  // Every request still ran the full two-stage lifecycle once the pool came
+  // back: exactly one prefill each, and each handoff decoded on replica 1.
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_TRUE(matcher.ExpectCompleted(trace[i].id, StatusCode::kOk));
+    EXPECT_EQ(matcher.CountForRequest(TraceEventKind::kPrefillDone, trace[i].id), 1);
+  }
+}
+
 }  // namespace
 }  // namespace vlora

@@ -9,10 +9,12 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/engine/kv_handle.h"
 #include "src/engine/model_config.h"
 #include "src/lora/adapter.h"
 #include "src/net/channel.h"
@@ -280,7 +282,7 @@ TEST(EnvelopeTest, RejectsShortHeaderBadMagicBadVersionUnknownType) {
   std::string bad_type = payload;
   bad_type[3] = 0;  // below kHello
   EXPECT_FALSE(DecodeEnvelope(bad_type).ok());
-  bad_type[3] = static_cast<char>(static_cast<uint8_t>(MessageType::kGoodbye) + 1);
+  bad_type[3] = static_cast<char>(static_cast<uint8_t>(MessageType::kKvPage) + 1);
   EXPECT_FALSE(DecodeEnvelope(bad_type).ok());
 
   Result<Envelope> good = DecodeEnvelope(payload);
@@ -493,6 +495,203 @@ TEST(MessagesTest, EveryTruncationOfARequestFailsCleanly) {
     // both are protocol errors. It must never succeed with Done().
     EXPECT_FALSE(RequestMessage::Parse(reader, &out) && reader.Done()) << "cut at " << cut;
   }
+}
+
+// --- Disaggregated KV handoff frames ----------------------------------------
+
+// A structurally valid meta: 6 computed tokens in blocks of 4 -> 2 pages,
+// one sampled token, so tokens holds computed + generated entries.
+KvHandleMetaMessage ValidKvMeta() {
+  KvHandleMetaMessage meta;
+  meta.request_id = 42;
+  meta.computed = 6;
+  meta.reused = 2;
+  meta.generated = 1;
+  meta.block_size = 4;
+  meta.num_pages = 2;
+  meta.tokens = {1, 2, 3, 4, 5, 6, 7};
+  meta.captured_hidden = {0.5f, -1.25f};
+  return meta;
+}
+
+TEST(KvWireTest, HandleMetaRoundTripsAndRebuildsPageSkeleton) {
+  const KvHandleMetaMessage meta = ValidKvMeta();
+  Result<KvHandleMetaMessage> out = RoundTrip(meta);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().request_id, 42);
+  EXPECT_EQ(out.value().computed, 6);
+  EXPECT_EQ(out.value().reused, 2);
+  EXPECT_EQ(out.value().generated, 1);
+  EXPECT_EQ(out.value().block_size, 4);
+  EXPECT_EQ(out.value().num_pages, 2);
+  EXPECT_EQ(out.value().tokens, meta.tokens);
+  EXPECT_EQ(out.value().captured_hidden, meta.captured_hidden);
+
+  KvHandle handle;
+  out.value().ToHandle(&handle);
+  EXPECT_EQ(handle.request_id, 42);
+  EXPECT_EQ(handle.tokens, meta.tokens);
+  ASSERT_EQ(handle.pages.size(), 2u);
+  EXPECT_EQ(handle.pages[0].index, 0);
+  EXPECT_EQ(handle.pages[1].index, 1);
+  EXPECT_TRUE(handle.pages[0].data.empty());  // KvPage frames fill these in
+}
+
+TEST(KvWireTest, HandleMetaFromHandleSurvivesTheWire) {
+  KvHandle handle;
+  handle.request_id = 9;
+  handle.tokens = {10, 11, 12, 13, 14};
+  handle.computed = 4;
+  handle.reused = 0;
+  handle.generated = 1;
+  handle.block_size = 4;
+  handle.pages.resize(1);
+  handle.pages[0].index = 0;
+  handle.pages[0].data = {3.0f, 4.0f};
+  handle.captured_hidden = {7.0f};
+
+  Result<KvHandleMetaMessage> out = RoundTrip(KvHandleMetaMessage::FromHandle(handle));
+  ASSERT_TRUE(out.ok());
+  KvHandle back;
+  out.value().ToHandle(&back);
+  EXPECT_EQ(back.request_id, handle.request_id);
+  EXPECT_EQ(back.tokens, handle.tokens);
+  EXPECT_EQ(back.computed, handle.computed);
+  EXPECT_EQ(back.generated, handle.generated);
+  EXPECT_EQ(back.block_size, handle.block_size);
+  EXPECT_EQ(back.captured_hidden, handle.captured_hidden);
+  ASSERT_EQ(back.pages.size(), 1u);  // skeleton only; data rides in KvPage frames
+}
+
+TEST(KvWireTest, HandleMetaRejectsStructuralCorruption) {
+  auto reject = [](KvHandleMetaMessage meta, const char* what) {
+    const std::string payload = PayloadOf(EncodeMessageFrame(meta));
+    Result<Envelope> envelope = DecodeEnvelope(payload);
+    ASSERT_TRUE(envelope.ok()) << what;
+    EXPECT_FALSE(DecodeAs<KvHandleMetaMessage>(envelope.value()).ok()) << what;
+  };
+
+  KvHandleMetaMessage meta = ValidKvMeta();
+  meta.num_pages += 1;
+  reject(meta, "page count disagrees with computed/block_size");
+
+  meta = ValidKvMeta();
+  meta.tokens.pop_back();
+  reject(meta, "token count disagrees with computed + generated");
+
+  meta = ValidKvMeta();
+  meta.computed = 0;
+  reject(meta, "no computed tokens");
+
+  meta = ValidKvMeta();
+  meta.reused = meta.computed + 1;
+  reject(meta, "reused exceeds computed");
+
+  meta = ValidKvMeta();
+  meta.block_size = 0;
+  reject(meta, "zero block size");
+
+  meta = ValidKvMeta();
+  meta.generated = 0;
+  reject(meta, "no sampled token");
+}
+
+TEST(KvWireTest, EveryTruncationOfAHandleMetaFailsCleanly) {
+  WireWriter writer;
+  ValidKvMeta().AppendTo(writer);
+  const std::string body = writer.Take();
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    WireReader reader(body.data(), cut);
+    KvHandleMetaMessage out;
+    EXPECT_FALSE(KvHandleMetaMessage::Parse(reader, &out) && reader.Done()) << "cut at " << cut;
+  }
+}
+
+TEST(KvWireTest, PageRoundTripsBitExact) {
+  KvPageMessage page;
+  page.request_id = 42;
+  page.page_index = 1;
+  page.data = {1.0f, -0.0f, 3.5f};
+  Result<KvPageMessage> out = RoundTrip(page);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().request_id, 42);
+  EXPECT_EQ(out.value().page_index, 1);
+  ASSERT_EQ(out.value().data.size(), 3u);
+  EXPECT_EQ(std::memcmp(out.value().data.data(), page.data.data(), 3 * sizeof(float)), 0);
+}
+
+TEST(KvWireTest, PageRejectsEmptyNegativeAndOversized) {
+  KvPageMessage page;
+  page.request_id = 42;
+  page.page_index = 0;
+  page.data = {1.0f};
+
+  KvPageMessage empty = page;
+  empty.data.clear();
+  EXPECT_FALSE(RoundTrip(empty).ok());  // a page with no floats is meaningless
+
+  KvPageMessage negative = page;
+  negative.page_index = -1;
+  EXPECT_FALSE(RoundTrip(negative).ok());
+
+  // An adversarial frame declaring more floats than the 16 MiB page cap: the
+  // parser must refuse on the declared count, before trusting the length.
+  WireWriter writer;
+  writer.SignedVarint(7);
+  writer.SignedVarint(0);
+  writer.Varint((1u << 22) + 1);
+  Envelope oversized;
+  oversized.type = MessageType::kKvPage;
+  oversized.body = writer.Take();
+  EXPECT_FALSE(DecodeAs<KvPageMessage>(oversized).ok());
+}
+
+TEST(MessagesTest, RequestStageFlagsRoundTripAndConflictIsRejected) {
+  RequestMessage prefill;
+  prefill.request.id = 1;
+  prefill.request.prompt_tokens = {1, 2};
+  prefill.request.prefill_only = true;
+  Result<RequestMessage> out = RoundTrip(prefill);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().request.prefill_only);
+  EXPECT_FALSE(out.value().has_resume);
+
+  RequestMessage resume;
+  resume.request.id = 2;
+  resume.request.prompt_tokens = {3, 4};
+  resume.request.resume_handle = std::make_shared<KvHandle>();
+  out = RoundTrip(resume);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().request.prefill_only);
+  EXPECT_TRUE(out.value().has_resume);  // the handle itself ships as preceding frames
+  EXPECT_EQ(out.value().request.resume_handle, nullptr);
+
+  // A request claiming to be both stages at once is a protocol error.
+  RequestMessage conflict;
+  conflict.request.id = 3;
+  conflict.request.prompt_tokens = {5};
+  conflict.request.prefill_only = true;
+  conflict.request.resume_handle = std::make_shared<KvHandle>();
+  const std::string payload = PayloadOf(EncodeMessageFrame(conflict));
+  Result<Envelope> envelope = DecodeEnvelope(payload);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_FALSE(DecodeAs<RequestMessage>(envelope.value()).ok());
+}
+
+TEST(MessagesTest, ResultExpectsHandleFollowsAttachedHandle) {
+  ResultMessage message;
+  message.result.request_id = 5;
+  message.result.output_tokens = {1};
+  message.result.handle = std::make_shared<KvHandle>();
+  Result<ResultMessage> out = RoundTrip(message);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().expects_handle);
+  EXPECT_EQ(out.value().result.handle, nullptr);
+
+  message.result.handle = nullptr;
+  out = RoundTrip(message);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().expects_handle);
 }
 
 // --- Adapter shipping -------------------------------------------------------

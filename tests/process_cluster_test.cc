@@ -80,7 +80,8 @@ std::unique_ptr<ClusterServer> MakeProcessCluster(const ModelConfig& config, int
                                                   const std::vector<Request>& trace,
                                                   FaultInjector* fault,
                                                   ReplicaBackend backend,
-                                                  int64_t max_inflight = 4) {
+                                                  int64_t max_inflight = 4,
+                                                  int num_prefill = 0) {
   ClusterOptions options;
   options.num_replicas = replicas;
   options.policy = RoutePolicy::kRoundRobin;  // fixed routing sequence
@@ -88,6 +89,10 @@ std::unique_ptr<ClusterServer> MakeProcessCluster(const ModelConfig& config, int
   options.replica_queue_capacity = 64;
   options.server.max_batch_size = 4;
   options.backend = backend;
+  if (num_prefill > 0) {
+    options.disagg.enabled = true;
+    options.disagg.num_prefill = num_prefill;
+  }
   options.process.max_inflight = max_inflight;
   options.process.heartbeat_period_ms = 5.0;
   options.fault = fault;
@@ -173,6 +178,58 @@ TEST(ProcessClusterTest, ThreadAndProcessBackendsProduceIdenticalResults) {
       reference = key;
     } else {
       EXPECT_EQ(key, reference) << "process backend diverged from thread backend";
+    }
+  }
+}
+
+// The KV handle crosses the wire as KvHandleMeta + KvPage frames between the
+// prefill executor and the master, then again down to the decode executor.
+// The differential proof: a unified thread cluster, a disaggregated thread
+// cluster, and a disaggregated process cluster must all produce the same
+// per-request token streams on the same seeded workload.
+TEST(ProcessClusterTest, DisaggregatedProcessBackendMatchesUnifiedResults) {
+  SKIP_WITHOUT_EXECUTOR();
+  const ModelConfig config = TinyConfig();
+  const std::vector<Request> trace = SmallTrace(6, 25.0, 1.0, 37);
+  ASSERT_GE(trace.size(), 8u);
+
+  struct Leg {
+    ReplicaBackend backend;
+    int num_prefill;  // 0 -> unified
+  };
+  const Leg legs[] = {{ReplicaBackend::kThread, 0},
+                      {ReplicaBackend::kThread, 1},
+                      {ReplicaBackend::kProcess, 1}};
+
+  std::map<int64_t, std::vector<int32_t>> reference;
+  for (const Leg& leg : legs) {
+    auto cluster = MakeProcessCluster(config, /*replicas=*/3, trace, nullptr, leg.backend,
+                                      /*max_inflight=*/4, leg.num_prefill);
+    for (const Request& request : trace) {
+      EXPECT_TRUE(cluster->Submit(EngineRequestFromTrace(request, config, SmallMap())));
+    }
+    const std::vector<EngineResult> results = cluster->Drain();
+    EXPECT_EQ(results.size(), trace.size());
+    EXPECT_TRUE(cluster->TakeFailures().empty());
+    cluster->Shutdown();
+
+    const ClusterStats stats = cluster->Stats();
+    if (leg.num_prefill > 0) {
+      EXPECT_GT(stats.handoffs, 0) << "disaggregated run never handed off KV";
+      EXPECT_EQ(stats.handles_created, stats.handoffs);
+      EXPECT_EQ(stats.handles_released, stats.handles_created);
+    } else {
+      EXPECT_EQ(stats.handoffs, 0);
+    }
+
+    const auto key = ResultKey(results);
+    EXPECT_EQ(key.size(), trace.size());
+    if (reference.empty()) {
+      reference = key;
+    } else {
+      EXPECT_EQ(key, reference)
+          << (leg.backend == ReplicaBackend::kProcess ? "process" : "thread")
+          << " disaggregated run diverged from the unified reference";
     }
   }
 }

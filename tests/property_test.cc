@@ -8,8 +8,10 @@
 #include <set>
 
 #include "src/baselines/policies.h"
+#include "src/cluster/cluster_server.h"
 #include "src/cluster/placement.h"
 #include "src/cluster/router.h"
+#include "src/common/fault.h"
 #include "src/core/generator.h"
 #include "src/core/scheduler.h"
 #include "src/engine/engine.h"
@@ -380,6 +382,150 @@ TEST_P(ClusterFailureFuzzTest, PlacementAndRoutingSurviveDeathSequences) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterFailureFuzzTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Disaggregated pools: under any random prefill/decode split and any death
+// sequence that leaves each pool at least one survivor, every adapter keeps a
+// live home in BOTH pool-local placements — a prefill home to compute the KV
+// and a decode home to consume it.
+class DisaggPoolFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisaggPoolFuzzTest, EveryAdapterKeepsALiveHomePerPool) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 15485863 + 7);
+  const int num_replicas = static_cast<int>(rng.NextInt(3, 7));
+  const int num_prefill = static_cast<int>(rng.NextInt(1, num_replicas - 1));
+  const int num_decode = num_replicas - num_prefill;
+  const int num_adapters = static_cast<int>(rng.NextInt(1, 12));
+  std::vector<double> shares(static_cast<size_t>(num_adapters));
+  double total = 0.0;
+  for (double& share : shares) {
+    share = rng.NextUniform(0.01, 1.0);
+    total += share;
+  }
+  for (double& share : shares) {
+    share /= total;
+  }
+  PlacementOptions options;
+  options.hot_share_threshold = rng.NextUniform(0.05, 0.5);
+  options.max_hot = static_cast<int>(rng.NextInt(0, 3));
+  // Pool-local placements over pool-local indices, exactly as ClusterServer
+  // builds them in disaggregated mode.
+  AdapterPlacement pools[] = {AdapterPlacement::Compute(shares, num_prefill, options),
+                              AdapterPlacement::Compute(shares, num_decode, options)};
+  const int pool_sizes[] = {num_prefill, num_decode};
+
+  for (int pool = 0; pool < 2; ++pool) {
+    std::vector<bool> alive(static_cast<size_t>(pool_sizes[pool]), true);
+    int num_alive = pool_sizes[pool];
+    while (num_alive > 1) {
+      int victim;
+      do {
+        victim = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(pool_sizes[pool])));
+      } while (!alive[static_cast<size_t>(victim)]);
+      alive[static_cast<size_t>(victim)] = false;
+      --num_alive;
+      pools[pool].Rebalance(victim);
+      ASSERT_EQ(pools[pool].num_live_replicas(), num_alive);
+      for (int adapter = 0; adapter < num_adapters; ++adapter) {
+        const std::vector<int>& homes = pools[pool].HomesOf(adapter);
+        ASSERT_FALSE(homes.empty()) << "seed " << seed << ": adapter " << adapter
+                                    << " lost every home in pool " << pool;
+        for (int home : homes) {
+          ASSERT_TRUE(alive[static_cast<size_t>(home)])
+              << "seed " << seed << ": adapter " << adapter << " homed on dead pool-"
+              << pool << " replica " << home;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisaggPoolFuzzTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// KV-handle conservation: whatever the pool split and whether a decode
+// replica dies mid-run, every KvHandle the master takes ownership of is
+// released by the time the workload drains — create/release counts balance,
+// so no handle (and no copied KV page) can leak.
+class DisaggHandleFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisaggHandleFuzzTest, HandleCreateAndReleaseCountsBalance) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed * 22801763489ull + 3);
+  const ModelConfig config = TinyConfig();
+  const int num_replicas = static_cast<int>(rng.NextInt(3, 5));
+  const int num_prefill = static_cast<int>(rng.NextInt(1, num_replicas - 2));
+  const bool kill_decode = rng.NextDouble() < 0.5;
+
+  TraceOptions trace_options;
+  trace_options.app = AppKind::kVisualRetrieval;
+  trace_options.duration_s = 1.0;
+  trace_options.rate_rps = 20.0;
+  trace_options.num_adapters = 4;
+  trace_options.skewness = rng.NextUniform(0.3, 0.9);
+  trace_options.seed = seed * 31 + 5;
+  const std::vector<Request> trace = GenerateTrace(trace_options);
+  if (trace.size() < 8u) {
+    GTEST_SKIP() << "trace too short for seed " << seed;
+  }
+
+  FaultInjector fault(seed * 7 + 1);
+  if (kill_decode) {
+    // Some decode replica dies after a couple of completions; its queued
+    // handles must be re-routed, not leaked.
+    const int victim =
+        num_prefill + static_cast<int>(rng.NextBounded(
+                          static_cast<uint64_t>(num_replicas - num_prefill)));
+    fault.KillReplicaAfter(victim, /*completed=*/static_cast<int64_t>(rng.NextBounded(3)));
+  }
+  RecoveryOptions recovery;
+  recovery.stall_quarantine_ms = 0.0;
+  recovery.backoff_base_ms = 1.0;
+  recovery.health_period_ms = 2.0;
+  recovery.max_attempts = 8;
+
+  ClusterOptions options;
+  options.num_replicas = num_replicas;
+  options.policy = RoutePolicy::kAdapterAffinity;
+  options.replica_queue_capacity = 256;
+  options.server.max_batch_size = 4;
+  options.disagg.enabled = true;
+  options.disagg.num_prefill = num_prefill;
+  options.fault = &fault;
+  options.recovery = recovery;
+  ClusterServer cluster(config, options);
+  Rng adapter_rng(11);
+  for (int i = 0; i < 4; ++i) {
+    cluster.AddAdapter(LoraAdapter::Random("hfz-" + std::to_string(i), config.num_layers,
+                                           config.d_model, 4, adapter_rng));
+  }
+  cluster.PlaceAdapters(AdapterShares(trace, 4));
+
+  TraceMapOptions map;
+  map.token_scale = 32;
+  map.max_prompt_tokens = 16;
+  map.max_new_tokens = 3;
+  size_t submitted = 0;
+  for (const Request& request : trace) {
+    if (cluster.Submit(EngineRequestFromTrace(request, config, map))) {
+      ++submitted;
+    }
+  }
+  const std::vector<EngineResult> results = cluster.Drain();
+  const size_t failed = cluster.TakeFailures().size();
+  EXPECT_EQ(results.size() + failed, submitted) << "seed " << seed;
+  cluster.Shutdown();
+
+  const ClusterStats stats = cluster.Stats();
+  EXPECT_GT(stats.handoffs, 0) << "seed " << seed;
+  EXPECT_EQ(stats.handles_created, stats.handoffs) << "seed " << seed;
+  EXPECT_EQ(stats.handles_released, stats.handles_created)
+      << "seed " << seed << ": leaked " << (stats.handles_created - stats.handles_released)
+      << " KV handles";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisaggHandleFuzzTest, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace vlora
